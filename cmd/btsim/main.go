@@ -1,0 +1,191 @@
+// Command btsim runs the two BitTorrent simulators that back the paper
+// reproduction: the flow-level event-driven simulator (validating the fluid
+// models, experiment E9) and the chunk-level swarm simulator (validating
+// the multi-file torrent schemes at the mechanism level), plus the Adapt
+// mechanism evaluation the paper leaves as future work (E8).
+//
+// Usage:
+//
+//	btsim [flags] validate   fluid-vs-simulation comparison for all schemes
+//	btsim [flags] adapt      Adapt controller under growing cheater fractions
+//	btsim [flags] swarm      chunk-level MFCD vs CMFSD comparison
+//	btsim [flags] transient  flash-crowd trajectory, fluid vs simulation
+//	btsim [flags] hetero     heterogeneous bandwidth classes vs multi-class fluid
+//	btsim [flags] adaptparams  probe φ/υ/period settings (paper's future work)
+//	btsim [flags] run        one flow-level run of -scheme with full stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mfdl/internal/adapt"
+	"mfdl/internal/eventsim"
+	"mfdl/internal/experiments"
+	"mfdl/internal/fluid"
+	"mfdl/internal/swarm"
+	"mfdl/internal/table"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "btsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("btsim", flag.ContinueOnError)
+	var (
+		k       = fs.Int("k", 10, "number of files K")
+		mu      = fs.Float64("mu", 0.2, "upload bandwidth μ (time-rescaled default)")
+		eta     = fs.Float64("eta", 0.5, "sharing efficiency η")
+		gamma   = fs.Float64("gamma", 0.5, "seed departure rate γ (time-rescaled default)")
+		lambda0 = fs.Float64("lambda0", 1, "visiting rate λ₀")
+		p       = fs.Float64("p", 0.9, "file correlation p")
+		rho     = fs.Float64("rho", 0, "CMFSD allocation ratio ρ")
+		scheme  = fs.String("scheme", "CMFSD", "scheme for 'run': MTCD, MTSD, MFCD, CMFSD")
+		horizon = fs.Float64("horizon", 4000, "simulated time (rounds for 'swarm')")
+		warmup  = fs.Float64("warmup", 800, "warmup time excluded from statistics")
+		seed    = fs.Uint64("seed", 1, "RNG seed")
+		format  = fs.String("format", "ascii", "output format: ascii, csv, tsv, or markdown")
+	)
+	fs.Usage = func() {
+		fmt.Fprintln(fs.Output(), "usage: btsim [flags] validate|adapt|swarm|transient|hetero|adaptparams|run")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return fmt.Errorf("expected exactly one subcommand")
+	}
+	params := fluid.Params{Mu: *mu, Eta: *eta, Gamma: *gamma}
+	set := experiments.SimSettings{
+		Params: params, K: *k, Lambda0: *lambda0,
+		Horizon: *horizon, Warmup: *warmup, Seed: *seed,
+	}
+	emit := func(tb *table.Table) error {
+		if err := tb.Write(os.Stdout, *format); err != nil {
+			return err
+		}
+		fmt.Println()
+		return nil
+	}
+	switch fs.Arg(0) {
+	case "validate":
+		res, err := experiments.SimValidate(set, []float64{*p})
+		if err != nil {
+			return err
+		}
+		return emit(res.Table())
+	case "adapt":
+		ac := adapt.DefaultConfig
+		// Scale the thresholds with μ (they are bandwidth differences).
+		ac.Lower = -0.25 * params.Mu
+		ac.Upper = 0.25 * params.Mu
+		ac.Period = 5 / params.Gamma
+		res, err := experiments.AdaptSweep(set, *p, ac,
+			[]float64{0, 0.2, 0.4, 0.6, 0.8, 1})
+		if err != nil {
+			return err
+		}
+		return emit(res.Table())
+	case "swarm":
+		base := swarm.DefaultConfig
+		base.P = *p
+		base.TFTEfficiency = *eta
+		base.Horizon = int(*horizon)
+		base.Warmup = int(*warmup)
+		base.Seed = *seed
+		res, err := experiments.SwarmCompare(base, []float64{0, 0.25, 0.5, 0.75, 1})
+		if err != nil {
+			return err
+		}
+		return emit(res.Table())
+	case "adaptparams":
+		res, err := experiments.AdaptParams(set, *p, 0.8,
+			[]float64{0.05, 0.1, 0.25, 0.5},
+			[]float64{0.1, 0.3},
+			[]float64{2 / params.Gamma, 10 / params.Gamma})
+		if err != nil {
+			return err
+		}
+		if err := emit(res.Table()); err != nil {
+			return err
+		}
+		best := res.Best()
+		fmt.Printf("best setting: %s (clean ρ %.3f, cheated ρ %.3f)\n",
+			res.Clean[best].Label, res.Clean[best].MeanFinalRho, res.Cheated[best].MeanFinalRho)
+		return nil
+	case "hetero":
+		res, err := experiments.Hetero(set, 2**lambda0, []experiments.HeteroClass{
+			{Name: "broadband", Mu: 2 * params.Mu, Weight: 4, Fraction: 0.3},
+			{Name: "cable", Mu: params.Mu, Weight: 2, Fraction: 0.4},
+			{Name: "dsl", Mu: params.Mu / 2, Weight: 1, Fraction: 0.3},
+		})
+		if err != nil {
+			return err
+		}
+		return emit(res.Table())
+	case "transient":
+		tset := set
+		if tset.Horizon > 300 {
+			tset.Horizon = 150 // a dozen residence times at the rescaled rates
+		}
+		res, err := experiments.Transient(tset, *p, *rho, 300)
+		if err != nil {
+			return err
+		}
+		return emit(res.Table())
+	case "run":
+		var sc eventsim.Scheme
+		switch *scheme {
+		case "MTCD":
+			sc = eventsim.MTCD
+		case "MTSD":
+			sc = eventsim.MTSD
+		case "MFCD":
+			sc = eventsim.MFCD
+		case "CMFSD":
+			sc = eventsim.CMFSD
+		default:
+			return fmt.Errorf("unknown scheme %q", *scheme)
+		}
+		cfg := eventsim.Config{
+			Params: params, K: *k, Lambda0: *lambda0, P: *p,
+			Scheme: sc, Rho: *rho,
+			Horizon: *horizon, Warmup: *warmup, Seed: *seed,
+		}
+		res, err := eventsim.Run(cfg)
+		if err != nil {
+			return err
+		}
+		tb := table.New(fmt.Sprintf("%s flow-level run (p=%.2f, ρ=%.2f, horizon=%g)",
+			*scheme, *p, *rho, *horizon),
+			"metric", "value")
+		tb.MustAddRow("completed users", fmt.Sprintf("%d", res.CompletedUsers))
+		tb.MustAddRow("avg online time per file", table.Fmt(res.AvgOnlinePerFile))
+		tb.MustAddRow("avg download time per file", table.Fmt(res.AvgDownloadPerFile))
+		tb.MustAddRow("mean downloaders", table.Fmt(res.MeanDownloaders))
+		tb.MustAddRow("mean seeds", table.Fmt(res.MeanSeeds))
+		if err := emit(tb); err != nil {
+			return err
+		}
+		cls := table.New("per-class statistics", "class", "completed", "online", "±95%", "download")
+		for _, c := range res.Classes {
+			if c.Completed == 0 {
+				continue
+			}
+			cls.MustAddRow(fmt.Sprintf("%d", c.Class), fmt.Sprintf("%d", c.Completed),
+				table.Fmt(c.OnlineTime.Mean()), table.Fmt(c.OnlineTime.CI95()),
+				table.Fmt(c.DownloadTime.Mean()))
+		}
+		return emit(cls)
+	default:
+		fs.Usage()
+		return fmt.Errorf("unknown subcommand %q", fs.Arg(0))
+	}
+}

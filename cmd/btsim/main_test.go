@@ -1,0 +1,124 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func capture(t *testing.T, f func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := f()
+	w.Close()
+	os.Stdout = old
+	var sb strings.Builder
+	buf := make([]byte, 8192)
+	for {
+		n, err := r.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	return sb.String(), runErr
+}
+
+// fast shrinks horizons so CLI tests stay quick.
+var fast = []string{"-horizon", "800", "-warmup", "200"}
+
+func TestRunSubcommand(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run(append(fast, "-scheme", "MTSD", "run"))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "avg online time per file") || !strings.Contains(out, "per-class") {
+		t.Fatalf("run output:\n%s", out)
+	}
+}
+
+func TestRunAllSchemes(t *testing.T) {
+	for _, scheme := range []string{"MTCD", "MFCD", "CMFSD"} {
+		if _, err := capture(t, func() error {
+			return run(append(fast, "-scheme", scheme, "run"))
+		}); err != nil {
+			t.Fatalf("%s: %v", scheme, err)
+		}
+	}
+}
+
+func TestValidateSubcommand(t *testing.T) {
+	out, err := capture(t, func() error { return run(append(fast, "validate")) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "rel err") || !strings.Contains(out, "CMFSD") {
+		t.Fatalf("validate output:\n%s", out)
+	}
+}
+
+func TestTransientSubcommand(t *testing.T) {
+	out, err := capture(t, func() error { return run(append(fast, "transient")) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Flash crowd") {
+		t.Fatalf("transient output:\n%s", out)
+	}
+}
+
+func TestSwarmSubcommand(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-horizon", "600", "-warmup", "150", "swarm"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Chunk-level") || !strings.Contains(out, "MFCD") {
+		t.Fatalf("swarm output:\n%s", out)
+	}
+}
+
+func TestRejections(t *testing.T) {
+	cases := [][]string{
+		nil,                         // missing subcommand
+		{"explode"},                 // unknown subcommand
+		{"-scheme", "FTP", "run"},   // unknown scheme
+		{"-p", "2", "validate"},     // invalid correlation
+		{"-mu", "nope", "validate"}, // unparsable flag
+	}
+	for i, args := range cases {
+		if _, err := capture(t, func() error { return run(args) }); err == nil {
+			t.Fatalf("case %d accepted: %v", i, args)
+		}
+	}
+}
+
+func TestHeteroSubcommand(t *testing.T) {
+	out, err := capture(t, func() error { return run(append(fast, "hetero")) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "broadband") || !strings.Contains(out, "dsl") {
+		t.Fatalf("hetero output:\n%s", out)
+	}
+}
+
+func TestAdaptParamsSubcommand(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-horizon", "600", "-warmup", "150", "adaptparams"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "best setting") {
+		t.Fatalf("adaptparams output:\n%s", out)
+	}
+}

@@ -1,0 +1,206 @@
+// Command mfdl regenerates the tables and figures of "Analyzing Multiple
+// File Downloading in BitTorrent" (ICPP 2006) from the fluid models.
+//
+// Usage:
+//
+//	mfdl [flags] <subcommand>
+//
+// Subcommands:
+//
+//	fig2       Figure 2: avg online time per file vs correlation, MTCD vs MTSD
+//	fig3       Figure 3: per-class times at p = 0.1 and p = 1.0
+//	fig4a      Figure 4(a): CMFSD avg online time per file over a p × ρ grid
+//	fig4b      Figure 4(b): per-class times at p = 0.9, CMFSD vs MFCD
+//	fig4c      Figure 4(c): per-class times at p = 0.1, CMFSD vs MFCD
+//	validate   K = 1 degeneracy check against the Qiu–Srikant closed form
+//	stability  spectral abscissas of the fluid fixed points
+//	crossover  per-class correlation where MTCD stops beating MTSD
+//	eta        η-sensitivity ablation of the MTCD curve
+//	cheating   fluid mixed-population sweep: obedient vs ρ=1 cheaters
+//	kscaling   collaboration gain vs number of files K
+//	report     write every artifact above to -out as CSV files
+//	params     print the Table-1 parameter glossary
+//	all        everything above in paper order
+//
+// Flags select the model parameters (defaults are the paper's) and the
+// output format (ascii, csv, tsv, markdown).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mfdl/internal/experiments"
+	"mfdl/internal/fluid"
+	"mfdl/internal/table"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "mfdl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("mfdl", flag.ContinueOnError)
+	var (
+		k       = fs.Int("k", 10, "number of files K")
+		mu      = fs.Float64("mu", 0.02, "upload bandwidth μ")
+		eta     = fs.Float64("eta", 0.5, "sharing efficiency η")
+		gamma   = fs.Float64("gamma", 0.05, "seed departure rate γ")
+		lambda0 = fs.Float64("lambda0", 1, "web-server visiting rate λ₀")
+		steps   = fs.Int("steps", 20, "grid resolution for swept axes")
+		format  = fs.String("format", "ascii", "output format: ascii, csv, tsv, or markdown")
+		out     = fs.String("out", "artifacts", "output directory for the 'report' subcommand")
+	)
+	fs.Usage = func() {
+		fmt.Fprintln(fs.Output(), "usage: mfdl [flags] fig2|fig3|fig4a|fig4b|fig4c|validate|stability|crossover|eta|cheating|kscaling|report|params|all")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return fmt.Errorf("expected exactly one subcommand, got %d", fs.NArg())
+	}
+	cfg := experiments.Config{
+		Params:  fluid.Params{Mu: *mu, Eta: *eta, Gamma: *gamma},
+		K:       *k,
+		Lambda0: *lambda0,
+	}
+	emit := func(tb *table.Table) error {
+		if err := tb.Write(os.Stdout, *format); err != nil {
+			return err
+		}
+		fmt.Println()
+		return nil
+	}
+	cmds := map[string]func() error{
+		"fig2": func() error {
+			res, err := experiments.Fig2(cfg, experiments.PGrid(0, 1, *steps))
+			if err != nil {
+				return err
+			}
+			return emit(res.Table())
+		},
+		"fig3": func() error {
+			for _, p := range []float64{0.1, 1.0} {
+				res, err := experiments.Fig3(cfg, p)
+				if err != nil {
+					return err
+				}
+				if err := emit(res.Table()); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		"fig4a": func() error {
+			pGrid := experiments.PGrid(0.1, 1, *steps/2)
+			rhoGrid := experiments.PGrid(0, 1, 10)
+			res, err := experiments.Fig4A(cfg, pGrid, rhoGrid)
+			if err != nil {
+				return err
+			}
+			return emit(res.Table())
+		},
+		"fig4b": func() error {
+			res, err := experiments.Fig4BC(cfg, 0.9, 0.1, 0.9)
+			if err != nil {
+				return err
+			}
+			return emit(res.Table())
+		},
+		"fig4c": func() error {
+			res, err := experiments.Fig4BC(cfg, 0.1, 0.1, 0.9)
+			if err != nil {
+				return err
+			}
+			return emit(res.Table())
+		},
+		"validate": func() error {
+			res, err := experiments.Validate(cfg)
+			if err != nil {
+				return err
+			}
+			return emit(res.Table())
+		},
+		"stability": func() error {
+			_, tb, err := experiments.StabilityTable(cfg)
+			if err != nil {
+				return err
+			}
+			return emit(tb)
+		},
+		"crossover": func() error {
+			res, err := experiments.Crossover(cfg)
+			if err != nil {
+				return err
+			}
+			return emit(res.Table())
+		},
+		"eta": func() error {
+			res, err := experiments.EtaAblation(cfg,
+				[]float64{0.25, 0.5, 0.75, 1.0}, experiments.PGrid(0, 1, *steps))
+			if err != nil {
+				return err
+			}
+			return emit(res.Table())
+		},
+		"kscaling": func() error {
+			res, err := experiments.KScaling(cfg, 0.9, []int{1, 2, 3, 5, 8, 10, 12, 15, 20})
+			if err != nil {
+				return err
+			}
+			return emit(res.Table())
+		},
+		"cheating": func() error {
+			res, err := experiments.CheatingSweep(cfg, 0.9, 0,
+				[]float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 1})
+			if err != nil {
+				return err
+			}
+			return emit(res.Table())
+		},
+		"report": func() error {
+			files, err := experiments.Report(cfg, *out)
+			if err != nil {
+				return err
+			}
+			for _, f := range files {
+				fmt.Println(f)
+			}
+			return nil
+		},
+		"params": func() error {
+			tb := table.New("Table 1: parameters of the BitTorrent fluid model",
+				"symbol", "meaning", "paper value")
+			tb.MustAddRow("K", "number of files in the system", fmt.Sprintf("%d", cfg.K))
+			tb.MustAddRow("λ₀", "web-server visiting rate", table.Fmt(cfg.Lambda0))
+			tb.MustAddRow("p", "per-file request probability (file correlation)", "swept")
+			tb.MustAddRow("μ", "peer upload bandwidth", table.Fmt(cfg.Mu))
+			tb.MustAddRow("η", "downloader sharing efficiency", table.Fmt(cfg.Eta))
+			tb.MustAddRow("γ", "seed departure rate", table.Fmt(cfg.Gamma))
+			tb.MustAddRow("ρ", "CMFSD bandwidth allocation ratio", "swept")
+			return emit(tb)
+		},
+	}
+	name := fs.Arg(0)
+	if name == "all" {
+		for _, sub := range []string{"params", "validate", "fig2", "fig3", "fig4a", "fig4b", "fig4c", "crossover", "stability", "eta", "cheating", "kscaling"} {
+			if err := cmds[sub](); err != nil {
+				return fmt.Errorf("%s: %w", sub, err)
+			}
+		}
+		return nil
+	}
+	cmd, ok := cmds[name]
+	if !ok {
+		fs.Usage()
+		return fmt.Errorf("unknown subcommand %q", name)
+	}
+	return cmd()
+}

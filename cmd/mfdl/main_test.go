@@ -1,0 +1,159 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// capture runs f with os.Stdout redirected and returns what it printed.
+func capture(t *testing.T, f func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := f()
+	w.Close()
+	os.Stdout = old
+	var sb strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := r.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	return sb.String(), runErr
+}
+
+func TestRejectsMissingSubcommand(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Fatal("no subcommand accepted")
+	}
+}
+
+func TestRejectsUnknownSubcommand(t *testing.T) {
+	if err := run([]string{"fig9"}); err == nil {
+		t.Fatal("unknown subcommand accepted")
+	}
+}
+
+func TestRejectsExtraArgs(t *testing.T) {
+	if err := run([]string{"fig2", "fig3"}); err == nil {
+		t.Fatal("two subcommands accepted")
+	}
+}
+
+func TestRejectsBadFlag(t *testing.T) {
+	if err := run([]string{"-mu", "banana", "fig2"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestFig2Output(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"-steps", "4", "fig2"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Figure 2") || !strings.Contains(out, "98") {
+		t.Fatalf("fig2 output wrong:\n%s", out)
+	}
+}
+
+func TestFig2CSV(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-steps", "2", "-format", "csv", "fig2"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "p,MTCD,MTSD") {
+		t.Fatalf("csv header missing:\n%s", out)
+	}
+}
+
+func TestValidateSubcommand(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"validate"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Qiu") {
+		t.Fatalf("validate output:\n%s", out)
+	}
+}
+
+func TestParamsSubcommand(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"params"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sym := range []string{"K", "μ", "η", "γ", "ρ"} {
+		if !strings.Contains(out, sym) {
+			t.Fatalf("params missing %s:\n%s", sym, out)
+		}
+	}
+}
+
+func TestCrossoverSubcommand(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"crossover"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "none in (0,1)") {
+		t.Fatalf("crossover output:\n%s", out)
+	}
+}
+
+func TestCheatingSubcommand(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"cheating"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "cheater fraction") {
+		t.Fatalf("cheating output:\n%s", out)
+	}
+}
+
+func TestBadParamsSurface(t *testing.T) {
+	// γ < μ breaks the closed forms — the error must reach the caller.
+	if err := run([]string{"-gamma", "0.01", "fig2"}); err == nil {
+		t.Fatal("γ<μ accepted")
+	}
+}
+
+func TestFig3AndFig4Subcommands(t *testing.T) {
+	for _, sub := range []string{"fig3", "fig4b", "fig4c", "stability"} {
+		out, err := capture(t, func() error { return run([]string{sub}) })
+		if err != nil {
+			t.Fatalf("%s: %v", sub, err)
+		}
+		if len(out) == 0 {
+			t.Fatalf("%s produced nothing", sub)
+		}
+	}
+}
+
+func TestKScalingSubcommand(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"kscaling"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "gain") {
+		t.Fatalf("kscaling output:\n%s", out)
+	}
+}
+
+func TestReportSubcommand(t *testing.T) {
+	dir := t.TempDir()
+	out, err := capture(t, func() error { return run([]string{"-out", dir, "report"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "fig2.csv") || !strings.Contains(out, "kscaling.csv") {
+		t.Fatalf("report listing:\n%s", out)
+	}
+}

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func capture(t *testing.T, f func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := f()
+	w.Close()
+	os.Stdout = old
+	var sb strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := r.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	return sb.String(), runErr
+}
+
+func TestSweepRho(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-dim", "rho", "-from", "0", "-to", "1", "-steps", "2", "-scheme", "CMFSD", "-p", "0.9"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Sweep of rho") {
+		t.Fatalf("output:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 6 { // title, header, rule, 3 rows
+		t.Fatalf("row count wrong:\n%s", out)
+	}
+}
+
+func TestSweepEtaMTCD(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-dim", "eta", "-from", "0.3", "-to", "1", "-steps", "2", "-scheme", "MTCD"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "avg online/file") {
+		t.Fatalf("output:\n%s", out)
+	}
+}
+
+func TestSweepKDimension(t *testing.T) {
+	if _, err := capture(t, func() error {
+		return run([]string{"-dim", "k", "-from", "2", "-to", "6", "-steps", "2", "-scheme", "MTSD"})
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSweepLambda0Invariance(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-dim", "lambda0", "-from", "1", "-to", "10", "-steps", "1", "-scheme", "MTSD"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// MTSD online per file is 80 regardless of λ₀: both rows identical.
+	if strings.Count(out, "80") < 2 {
+		t.Fatalf("λ₀ sweep should be flat at 80:\n%s", out)
+	}
+}
+
+func TestSweepRejections(t *testing.T) {
+	cases := [][]string{
+		{"-dim", "flux"},                        // unknown dimension
+		{"-scheme", "FTP"},                      // unknown scheme
+		{"-steps", "0"},                         // bad steps
+		{"extra"},                               // positional arg
+		{"-dim", "p", "-from", "2", "-to", "3"}, // p out of range
+	}
+	for i, args := range cases {
+		if _, err := capture(t, func() error { return run(args) }); err == nil {
+			t.Fatalf("case %d accepted: %v", i, args)
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package main
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+
+	"mfdl/internal/metainfo"
+	"mfdl/internal/tracker"
+)
+
+func TestDemoTorrentShape(t *testing.T) {
+	m, err := DemoTorrent(5, 4096, 1024, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Info.Files) != 5 {
+		t.Fatalf("files = %d", len(m.Info.Files))
+	}
+	if m.Info.TotalLength() != 5*4096 {
+		t.Fatalf("total = %d", m.Info.TotalLength())
+	}
+	if m.Info.NumPieces() != 20 {
+		t.Fatalf("pieces = %d", m.Info.NumPieces())
+	}
+	if err := m.Info.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDemoTorrentDeterministic(t *testing.T) {
+	a, err := DemoTorrent(3, 1024, 256, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := DemoTorrent(3, 1024, 256, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ha, _ := a.Info.InfoHash()
+	hb, _ := b.Info.InfoHash()
+	if ha != hb {
+		t.Fatal("same seed produced different torrents")
+	}
+	c, err := DemoTorrent(3, 1024, 256, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hc, _ := c.Info.InfoHash()
+	if hc == ha {
+		t.Fatal("different seeds produced identical content")
+	}
+}
+
+func TestServiceEndToEnd(t *testing.T) {
+	// Same wiring as main(), against a test listener.
+	reg := tracker.NewRegistry(1)
+	m, err := DemoTorrent(4, 2048, 512, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := reg.Publish(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(tracker.Handler(reg))
+	defer srv.Close()
+
+	q := url.Values{}
+	q.Set("info_hash", string(h[:]))
+	q.Set("peer_id", "itest")
+	q.Set("port", "6881")
+	q.Set("left", "8192")
+	q.Set("event", "started")
+	resp, err := http.Get(srv.URL + "/announce?" + q.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if strings.Contains(string(body), "failure") {
+		t.Fatalf("announce failed: %s", body)
+	}
+
+	resp, err = http.Get(srv.URL + "/torrent/" + tracker.HexHash(h))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	back, err := metainfo.Unmarshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Info.Name != "season" || len(back.Info.Files) != 4 {
+		t.Fatalf("served torrent wrong: %+v", back.Info)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-k", "banana"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

@@ -1,0 +1,13 @@
+// Package mfdl reproduces "Analyzing Multiple File Downloading in
+// BitTorrent" (Tian, Wu, Ng — ICPP 2006) as a Go library: fluid models for
+// the four multiple-file downloading schemes (MTCD, MTSD, MFCD and the
+// paper's proposed CMFSD), the numerical machinery to solve them (hand-
+// rolled RK4/RK45, linear algebra for stability analysis), two BitTorrent
+// simulators that validate the models at the flow and chunk level, and the
+// Adapt mechanism for distributed tuning of the collaboration ratio ρ.
+//
+// The root package only anchors the module; all functionality lives under
+// internal/ (see README.md for the map) and is exercised by the binaries in
+// cmd/, the runnable examples in examples/, and the per-figure benchmarks
+// in bench_test.go.
+package mfdl

@@ -1,0 +1,64 @@
+// Adaptive-ρ scenario: the paper's Adapt mechanism under cheating peers
+// (Section 4.3, left unevaluated as future work). Obedient peers start at
+// ρ = 0 (full collaboration) and tune ρ from the difference between what
+// their virtual seeds give and what they receive from others'. As the
+// cheater fraction grows, obedient peers protect themselves and the system
+// slides toward MFCD — exactly the degeneration the paper predicts.
+//
+// Run with:
+//
+//	go run ./examples/adaptive
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mfdl/internal/adapt"
+	"mfdl/internal/eventsim"
+	"mfdl/internal/fluid"
+)
+
+func main() {
+	// Time-rescaled paper parameters (μ, γ ×10) keep the simulated swarm
+	// small and fast; all times scale by 1/10.
+	params := fluid.Params{Mu: 0.2, Eta: 0.5, Gamma: 0.5}
+	controller := adapt.Config{
+		Lower:       -0.25 * params.Mu, // tolerate a ±25%·μ imbalance
+		Upper:       0.25 * params.Mu,
+		StepUp:      0.2,
+		StepDown:    0.1,
+		Period:      5,
+		InitialRho:  0,
+		Consecutive: 2,
+	}
+
+	fmt.Println("Adapt under cheating (K=10, p=0.9, flow-level simulation):")
+	fmt.Printf("%-18s %-16s %-18s\n", "cheater fraction", "mean final ρ", "online time/file")
+	for _, cheaters := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		cfg := eventsim.Config{
+			Params:          params,
+			K:               10,
+			Lambda0:         1,
+			P:               0.9,
+			Scheme:          eventsim.CMFSD,
+			Adapt:           &controller,
+			CheaterFraction: cheaters,
+			Horizon:         4000,
+			Warmup:          800,
+			Seed:            7,
+		}
+		res, err := eventsim.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rho := res.FinalRho.Mean()
+		if res.FinalRho.N() == 0 {
+			rho = 1 // every multi-file peer cheated; ρ is pinned at 1
+		}
+		fmt.Printf("%-18.2f %-16.3f %-18.3f\n", cheaters, rho, res.AvgOnlinePerFile)
+	}
+	fmt.Println("\nreading: with few cheaters Adapt keeps ρ low and the swarm fast;")
+	fmt.Println("as cheating spreads, obedient peers raise ρ in self-defence and the")
+	fmt.Println("system converges to MFCD performance — cheating buys nothing lasting.")
+}

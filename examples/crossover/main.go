@@ -1,0 +1,58 @@
+// Crossover scenario: when should a BitTorrent client download multiple
+// torrents concurrently rather than one by one? The paper's Figure 2 shows
+// MTCD falls behind MTSD as file correlation grows; this example locates
+// the exact break-even correlation p* for each user class with Brent's
+// method.
+//
+// A neat analytical fact falls out of Eq. (2): the break-even condition
+// reduces to (1 − W/S)/η = 1 − 1/i with S = Σλ_j^l and W = Σλ_j^l/l, so p*
+// is independent of both μ and γ — only the sharing efficiency η moves it.
+// The example sweeps η to demonstrate.
+//
+// Run with:
+//
+//	go run ./examples/crossover
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"mfdl/internal/experiments"
+	"mfdl/internal/fluid"
+)
+
+func main() {
+	fmt.Println("break-even correlation p* per class (MTCD better below, MTSD above):")
+	fmt.Println()
+
+	for _, eta := range []float64{0.25, 0.5, 1.0} {
+		cfg := experiments.Config{
+			Params:  fluid.Params{Mu: 0.02, Eta: eta, Gamma: 0.05},
+			K:       10,
+			Lambda0: 1,
+		}
+		res, err := experiments.Crossover(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("η = %.2f (downloaders upload at %.0f%% of seed effectiveness):\n", eta, 100*eta)
+		for i, p := range res.PStar {
+			class := i + 1
+			switch {
+			case math.IsNaN(p) && class == 1:
+				fmt.Printf("  class %2d: concurrency never helps (single file)\n", class)
+			case math.IsNaN(p):
+				fmt.Printf("  class %2d: no crossover in (0,1)\n", class)
+			default:
+				fmt.Printf("  class %2d: p* = %.3f\n", class, p)
+			}
+		}
+		fmt.Println()
+	}
+	fmt.Println("reading: the more files a user requests — and the better downloaders")
+	fmt.Println("share (higher η) — the wider the correlation range where concurrent")
+	fmt.Println("downloading still wins; for highly correlated content, sequential")
+	fmt.Println("always prevails. μ and γ cancel out of the condition entirely.")
+}

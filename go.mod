@@ -1,0 +1,3 @@
+module mfdl
+
+go 1.22

@@ -1,0 +1,142 @@
+// Package adapt implements the paper's Adapt mechanism (Section 4.3): a
+// distributed controller with which each obedient CMFSD peer tunes its own
+// bandwidth allocation ratio ρ from local observations.
+//
+// While serving as a partial seed, a peer monitors the bandwidth it spends
+// uploading through its virtual seed and the bandwidth it receives from
+// other peers' virtual seeds, and forms the difference Δ = up − down over
+// each observation window. If Δ stays above the upper threshold the peer is
+// over-contributing and raises ρ by StepUp (protecting itself); if Δ stays
+// below the lower threshold it lowers ρ by StepDown (helping the system).
+// ρ is clamped to [0, 1]. The paper writes the thresholds φ₁ ≤ φ₂ with φ₁
+// the raise trigger; for the comparisons to be mutually exclusive this
+// package uses Lower ≤ Upper with raise on Δ > Upper and lower on Δ <
+// Lower — the natural hysteresis reading of the mechanism.
+//
+// A peer starts at ρ = 0 (the paper's recommended initial setting). When
+// correlation is low or most peers cheat, Δ stays positive and every
+// obedient peer drifts to ρ = 1, degenerating gracefully to MFCD — the
+// behaviour the paper predicts.
+package adapt
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Config holds the Adapt controller parameters (φ₁, φ₂, υ₁, υ₂ in the
+// paper, plus the observation window).
+type Config struct {
+	// Lower is the decrease threshold: Δ < Lower lowers ρ.
+	Lower float64
+	// Upper is the increase threshold: Δ > Upper raises ρ. Must satisfy
+	// Lower <= Upper.
+	Upper float64
+	// StepUp is υ₁, the ρ increment.
+	StepUp float64
+	// StepDown is υ₂, the ρ decrement.
+	StepDown float64
+	// Period is the observation window between adaptations (simulated
+	// time units).
+	Period float64
+	// InitialRho is the starting allocation ratio (the paper recommends
+	// 0).
+	InitialRho float64
+	// Consecutive is how many successive windows must agree before ρ
+	// moves ("consistently larger/smaller" in the paper). Minimum 1.
+	Consecutive int
+}
+
+// DefaultConfig is a reasonable operating point used by the experiments:
+// symmetric thresholds at ±25% of the paper's upload bandwidth μ = 0.02 and
+// gentle steps. The margin matters: even with everyone obedient, Δ has a
+// small positive bias (peers still on their first file receive virtual-seed
+// service without yet contributing any), so thresholds much tighter than
+// that bias make ρ creep upward in a healthy swarm.
+var DefaultConfig = Config{
+	Lower:       -0.005,
+	Upper:       0.005,
+	StepUp:      0.1,
+	StepDown:    0.05,
+	Period:      50,
+	InitialRho:  0,
+	Consecutive: 2,
+}
+
+// Validate checks the controller parameters.
+func (c Config) Validate() error {
+	if c.Lower > c.Upper {
+		return fmt.Errorf("adapt: Lower %v > Upper %v", c.Lower, c.Upper)
+	}
+	if c.StepUp <= 0 || c.StepDown <= 0 {
+		return errors.New("adapt: steps must be positive")
+	}
+	if c.Period <= 0 {
+		return errors.New("adapt: period must be positive")
+	}
+	if c.InitialRho < 0 || c.InitialRho > 1 {
+		return fmt.Errorf("adapt: initial ρ = %v outside [0,1]", c.InitialRho)
+	}
+	if c.Consecutive < 1 {
+		return errors.New("adapt: Consecutive must be >= 1")
+	}
+	return nil
+}
+
+// Controller is the per-peer Adapt state machine. The zero value is not
+// usable; construct with NewController.
+type Controller struct {
+	cfg Config
+	rho float64
+	// run counts successive windows voting in the same direction:
+	// positive for raises, negative for lowers.
+	run int
+}
+
+// NewController returns a controller at the configured initial ρ.
+func NewController(cfg Config) (*Controller, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Controller{cfg: cfg, rho: cfg.InitialRho}, nil
+}
+
+// Rho returns the current allocation ratio.
+func (c *Controller) Rho() float64 { return c.rho }
+
+// Period returns the observation window length.
+func (c *Controller) Period() float64 { return c.cfg.Period }
+
+// Observe feeds one window's Δ = (virtual-seed upload − virtual-seed
+// download)/window and returns the possibly-updated ρ.
+func (c *Controller) Observe(delta float64) float64 {
+	switch {
+	case delta > c.cfg.Upper:
+		if c.run < 0 {
+			c.run = 0
+		}
+		c.run++
+		if c.run >= c.cfg.Consecutive {
+			c.rho += c.cfg.StepUp
+			if c.rho > 1 {
+				c.rho = 1
+			}
+			c.run = 0
+		}
+	case delta < c.cfg.Lower:
+		if c.run > 0 {
+			c.run = 0
+		}
+		c.run--
+		if -c.run >= c.cfg.Consecutive {
+			c.rho -= c.cfg.StepDown
+			if c.rho < 0 {
+				c.rho = 0
+			}
+			c.run = 0
+		}
+	default:
+		c.run = 0
+	}
+	return c.rho
+}

@@ -1,0 +1,139 @@
+package adapt
+
+import (
+	"testing"
+)
+
+func controller(t *testing.T, cfg Config) *Controller {
+	t.Helper()
+	c, err := NewController(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestValidation(t *testing.T) {
+	if err := DefaultConfig.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultConfig
+	bad.Lower, bad.Upper = 1, -1
+	if bad.Validate() == nil {
+		t.Fatal("inverted thresholds accepted")
+	}
+	bad = DefaultConfig
+	bad.StepUp = 0
+	if bad.Validate() == nil {
+		t.Fatal("zero step accepted")
+	}
+	bad = DefaultConfig
+	bad.Period = 0
+	if bad.Validate() == nil {
+		t.Fatal("zero period accepted")
+	}
+	bad = DefaultConfig
+	bad.InitialRho = 2
+	if bad.Validate() == nil {
+		t.Fatal("ρ=2 accepted")
+	}
+	bad = DefaultConfig
+	bad.Consecutive = 0
+	if bad.Validate() == nil {
+		t.Fatal("Consecutive=0 accepted")
+	}
+}
+
+func TestStartsAtInitialRho(t *testing.T) {
+	cfg := DefaultConfig
+	cfg.InitialRho = 0.3
+	c := controller(t, cfg)
+	if c.Rho() != 0.3 {
+		t.Fatalf("initial ρ = %v", c.Rho())
+	}
+	if c.Period() != cfg.Period {
+		t.Fatalf("period = %v", c.Period())
+	}
+}
+
+func TestRaisesOnSustainedOverContribution(t *testing.T) {
+	cfg := DefaultConfig
+	cfg.Consecutive = 2
+	c := controller(t, cfg)
+	c.Observe(0.01) // first vote — no move yet
+	if c.Rho() != 0 {
+		t.Fatalf("moved after one window: %v", c.Rho())
+	}
+	c.Observe(0.01) // second consecutive vote — raise
+	if c.Rho() != cfg.StepUp {
+		t.Fatalf("ρ = %v, want %v", c.Rho(), cfg.StepUp)
+	}
+}
+
+func TestLowersOnSustainedBenefit(t *testing.T) {
+	cfg := DefaultConfig
+	cfg.InitialRho = 1
+	cfg.Consecutive = 1
+	c := controller(t, cfg)
+	c.Observe(-0.01)
+	if c.Rho() != 1-cfg.StepDown {
+		t.Fatalf("ρ = %v", c.Rho())
+	}
+}
+
+func TestNeutralWindowResetsRun(t *testing.T) {
+	cfg := DefaultConfig
+	cfg.Consecutive = 2
+	c := controller(t, cfg)
+	c.Observe(0.01)
+	c.Observe(0) // inside [Lower, Upper]: resets the streak
+	c.Observe(0.01)
+	if c.Rho() != 0 {
+		t.Fatalf("streak not reset: ρ = %v", c.Rho())
+	}
+}
+
+func TestOppositeVoteResetsRun(t *testing.T) {
+	cfg := DefaultConfig
+	cfg.Consecutive = 2
+	c := controller(t, cfg)
+	c.Observe(0.01)
+	c.Observe(-0.01)
+	c.Observe(0.01)
+	if c.Rho() != 0 {
+		t.Fatalf("opposite vote did not reset streak: ρ = %v", c.Rho())
+	}
+}
+
+func TestClampsToUnitInterval(t *testing.T) {
+	cfg := DefaultConfig
+	cfg.Consecutive = 1
+	cfg.StepUp = 0.4
+	c := controller(t, cfg)
+	for i := 0; i < 10; i++ {
+		c.Observe(1)
+	}
+	if c.Rho() != 1 {
+		t.Fatalf("ρ = %v, want clamp at 1", c.Rho())
+	}
+	for i := 0; i < 100; i++ {
+		c.Observe(-1)
+	}
+	if c.Rho() != 0 {
+		t.Fatalf("ρ = %v, want clamp at 0", c.Rho())
+	}
+}
+
+func TestDriftToMFCDUnderSustainedDeficit(t *testing.T) {
+	// The paper's degeneracy prediction: when peers consistently give
+	// more than they get, every obedient peer ends at ρ = 1.
+	cfg := DefaultConfig
+	cfg.Consecutive = 1
+	c := controller(t, cfg)
+	for i := 0; i < 50; i++ {
+		c.Observe(0.05)
+	}
+	if c.Rho() != 1 {
+		t.Fatalf("ρ = %v, want 1 (MFCD degeneration)", c.Rho())
+	}
+}

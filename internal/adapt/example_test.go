@@ -1,0 +1,29 @@
+package adapt_test
+
+import (
+	"fmt"
+	"log"
+
+	"mfdl/internal/adapt"
+)
+
+// A peer that keeps giving more than it gets raises its ρ step by step.
+func ExampleController() {
+	ctrl, err := adapt.NewController(adapt.Config{
+		Lower: -0.005, Upper: 0.005,
+		StepUp: 0.25, StepDown: 0.1,
+		Period: 50, InitialRho: 0, Consecutive: 2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for window := 0; window < 4; window++ {
+		rho := ctrl.Observe(0.02) // uploads 0.02 more than it receives
+		fmt.Printf("after window %d: ρ = %.2f\n", window+1, rho)
+	}
+	// Output:
+	// after window 1: ρ = 0.00
+	// after window 2: ρ = 0.25
+	// after window 3: ρ = 0.25
+	// after window 4: ρ = 0.50
+}

@@ -1,0 +1,33 @@
+package bencode_test
+
+import (
+	"fmt"
+	"log"
+
+	"mfdl/internal/bencode"
+)
+
+// Dictionaries encode with sorted keys, as the info-hash requires.
+func ExampleMarshal() {
+	data, err := bencode.Marshal(map[string]any{
+		"announce": "http://tracker/announce",
+		"info":     map[string]any{"name": "season", "piece length": int64(262144)},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(string(data))
+	// Output:
+	// d8:announce23:http://tracker/announce4:infod4:name6:season12:piece lengthi262144eee
+}
+
+func ExampleUnmarshal() {
+	v, err := bencode.Unmarshal([]byte("d8:completei3e8:intervali1800ee"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	d := v.(map[string]any)
+	fmt.Println(d["interval"], d["complete"])
+	// Output:
+	// 1800 3
+}

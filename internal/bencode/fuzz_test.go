@@ -1,0 +1,41 @@
+package bencode
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzUnmarshal checks that the decoder never panics on arbitrary input,
+// and that anything it accepts re-encodes canonically to the same bytes
+// (the invariant the info-hash depends on).
+func FuzzUnmarshal(f *testing.F) {
+	seeds := []string{
+		"4:spam", "i3e", "i-3e", "le", "de",
+		"l4:spam4:eggse", "d3:cow3:moo4:spam4:eggse",
+		"d8:announce23:http://tracker/announce4:infod4:name6:seasonee",
+		"i03e", "5:spam", "d3:cow", "", "x", "lllllleeeeee",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v, err := Unmarshal(data)
+		if err != nil {
+			return // rejecting is fine; panicking is not
+		}
+		re, err := Marshal(v)
+		if err != nil {
+			t.Fatalf("decoded value failed to re-encode: %v", err)
+		}
+		if string(re) != string(data) {
+			t.Fatalf("accepted non-canonical input %q (re-encodes to %q)", data, re)
+		}
+		v2, err := Unmarshal(re)
+		if err != nil {
+			t.Fatalf("re-encoded form rejected: %v", err)
+		}
+		if !reflect.DeepEqual(v, v2) {
+			t.Fatal("round trip changed the value")
+		}
+	})
+}

@@ -1,0 +1,100 @@
+package client
+
+import (
+	"sort"
+	"time"
+
+	"mfdl/internal/wire"
+)
+
+// This file implements the tit-for-tat choker of the BitTorrent incentive
+// mechanism (the behaviour the paper's η < 1 abstracts): a peer with a
+// bounded number of unchoke slots periodically grants them to the
+// neighbors it downloaded the most from in the last window, plus one
+// rotating optimistic unchoke so newcomers can bootstrap.
+//
+// The choker is optional: with Config.UnchokeSlots == 0 (the default)
+// every interested neighbor is unchoked immediately, which is the right
+// setting for correctness tests and tiny in-process swarms.
+
+// startChoker launches the periodic rechoke loop; stopped by Close.
+func (c *Client) startChoker() {
+	go func() {
+		ticker := time.NewTicker(c.cfg.RechokeEvery)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				c.rechoke()
+			case <-c.chokerQuit:
+				return
+			}
+		}
+	}()
+}
+
+// rechoke reassigns the unchoke slots by recent download rate.
+func (c *Client) rechoke() {
+	c.mu.Lock()
+	type cand struct {
+		pc    *conn
+		bytes int64
+	}
+	var interested []cand
+	for pc := range c.conns {
+		pc.mu.Lock()
+		if pc.remoteInterested {
+			interested = append(interested, cand{pc, pc.windowBytes})
+		}
+		pc.windowBytes = 0
+		pc.mu.Unlock()
+	}
+	c.mu.Unlock()
+
+	sort.Slice(interested, func(i, j int) bool {
+		return interested[i].bytes > interested[j].bytes
+	})
+	unchoke := map[*conn]bool{}
+	regular := c.cfg.UnchokeSlots - 1
+	if regular < 0 {
+		regular = 0
+	}
+	for i := 0; i < len(interested) && i < regular; i++ {
+		unchoke[interested[i].pc] = true
+	}
+	// Optimistic slot: rotate deterministically through the remaining
+	// interested peers.
+	var rest []*conn
+	for _, cd := range interested {
+		if !unchoke[cd.pc] {
+			rest = append(rest, cd.pc)
+		}
+	}
+	if len(rest) > 0 {
+		c.mu.Lock()
+		c.optimisticTurn++
+		pick := rest[c.optimisticTurn%len(rest)]
+		c.mu.Unlock()
+		unchoke[pick] = true
+	}
+	// Apply the transitions.
+	for _, cd := range interested {
+		cd.pc.setChoked(!unchoke[cd.pc])
+	}
+}
+
+// setChoked moves our choke state for the remote and notifies it on change.
+func (pc *conn) setChoked(choked bool) {
+	pc.mu.Lock()
+	changed := pc.weChoking != choked
+	pc.weChoking = choked
+	pc.mu.Unlock()
+	if !changed {
+		return
+	}
+	t := wire.MsgUnchoke
+	if choked {
+		t = wire.MsgChoke
+	}
+	_ = pc.send(&wire.Message{Type: t})
+}

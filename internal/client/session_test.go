@@ -1,0 +1,163 @@
+package client
+
+import (
+	"net"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+	"time"
+
+	"mfdl/internal/tracker"
+)
+
+// TestTrackerDrivenSwarm exercises the complete Section-3.1 loop with real
+// components: publish to the tracker, seed announces and listens, a leecher
+// bootstraps via announce, dials the seed over TCP, and downloads the whole
+// multi-file torrent.
+func TestTrackerDrivenSwarm(t *testing.T) {
+	m, data := torrent(t, 3, 4096, 1024)
+
+	reg := tracker.NewRegistry(1)
+	if _, err := reg.Publish(m); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(tracker.Handler(reg))
+	defer srv.Close()
+	announceURL := srv.URL + "/announce"
+
+	// Seed comes online and registers itself.
+	seed := seedClient(t, m, data)
+	defer seed.Close()
+	ln, err := Listen(seed, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	host, portStr, err := net.SplitHostPort(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	port, _ := strconv.Atoi(portStr)
+	if err := seed.Bootstrap(announceURL, host, port); err != nil {
+		t.Fatal(err) // empty swarm: announce succeeds, nothing to dial
+	}
+	if seed.Left() != 0 {
+		t.Fatalf("seed left = %d", seed.Left())
+	}
+
+	// Leecher discovers the seed through the tracker.
+	leech := leechClient(t, m, PolicySequential, nil, 'L')
+	defer leech.Close()
+	if leech.Left() != m.Info.TotalLength() {
+		t.Fatalf("leech left = %d, want %d", leech.Left(), m.Info.TotalLength())
+	}
+	if err := leech.Bootstrap(announceURL, "127.0.0.1", 54321); err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, leech, 15*time.Second)
+
+	// The tracker index now shows two peers.
+	entries := reg.Scrape()
+	if len(entries) != 1 {
+		t.Fatalf("scrape entries %d", len(entries))
+	}
+	if got := entries[0].Complete + entries[0].Incomplete; got != 2 {
+		t.Fatalf("tracker sees %d peers, want 2", got)
+	}
+}
+
+func TestAnnounceParsesCounts(t *testing.T) {
+	m, data := torrent(t, 2, 1024, 256)
+	reg := tracker.NewRegistry(1)
+	h, err := reg.Publish(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(tracker.Handler(reg))
+	defer srv.Close()
+	_ = data
+
+	var id [20]byte
+	copy(id[:], "announcer-000000000")
+	resp, err := Announce(srv.URL+"/announce", h, id, "10.1.2.3", 7000, 0, "completed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Complete != 1 || resp.Incomplete != 0 {
+		t.Fatalf("counts %d/%d", resp.Complete, resp.Incomplete)
+	}
+	if resp.Interval <= 0 {
+		t.Fatal("no interval")
+	}
+	// Second announcer sees the first with its advertised address.
+	var id2 [20]byte
+	copy(id2[:], "announcer-111111111")
+	resp, err = Announce(srv.URL+"/announce", h, id2, "10.1.2.4", 7001, 100, "started")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Peers) != 1 || resp.Peers[0].Addr != "10.1.2.3:7000" {
+		t.Fatalf("peers %+v", resp.Peers)
+	}
+}
+
+func TestAnnounceFailureSurfaces(t *testing.T) {
+	reg := tracker.NewRegistry(1)
+	srv := httptest.NewServer(tracker.Handler(reg))
+	defer srv.Close()
+	var h, id [20]byte
+	if _, err := Announce(srv.URL+"/announce", h, id, "1.2.3.4", 1, 0, ""); err == nil {
+		t.Fatal("unknown torrent announce succeeded")
+	}
+}
+
+func TestBootstrapUnreachablePeers(t *testing.T) {
+	m, data := torrent(t, 2, 1024, 256)
+	reg := tracker.NewRegistry(1)
+	if _, err := reg.Publish(m); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(tracker.Handler(reg))
+	defer srv.Close()
+	_ = data
+
+	// A ghost peer that nobody can dial.
+	var ghost [20]byte
+	copy(ghost[:], "ghost-peer-00000000")
+	h, _ := m.Info.InfoHash()
+	if _, err := Announce(srv.URL+"/announce", h, ghost, "127.0.0.1", 1, 100, "started"); err != nil {
+		t.Fatal(err)
+	}
+	leech := leechClient(t, m, PolicyConcurrent, nil, 'X')
+	defer leech.Close()
+	if err := leech.Bootstrap(srv.URL+"/announce", "127.0.0.1", 2); err == nil {
+		t.Fatal("bootstrap with only unreachable peers succeeded")
+	}
+}
+
+func TestAnnounceParsesCompactPeers(t *testing.T) {
+	m, data := torrent(t, 2, 1024, 256)
+	reg := tracker.NewRegistry(1)
+	h, err := reg.Publish(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(tracker.Handler(reg))
+	defer srv.Close()
+	_ = data
+
+	var id [20]byte
+	copy(id[:], "compact-seed-000000")
+	if _, err := Announce(srv.URL+"/announce", h, id, "10.2.3.4", 6999, 0, "completed"); err != nil {
+		t.Fatal(err)
+	}
+	var id2 [20]byte
+	copy(id2[:], "compact-leech-00000")
+	resp, err := Announce(srv.URL+"/announce?compact=1", h, id2, "10.2.3.5", 7000, 100, "started")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Peers) != 1 || resp.Peers[0].Addr != "10.2.3.4:6999" {
+		t.Fatalf("compact peers %+v", resp.Peers)
+	}
+}

@@ -1,0 +1,272 @@
+// Package cmfsd implements Collaborative Multi-File torrent Sequential
+// Downloading, the paper's proposed scheme (Section 3.5, Eq. 5), and the
+// MFCD baseline it is compared against (Section 3.4).
+//
+// Under CMFSD, K interest-correlated files live in one torrent with K
+// subtorrents. A class-i peer (requesting i files) downloads them
+// sequentially with its full download bandwidth. While downloading file j,
+// a peer that has already completed j−1 ≥ 1 files splits its upload: a
+// fraction ρ plays tit-for-tat in its current subtorrent, and the remaining
+// 1−ρ serves a completed file as a "virtual seed".
+//
+// State: x^{i,j}(t) = class-i peers downloading their j-th file (1 ≤ j ≤ i),
+// y^i(t) = class-i real seeds. With
+//
+//	P(i,j) = 1 if i = 1 or j = 1, else ρ,
+//	S^{i,j} = μ·x^{i,j}·(Σ(1−P(l,m))x^{l,m} + Σy^l) / Σx^{l,m},
+//
+// the dynamics are Eq. (5):
+//
+//	dx^{i,1}/dt = λ_i − μηP(i,1)x^{i,1} − S^{i,1}
+//	dx^{i,j}/dt = μηP(i,j−1)x^{i,j−1} + S^{i,j−1}
+//	              − μηP(i,j)x^{i,j} − S^{i,j}       (1 < j ≤ i)
+//	dy^i/dt     = μηP(i,i)x^{i,i} + S^{i,i} − γ·y^i
+//
+// with class entry rates λ_i = λ₀·C(K,i)·pⁱ·(1−p)^{K−i}. The steady state
+// has no tractable closed form; it is obtained by RK4 relaxation (the
+// hand-rolled integrator in internal/numeric/ode).
+package cmfsd
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"mfdl/internal/correlation"
+	"mfdl/internal/fluid"
+	"mfdl/internal/metrics"
+	"mfdl/internal/mtcd"
+	"mfdl/internal/numeric/ode"
+)
+
+// Scheme is the scheme name reported in results.
+const Scheme = "CMFSD"
+
+// MFCDScheme is the name reported for the MFCD baseline.
+const MFCDScheme = "MFCD"
+
+// Model is the CMFSD fluid model for one multi-file torrent.
+type Model struct {
+	fluid.Params
+	Corr *correlation.Model
+	// Rho is the bandwidth allocation ratio ρ ∈ [0,1]: the fraction of a
+	// collaborating downloader's upload spent on tit-for-tat in its
+	// current subtorrent (1−ρ goes to its virtual seed). ρ = 1 disables
+	// collaboration; the paper shows the system then performs as MFCD.
+	Rho float64
+}
+
+// New validates and returns a CMFSD model.
+func New(p fluid.Params, corr *correlation.Model, rho float64) (*Model, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if corr == nil {
+		return nil, errors.New("cmfsd: nil correlation model")
+	}
+	if err := corr.Validate(); err != nil {
+		return nil, err
+	}
+	if rho < 0 || rho > 1 {
+		return nil, fmt.Errorf("cmfsd: ρ = %v outside [0,1]", rho)
+	}
+	if corr.P == 0 {
+		return nil, errors.New("cmfsd: p = 0 gives an empty torrent")
+	}
+	return &Model{Params: p, Corr: corr, Rho: rho}, nil
+}
+
+// P returns the paper's P(i,j) bandwidth function.
+func (m *Model) P(i, j int) float64 {
+	if i == 1 || j == 1 {
+		return 1
+	}
+	return m.Rho
+}
+
+// K returns the number of files/subtorrents.
+func (m *Model) K() int { return m.Corr.K }
+
+// Dim implements fluid.Model: K(K+1)/2 downloader groups plus K seed
+// classes.
+func (m *Model) Dim() int {
+	k := m.Corr.K
+	return k*(k+1)/2 + k
+}
+
+// XIndex returns the state index of x^{i,j} (1 ≤ j ≤ i ≤ K).
+func (m *Model) XIndex(i, j int) int {
+	if j < 1 || i < j || i > m.Corr.K {
+		panic(fmt.Sprintf("cmfsd: XIndex(%d,%d) out of range for K=%d", i, j, m.Corr.K))
+	}
+	return (i-1)*i/2 + (j - 1)
+}
+
+// YIndex returns the state index of y^i.
+func (m *Model) YIndex(i int) int {
+	if i < 1 || i > m.Corr.K {
+		panic(fmt.Sprintf("cmfsd: YIndex(%d) out of range for K=%d", i, m.Corr.K))
+	}
+	return m.Corr.K*(m.Corr.K+1)/2 + (i - 1)
+}
+
+// RHS implements fluid.Model (Eq. 5).
+func (m *Model) RHS(_ float64, s, dst []float64) {
+	k := m.Corr.K
+	mu, eta, gamma := m.Mu, m.Eta, m.Gamma
+
+	// Pooled quantities: total downloaders Σx, virtual-seed upload mass
+	// Σ(1−P)x, and real-seed mass Σy.
+	totalX, virtMass, seedMass := 0.0, 0.0, 0.0
+	for i := 1; i <= k; i++ {
+		for j := 1; j <= i; j++ {
+			x := s[m.XIndex(i, j)]
+			if x < 0 {
+				x = 0
+			}
+			totalX += x
+			virtMass += (1 - m.P(i, j)) * x
+		}
+		y := s[m.YIndex(i)]
+		if y < 0 {
+			y = 0
+		}
+		seedMass += y
+	}
+	// Seed-like service rate per unit downloader population.
+	perCapitaSeedService := 0.0
+	if totalX > 0 {
+		perCapitaSeedService = mu * (virtMass + seedMass) / totalX
+	}
+
+	// flux(i,j) is the completion rate of group (i,j): TFT service received
+	// (μηP·x) plus the pooled seed-like share S^{i,j}.
+	flux := func(i, j int) float64 {
+		x := s[m.XIndex(i, j)]
+		if x < 0 {
+			x = 0
+		}
+		return mu*eta*m.P(i, j)*x + x*perCapitaSeedService
+	}
+
+	for i := 1; i <= k; i++ {
+		for j := 1; j <= i; j++ {
+			out := flux(i, j)
+			in := m.Corr.UserRate(i)
+			if j > 1 {
+				in = flux(i, j-1)
+			}
+			dst[m.XIndex(i, j)] = in - out
+		}
+		y := s[m.YIndex(i)]
+		if y < 0 {
+			y = 0
+		}
+		dst[m.YIndex(i)] = flux(i, i) - gamma*y
+	}
+}
+
+// InitialState implements fluid.Model: a strictly positive warm start near
+// the expected magnitudes so relaxation cannot divide by an empty torrent.
+func (m *Model) InitialState() []float64 {
+	s := make([]float64, m.Dim())
+	for i := 1; i <= m.Corr.K; i++ {
+		rate := m.Corr.UserRate(i)
+		for j := 1; j <= i; j++ {
+			s[m.XIndex(i, j)] = rate*20 + 1e-6
+		}
+		s[m.YIndex(i)] = rate/m.Gamma*0.5 + 1e-6
+	}
+	return s
+}
+
+var _ fluid.Model = (*Model)(nil)
+
+// SteadyState finds Eq. (5)'s fixed point: a short RK4 relaxation into the
+// basin followed by damped-Newton polishing (with a pure-relaxation
+// fallback inside fluid.SteadyStateHybrid).
+func (m *Model) SteadyState(opt ode.SteadyStateOptions) ([]float64, error) {
+	if opt.Step <= 0 {
+		opt.Step = 1
+	}
+	if opt.MaxTime <= 0 {
+		opt.MaxTime = 5e6
+	}
+	if opt.Tol <= 0 {
+		opt.Tol = 1e-11
+	}
+	return fluid.SteadyStateHybrid(m, opt)
+}
+
+// SteadyStateRelaxed relaxes Eq. (5) all the way down with fixed-step RK4 —
+// slower than SteadyState but with no Newton step; kept for
+// cross-validation.
+func (m *Model) SteadyStateRelaxed(opt ode.SteadyStateOptions) ([]float64, error) {
+	if opt.Step <= 0 {
+		opt.Step = 1
+	}
+	if opt.MaxTime <= 0 {
+		opt.MaxTime = 5e6
+	}
+	if opt.Tol <= 0 {
+		opt.Tol = 1e-11
+	}
+	return fluid.SteadyState(m, opt)
+}
+
+// Evaluate relaxes the model and converts the fixed point into per-class
+// metrics with Little's law: a class-i user spends Σ_j x^{i,j}/λ_i time
+// downloading and 1/γ seeding.
+func (m *Model) Evaluate() (*metrics.SchemeResult, error) {
+	ss, err := m.SteadyState(ode.SteadyStateOptions{})
+	if err != nil {
+		return nil, err
+	}
+	return m.MetricsFromState(ss)
+}
+
+// MetricsFromState converts a steady-state vector into per-class metrics.
+func (m *Model) MetricsFromState(ss []float64) (*metrics.SchemeResult, error) {
+	if len(ss) != m.Dim() {
+		return nil, errors.New("cmfsd: state dimension mismatch")
+	}
+	res := &metrics.SchemeResult{Scheme: Scheme}
+	for i := 1; i <= m.Corr.K; i++ {
+		rate := m.Corr.UserRate(i)
+		pc := metrics.PerClass{Class: i, EntryRate: rate}
+		if rate > 0 {
+			total := 0.0
+			for j := 1; j <= i; j++ {
+				total += ss[m.XIndex(i, j)]
+			}
+			pc.DownloadTime = total / rate
+			pc.OnlineTime = pc.DownloadTime + 1/m.Gamma
+		} else {
+			pc.DownloadTime = math.NaN()
+			pc.OnlineTime = math.NaN()
+		}
+		res.Classes = append(res.Classes, pc)
+	}
+	return res, nil
+}
+
+// EvaluateMFCD returns the MFCD baseline metrics for the same torrent: the
+// paper (Section 3.4) shows MFCD is equivalent to MTCD in the fluid model,
+// with subtorrent class entry rates λ_j^i = λ₀·C(K−1,i−1)·pⁱ·(1−p)^{K−i}.
+func EvaluateMFCD(p fluid.Params, corr *correlation.Model) (*metrics.SchemeResult, error) {
+	m, err := mtcd.New(p, corr)
+	if err != nil {
+		return nil, err
+	}
+	res, err := m.Evaluate()
+	if err != nil {
+		return nil, err
+	}
+	res.Scheme = MFCDScheme
+	return res, nil
+}
+
+// Stability linearizes Eq. (5) at the supplied fixed point.
+func (m *Model) Stability(ss []float64) (*fluid.StabilityReport, error) {
+	return fluid.Stability(m, ss)
+}

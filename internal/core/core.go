@@ -1,0 +1,175 @@
+// Package core is the high-level facade over the multiple-file-downloading
+// models: it names the four schemes the paper analyzes, couples the fluid
+// parameters with the file-correlation model, and evaluates any scheme into
+// the shared metrics types.
+//
+// A System describes one server–torrent deployment (Section 3.1): K files,
+// a visiting rate λ₀, a per-file request probability p, and homogeneous
+// peers with upload bandwidth μ, sharing efficiency η and seed departure
+// rate γ. Example:
+//
+//	sys, _ := core.NewSystem(core.Config{
+//	    Params: fluid.PaperParams, K: 10, Lambda0: 1, P: 0.9,
+//	})
+//	res, _ := sys.Evaluate(core.CMFSD, core.WithRho(0.1))
+//	fmt.Println(res.AvgOnlinePerFile())
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"mfdl/internal/cmfsd"
+	"mfdl/internal/correlation"
+	"mfdl/internal/fluid"
+	"mfdl/internal/metrics"
+	"mfdl/internal/mtcd"
+	"mfdl/internal/mtsd"
+)
+
+// Scheme identifies one of the paper's downloading schemes.
+type Scheme string
+
+// The four schemes of the paper.
+const (
+	// MTCD: multi-torrent concurrent downloading (Section 3.2).
+	MTCD Scheme = "MTCD"
+	// MTSD: multi-torrent sequential downloading (Section 3.3).
+	MTSD Scheme = "MTSD"
+	// MFCD: multi-file torrent concurrent downloading (Section 3.4).
+	MFCD Scheme = "MFCD"
+	// CMFSD: collaborative multi-file torrent sequential downloading —
+	// the paper's proposal (Section 3.5).
+	CMFSD Scheme = "CMFSD"
+)
+
+// Schemes lists all schemes in paper order.
+var Schemes = []Scheme{MTCD, MTSD, MFCD, CMFSD}
+
+// ParseScheme converts a string to a Scheme.
+func ParseScheme(s string) (Scheme, error) {
+	for _, sc := range Schemes {
+		if string(sc) == s {
+			return sc, nil
+		}
+	}
+	return "", fmt.Errorf("core: unknown scheme %q", s)
+}
+
+// Config describes a server–torrent system.
+type Config struct {
+	fluid.Params
+	// K is the number of files.
+	K int
+	// Lambda0 is the web-server visiting rate λ₀.
+	Lambda0 float64
+	// P is the file correlation (per-file request probability).
+	P float64
+}
+
+// System evaluates downloading schemes on one configuration.
+type System struct {
+	cfg  Config
+	corr *correlation.Model
+}
+
+// NewSystem validates the configuration and returns a System.
+func NewSystem(cfg Config) (*System, error) {
+	if err := cfg.Params.Validate(); err != nil {
+		return nil, err
+	}
+	corr, err := correlation.New(cfg.K, cfg.P, cfg.Lambda0)
+	if err != nil {
+		return nil, err
+	}
+	return &System{cfg: cfg, corr: corr}, nil
+}
+
+// Config returns the system configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// Correlation returns the underlying file-correlation model.
+func (s *System) Correlation() *correlation.Model { return s.corr }
+
+// evalOptions collects per-call options.
+type evalOptions struct {
+	rho    float64
+	rhoSet bool
+}
+
+// Option customizes Evaluate.
+type Option func(*evalOptions)
+
+// WithRho sets the CMFSD bandwidth allocation ratio ρ (ignored by the other
+// schemes). The default is the paper's recommended initial setting ρ = 0.
+func WithRho(rho float64) Option {
+	return func(o *evalOptions) { o.rho = rho; o.rhoSet = true }
+}
+
+// Evaluate computes the steady-state per-class metrics for the scheme.
+func (s *System) Evaluate(scheme Scheme, opts ...Option) (*metrics.SchemeResult, error) {
+	var o evalOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	switch scheme {
+	case MTCD:
+		m, err := mtcd.New(s.cfg.Params, s.corr)
+		if err != nil {
+			return nil, err
+		}
+		return m.Evaluate()
+	case MTSD:
+		m, err := mtsd.New(s.cfg.Params, s.corr)
+		if err != nil {
+			return nil, err
+		}
+		return m.Evaluate()
+	case MFCD:
+		return cmfsd.EvaluateMFCD(s.cfg.Params, s.corr)
+	case CMFSD:
+		m, err := cmfsd.New(s.cfg.Params, s.corr, o.rho)
+		if err != nil {
+			return nil, err
+		}
+		return m.Evaluate()
+	default:
+		return nil, fmt.Errorf("core: unknown scheme %q", scheme)
+	}
+}
+
+// Comparison pairs a scheme with its evaluation.
+type Comparison struct {
+	Scheme Scheme
+	Result *metrics.SchemeResult
+}
+
+// Compare evaluates several schemes on the same system.
+func (s *System) Compare(schemes []Scheme, opts ...Option) ([]Comparison, error) {
+	if len(schemes) == 0 {
+		return nil, errors.New("core: no schemes to compare")
+	}
+	out := make([]Comparison, 0, len(schemes))
+	for _, sc := range schemes {
+		res, err := s.Evaluate(sc, opts...)
+		if err != nil {
+			return nil, fmt.Errorf("core: %s: %w", sc, err)
+		}
+		out = append(out, Comparison{Scheme: sc, Result: res})
+	}
+	return out, nil
+}
+
+// Best returns the scheme with the lowest average online time per file.
+func Best(comparisons []Comparison) (Comparison, error) {
+	if len(comparisons) == 0 {
+		return Comparison{}, errors.New("core: empty comparison")
+	}
+	best := comparisons[0]
+	for _, c := range comparisons[1:] {
+		if c.Result.AvgOnlinePerFile() < best.Result.AvgOnlinePerFile() {
+			best = c
+		}
+	}
+	return best, nil
+}

@@ -1,0 +1,122 @@
+// Package correlation implements the file-correlation model of Section 4.1
+// of the paper: a server publishes K files; a visiting user requests each
+// file independently with probability p, so users requesting exactly i of
+// the K files arrive at rate
+//
+//	λ_i = λ₀·C(K,i)·pⁱ·(1−p)^(K−i),   i = 1..K,
+//
+// and, for any particular torrent, the entry rate of class-i peers (peers
+// whose user requested i files including this one) is
+//
+//	λ_j^i = λ₀·C(K−1,i−1)·pⁱ·(1−p)^(K−i).
+//
+// Users with i = 0 never enter the system and are excluded from all rates.
+package correlation
+
+import (
+	"errors"
+	"fmt"
+
+	"mfdl/internal/stats"
+)
+
+// Model is a binomial file-correlation model.
+type Model struct {
+	// K is the number of files published in the system.
+	K int
+	// P is the per-file request probability (the "file correlation").
+	P float64
+	// Lambda0 is the web-server visiting rate λ₀.
+	Lambda0 float64
+}
+
+// New validates and returns a correlation model.
+func New(k int, p, lambda0 float64) (*Model, error) {
+	m := &Model{K: k, P: p, Lambda0: lambda0}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Validate checks the model parameters.
+func (m *Model) Validate() error {
+	if m.K < 1 {
+		return errors.New("correlation: K must be >= 1")
+	}
+	if m.P < 0 || m.P > 1 {
+		return fmt.Errorf("correlation: p = %v outside [0,1]", m.P)
+	}
+	if m.Lambda0 <= 0 {
+		return fmt.Errorf("correlation: λ₀ = %v must be positive", m.Lambda0)
+	}
+	return nil
+}
+
+// UserRate returns λ_i, the arrival rate of users requesting exactly i
+// files, for i in 1..K (0 outside that range).
+func (m *Model) UserRate(i int) float64 {
+	if i < 1 || i > m.K {
+		return 0
+	}
+	return m.Lambda0 * stats.BinomialPMF(m.K, i, m.P)
+}
+
+// UserRates returns [λ_1, ..., λ_K] indexed from 0 (class i at index i-1).
+func (m *Model) UserRates() []float64 {
+	out := make([]float64, m.K)
+	for i := 1; i <= m.K; i++ {
+		out[i-1] = m.UserRate(i)
+	}
+	return out
+}
+
+// TorrentClassRate returns λ_j^i, the entry rate of class-i peers into one
+// particular torrent, for i in 1..K (0 outside that range). By symmetry it
+// is the same for every torrent j.
+func (m *Model) TorrentClassRate(i int) float64 {
+	if i < 1 || i > m.K {
+		return 0
+	}
+	// λ₀·C(K−1,i−1)·pⁱ·(1−p)^(K−i) = λ_i · i / K  (each class-i user joins
+	// i of the K torrents chosen uniformly).
+	return m.UserRate(i) * float64(i) / float64(m.K)
+}
+
+// TorrentClassRates returns [λ_j^1, ..., λ_j^K] indexed from 0.
+func (m *Model) TorrentClassRates() []float64 {
+	out := make([]float64, m.K)
+	for i := 1; i <= m.K; i++ {
+		out[i-1] = m.TorrentClassRate(i)
+	}
+	return out
+}
+
+// TotalUserRate returns Σ_{i≥1} λ_i = λ₀·(1−(1−p)^K), the rate of users who
+// request at least one file.
+func (m *Model) TotalUserRate() float64 {
+	s := 0.0
+	for i := 1; i <= m.K; i++ {
+		s += m.UserRate(i)
+	}
+	return s
+}
+
+// TotalFileRate returns Σ_i i·λ_i = λ₀·K·p, the aggregate rate at which
+// file requests enter the system.
+func (m *Model) TotalFileRate() float64 {
+	s := 0.0
+	for i := 1; i <= m.K; i++ {
+		s += float64(i) * m.UserRate(i)
+	}
+	return s
+}
+
+// MeanFilesPerUser returns E[i | i ≥ 1] = K·p / (1−(1−p)^K).
+func (m *Model) MeanFilesPerUser() float64 {
+	tot := m.TotalUserRate()
+	if tot == 0 {
+		return 0
+	}
+	return m.TotalFileRate() / tot
+}

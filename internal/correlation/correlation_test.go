@@ -1,0 +1,161 @@
+package correlation
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func mustNew(t *testing.T, k int, p, l0 float64) *Model {
+	t.Helper()
+	m, err := New(k, p, l0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New(0, 0.5, 1); err == nil {
+		t.Fatal("K=0 accepted")
+	}
+	if _, err := New(10, -0.1, 1); err == nil {
+		t.Fatal("p<0 accepted")
+	}
+	if _, err := New(10, 1.1, 1); err == nil {
+		t.Fatal("p>1 accepted")
+	}
+	if _, err := New(10, 0.5, 0); err == nil {
+		t.Fatal("λ₀=0 accepted")
+	}
+	if _, err := New(10, 0.5, 1); err != nil {
+		t.Fatal("valid model rejected")
+	}
+}
+
+func TestUserRateOutOfRange(t *testing.T) {
+	m := mustNew(t, 5, 0.5, 1)
+	if m.UserRate(0) != 0 || m.UserRate(6) != 0 || m.UserRate(-1) != 0 {
+		t.Fatal("out-of-range class rate not 0")
+	}
+}
+
+func TestUserRatesSumAndMass(t *testing.T) {
+	m := mustNew(t, 10, 0.3, 2)
+	// Σλ_i = λ₀(1 − (1−p)^K).
+	want := 2 * (1 - math.Pow(0.7, 10))
+	if got := m.TotalUserRate(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("total user rate %v, want %v", got, want)
+	}
+	// Total file rate = λ₀·K·p.
+	if got := m.TotalFileRate(); math.Abs(got-2*10*0.3) > 1e-9 {
+		t.Fatalf("total file rate %v, want %v", got, 2*10*0.3)
+	}
+}
+
+func TestExtremes(t *testing.T) {
+	// p = 1: every user requests all K files.
+	m := mustNew(t, 10, 1, 1)
+	if got := m.UserRate(10); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("p=1 class-K rate %v, want 1", got)
+	}
+	for i := 1; i < 10; i++ {
+		if m.UserRate(i) != 0 {
+			t.Fatalf("p=1 class-%d rate nonzero", i)
+		}
+	}
+	// p = 0: nobody requests anything.
+	m0 := mustNew(t, 10, 0, 1)
+	if m0.TotalUserRate() != 0 {
+		t.Fatal("p=0 should give zero arrivals")
+	}
+	if m0.MeanFilesPerUser() != 0 {
+		t.Fatal("p=0 mean files per user should be 0")
+	}
+}
+
+func TestTorrentClassRateIdentity(t *testing.T) {
+	// λ_j^i must equal λ₀·C(K−1,i−1)·pⁱ·(1−p)^{K−i}; check against the
+	// direct combinatorial formula.
+	m := mustNew(t, 10, 0.4, 3)
+	choose := func(n, k int) float64 {
+		c := 1.0
+		for i := 0; i < k; i++ {
+			c = c * float64(n-i) / float64(i+1)
+		}
+		return c
+	}
+	for i := 1; i <= 10; i++ {
+		want := 3 * choose(9, i-1) * math.Pow(0.4, float64(i)) * math.Pow(0.6, float64(10-i))
+		if got := m.TorrentClassRate(i); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("λ_j^%d = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestTorrentRatesBalanceFileRate(t *testing.T) {
+	// K torrents, each receiving Σ_i λ_j^i peers, must together receive
+	// the total file request rate λ₀·K·p.
+	f := func(pRaw uint8, kRaw uint8) bool {
+		p := float64(pRaw) / 255
+		k := int(kRaw%15) + 1
+		m, err := New(k, p, 1.5)
+		if err != nil {
+			return false
+		}
+		perTorrent := 0.0
+		for i := 1; i <= k; i++ {
+			perTorrent += m.TorrentClassRate(i)
+		}
+		return math.Abs(float64(k)*perTorrent-m.TotalFileRate()) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLambda0Linearity(t *testing.T) {
+	f := func(pRaw uint8) bool {
+		p := float64(pRaw) / 255
+		a, err1 := New(10, p, 1)
+		b, err2 := New(10, p, 7)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		for i := 1; i <= 10; i++ {
+			if math.Abs(b.UserRate(i)-7*a.UserRate(i)) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeanFilesPerUser(t *testing.T) {
+	m := mustNew(t, 10, 1, 1)
+	if got := m.MeanFilesPerUser(); math.Abs(got-10) > 1e-9 {
+		t.Fatalf("mean files per user at p=1: %v, want 10", got)
+	}
+	// Small p: conditional mean approaches 1.
+	mSmall := mustNew(t, 10, 1e-6, 1)
+	if got := mSmall.MeanFilesPerUser(); math.Abs(got-1) > 1e-4 {
+		t.Fatalf("mean files per user at p→0: %v, want ~1", got)
+	}
+}
+
+func TestRateSlicesMatchScalars(t *testing.T) {
+	m := mustNew(t, 8, 0.25, 2)
+	ur := m.UserRates()
+	tr := m.TorrentClassRates()
+	if len(ur) != 8 || len(tr) != 8 {
+		t.Fatal("rate slice lengths wrong")
+	}
+	for i := 1; i <= 8; i++ {
+		if ur[i-1] != m.UserRate(i) || tr[i-1] != m.TorrentClassRate(i) {
+			t.Fatal("slice/scalar mismatch")
+		}
+	}
+}

@@ -1,0 +1,788 @@
+// Package eventsim is a flow-level, event-driven simulator of the
+// server–torrent system of Section 3.1: users arrive as a Poisson process,
+// request a random subset of the K files according to the binomial
+// correlation model, and download them under one of the four schemes the
+// paper analyzes (MTCD, MTSD, MFCD, CMFSD). Transfers are fluid: between
+// events every downloading peer progresses at a rate assembled from the
+// same two service sources the fluid models use — tit-for-tat exchange
+// (η times the peer's own upload allocation, assumption 1 of Section 2) and
+// seed-like capacity shared proportionally to download bandwidth
+// (assumption 2).
+//
+// The simulator exists to (a) validate the shape of the fluid-model
+// predictions with an independent mechanism (experiment E9 in DESIGN.md)
+// and (b) evaluate the Adapt controller and cheating peers (E8), which are
+// per-peer and dynamic and therefore outside the fluid model.
+package eventsim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"mfdl/internal/adapt"
+	"mfdl/internal/correlation"
+	"mfdl/internal/fluid"
+	"mfdl/internal/rng"
+	"mfdl/internal/stats"
+	"mfdl/internal/trace"
+)
+
+// Scheme selects the downloading scheme to simulate.
+type Scheme int
+
+// The four schemes of the paper.
+const (
+	MTCD Scheme = iota
+	MTSD
+	MFCD
+	CMFSD
+)
+
+// String implements fmt.Stringer.
+func (s Scheme) String() string {
+	switch s {
+	case MTCD:
+		return "MTCD"
+	case MTSD:
+		return "MTSD"
+	case MFCD:
+		return "MFCD"
+	case CMFSD:
+		return "CMFSD"
+	default:
+		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+}
+
+// concurrent reports whether legs run simultaneously with split bandwidth.
+func (s Scheme) concurrent() bool { return s == MTCD || s == MFCD }
+
+// Config parameterizes one simulation run.
+type Config struct {
+	fluid.Params
+	// K is the number of files (torrents or subtorrents).
+	K int
+	// Lambda0 is the web-server visiting rate λ₀.
+	Lambda0 float64
+	// P is the file correlation.
+	P float64
+	// Scheme is the downloading scheme.
+	Scheme Scheme
+	// Rho is the fixed CMFSD allocation ratio when Adapt is nil.
+	Rho float64
+	// Adapt, when non-nil, runs the Adapt controller on every obedient
+	// CMFSD peer (overrides Rho).
+	Adapt *adapt.Config
+	// CheaterFraction is the fraction of CMFSD peers that pin ρ = 1 and
+	// never virtual-seed (Section 4.3's selfish peers).
+	CheaterFraction float64
+	// Horizon is the simulated duration.
+	Horizon float64
+	// Warmup discards users arriving before this time from the
+	// statistics (and starts the population averages there).
+	Warmup float64
+	// Seed drives the deterministic RNG.
+	Seed uint64
+	// FlashCrowd creates this many users at t = 0 (in addition to the
+	// Poisson arrivals) for transient studies.
+	FlashCrowd int
+	// SampleEvery, when positive, records the downloader and seed
+	// populations into Result.Trace at this interval.
+	SampleEvery float64
+	// Bandwidth optionally splits arrivals into heterogeneous upload
+	// classes (Section 2's C_i(μ_i, c_i) framework); empty means every
+	// peer uploads at Params.Mu with equal download weight.
+	Bandwidth []BandwidthClass
+}
+
+// BandwidthClass is one heterogeneous peer class.
+type BandwidthClass struct {
+	// Name labels the class in results.
+	Name string
+	// Mu is the class upload bandwidth (replaces Params.Mu).
+	Mu float64
+	// Weight is the download-capacity weight c_i used to split the
+	// seeds' altruistic service (assumption 2).
+	Weight float64
+	// Fraction is the share of arrivals in this class; fractions must
+	// sum to 1.
+	Fraction float64
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if err := c.Params.Validate(); err != nil {
+		return err
+	}
+	if c.K < 1 {
+		return fmt.Errorf("eventsim: K = %d must be >= 1", c.K)
+	}
+	if c.Lambda0 <= 0 {
+		return errors.New("eventsim: λ₀ must be positive")
+	}
+	if c.P <= 0 || c.P > 1 {
+		return fmt.Errorf("eventsim: p = %v outside (0,1]", c.P)
+	}
+	if c.Scheme < MTCD || c.Scheme > CMFSD {
+		return fmt.Errorf("eventsim: unknown scheme %d", int(c.Scheme))
+	}
+	if c.Rho < 0 || c.Rho > 1 {
+		return fmt.Errorf("eventsim: ρ = %v outside [0,1]", c.Rho)
+	}
+	if c.Adapt != nil {
+		if err := c.Adapt.Validate(); err != nil {
+			return err
+		}
+	}
+	if c.CheaterFraction < 0 || c.CheaterFraction > 1 {
+		return fmt.Errorf("eventsim: cheater fraction %v outside [0,1]", c.CheaterFraction)
+	}
+	if c.Horizon <= 0 {
+		return errors.New("eventsim: horizon must be positive")
+	}
+	if c.Warmup < 0 || c.Warmup >= c.Horizon {
+		return fmt.Errorf("eventsim: warmup %v outside [0, horizon)", c.Warmup)
+	}
+	if c.FlashCrowd < 0 {
+		return errors.New("eventsim: FlashCrowd must be non-negative")
+	}
+	if c.SampleEvery < 0 {
+		return errors.New("eventsim: SampleEvery must be non-negative")
+	}
+	if len(c.Bandwidth) > 0 {
+		sum := 0.0
+		for _, b := range c.Bandwidth {
+			if b.Mu <= 0 || b.Weight <= 0 {
+				return fmt.Errorf("eventsim: bandwidth class %q needs positive μ and weight", b.Name)
+			}
+			if b.Fraction < 0 {
+				return fmt.Errorf("eventsim: bandwidth class %q has negative fraction", b.Name)
+			}
+			sum += b.Fraction
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			return fmt.Errorf("eventsim: bandwidth fractions sum to %v, want 1", sum)
+		}
+	}
+	return nil
+}
+
+// ClassStats aggregates completed users of one class.
+type ClassStats struct {
+	Class        int
+	Completed    int
+	OnlineTime   stats.Summary
+	DownloadTime stats.Summary
+}
+
+// BandwidthStats aggregates completed users of one bandwidth class.
+type BandwidthStats struct {
+	Name         string
+	Completed    int
+	OnlineTime   stats.Summary
+	DownloadTime stats.Summary
+}
+
+// Result is the outcome of one run.
+type Result struct {
+	Config Config
+	// Classes holds per-class statistics for classes 1..K.
+	Classes []ClassStats
+	// ArrivedUsers and CompletedUsers count users arriving after warmup
+	// (completed = departed before the horizon).
+	ArrivedUsers, CompletedUsers int
+	// AvgOnlinePerFile is Σ online time / Σ files requested over counted
+	// completed users (the paper's metric).
+	AvgOnlinePerFile float64
+	// AvgDownloadPerFile is the same aggregation over download times.
+	AvgDownloadPerFile float64
+	// MeanDownloaders and MeanSeeds are time-averaged leg populations
+	// after warmup.
+	MeanDownloaders, MeanSeeds float64
+	// FinalRho summarizes the ρ of CMFSD peers alive or completed after
+	// warmup (only meaningful with Adapt or cheaters).
+	FinalRho stats.Summary
+	// Trace holds the sampled "downloaders" and "seeds" population
+	// series when Config.SampleEvery > 0, else nil.
+	Trace *trace.Recorder
+	// Bandwidth holds per-bandwidth-class statistics (parallel to
+	// Config.Bandwidth; empty for homogeneous runs).
+	Bandwidth []BandwidthStats
+}
+
+// legState is the lifecycle of one requested file.
+type legState uint8
+
+const (
+	legWaiting legState = iota
+	legDownloading
+	legSeeding // per-torrent seeding (MTCD/MFCD/MTSD)
+	legDone
+)
+
+type leg struct {
+	torrent      int
+	state        legState
+	remaining    float64
+	rate         float64
+	seedDepartAt float64
+}
+
+type peer struct {
+	class     int
+	arrivalAt float64
+	legs      []leg
+	cursor    int // current leg for sequential schemes
+	finished  int
+	rho       float64
+	ctrl      *adapt.Controller
+	cheater   bool
+	counted   bool // arrived after warmup: include in statistics
+
+	// Bandwidth class (index into Config.Bandwidth, -1 when homogeneous).
+	bwClass int
+	mu      float64 // upload bandwidth
+	weight  float64 // download-capacity weight for seed-service split
+
+	lastCompletionAt float64
+	dlAccum          float64
+	virtUp, virtDown float64
+	virtDownRate     float64 // current virtual-seed receive rate
+	seeding          bool    // CMFSD real-seed phase
+	seedDepartAt     float64
+}
+
+// downloadingLeg returns the active downloading leg index, or -1.
+func (p *peer) downloadingLeg() int {
+	if p.seeding {
+		return -1
+	}
+	for i := range p.legs {
+		if p.legs[i].state == legDownloading {
+			return i
+		}
+	}
+	return -1
+}
+
+// Run executes the simulation and aggregates the result.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	corr, err := correlation.New(cfg.K, cfg.P, cfg.Lambda0)
+	if err != nil {
+		return nil, err
+	}
+	s := &sim{
+		cfg:  cfg,
+		corr: corr,
+		rng:  rng.New(cfg.Seed),
+		res: &Result{
+			Config:  cfg,
+			Classes: make([]ClassStats, cfg.K),
+		},
+	}
+	for i := range s.res.Classes {
+		s.res.Classes[i].Class = i + 1
+	}
+	for _, b := range cfg.Bandwidth {
+		s.res.Bandwidth = append(s.res.Bandwidth, BandwidthStats{Name: b.Name})
+	}
+	s.run()
+	s.finish()
+	return s.res, nil
+}
+
+type sim struct {
+	cfg   Config
+	corr  *correlation.Model
+	rng   *rng.Source
+	peers []*peer
+	res   *Result
+
+	now        float64
+	totalRate  float64
+	classCDF   []float64
+	dlPop      stats.TimeWeighted
+	seedPop    stats.TimeWeighted
+	statsBegan bool
+
+	sumOnline, sumDownload float64
+	sumFiles               int
+}
+
+// classSample draws a user class ∝ λ_i.
+func (s *sim) classSample() int {
+	if s.classCDF == nil {
+		s.classCDF = make([]float64, s.cfg.K)
+		acc := 0.0
+		for i := 1; i <= s.cfg.K; i++ {
+			acc += s.corr.UserRate(i)
+			s.classCDF[i-1] = acc
+		}
+		s.totalRate = acc
+	}
+	u := s.rng.Float64() * s.totalRate
+	for i, c := range s.classCDF {
+		if u <= c {
+			return i + 1
+		}
+	}
+	return s.cfg.K
+}
+
+// fileSubset draws a uniform random subset of size n of the K files.
+func (s *sim) fileSubset(n int) []int {
+	perm := s.rng.Perm(s.cfg.K)
+	return perm[:n]
+}
+
+// newPeer materializes an arriving user.
+func (s *sim) newPeer() *peer {
+	class := s.classSample()
+	files := s.fileSubset(class)
+	p := &peer{
+		class:     class,
+		arrivalAt: s.now,
+		legs:      make([]leg, class),
+		counted:   s.now >= s.cfg.Warmup,
+		rho:       s.cfg.Rho,
+		bwClass:   -1,
+		mu:        s.cfg.Mu,
+		weight:    1,
+	}
+	if len(s.cfg.Bandwidth) > 0 {
+		u := s.rng.Float64()
+		acc := 0.0
+		for i, b := range s.cfg.Bandwidth {
+			acc += b.Fraction
+			if u <= acc || i == len(s.cfg.Bandwidth)-1 {
+				p.bwClass = i
+				p.mu = b.Mu
+				p.weight = b.Weight
+				break
+			}
+		}
+	}
+	for i, f := range files {
+		p.legs[i] = leg{torrent: f, state: legWaiting, remaining: 1}
+	}
+	if s.cfg.Scheme.concurrent() {
+		for i := range p.legs {
+			p.legs[i].state = legDownloading
+		}
+	} else {
+		p.legs[0].state = legDownloading
+	}
+	if s.cfg.Scheme == CMFSD {
+		if s.rng.Bernoulli(s.cfg.CheaterFraction) {
+			p.cheater = true
+			p.rho = 1
+		} else if s.cfg.Adapt != nil {
+			ctrl, err := adapt.NewController(*s.cfg.Adapt)
+			if err == nil {
+				p.ctrl = ctrl
+				p.rho = ctrl.Rho()
+			}
+		}
+	}
+	return p
+}
+
+// tftUpload returns the upload bandwidth a downloading peer devotes to
+// tit-for-tat in its current torrent.
+func (s *sim) tftUpload(p *peer) float64 {
+	switch s.cfg.Scheme {
+	case MTCD, MFCD:
+		return p.mu / float64(p.class)
+	case MTSD:
+		return p.mu
+	default: // CMFSD
+		if p.class == 1 || p.finished == 0 {
+			return p.mu
+		}
+		return p.rho * p.mu
+	}
+}
+
+// virtualUpload returns the CMFSD virtual-seed bandwidth of a downloading
+// peer (zero for other schemes and for peers with nothing finished).
+func (s *sim) virtualUpload(p *peer) float64 {
+	if s.cfg.Scheme != CMFSD || p.class == 1 || p.finished == 0 || p.seeding {
+		return 0
+	}
+	return (1 - p.rho) * p.mu
+}
+
+// legWeight is the download-capacity weight of one downloading leg for
+// splitting seed service (assumption 2): the peer's class weight, divided
+// across its legs under the concurrent schemes.
+func (s *sim) legWeight(p *peer) float64 {
+	w := p.weight
+	if s.cfg.Scheme.concurrent() {
+		w /= float64(p.class)
+	}
+	return w
+}
+
+// recomputeRates assembles every downloading leg's service rate from the
+// two fluid-model sources (tit-for-tat η·ownUpload; seed-like capacity
+// split by download weight) and refreshes each peer's virtual-seed receive
+// rate for the Adapt Δ accounting.
+func (s *sim) recomputeRates() {
+	k := s.cfg.K
+	eta := s.cfg.Eta
+	if s.cfg.Scheme == CMFSD {
+		// Pooled seed-like service: virtual seeds plus real seeds,
+		// split over all downloaders by weight (Eq. 5's S term; equal
+		// weights make it per capita).
+		virtPool, realPool, weightSum := 0.0, 0.0, 0.0
+		for _, p := range s.peers {
+			if p.seeding {
+				realPool += p.mu
+				continue
+			}
+			if li := p.downloadingLeg(); li >= 0 {
+				weightSum += p.weight
+				virtPool += s.virtualUpload(p)
+			}
+		}
+		for _, p := range s.peers {
+			p.virtDownRate = 0
+			if p.seeding {
+				continue
+			}
+			if li := p.downloadingLeg(); li >= 0 {
+				share := 0.0
+				if weightSum > 0 {
+					share = p.weight / weightSum
+				}
+				p.legs[li].rate = eta*s.tftUpload(p) + share*(virtPool+realPool)
+				p.virtDownRate = share * virtPool
+			}
+		}
+		return
+	}
+	// Per-torrent accounting for the multi-torrent schemes.
+	seedCap := make([]float64, k)
+	weightSum := make([]float64, k)
+	for _, p := range s.peers {
+		p.virtDownRate = 0
+		for i := range p.legs {
+			l := &p.legs[i]
+			switch l.state {
+			case legSeeding:
+				if s.cfg.Scheme == MTSD {
+					seedCap[l.torrent] += p.mu
+				} else {
+					seedCap[l.torrent] += p.mu / float64(p.class)
+				}
+			case legDownloading:
+				weightSum[l.torrent] += s.legWeight(p)
+			}
+		}
+	}
+	for _, p := range s.peers {
+		for i := range p.legs {
+			l := &p.legs[i]
+			if l.state != legDownloading {
+				continue
+			}
+			r := eta * s.tftUpload(p)
+			if weightSum[l.torrent] > 0 {
+				r += s.legWeight(p) / weightSum[l.torrent] * seedCap[l.torrent]
+			}
+			l.rate = r
+		}
+	}
+}
+
+// populations counts downloading and seeding legs (a CMFSD real seed counts
+// as one seeding leg).
+func (s *sim) populations() (dl, seeds int) {
+	for _, p := range s.peers {
+		if p.seeding {
+			seeds++
+			continue
+		}
+		for i := range p.legs {
+			switch p.legs[i].state {
+			case legDownloading:
+				dl++
+			case legSeeding:
+				seeds++
+			}
+		}
+	}
+	return dl, seeds
+}
+
+const never = math.MaxFloat64
+
+// run is the main event loop.
+func (s *sim) run() {
+	lambdaTot := s.corr.TotalUserRate()
+	if lambdaTot <= 0 {
+		return
+	}
+	for i := 0; i < s.cfg.FlashCrowd; i++ {
+		p := s.newPeer()
+		if p.counted {
+			s.res.ArrivedUsers++
+		}
+		s.peers = append(s.peers, p)
+	}
+	nextSample := never
+	if s.cfg.SampleEvery > 0 {
+		s.res.Trace = trace.NewRecorder()
+		s.samplePopulations()
+		nextSample = s.cfg.SampleEvery
+	}
+	nextArrival := s.rng.Exp(lambdaTot)
+	nextAdapt := never
+	if s.cfg.Scheme == CMFSD && s.cfg.Adapt != nil {
+		nextAdapt = s.cfg.Adapt.Period
+	}
+	for {
+		s.recomputeRates()
+
+		// Candidate event times.
+		tNext := s.cfg.Horizon
+		kind := evHorizon
+		var actor *peer
+		var actorLeg int
+		if nextArrival < tNext {
+			tNext, kind = nextArrival, evArrival
+		}
+		for _, p := range s.peers {
+			if p.seeding {
+				if p.seedDepartAt < tNext {
+					tNext, kind, actor = p.seedDepartAt, evPeerDepart, p
+				}
+				continue
+			}
+			for i := range p.legs {
+				l := &p.legs[i]
+				switch l.state {
+				case legDownloading:
+					if l.rate > 0 {
+						tc := s.now + l.remaining/l.rate
+						if tc < tNext {
+							tNext, kind, actor, actorLeg = tc, evCompletion, p, i
+						}
+					}
+				case legSeeding:
+					if l.seedDepartAt < tNext {
+						tNext, kind, actor, actorLeg = l.seedDepartAt, evLegDepart, p, i
+					}
+				}
+			}
+		}
+		if nextAdapt < tNext {
+			tNext, kind = nextAdapt, evAdapt
+		}
+		if nextSample < tNext {
+			tNext, kind = nextSample, evSample
+		}
+
+		s.advance(tNext)
+
+		switch kind {
+		case evHorizon:
+			return
+		case evArrival:
+			p := s.newPeer()
+			if p.counted {
+				s.res.ArrivedUsers++
+			}
+			s.peers = append(s.peers, p)
+			nextArrival = s.now + s.rng.Exp(lambdaTot)
+		case evCompletion:
+			s.completeLeg(actor, actorLeg)
+		case evLegDepart:
+			actor.legs[actorLeg].state = legDone
+			s.afterLegDeparture(actor, actorLeg)
+		case evPeerDepart:
+			s.departPeer(actor)
+		case evAdapt:
+			s.adaptTick()
+			nextAdapt = s.now + s.cfg.Adapt.Period
+		case evSample:
+			s.samplePopulations()
+			nextSample = s.now + s.cfg.SampleEvery
+		}
+	}
+}
+
+// samplePopulations records the current leg populations into the trace.
+func (s *sim) samplePopulations() {
+	dl, seeds := s.populations()
+	// Errors are impossible here: the clock is monotone.
+	_ = s.res.Trace.Record("downloaders", s.now, float64(dl))
+	_ = s.res.Trace.Record("seeds", s.now, float64(seeds))
+}
+
+type eventKind int
+
+const (
+	evHorizon eventKind = iota
+	evArrival
+	evCompletion
+	evLegDepart
+	evPeerDepart
+	evAdapt
+	evSample
+)
+
+// advance moves simulated time to tNext, integrating progress and
+// accumulators.
+func (s *sim) advance(tNext float64) {
+	dt := tNext - s.now
+	if dt < 0 {
+		dt = 0
+	}
+	if dt > 0 {
+		for _, p := range s.peers {
+			if p.seeding {
+				continue
+			}
+			anyDl := false
+			for i := range p.legs {
+				l := &p.legs[i]
+				if l.state != legDownloading {
+					continue
+				}
+				anyDl = true
+				l.remaining -= l.rate * dt
+				if l.remaining < 0 {
+					l.remaining = 0
+				}
+			}
+			if anyDl {
+				p.dlAccum += dt
+				p.virtUp += s.virtualUpload(p) * dt
+				p.virtDown += p.virtDownRate * dt
+			}
+		}
+	}
+	if tNext >= s.cfg.Warmup {
+		obsAt := math.Max(s.now, s.cfg.Warmup)
+		dl, seeds := s.populations()
+		if !s.statsBegan {
+			s.statsBegan = true
+		}
+		s.dlPop.Observe(obsAt-s.cfg.Warmup, float64(dl))
+		s.seedPop.Observe(obsAt-s.cfg.Warmup, float64(seeds))
+	}
+	s.now = tNext
+}
+
+// completeLeg handles a finished file download.
+func (s *sim) completeLeg(p *peer, li int) {
+	l := &p.legs[li]
+	l.remaining = 0
+	p.finished++
+	p.lastCompletionAt = s.now
+	switch s.cfg.Scheme {
+	case MTCD, MFCD:
+		l.state = legSeeding
+		l.seedDepartAt = s.now + s.rng.Exp(s.cfg.Gamma)
+	case MTSD:
+		l.state = legSeeding
+		l.seedDepartAt = s.now + s.rng.Exp(s.cfg.Gamma)
+		// The next file starts only after this seeding phase
+		// (sequential: download, seed, move on).
+	case CMFSD:
+		l.state = legDone
+		if p.finished == p.class {
+			p.seeding = true
+			p.seedDepartAt = s.now + s.rng.Exp(s.cfg.Gamma)
+		} else {
+			p.cursor++
+			p.legs[p.cursor].state = legDownloading
+		}
+	}
+}
+
+// afterLegDeparture resumes a sequential peer or retires a concurrent one.
+func (s *sim) afterLegDeparture(p *peer, li int) {
+	if s.cfg.Scheme == MTSD {
+		if li == p.cursor && p.cursor+1 < len(p.legs) {
+			p.cursor++
+			p.legs[p.cursor].state = legDownloading
+			return
+		}
+	}
+	for i := range p.legs {
+		if p.legs[i].state != legDone {
+			return
+		}
+	}
+	s.departPeer(p)
+}
+
+// departPeer removes the peer and records its statistics.
+func (s *sim) departPeer(dead *peer) {
+	for i, p := range s.peers {
+		if p == dead {
+			s.peers[i] = s.peers[len(s.peers)-1]
+			s.peers = s.peers[:len(s.peers)-1]
+			break
+		}
+	}
+	if !dead.counted {
+		return
+	}
+	online := s.now - dead.arrivalAt
+	download := dead.dlAccum
+	cs := &s.res.Classes[dead.class-1]
+	cs.Completed++
+	cs.OnlineTime.Add(online)
+	cs.DownloadTime.Add(download)
+	if dead.bwClass >= 0 && dead.bwClass < len(s.res.Bandwidth) {
+		bs := &s.res.Bandwidth[dead.bwClass]
+		bs.Completed++
+		bs.OnlineTime.Add(online)
+		bs.DownloadTime.Add(download)
+	}
+	s.res.CompletedUsers++
+	s.sumOnline += online
+	s.sumDownload += download
+	s.sumFiles += dead.class
+	if s.cfg.Scheme == CMFSD && dead.class > 1 {
+		s.res.FinalRho.Add(dead.rho)
+	}
+}
+
+// adaptTick runs the Adapt controller on every eligible peer.
+func (s *sim) adaptTick() {
+	period := s.cfg.Adapt.Period
+	for _, p := range s.peers {
+		if p.ctrl == nil || p.seeding {
+			p.virtUp, p.virtDown = 0, 0
+			continue
+		}
+		if p.finished >= 1 && p.class > 1 {
+			delta := (p.virtUp - p.virtDown) / period
+			p.rho = p.ctrl.Observe(delta)
+		}
+		p.virtUp, p.virtDown = 0, 0
+	}
+}
+
+// finish computes the aggregate metrics. Peers still in flight at the
+// horizon are censored (not counted).
+func (s *sim) finish() {
+	if s.sumFiles > 0 {
+		s.res.AvgOnlinePerFile = s.sumOnline / float64(s.sumFiles)
+		s.res.AvgDownloadPerFile = s.sumDownload / float64(s.sumFiles)
+	} else {
+		s.res.AvgOnlinePerFile = math.NaN()
+		s.res.AvgDownloadPerFile = math.NaN()
+	}
+	span := s.cfg.Horizon - s.cfg.Warmup
+	s.res.MeanDownloaders = s.dlPop.MeanUntil(span)
+	s.res.MeanSeeds = s.seedPop.MeanUntil(span)
+}

@@ -1,0 +1,31 @@
+package eventsim_test
+
+import (
+	"fmt"
+	"log"
+
+	"mfdl/internal/eventsim"
+	"mfdl/internal/fluid"
+)
+
+// Simulate MTSD on a 10-file system and compare against the fluid closed
+// form T + 1/γ = 8 (time-rescaled paper parameters).
+func ExampleRun() {
+	res, err := eventsim.Run(eventsim.Config{
+		Params:  fluid.Params{Mu: 0.2, Eta: 0.5, Gamma: 0.5},
+		K:       10,
+		Lambda0: 1,
+		P:       1,
+		Scheme:  eventsim.MTSD,
+		Horizon: 4000,
+		Warmup:  800,
+		Seed:    1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("within 15%% of fluid: %v\n",
+		res.AvgOnlinePerFile > 8*0.85 && res.AvgOnlinePerFile < 8*1.15)
+	// Output:
+	// within 15% of fluid: true
+}

@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mfdl/internal/adapt"
+	"mfdl/internal/eventsim"
+	"mfdl/internal/table"
+)
+
+// AdaptParamRow is one controller setting of the parameter study.
+type AdaptParamRow struct {
+	Label        string
+	Threshold    float64 // symmetric |φ| as a fraction of μ
+	StepUp       float64
+	StepDown     float64
+	Period       float64
+	MeanFinalRho float64
+	AvgOnline    float64
+}
+
+// AdaptParamsResult answers the paper's explicit future-work question:
+// "the effectiveness of the Adapt mechanism needs to be systematically
+// evaluated, probing the proper settings for the parameters φ₁, φ₂, υ₁ and
+// υ₂." Every setting is run twice — in an all-obedient swarm and against a
+// cheating majority — because a good controller must hold ρ ≈ 0 in the
+// first and drive ρ → 1 in the second.
+type AdaptParamsResult struct {
+	Settings        SimSettings
+	P               float64
+	CheaterFraction float64
+	// Clean and Cheated hold one row per setting, same order.
+	Clean, Cheated []AdaptParamRow
+}
+
+// AdaptParams sweeps the controller parameters. thresholds are symmetric
+// |φ| values as fractions of μ; steps are (υ₁, υ₂) pairs; periods are
+// observation windows.
+func AdaptParams(set SimSettings, p, cheaterFraction float64,
+	thresholds, stepUps, periods []float64) (*AdaptParamsResult, error) {
+	res := &AdaptParamsResult{Settings: set, P: p, CheaterFraction: cheaterFraction}
+	runOne := func(ac adapt.Config, cheat float64) (AdaptParamRow, error) {
+		cfg := eventsim.Config{
+			Params: set.Params, K: set.K, Lambda0: set.Lambda0, P: p,
+			Scheme: eventsim.CMFSD, Adapt: &ac, CheaterFraction: cheat,
+			Horizon: set.Horizon, Warmup: set.Warmup, Seed: set.Seed,
+		}
+		out, err := eventsim.Run(cfg)
+		if err != nil {
+			return AdaptParamRow{}, err
+		}
+		return AdaptParamRow{
+			MeanFinalRho: out.FinalRho.Mean(),
+			AvgOnline:    out.AvgOnlinePerFile,
+		}, nil
+	}
+	for _, th := range thresholds {
+		for _, up := range stepUps {
+			for _, period := range periods {
+				ac := adapt.Config{
+					Lower:       -th * set.Params.Mu,
+					Upper:       th * set.Params.Mu,
+					StepUp:      up,
+					StepDown:    up / 2,
+					Period:      period,
+					InitialRho:  0,
+					Consecutive: 2,
+				}
+				label := fmt.Sprintf("|φ|=%.2fμ υ₁=%.2f T=%g", th, up, period)
+				clean, err := runOne(ac, 0)
+				if err != nil {
+					return nil, fmt.Errorf("experiments: adapt params %s clean: %w", label, err)
+				}
+				cheated, err := runOne(ac, cheaterFraction)
+				if err != nil {
+					return nil, fmt.Errorf("experiments: adapt params %s cheated: %w", label, err)
+				}
+				for _, row := range []*AdaptParamRow{&clean, &cheated} {
+					row.Label = label
+					row.Threshold = th
+					row.StepUp = up
+					row.StepDown = up / 2
+					row.Period = period
+				}
+				res.Clean = append(res.Clean, clean)
+				res.Cheated = append(res.Cheated, cheated)
+			}
+		}
+	}
+	return res, nil
+}
+
+// Table renders the parameter study: for each setting, the equilibrium ρ
+// and performance in the clean and cheated swarms.
+func (r *AdaptParamsResult) Table() *table.Table {
+	tb := table.New(
+		fmt.Sprintf("Adapt parameter study (p=%.1f; cheated runs at %.0f%% cheaters)",
+			r.P, 100*r.CheaterFraction),
+		"setting", "clean rho", "clean online/file", "cheated rho", "cheated online/file")
+	for i := range r.Clean {
+		tb.MustAddRow(r.Clean[i].Label,
+			fmt.Sprintf("%.3f", r.Clean[i].MeanFinalRho),
+			table.Fmt(r.Clean[i].AvgOnline),
+			fmt.Sprintf("%.3f", r.Cheated[i].MeanFinalRho),
+			table.Fmt(r.Cheated[i].AvgOnline))
+	}
+	return tb
+}
+
+// Score summarizes one setting's quality: lower is better. It charges the
+// clean swarm's performance loss relative to the best possible (ρ stays 0)
+// plus the cheated swarm's failure to protect obedient peers (ρ should
+// rise toward 1).
+func (r *AdaptParamsResult) Score(i int) float64 {
+	return r.Clean[i].MeanFinalRho + (1 - r.Cheated[i].MeanFinalRho)
+}
+
+// Best returns the index of the best-scoring setting.
+func (r *AdaptParamsResult) Best() int {
+	best, bestScore := 0, r.Score(0)
+	for i := 1; i < len(r.Clean); i++ {
+		if s := r.Score(i); s < bestScore {
+			best, bestScore = i, s
+		}
+	}
+	return best
+}

@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAdaptParamsStudy(t *testing.T) {
+	set := fastSettings()
+	res, err := AdaptParams(set, 0.9, 0.8,
+		[]float64{0.05, 0.25}, // |φ| as fraction of μ: tight vs generous
+		[]float64{0.2},
+		[]float64{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Clean) != 2 || len(res.Cheated) != 2 {
+		t.Fatalf("rows %d/%d", len(res.Clean), len(res.Cheated))
+	}
+	// Against a cheating majority, every setting must raise ρ well above
+	// its clean-swarm equilibrium.
+	for i := range res.Clean {
+		if res.Cheated[i].MeanFinalRho <= res.Clean[i].MeanFinalRho {
+			t.Fatalf("setting %s: cheated ρ %v not above clean %v",
+				res.Clean[i].Label, res.Cheated[i].MeanFinalRho, res.Clean[i].MeanFinalRho)
+		}
+	}
+	// The tight threshold (|φ| = 0.05μ, inside the structural Δ bias)
+	// must drift upward even in a clean swarm; the generous one must not.
+	if res.Clean[0].MeanFinalRho <= res.Clean[1].MeanFinalRho {
+		t.Fatalf("tight threshold clean ρ %v should exceed generous %v",
+			res.Clean[0].MeanFinalRho, res.Clean[1].MeanFinalRho)
+	}
+	// Best() must prefer the generous threshold.
+	if best := res.Best(); res.Clean[best].Threshold != 0.25 {
+		t.Fatalf("best setting %v, want the generous threshold", res.Clean[best].Label)
+	}
+	if !strings.Contains(res.Table().String(), "cheated rho") {
+		t.Fatal("table header wrong")
+	}
+}

@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"mfdl/internal/cmfsd"
+	"mfdl/internal/table"
+)
+
+// CheatingRow is one cheater-fraction setting of the fluid cheating sweep.
+type CheatingRow struct {
+	CheaterFraction float64
+	// SystemAvg is the overall average online time per file.
+	SystemAvg float64
+	// ObedientClassK / CheaterClassK are the class-K download times per
+	// file for each group (NaN when the group is empty).
+	ObedientClassK, CheaterClassK float64
+}
+
+// CheatingResult is the fluid counterpart of the Adapt simulation (E8): it
+// quantifies, from Eq. (5) generalized to mixed populations, how much a
+// fixed cheater fraction gains individually and costs collectively.
+type CheatingResult struct {
+	Config      Config
+	P           float64
+	ObedientRho float64
+	Rows        []CheatingRow
+}
+
+// CheatingSweep evaluates the mixed CMFSD model over cheater fractions.
+// Obedient peers play ρ = obedientRho; cheaters pin ρ = 1.
+func CheatingSweep(cfg Config, p, obedientRho float64, fractions []float64) (*CheatingResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	corr, err := cfg.corr(p)
+	if err != nil {
+		return nil, err
+	}
+	res := &CheatingResult{Config: cfg, P: p, ObedientRho: obedientRho}
+	for _, cf := range fractions {
+		var groups []cmfsd.Group
+		if cf < 1 {
+			groups = append(groups, cmfsd.Group{Name: "obedient", Fraction: 1 - cf, Rho: obedientRho})
+		}
+		if cf > 0 {
+			groups = append(groups, cmfsd.Group{Name: "cheater", Fraction: cf, Rho: 1})
+		}
+		m, err := cmfsd.NewMixed(cfg.Params, corr, groups)
+		if err != nil {
+			return nil, err
+		}
+		out, err := m.Evaluate()
+		if err != nil {
+			return nil, fmt.Errorf("experiments: cheating fraction %v: %w", cf, err)
+		}
+		row := CheatingRow{
+			CheaterFraction: cf,
+			SystemAvg:       out.AvgOnlinePerFile(),
+			ObedientClassK:  math.NaN(),
+			CheaterClassK:   math.NaN(),
+		}
+		for _, g := range out.Groups {
+			ck, _ := g.Result.Class(cfg.K)
+			switch g.Group.Name {
+			case "obedient":
+				row.ObedientClassK = ck.DownloadPerFile()
+			case "cheater":
+				row.CheaterClassK = ck.DownloadPerFile()
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Table renders the fluid cheating sweep.
+func (r *CheatingResult) Table() *table.Table {
+	tb := table.New(
+		fmt.Sprintf("Fluid cheating sweep (p=%.1f, obedient ρ=%.1f, cheaters ρ=1)",
+			r.P, r.ObedientRho),
+		"cheater fraction", "system avg online/file",
+		fmt.Sprintf("obedient class-%d dl/file", r.Config.K),
+		fmt.Sprintf("cheater class-%d dl/file", r.Config.K))
+	for _, row := range r.Rows {
+		fmtOrDash := func(v float64) string {
+			if math.IsNaN(v) {
+				return "-"
+			}
+			return table.Fmt(v)
+		}
+		tb.MustAddRow(fmt.Sprintf("%.2f", row.CheaterFraction),
+			table.Fmt(row.SystemAvg),
+			fmtOrDash(row.ObedientClassK), fmtOrDash(row.CheaterClassK))
+	}
+	return tb
+}

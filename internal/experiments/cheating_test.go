@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestCheatingSweepShape(t *testing.T) {
+	res, err := CheatingSweep(PaperConfig, 0.9, 0, []float64{0, 0.5, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// System average degrades monotonically with cheating.
+	for i := 1; i < len(res.Rows); i++ {
+		if res.Rows[i].SystemAvg < res.Rows[i-1].SystemAvg-1e-6 {
+			t.Fatalf("system average not monotone at fraction %v", res.Rows[i].CheaterFraction)
+		}
+	}
+	// All-obedient and all-cheater endpoints: no opposing group column.
+	if !math.IsNaN(res.Rows[0].CheaterClassK) {
+		t.Fatal("cheater column should be empty at fraction 0")
+	}
+	if !math.IsNaN(res.Rows[2].ObedientClassK) {
+		t.Fatal("obedient column should be empty at fraction 1")
+	}
+	// At fraction 0.5 cheaters beat obedient peers individually.
+	mid := res.Rows[1]
+	if !(mid.CheaterClassK < mid.ObedientClassK) {
+		t.Fatalf("cheaters (%v) should beat obedient (%v)", mid.CheaterClassK, mid.ObedientClassK)
+	}
+	// All-cheater system equals the MFCD value 97.78 (p=0.9 closed form).
+	if math.Abs(res.Rows[2].SystemAvg-97.78) > 0.5 {
+		t.Fatalf("all-cheater avg %v, want ≈97.78", res.Rows[2].SystemAvg)
+	}
+	out := res.Table().String()
+	if !strings.Contains(out, "cheater fraction") || !strings.Contains(out, "-") {
+		t.Fatalf("table wrong:\n%s", out)
+	}
+}
+
+func TestCheatingSweepRejectsBadConfig(t *testing.T) {
+	bad := PaperConfig
+	bad.K = 0
+	if _, err := CheatingSweep(bad, 0.9, 0, []float64{0}); err == nil {
+		t.Fatal("bad config accepted")
+	}
+}

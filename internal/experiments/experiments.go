@@ -1,0 +1,656 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 4) plus the extension studies listed in DESIGN.md:
+//
+//	Fig2        — average online time per file vs file correlation p,
+//	              MTCD vs MTSD (E2)
+//	Fig3        — per-class online/download time per file, MTCD vs MTSD,
+//	              at p = 0.1 and p = 1.0 (E3)
+//	Fig4A       — CMFSD average online time per file over a p × ρ grid (E4)
+//	Fig4BC      — per-class times, CMFSD ρ ∈ {0.1, 0.9} vs MFCD, at
+//	              p = 0.9 and p = 0.1 (E5/E6)
+//	Validate    — K = 1 degeneracy against the Qiu–Srikant closed form (E7)
+//	AdaptSweep / AdaptParams — the Adapt mechanism under cheating and its
+//	              φ/υ/period parameter probe (E8/E16, the paper's future work)
+//	SimValidate — fluid vs flow-level simulation for all schemes (E9)
+//	EtaAblation — Fig-2 replay at η ∈ {0.25, 0.5, 0.75, 1.0} (E10)
+//	StabilityTable — Jacobian spectral abscissas at the operating points (E11)
+//	SwarmCompare — chunk-level scheme comparison (E12)
+//	Transient   — flash-crowd trajectory, fluid vs simulation (E13)
+//	KScaling    — collaboration gain vs torrent size (E14)
+//	Hetero      — multi-class fluid vs heterogeneous simulation (E15)
+//	Crossover   — per-class correlation threshold where MTCD stops beating
+//	              MTSD
+//	CheatingSweep — mixed obedient/cheater fluid populations
+//	Report      — every fluid artifact exported as CSV
+//
+// Every function returns both structured series (for tests and benchmarks)
+// and a *table.Table rendering of exactly the rows the paper plots.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"mfdl/internal/cmfsd"
+	"mfdl/internal/correlation"
+	"mfdl/internal/fluid"
+	"mfdl/internal/metrics"
+	"mfdl/internal/mtcd"
+	"mfdl/internal/mtsd"
+	"mfdl/internal/numeric/rootfind"
+	"mfdl/internal/table"
+)
+
+// Config holds the evaluation setting shared by all experiments.
+type Config struct {
+	fluid.Params
+	// K is the number of files (and torrents/subtorrents).
+	K int
+	// Lambda0 is the web-server visiting rate λ₀.
+	Lambda0 float64
+}
+
+// PaperConfig reproduces the parameters used in every figure of the paper:
+// K = 10, μ = 0.02, η = 0.5, γ = 0.05 (λ₀ = 1; all times are λ₀-invariant).
+var PaperConfig = Config{Params: fluid.PaperParams, K: 10, Lambda0: 1}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if err := c.Params.Validate(); err != nil {
+		return err
+	}
+	if c.K < 1 {
+		return fmt.Errorf("experiments: K = %d must be >= 1", c.K)
+	}
+	if c.Lambda0 <= 0 {
+		return fmt.Errorf("experiments: λ₀ = %v must be positive", c.Lambda0)
+	}
+	return nil
+}
+
+func (c Config) corr(p float64) (*correlation.Model, error) {
+	return correlation.New(c.K, p, c.Lambda0)
+}
+
+// PGrid returns n+1 evenly spaced correlation values from lo to hi.
+func PGrid(lo, hi float64, n int) []float64 {
+	if n < 1 {
+		n = 1
+	}
+	out := make([]float64, n+1)
+	for i := 0; i <= n; i++ {
+		out[i] = lo + (hi-lo)*float64(i)/float64(n)
+	}
+	return out
+}
+
+// Fig2Point is one x-position of Figure 2.
+type Fig2Point struct {
+	P          float64
+	MTCDOnline float64 // average online time per file under MTCD
+	MTSDOnline float64 // same under MTSD (flat in p)
+}
+
+// Fig2Result holds the Figure 2 series.
+type Fig2Result struct {
+	Config Config
+	Points []Fig2Point
+}
+
+// Fig2 evaluates the MTCD and MTSD average online time per file over the
+// given correlation grid (Figure 2 of the paper).
+func Fig2(cfg Config, pGrid []float64) (*Fig2Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	res := &Fig2Result{Config: cfg}
+	for _, p := range pGrid {
+		corr, err := cfg.corr(p)
+		if err != nil {
+			return nil, err
+		}
+		pt := Fig2Point{P: p}
+		if p == 0 {
+			// No arrivals: both schemes degenerate to the single-torrent
+			// limit.
+			st, err := fluid.NewSingleTorrent(cfg.Params, 1)
+			if err != nil {
+				return nil, err
+			}
+			t, err := st.OnlineTime()
+			if err != nil {
+				return nil, err
+			}
+			pt.MTCDOnline, pt.MTSDOnline = t, t
+		} else {
+			mc, err := mtcd.New(cfg.Params, corr)
+			if err != nil {
+				return nil, err
+			}
+			rc, err := mc.Evaluate()
+			if err != nil {
+				return nil, fmt.Errorf("experiments: MTCD at p=%v: %w", p, err)
+			}
+			ms, err := mtsd.New(cfg.Params, corr)
+			if err != nil {
+				return nil, err
+			}
+			rs, err := ms.Evaluate()
+			if err != nil {
+				return nil, fmt.Errorf("experiments: MTSD at p=%v: %w", p, err)
+			}
+			pt.MTCDOnline = rc.AvgOnlinePerFile()
+			pt.MTSDOnline = rs.AvgOnlinePerFile()
+		}
+		res.Points = append(res.Points, pt)
+	}
+	return res, nil
+}
+
+// Table renders the Figure 2 series.
+func (r *Fig2Result) Table() *table.Table {
+	tb := table.New(
+		fmt.Sprintf("Figure 2: average online time per file vs file correlation (K=%d, μ=%g, η=%g, γ=%g)",
+			r.Config.K, r.Config.Mu, r.Config.Eta, r.Config.Gamma),
+		"p", "MTCD", "MTSD")
+	for _, pt := range r.Points {
+		tb.MustAddRow(fmt.Sprintf("%.2f", pt.P), table.Fmt(pt.MTCDOnline), table.Fmt(pt.MTSDOnline))
+	}
+	return tb
+}
+
+// Fig3Row is one class of Figure 3 at one correlation value.
+type Fig3Row struct {
+	Class                      int
+	MTCDOnline, MTSDOnline     float64 // online time per file
+	MTCDDownload, MTSDDownload float64 // download time per file
+}
+
+// Fig3Result holds the per-class series for one correlation value.
+type Fig3Result struct {
+	Config Config
+	P      float64
+	Rows   []Fig3Row
+}
+
+// Fig3 evaluates the per-class online and download time per file under
+// MTCD and MTSD at the given correlation (the paper plots p = 0.1 and 1.0).
+func Fig3(cfg Config, p float64) (*Fig3Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	corr, err := cfg.corr(p)
+	if err != nil {
+		return nil, err
+	}
+	mc, err := mtcd.New(cfg.Params, corr)
+	if err != nil {
+		return nil, err
+	}
+	rc, err := mc.Evaluate()
+	if err != nil {
+		return nil, err
+	}
+	ms, err := mtsd.New(cfg.Params, corr)
+	if err != nil {
+		return nil, err
+	}
+	rs, err := ms.Evaluate()
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig3Result{Config: cfg, P: p}
+	for i := 1; i <= cfg.K; i++ {
+		cc, _ := rc.Class(i)
+		cs, _ := rs.Class(i)
+		res.Rows = append(res.Rows, Fig3Row{
+			Class:        i,
+			MTCDOnline:   cc.OnlinePerFile(),
+			MTSDOnline:   cs.OnlinePerFile(),
+			MTCDDownload: cc.DownloadPerFile(),
+			MTSDDownload: cs.DownloadPerFile(),
+		})
+	}
+	return res, nil
+}
+
+// Table renders the Figure 3 series for this correlation value.
+func (r *Fig3Result) Table() *table.Table {
+	tb := table.New(
+		fmt.Sprintf("Figure 3 (p=%.1f): per-class times per file", r.P),
+		"class", "MTCD online", "MTSD online", "MTCD download", "MTSD download")
+	for _, row := range r.Rows {
+		tb.MustAddRow(fmt.Sprintf("%d", row.Class),
+			table.Fmt(row.MTCDOnline), table.Fmt(row.MTSDOnline),
+			table.Fmt(row.MTCDDownload), table.Fmt(row.MTSDDownload))
+	}
+	return tb
+}
+
+// Fig4AResult is the p × ρ surface of Figure 4(a).
+type Fig4AResult struct {
+	Config  Config
+	PGrid   []float64
+	RhoGrid []float64
+	// Online[i][j] is the CMFSD average online time per file at
+	// p = PGrid[i], ρ = RhoGrid[j].
+	Online [][]float64
+}
+
+// Fig4A evaluates the CMFSD average online time per file over the given
+// correlation and allocation-ratio grids (Figure 4(a)). The grid cells are
+// independent 65-state relaxations, so they are evaluated concurrently on
+// all cores.
+func Fig4A(cfg Config, pGrid, rhoGrid []float64) (*Fig4AResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	res := &Fig4AResult{Config: cfg, PGrid: pGrid, RhoGrid: rhoGrid}
+	res.Online = make([][]float64, len(pGrid))
+	for i := range res.Online {
+		res.Online[i] = make([]float64, len(rhoGrid))
+	}
+	type cell struct{ i, j int }
+	cells := make(chan cell)
+	errs := make(chan error, 1)
+	var wg sync.WaitGroup
+	for w := 0; w < runtime.GOMAXPROCS(0); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for c := range cells {
+				corr, err := cfg.corr(pGrid[c.i])
+				if err == nil {
+					var m *cmfsd.Model
+					m, err = cmfsd.New(cfg.Params, corr, rhoGrid[c.j])
+					if err == nil {
+						var r *metrics.SchemeResult
+						r, err = m.Evaluate()
+						if err == nil {
+							res.Online[c.i][c.j] = r.AvgOnlinePerFile()
+							continue
+						}
+					}
+				}
+				select {
+				case errs <- fmt.Errorf("experiments: CMFSD p=%v ρ=%v: %w",
+					pGrid[c.i], rhoGrid[c.j], err):
+				default:
+				}
+			}
+		}()
+	}
+	for i := range pGrid {
+		for j := range rhoGrid {
+			cells <- cell{i, j}
+		}
+	}
+	close(cells)
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return nil, err
+	default:
+	}
+	return res, nil
+}
+
+// Table renders the Figure 4(a) surface with one row per p.
+func (r *Fig4AResult) Table() *table.Table {
+	cols := []string{"p \\ rho"}
+	for _, rho := range r.RhoGrid {
+		cols = append(cols, fmt.Sprintf("%.2f", rho))
+	}
+	tb := table.New("Figure 4(a): CMFSD average online time per file", cols...)
+	for i, p := range r.PGrid {
+		cells := []string{fmt.Sprintf("%.2f", p)}
+		for _, v := range r.Online[i] {
+			cells = append(cells, table.Fmt(v))
+		}
+		tb.MustAddRow(cells...)
+	}
+	return tb
+}
+
+// Fig4BCRow is one class of Figure 4(b) or (c).
+type Fig4BCRow struct {
+	Class int
+	// Online and download time per file under CMFSD with the low and
+	// high ρ settings, and under the MFCD baseline.
+	OnlineLowRho, OnlineHighRho, OnlineMFCD       float64
+	DownloadLowRho, DownloadHighRho, DownloadMFCD float64
+}
+
+// Fig4BCResult holds one panel of Figure 4(b)/(c).
+type Fig4BCResult struct {
+	Config          Config
+	P               float64
+	LowRho, HighRho float64
+	Rows            []Fig4BCRow
+}
+
+// Fig4BC evaluates the per-class times under CMFSD at two ρ settings and
+// under MFCD, at the given correlation (the paper uses ρ ∈ {0.1, 0.9} with
+// p = 0.9 for panel (b) and p = 0.1 for panel (c)).
+func Fig4BC(cfg Config, p, lowRho, highRho float64) (*Fig4BCResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	corr, err := cfg.corr(p)
+	if err != nil {
+		return nil, err
+	}
+	eval := func(rho float64) (*metrics.SchemeResult, error) {
+		m, err := cmfsd.New(cfg.Params, corr, rho)
+		if err != nil {
+			return nil, err
+		}
+		return m.Evaluate()
+	}
+	low, err := eval(lowRho)
+	if err != nil {
+		return nil, err
+	}
+	high, err := eval(highRho)
+	if err != nil {
+		return nil, err
+	}
+	mfcd, err := cmfsd.EvaluateMFCD(cfg.Params, corr)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig4BCResult{Config: cfg, P: p, LowRho: lowRho, HighRho: highRho}
+	for i := 1; i <= cfg.K; i++ {
+		cl, _ := low.Class(i)
+		ch, _ := high.Class(i)
+		cm, _ := mfcd.Class(i)
+		res.Rows = append(res.Rows, Fig4BCRow{
+			Class:           i,
+			OnlineLowRho:    cl.OnlinePerFile(),
+			OnlineHighRho:   ch.OnlinePerFile(),
+			OnlineMFCD:      cm.OnlinePerFile(),
+			DownloadLowRho:  cl.DownloadPerFile(),
+			DownloadHighRho: ch.DownloadPerFile(),
+			DownloadMFCD:    cm.DownloadPerFile(),
+		})
+	}
+	return res, nil
+}
+
+// Table renders one panel of Figure 4(b)/(c).
+func (r *Fig4BCResult) Table() *table.Table {
+	tb := table.New(
+		fmt.Sprintf("Figure 4 (p=%.1f): per-class times per file, CMFSD ρ=%.1f / ρ=%.1f vs MFCD",
+			r.P, r.LowRho, r.HighRho),
+		"class",
+		fmt.Sprintf("online ρ=%.1f", r.LowRho), fmt.Sprintf("online ρ=%.1f", r.HighRho), "online MFCD",
+		fmt.Sprintf("download ρ=%.1f", r.LowRho), fmt.Sprintf("download ρ=%.1f", r.HighRho), "download MFCD")
+	for _, row := range r.Rows {
+		tb.MustAddRow(fmt.Sprintf("%d", row.Class),
+			table.Fmt(row.OnlineLowRho), table.Fmt(row.OnlineHighRho), table.Fmt(row.OnlineMFCD),
+			table.Fmt(row.DownloadLowRho), table.Fmt(row.DownloadHighRho), table.Fmt(row.DownloadMFCD))
+	}
+	return tb
+}
+
+// ValidationResult compares the degenerate K = 1 instances of every scheme
+// against the Qiu–Srikant closed form (the paper's model-correctness
+// argument at the end of Section 3.3).
+type ValidationResult struct {
+	SingleDownload float64 // closed-form T
+	SingleOnline   float64 // closed-form T + 1/γ
+	MTCDOnline     float64
+	MTSDOnline     float64
+	CMFSDOnline    float64
+	MaxRelErr      float64
+}
+
+// Validate runs the degeneracy check (E7).
+func Validate(cfg Config) (*ValidationResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	one := cfg
+	one.K = 1
+	st, err := fluid.NewSingleTorrent(one.Params, one.Lambda0)
+	if err != nil {
+		return nil, err
+	}
+	tDl, err := st.DownloadTime()
+	if err != nil {
+		return nil, err
+	}
+	tOn := tDl + 1/one.Gamma
+	corr, err := one.corr(0.8)
+	if err != nil {
+		return nil, err
+	}
+	mc, err := mtcd.New(one.Params, corr)
+	if err != nil {
+		return nil, err
+	}
+	rc, err := mc.Evaluate()
+	if err != nil {
+		return nil, err
+	}
+	ms, err := mtsd.New(one.Params, corr)
+	if err != nil {
+		return nil, err
+	}
+	rs, err := ms.Evaluate()
+	if err != nil {
+		return nil, err
+	}
+	mf, err := cmfsd.New(one.Params, corr, 0.5)
+	if err != nil {
+		return nil, err
+	}
+	rf, err := mf.Evaluate()
+	if err != nil {
+		return nil, err
+	}
+	c1, _ := rc.Class(1)
+	s1, _ := rs.Class(1)
+	f1, _ := rf.Class(1)
+	res := &ValidationResult{
+		SingleDownload: tDl,
+		SingleOnline:   tOn,
+		MTCDOnline:     c1.OnlineTime,
+		MTSDOnline:     s1.OnlineTime,
+		CMFSDOnline:    f1.OnlineTime,
+	}
+	for _, v := range []float64{res.MTCDOnline, res.MTSDOnline, res.CMFSDOnline} {
+		if e := math.Abs(v-tOn) / tOn; e > res.MaxRelErr {
+			res.MaxRelErr = e
+		}
+	}
+	return res, nil
+}
+
+// Table renders the degeneracy check.
+func (r *ValidationResult) Table() *table.Table {
+	tb := table.New("Model validation: K=1 degeneracy vs Qiu–Srikant closed form",
+		"quantity", "value")
+	tb.MustAddRow("closed-form download time T", table.Fmt(r.SingleDownload))
+	tb.MustAddRow("closed-form online time T+1/γ", table.Fmt(r.SingleOnline))
+	tb.MustAddRow("MTCD online time (K=1)", table.Fmt(r.MTCDOnline))
+	tb.MustAddRow("MTSD online time (K=1)", table.Fmt(r.MTSDOnline))
+	tb.MustAddRow("CMFSD online time (K=1)", table.Fmt(r.CMFSDOnline))
+	tb.MustAddRow("max relative error", fmt.Sprintf("%.2e", r.MaxRelErr))
+	return tb
+}
+
+// EtaAblationResult replays Figure 2's MTCD curve for several sharing
+// efficiencies η (the paper argues for η = 0.5 against [7]'s η ≈ 1).
+type EtaAblationResult struct {
+	Config Config
+	Etas   []float64
+	PGrid  []float64
+	// Online[e][i] is the MTCD average online time per file with
+	// η = Etas[e] at p = PGrid[i].
+	Online [][]float64
+}
+
+// EtaAblation runs the η sensitivity study (E10).
+func EtaAblation(cfg Config, etas, pGrid []float64) (*EtaAblationResult, error) {
+	res := &EtaAblationResult{Config: cfg, Etas: etas, PGrid: pGrid}
+	for _, eta := range etas {
+		c := cfg
+		c.Eta = eta
+		fig, err := Fig2(c, pGrid)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: η=%v: %w", eta, err)
+		}
+		row := make([]float64, len(fig.Points))
+		for i, pt := range fig.Points {
+			row[i] = pt.MTCDOnline
+		}
+		res.Online = append(res.Online, row)
+	}
+	return res, nil
+}
+
+// Table renders the η ablation with one row per p.
+func (r *EtaAblationResult) Table() *table.Table {
+	cols := []string{"p"}
+	for _, eta := range r.Etas {
+		cols = append(cols, fmt.Sprintf("MTCD η=%.2f", eta))
+	}
+	tb := table.New("Ablation: MTCD average online time per file vs η", cols...)
+	for i, p := range r.PGrid {
+		cells := []string{fmt.Sprintf("%.2f", p)}
+		for e := range r.Etas {
+			cells = append(cells, table.Fmt(r.Online[e][i]))
+		}
+		tb.MustAddRow(cells...)
+	}
+	return tb
+}
+
+// StabilityRow is the spectral abscissa of one model's fixed point.
+type StabilityRow struct {
+	Model    string
+	Abscissa float64
+	Stable   bool
+}
+
+// StabilityTable linearizes the MTCD and CMFSD fixed points at the paper's
+// operating points and reports the spectral abscissas (E11).
+func StabilityTable(cfg Config) ([]StabilityRow, *table.Table, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, err
+	}
+	var rows []StabilityRow
+	add := func(name string, rep *fluid.StabilityReport) {
+		rows = append(rows, StabilityRow{Model: name, Abscissa: rep.Abscissa, Stable: rep.Stable})
+	}
+	for _, p := range []float64{0.1, 0.9} {
+		corr, err := cfg.corr(p)
+		if err != nil {
+			return nil, nil, err
+		}
+		mc, err := mtcd.New(cfg.Params, corr)
+		if err != nil {
+			return nil, nil, err
+		}
+		x, y, err := mc.SteadyStatePopulations()
+		if err != nil {
+			return nil, nil, err
+		}
+		state := append(append([]float64{}, x...), y...)
+		rep, err := fluid.Stability(mc.NewODE(), state)
+		if err != nil {
+			return nil, nil, err
+		}
+		add(fmt.Sprintf("MTCD/MFCD Eq.(1) p=%.1f", p), rep)
+		for _, rho := range []float64{0.1, 0.9} {
+			mf, err := cmfsd.New(cfg.Params, corr, rho)
+			if err != nil {
+				return nil, nil, err
+			}
+			ss, err := mf.SteadyState(fluid.SteadyStateOptions{})
+			if err != nil {
+				return nil, nil, err
+			}
+			rep, err := mf.Stability(ss)
+			if err != nil {
+				return nil, nil, err
+			}
+			add(fmt.Sprintf("CMFSD Eq.(5) p=%.1f ρ=%.1f", p, rho), rep)
+		}
+	}
+	tb := table.New("Stability: spectral abscissas of the fluid fixed points",
+		"model", "abscissa", "stable")
+	for _, r := range rows {
+		tb.MustAddRow(r.Model, fmt.Sprintf("%.5f", r.Abscissa), fmt.Sprintf("%v", r.Stable))
+	}
+	return rows, tb, nil
+}
+
+// CrossoverResult reports, per class, the correlation threshold p* above
+// which MTCD's per-file online time exceeds MTSD's (classes ≥ 2 benefit
+// from concurrency only below p*).
+type CrossoverResult struct {
+	Config Config
+	// PStar[i-1] is the threshold for class i; NaN when no crossover
+	// exists in (0, 1).
+	PStar []float64
+}
+
+// Crossover locates the per-class MTCD/MTSD break-even correlation with
+// Brent's method on A(p) − T − (1/γ)(1 − 1/i) (E2 follow-up analysis).
+func Crossover(cfg Config) (*CrossoverResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	tSingle := (cfg.Gamma - cfg.Mu) / (cfg.Gamma * cfg.Mu * cfg.Eta)
+	if !cfg.UploadConstrained() {
+		return nil, fluid.ErrNotUploadConstrained
+	}
+	res := &CrossoverResult{Config: cfg, PStar: make([]float64, cfg.K)}
+	for i := 1; i <= cfg.K; i++ {
+		gap := (1 / cfg.Gamma) * (1 - 1/float64(i))
+		f := func(p float64) float64 {
+			corr, err := cfg.corr(p)
+			if err != nil {
+				return math.NaN()
+			}
+			m, err := mtcd.New(cfg.Params, corr)
+			if err != nil {
+				return math.NaN()
+			}
+			a, err := m.SharedFactor()
+			if err != nil {
+				return math.NaN()
+			}
+			return a - tSingle - gap
+		}
+		lo, hi, ok := rootfind.FindBracket(f, 1e-6, 1, 200)
+		if !ok {
+			res.PStar[i-1] = math.NaN()
+			continue
+		}
+		p, err := rootfind.Brent(f, lo, hi, 1e-10)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: crossover class %d: %w", i, err)
+		}
+		res.PStar[i-1] = p
+	}
+	return res, nil
+}
+
+// Table renders the crossover thresholds.
+func (r *CrossoverResult) Table() *table.Table {
+	tb := table.New("Crossover: correlation p* above which MTCD is worse than MTSD per class",
+		"class", "p*")
+	for i, p := range r.PStar {
+		cell := "none in (0,1)"
+		if !math.IsNaN(p) {
+			cell = fmt.Sprintf("%.4f", p)
+		}
+		tb.MustAddRow(fmt.Sprintf("%d", i+1), cell)
+	}
+	return tb
+}

@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mfdl/internal/eventsim"
+	"mfdl/internal/fluid"
+	"mfdl/internal/stats"
+	"mfdl/internal/table"
+)
+
+// HeteroRow compares one bandwidth class across fluid and simulation.
+type HeteroRow struct {
+	Name          string
+	FluidDownload float64
+	SimDownload   float64
+	RelErr        float64
+	Completed     int
+}
+
+// HeteroResult is the E15 experiment: the Section-2 multi-class fluid
+// model validated by the event simulator on a single heterogeneous
+// torrent.
+type HeteroResult struct {
+	Eta  float64
+	Rows []HeteroRow
+}
+
+// HeteroClass describes one class for the E15 experiment.
+type HeteroClass struct {
+	Name     string
+	Mu       float64
+	Weight   float64
+	Fraction float64
+}
+
+// Hetero runs the heterogeneous-swarm validation: one torrent (K = 1),
+// the given bandwidth classes, MTSD peers.
+func Hetero(set SimSettings, lambda0 float64, classes []HeteroClass) (*HeteroResult, error) {
+	bw := make([]eventsim.BandwidthClass, len(classes))
+	fl := make([]fluid.Class, len(classes))
+	for i, c := range classes {
+		bw[i] = eventsim.BandwidthClass{Name: c.Name, Mu: c.Mu, Weight: c.Weight, Fraction: c.Fraction}
+		fl[i] = fluid.Class{Name: c.Name, Mu: c.Mu, C: c.Weight, Lambda: lambda0 * c.Fraction, Gamma: set.Params.Gamma}
+	}
+	fm, err := fluid.NewMultiClass(set.Params.Eta, fl)
+	if err != nil {
+		return nil, err
+	}
+	ss, err := fluid.SteadyState(fm, fluid.SteadyStateOptions{MaxTime: 2e6})
+	if err != nil {
+		return nil, err
+	}
+	dl, _, err := fm.ClassTimes(ss)
+	if err != nil {
+		return nil, err
+	}
+	cfg := eventsim.Config{
+		Params:    set.Params,
+		K:         1,
+		Lambda0:   lambda0,
+		P:         1,
+		Scheme:    eventsim.MTSD,
+		Horizon:   set.Horizon,
+		Warmup:    set.Warmup,
+		Seed:      set.Seed,
+		Bandwidth: bw,
+	}
+	out, err := eventsim.Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &HeteroResult{Eta: set.Params.Eta}
+	for i, bs := range out.Bandwidth {
+		got := bs.DownloadTime.Mean()
+		res.Rows = append(res.Rows, HeteroRow{
+			Name:          bs.Name,
+			FluidDownload: dl[i],
+			SimDownload:   got,
+			RelErr:        stats.RelErr(got, dl[i], 1),
+			Completed:     bs.Completed,
+		})
+	}
+	return res, nil
+}
+
+// Table renders the heterogeneous validation.
+func (r *HeteroResult) Table() *table.Table {
+	tb := table.New(
+		fmt.Sprintf("Heterogeneous swarm: multi-class fluid vs simulation (η=%.2f)", r.Eta),
+		"class", "fluid download", "sim download", "rel err", "completed")
+	for _, row := range r.Rows {
+		tb.MustAddRow(row.Name,
+			table.Fmt(row.FluidDownload), table.Fmt(row.SimDownload),
+			fmt.Sprintf("%.1f%%", 100*row.RelErr), fmt.Sprintf("%d", row.Completed))
+	}
+	return tb
+}

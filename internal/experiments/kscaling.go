@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mfdl/internal/cmfsd"
+	"mfdl/internal/table"
+)
+
+// KScalingRow is one torrent size of the K-scaling study.
+type KScalingRow struct {
+	K           int
+	MFCD        float64 // avg online time per file
+	CMFSD       float64 // same at ρ = 0
+	GainPercent float64 // 100·(1 − CMFSD/MFCD)
+}
+
+// KScalingResult asks how the collaboration gain grows with the number of
+// files in the torrent — the publisher's question ("should I split the
+// season?") that the paper's fixed K = 10 leaves open (E14 in DESIGN.md).
+type KScalingResult struct {
+	Config Config // K field ignored; P taken from the argument
+	P      float64
+	Rows   []KScalingRow
+}
+
+// KScaling evaluates MFCD vs CMFSD(ρ=0) over torrent sizes.
+func KScaling(cfg Config, p float64, ks []int) (*KScalingResult, error) {
+	res := &KScalingResult{Config: cfg, P: p}
+	for _, k := range ks {
+		c := cfg
+		c.K = k
+		if err := c.Validate(); err != nil {
+			return nil, err
+		}
+		corr, err := c.corr(p)
+		if err != nil {
+			return nil, err
+		}
+		mfcd, err := cmfsd.EvaluateMFCD(c.Params, corr)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: MFCD K=%d: %w", k, err)
+		}
+		m, err := cmfsd.New(c.Params, corr, 0)
+		if err != nil {
+			return nil, err
+		}
+		collab, err := m.Evaluate()
+		if err != nil {
+			return nil, fmt.Errorf("experiments: CMFSD K=%d: %w", k, err)
+		}
+		row := KScalingRow{
+			K:     k,
+			MFCD:  mfcd.AvgOnlinePerFile(),
+			CMFSD: collab.AvgOnlinePerFile(),
+		}
+		row.GainPercent = 100 * (1 - row.CMFSD/row.MFCD)
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Table renders the K-scaling study.
+func (r *KScalingResult) Table() *table.Table {
+	tb := table.New(
+		fmt.Sprintf("Collaboration gain vs torrent size (p=%.1f, ρ=0)", r.P),
+		"K", "MFCD online/file", "CMFSD online/file", "gain")
+	for _, row := range r.Rows {
+		tb.MustAddRow(fmt.Sprintf("%d", row.K),
+			table.Fmt(row.MFCD), table.Fmt(row.CMFSD),
+			fmt.Sprintf("%.1f%%", row.GainPercent))
+	}
+	return tb
+}

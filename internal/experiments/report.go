@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"mfdl/internal/table"
+)
+
+// Report writes every fluid-model artifact of the reproduction (E1–E7,
+// E10, E11, E14, crossover, cheating) into outDir as CSV files, one per
+// table, and returns the written file names. It is the "make artifacts"
+// entry point: a reviewer can diff the directory against a previous run.
+func Report(cfg Config, outDir string) ([]string, error) {
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return nil, err
+	}
+	type artifact struct {
+		name string
+		gen  func() (*table.Table, error)
+	}
+	artifacts := []artifact{
+		{"validate", func() (*table.Table, error) {
+			r, err := Validate(cfg)
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		}},
+		{"fig2", func() (*table.Table, error) {
+			r, err := Fig2(cfg, PGrid(0, 1, 20))
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		}},
+		{"fig3_p01", func() (*table.Table, error) {
+			r, err := Fig3(cfg, 0.1)
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		}},
+		{"fig3_p10", func() (*table.Table, error) {
+			r, err := Fig3(cfg, 1.0)
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		}},
+		{"fig4a", func() (*table.Table, error) {
+			r, err := Fig4A(cfg, PGrid(0.1, 1, 9), PGrid(0, 1, 10))
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		}},
+		{"fig4b", func() (*table.Table, error) {
+			r, err := Fig4BC(cfg, 0.9, 0.1, 0.9)
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		}},
+		{"fig4c", func() (*table.Table, error) {
+			r, err := Fig4BC(cfg, 0.1, 0.1, 0.9)
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		}},
+		{"crossover", func() (*table.Table, error) {
+			r, err := Crossover(cfg)
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		}},
+		{"stability", func() (*table.Table, error) {
+			_, tb, err := StabilityTable(cfg)
+			return tb, err
+		}},
+		{"eta_ablation", func() (*table.Table, error) {
+			r, err := EtaAblation(cfg, []float64{0.25, 0.5, 0.75, 1.0}, PGrid(0, 1, 20))
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		}},
+		{"cheating", func() (*table.Table, error) {
+			r, err := CheatingSweep(cfg, 0.9, 0, []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 1})
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		}},
+		{"kscaling", func() (*table.Table, error) {
+			r, err := KScaling(cfg, 0.9, []int{1, 2, 3, 5, 8, 10, 12, 15, 20})
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		}},
+	}
+	var written []string
+	for _, a := range artifacts {
+		tb, err := a.gen()
+		if err != nil {
+			return written, fmt.Errorf("experiments: report %s: %w", a.name, err)
+		}
+		path := filepath.Join(outDir, a.name+".csv")
+		f, err := os.Create(path)
+		if err != nil {
+			return written, err
+		}
+		if err := tb.WriteCSV(f); err != nil {
+			f.Close()
+			return written, err
+		}
+		if err := f.Close(); err != nil {
+			return written, err
+		}
+		written = append(written, path)
+	}
+	return written, nil
+}

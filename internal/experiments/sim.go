@@ -1,0 +1,270 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"mfdl/internal/adapt"
+	"mfdl/internal/cmfsd"
+	"mfdl/internal/eventsim"
+	"mfdl/internal/fluid"
+	"mfdl/internal/mtcd"
+	"mfdl/internal/mtsd"
+	"mfdl/internal/stats"
+	"mfdl/internal/swarm"
+	"mfdl/internal/table"
+)
+
+// SimSettings controls the simulator-based experiments. The default uses a
+// time-rescaled parameter set (μ and γ ×10 relative to the paper) so swarm
+// populations stay small; all fluid predictions rescale exactly.
+type SimSettings struct {
+	Params  fluid.Params
+	K       int
+	Lambda0 float64
+	Horizon float64
+	Warmup  float64
+	Seed    uint64
+}
+
+// DefaultSimSettings is the fast validation operating point.
+var DefaultSimSettings = SimSettings{
+	Params:  fluid.Params{Mu: 0.2, Eta: 0.5, Gamma: 0.5},
+	K:       10,
+	Lambda0: 1,
+	Horizon: 4000,
+	Warmup:  800,
+	Seed:    1,
+}
+
+// SimValidateRow compares one scheme's simulated and fluid-predicted
+// average online time per file.
+type SimValidateRow struct {
+	Scheme    string
+	P         float64
+	Rho       float64 // CMFSD only; NaN otherwise
+	Fluid     float64
+	Simulated float64
+	RelErr    float64
+	Completed int
+}
+
+// SimValidateResult is the E9 experiment output.
+type SimValidateResult struct {
+	Settings SimSettings
+	Rows     []SimValidateRow
+}
+
+// SimValidate runs the flow-level simulator for every scheme and compares
+// the measured average online time per file against the fluid prediction
+// (experiment E9 in DESIGN.md).
+func SimValidate(set SimSettings, ps []float64) (*SimValidateResult, error) {
+	res := &SimValidateResult{Settings: set}
+	for _, p := range ps {
+		cfg := Config{Params: set.Params, K: set.K, Lambda0: set.Lambda0}
+		corr, err := cfg.corr(p)
+		if err != nil {
+			return nil, err
+		}
+		addRow := func(scheme string, rho, fluidVal float64, simScheme eventsim.Scheme) error {
+			sc := eventsim.Config{
+				Params: set.Params, K: set.K, Lambda0: set.Lambda0, P: p,
+				Scheme: simScheme, Rho: rho,
+				Horizon: set.Horizon, Warmup: set.Warmup, Seed: set.Seed,
+			}
+			if math.IsNaN(rho) {
+				sc.Rho = 0
+			}
+			out, err := eventsim.Run(sc)
+			if err != nil {
+				return err
+			}
+			res.Rows = append(res.Rows, SimValidateRow{
+				Scheme: scheme, P: p, Rho: rho,
+				Fluid:     fluidVal,
+				Simulated: out.AvgOnlinePerFile,
+				RelErr:    stats.RelErr(out.AvgOnlinePerFile, fluidVal, 1),
+				Completed: out.CompletedUsers,
+			})
+			return nil
+		}
+		// MTSD fluid prediction.
+		ms, err := mtsd.New(set.Params, corr)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := ms.Evaluate()
+		if err != nil {
+			return nil, err
+		}
+		if err := addRow("MTSD", math.NaN(), rs.AvgOnlinePerFile(), eventsim.MTSD); err != nil {
+			return nil, err
+		}
+		// MTCD/MFCD fluid prediction.
+		mc, err := mtcd.New(set.Params, corr)
+		if err != nil {
+			return nil, err
+		}
+		rc, err := mc.Evaluate()
+		if err != nil {
+			return nil, err
+		}
+		if err := addRow("MTCD", math.NaN(), rc.AvgOnlinePerFile(), eventsim.MTCD); err != nil {
+			return nil, err
+		}
+		if err := addRow("MFCD", math.NaN(), rc.AvgOnlinePerFile(), eventsim.MFCD); err != nil {
+			return nil, err
+		}
+		// CMFSD at ρ ∈ {0, 0.5, 1}.
+		for _, rho := range []float64{0, 0.5, 1} {
+			mf, err := cmfsd.New(set.Params, corr, rho)
+			if err != nil {
+				return nil, err
+			}
+			rf, err := mf.Evaluate()
+			if err != nil {
+				return nil, err
+			}
+			if err := addRow("CMFSD", rho, rf.AvgOnlinePerFile(), eventsim.CMFSD); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return res, nil
+}
+
+// Table renders the fluid-vs-simulation comparison.
+func (r *SimValidateResult) Table() *table.Table {
+	tb := table.New("Fluid model vs flow-level simulation: average online time per file",
+		"scheme", "p", "rho", "fluid", "simulated", "rel err", "completed")
+	for _, row := range r.Rows {
+		rho := "-"
+		if !math.IsNaN(row.Rho) {
+			rho = fmt.Sprintf("%.1f", row.Rho)
+		}
+		tb.MustAddRow(row.Scheme, fmt.Sprintf("%.2f", row.P), rho,
+			table.Fmt(row.Fluid), table.Fmt(row.Simulated),
+			fmt.Sprintf("%.1f%%", 100*row.RelErr), fmt.Sprintf("%d", row.Completed))
+	}
+	return tb
+}
+
+// AdaptRow is one cheater-fraction setting of the Adapt sweep.
+type AdaptRow struct {
+	CheaterFraction float64
+	MeanFinalRho    float64
+	AvgOnline       float64
+	Completed       int
+}
+
+// AdaptSweepResult is the E8 experiment output.
+type AdaptSweepResult struct {
+	Settings SimSettings
+	P        float64
+	Adapt    adapt.Config
+	Rows     []AdaptRow
+}
+
+// AdaptSweep evaluates the Adapt mechanism (the paper's future-work item)
+// under increasing cheater fractions: obedient peers should converge to
+// small ρ in a healthy swarm and drift toward ρ = 1 (MFCD behaviour) as
+// cheating spreads.
+func AdaptSweep(set SimSettings, p float64, ac adapt.Config, cheaterFractions []float64) (*AdaptSweepResult, error) {
+	res := &AdaptSweepResult{Settings: set, P: p, Adapt: ac}
+	for _, cf := range cheaterFractions {
+		cfg := eventsim.Config{
+			Params: set.Params, K: set.K, Lambda0: set.Lambda0, P: p,
+			Scheme: eventsim.CMFSD, Adapt: &ac, CheaterFraction: cf,
+			Horizon: set.Horizon, Warmup: set.Warmup, Seed: set.Seed,
+		}
+		out, err := eventsim.Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, AdaptRow{
+			CheaterFraction: cf,
+			MeanFinalRho:    out.FinalRho.Mean(),
+			AvgOnline:       out.AvgOnlinePerFile,
+			Completed:       out.CompletedUsers,
+		})
+	}
+	return res, nil
+}
+
+// Table renders the Adapt sweep.
+func (r *AdaptSweepResult) Table() *table.Table {
+	tb := table.New(
+		fmt.Sprintf("Adapt mechanism under cheating (p=%.1f, φ=[%.3f,%.3f], υ=[%.2f,%.2f])",
+			r.P, r.Adapt.Lower, r.Adapt.Upper, r.Adapt.StepUp, r.Adapt.StepDown),
+		"cheater fraction", "mean final rho", "avg online/file", "completed")
+	for _, row := range r.Rows {
+		tb.MustAddRow(fmt.Sprintf("%.2f", row.CheaterFraction),
+			fmt.Sprintf("%.3f", row.MeanFinalRho),
+			table.Fmt(row.AvgOnline), fmt.Sprintf("%d", row.Completed))
+	}
+	return tb
+}
+
+// SwarmRow is one scheme/ρ setting of the chunk-level comparison.
+type SwarmRow struct {
+	Scheme        string
+	Rho           float64
+	OnlinePerFile float64
+	Completed     int
+}
+
+// SwarmCompareResult is the chunk-level MFCD-vs-CMFSD comparison.
+type SwarmCompareResult struct {
+	Config swarm.Config
+	Rows   []SwarmRow
+}
+
+// SwarmCompare runs the chunk-level simulator for MFCD, MTSD and CMFSD
+// over a ρ grid with otherwise identical parameters — the mechanism-level
+// replay of Figure 4(a)'s ordering plus the multi-torrent sequential
+// behaviour embedded in one swarm.
+func SwarmCompare(base swarm.Config, rhos []float64) (*SwarmCompareResult, error) {
+	res := &SwarmCompareResult{Config: base}
+	for _, sc := range []swarm.Scheme{swarm.MFCD, swarm.MTSD} {
+		c := base
+		c.Scheme = sc
+		out, err := swarm.Run(c)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, SwarmRow{
+			Scheme: sc.String(), Rho: math.NaN(),
+			OnlinePerFile: out.AvgOnlinePerFile, Completed: out.CompletedUsers,
+		})
+	}
+	for _, rho := range rhos {
+		cc := base
+		cc.Scheme = swarm.CMFSD
+		cc.Rho = rho
+		out, err := swarm.Run(cc)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, SwarmRow{
+			Scheme: "CMFSD", Rho: rho,
+			OnlinePerFile: out.AvgOnlinePerFile, Completed: out.CompletedUsers,
+		})
+	}
+	return res, nil
+}
+
+// Table renders the chunk-level comparison.
+func (r *SwarmCompareResult) Table() *table.Table {
+	tb := table.New(
+		fmt.Sprintf("Chunk-level swarm: online rounds per file (K=%d, %d chunks/file, p=%.1f, η=%.2f)",
+			r.Config.K, r.Config.ChunksPerFile, r.Config.P, r.Config.TFTEfficiency),
+		"scheme", "rho", "online rounds/file", "completed")
+	for _, row := range r.Rows {
+		rho := "-"
+		if !math.IsNaN(row.Rho) {
+			rho = fmt.Sprintf("%.1f", row.Rho)
+		}
+		tb.MustAddRow(row.Scheme, rho, table.Fmt(row.OnlinePerFile), fmt.Sprintf("%d", row.Completed))
+	}
+	return tb
+}

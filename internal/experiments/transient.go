@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"mfdl/internal/cmfsd"
+	"mfdl/internal/eventsim"
+	"mfdl/internal/numeric/ode"
+	"mfdl/internal/table"
+	"mfdl/internal/trace"
+)
+
+// TransientResult compares the fluid Eq. (5) trajectory against one
+// flow-level simulation path after a flash crowd: FlashCrowd users appear
+// at t = 0 in an empty torrent (plus the normal Poisson arrivals), and the
+// downloader/seed populations are tracked to steady state. This probes the
+// regime fluid models are usually trusted least in — the transient — which
+// the paper never examines (experiment E13 in DESIGN.md).
+type TransientResult struct {
+	Settings   SimSettings
+	P, Rho     float64
+	FlashCrowd int
+	// Fluid and Sim hold "downloaders" and "seeds" series.
+	Fluid, Sim *trace.Recorder
+	// RMSDownloaders and RMSSeeds are root-mean-square gaps between the
+	// fluid and simulated population paths, normalized by the flash size.
+	RMSDownloaders, RMSSeeds float64
+	// PeakFluidT / PeakSimT are when the downloader populations peak.
+	PeakFluidT, PeakSimT float64
+}
+
+// Transient runs the flash-crowd comparison for CMFSD with the given
+// correlation and allocation ratio.
+func Transient(set SimSettings, p, rho float64, flash int) (*TransientResult, error) {
+	cfg := Config{Params: set.Params, K: set.K, Lambda0: set.Lambda0}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	corr, err := cfg.corr(p)
+	if err != nil {
+		return nil, err
+	}
+	model, err := cmfsd.New(set.Params, corr, rho)
+	if err != nil {
+		return nil, err
+	}
+
+	// Fluid path: flash crowd enters as class-i first-file downloaders in
+	// proportion to the class arrival rates; everything else starts empty.
+	state := make([]float64, model.Dim())
+	total := corr.TotalUserRate()
+	for i := 1; i <= set.K; i++ {
+		state[model.XIndex(i, 1)] = float64(flash) * corr.UserRate(i) / total
+	}
+	sampleEvery := set.Horizon / 200
+	samples, err := ode.Trajectory(ode.NewRK4(model.Dim()), model.RHS,
+		0, set.Horizon, state, math.Min(0.5, sampleEvery), 1)
+	if err != nil {
+		return nil, err
+	}
+	fluidRec := trace.NewRecorder()
+	lastT := -math.Inf(1)
+	for _, s := range samples {
+		if s.T-lastT < sampleEvery && s.T != samples[len(samples)-1].T {
+			continue
+		}
+		lastT = s.T
+		dl, seeds := 0.0, 0.0
+		for i := 1; i <= set.K; i++ {
+			for j := 1; j <= i; j++ {
+				dl += s.X[model.XIndex(i, j)]
+			}
+			seeds += s.X[model.YIndex(i)]
+		}
+		if err := fluidRec.Record("downloaders", s.T, dl); err != nil {
+			return nil, err
+		}
+		if err := fluidRec.Record("seeds", s.T, seeds); err != nil {
+			return nil, err
+		}
+	}
+
+	// Simulated path.
+	sc := eventsim.Config{
+		Params: set.Params, K: set.K, Lambda0: set.Lambda0, P: p,
+		Scheme: eventsim.CMFSD, Rho: rho,
+		Horizon: set.Horizon, Warmup: 0, Seed: set.Seed,
+		FlashCrowd: flash, SampleEvery: sampleEvery,
+	}
+	out, err := eventsim.Run(sc)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &TransientResult{
+		Settings: set, P: p, Rho: rho, FlashCrowd: flash,
+		Fluid: fluidRec, Sim: out.Trace,
+	}
+	scale := float64(flash)
+	if scale < 1 {
+		scale = 1
+	}
+	dDl, err := trace.RMSDistance(fluidRec.Series("downloaders"), out.Trace.Series("downloaders"), 200)
+	if err != nil {
+		return nil, err
+	}
+	dSeeds, err := trace.RMSDistance(fluidRec.Series("seeds"), out.Trace.Series("seeds"), 200)
+	if err != nil {
+		return nil, err
+	}
+	res.RMSDownloaders = dDl / scale
+	res.RMSSeeds = dSeeds / scale
+	res.PeakFluidT, _ = fluidRec.Series("downloaders").Max()
+	res.PeakSimT, _ = out.Trace.Series("downloaders").Max()
+	return res, nil
+}
+
+// Table renders the two paths at a dozen checkpoints.
+func (r *TransientResult) Table() *table.Table {
+	tb := table.New(
+		fmt.Sprintf("Flash crowd transient (CMFSD, %d peers at t=0, p=%.1f, ρ=%.1f)",
+			r.FlashCrowd, r.P, r.Rho),
+		"t", "fluid downloaders", "sim downloaders", "fluid seeds", "sim seeds")
+	fd := r.Fluid.Series("downloaders")
+	fs := r.Fluid.Series("seeds")
+	sd := r.Sim.Series("downloaders")
+	ss := r.Sim.Series("seeds")
+	horizon := r.Settings.Horizon
+	for i := 0; i <= 12; i++ {
+		t := horizon * float64(i) / 12
+		tb.MustAddRow(fmt.Sprintf("%.0f", t),
+			table.Fmt(fd.At(t)), table.Fmt(sd.At(t)),
+			table.Fmt(fs.At(t)), table.Fmt(ss.At(t)))
+	}
+	tb.MustAddRow("RMS/flash", fmt.Sprintf("%.3f", r.RMSDownloaders), "",
+		fmt.Sprintf("%.3f", r.RMSSeeds), "")
+	return tb
+}

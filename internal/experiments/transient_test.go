@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTransientFlashCrowd(t *testing.T) {
+	set := DefaultSimSettings
+	set.Horizon = 150 // rescaled units: ~10 residence times
+	res, err := Transient(set, 0.9, 0, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The flash crowd must drain: both paths end far below the initial
+	// 300 downloaders.
+	if final := res.Fluid.Series("downloaders").Final(); final > 100 {
+		t.Fatalf("fluid did not drain: %v downloaders at horizon", final)
+	}
+	if final := res.Sim.Series("downloaders").Final(); final > 100 {
+		t.Fatalf("sim did not drain: %v downloaders at horizon", final)
+	}
+	// Fluid and simulation must agree to within ~20% of the flash size
+	// along the whole path. The residual gap is systematic, not noise:
+	// the fluid model drains the cohort exponentially (Markovian service)
+	// while simulated peers carry deterministic per-file work and finish
+	// in sharper waves (documented in EXPERIMENTS.md E13).
+	if res.RMSDownloaders > 0.2 {
+		t.Fatalf("downloader paths diverge: RMS/flash = %v", res.RMSDownloaders)
+	}
+	if res.RMSSeeds > 0.2 {
+		t.Fatalf("seed paths diverge: RMS/flash = %v", res.RMSSeeds)
+	}
+	// After the transient the two paths must meet at the same steady
+	// state (within small-swarm noise).
+	fluidSteady := res.Fluid.Series("downloaders").Final()
+	simSteady := res.Sim.Series("downloaders").Final()
+	if fluidSteady <= 0 || simSteady <= 0 || simSteady > 2*fluidSteady || fluidSteady > 2*simSteady {
+		t.Fatalf("steady states disagree: fluid %v, sim %v", fluidSteady, simSteady)
+	}
+	// Both paths peak during the flash drain — inside the first third of
+	// the horizon (ongoing arrivals push the peak slightly past t = 0).
+	if res.PeakFluidT > set.Horizon/3 || res.PeakSimT > set.Horizon/3 {
+		t.Fatalf("peaks late: fluid %v, sim %v", res.PeakFluidT, res.PeakSimT)
+	}
+	out := res.Table().String()
+	if !strings.Contains(out, "Flash crowd") || !strings.Contains(out, "RMS/flash") {
+		t.Fatalf("table wrong:\n%s", out)
+	}
+}
+
+func TestTransientSeedsRiseThenSettle(t *testing.T) {
+	set := DefaultSimSettings
+	set.Horizon = 150
+	res, err := Transient(set, 0.9, 0, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeds := res.Fluid.Series("seeds")
+	_, peak := seeds.Max()
+	// The flash converts into a seed wave well above the steady state.
+	steady := seeds.Final()
+	if peak < 2*steady {
+		t.Fatalf("no seed wave: peak %v vs steady %v", peak, steady)
+	}
+}

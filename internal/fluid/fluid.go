@@ -1,0 +1,201 @@
+// Package fluid provides the shared fluid-model framework used by every
+// downloading-scheme model in this repository (Section 2 of the paper): a
+// Model interface over autonomous ODE systems, steady-state solvers,
+// finite-difference Jacobians with eigenvalue-based stability reports, and
+// the Qiu–Srikant single-torrent model with its closed forms.
+//
+// Conventions: populations are continuous ("fluid") peer counts; time is in
+// the same unit as 1/μ (the paper uses file-per-time-unit bandwidths, e.g.
+// μ = 0.02 means a peer uploads one full file per 50 time units).
+package fluid
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"mfdl/internal/numeric/linalg"
+	"mfdl/internal/numeric/ode"
+)
+
+// Params holds the per-peer rates shared by all models (Table 1 of the
+// paper, plus the seed-departure rate).
+type Params struct {
+	// Mu is the peer upload bandwidth μ (files per time unit).
+	Mu float64
+	// Eta is the downloader sharing efficiency η ∈ (0, 1]; the paper uses
+	// 0.5 (a downloader uploads at half the effectiveness of a seed).
+	Eta float64
+	// Gamma is the seed departure rate γ.
+	Gamma float64
+}
+
+// PaperParams are the parameter values used in every figure of the paper.
+var PaperParams = Params{Mu: 0.02, Eta: 0.5, Gamma: 0.05}
+
+// Validate checks rate positivity.
+func (p Params) Validate() error {
+	if p.Mu <= 0 {
+		return fmt.Errorf("fluid: μ = %v must be positive", p.Mu)
+	}
+	if p.Eta <= 0 || p.Eta > 1 {
+		return fmt.Errorf("fluid: η = %v outside (0,1]", p.Eta)
+	}
+	if p.Gamma <= 0 {
+		return fmt.Errorf("fluid: γ = %v must be positive", p.Gamma)
+	}
+	return nil
+}
+
+// UploadConstrained reports whether the system is in the regime the paper's
+// closed forms require: seeds leave fast enough that download time is
+// governed by upload capacity (γ > μ).
+func (p Params) UploadConstrained() bool { return p.Gamma > p.Mu }
+
+// Model is an autonomous fluid model.
+type Model interface {
+	// Dim returns the state dimension.
+	Dim() int
+	// RHS evaluates dx/dt into dst.
+	RHS(t float64, x, dst []float64)
+	// InitialState returns a fresh, strictly positive starting state for
+	// relaxation (small seed populations avoid 0/0 in share terms).
+	InitialState() []float64
+}
+
+// SteadyStateOptions re-exports the ODE relaxation knobs.
+type SteadyStateOptions = ode.SteadyStateOptions
+
+// SteadyState relaxes the model to its fixed point with RK4 and returns the
+// steady-state vector.
+func SteadyState(m Model, opt SteadyStateOptions) ([]float64, error) {
+	x := m.InitialState()
+	if len(x) != m.Dim() {
+		return nil, errors.New("fluid: InitialState dimension mismatch")
+	}
+	stepper := ode.NewRK4(m.Dim())
+	if _, err := ode.SteadyState(stepper, m.RHS, x, opt); err != nil {
+		return nil, err
+	}
+	for i, v := range x {
+		// Relaxation can leave tiny negative dust in components whose
+		// fixed point is 0; clamp it, but reject genuinely negative states.
+		if v < 0 {
+			if v > -1e-6 {
+				x[i] = 0
+				continue
+			}
+			return nil, fmt.Errorf("fluid: negative steady-state component %d = %v", i, v)
+		}
+	}
+	return x, nil
+}
+
+// SteadyStateHybrid finds the fixed point by a short RK4 relaxation into
+// the basin of attraction followed by damped-Newton polishing — typically
+// an order of magnitude faster than relaxing all the way down for the
+// larger models (CMFSD's 65 states, the mixed-population variants). It
+// falls back to full relaxation when Newton stalls.
+func SteadyStateHybrid(m Model, opt SteadyStateOptions) ([]float64, error) {
+	coarse := opt
+	if coarse.Tol <= 0 || coarse.Tol < 1e-4 {
+		coarse.Tol = 1e-4
+	}
+	x := m.InitialState()
+	if len(x) != m.Dim() {
+		return nil, errors.New("fluid: InitialState dimension mismatch")
+	}
+	stepper := ode.NewRK4(m.Dim())
+	if _, err := ode.SteadyState(stepper, m.RHS, x, coarse); err != nil {
+		return nil, err
+	}
+	tol := opt.Tol
+	if tol <= 0 {
+		tol = 1e-12
+	}
+	polished := append([]float64(nil), x...)
+	if err := ode.NewtonSteadyState(m.RHS, polished, ode.NewtonOptions{Tol: tol}); err == nil {
+		ok := true
+		for i, v := range polished {
+			if v < 0 {
+				if v > -1e-6 {
+					polished[i] = 0
+					continue
+				}
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return polished, nil
+		}
+	}
+	// Newton left the physical region or stalled: finish by relaxation.
+	fine := opt
+	if _, err := ode.SteadyState(stepper, m.RHS, x, fine); err != nil {
+		return nil, err
+	}
+	for i, v := range x {
+		if v < 0 {
+			if v > -1e-6 {
+				x[i] = 0
+				continue
+			}
+			return nil, fmt.Errorf("fluid: negative steady-state component %d = %v", i, v)
+		}
+	}
+	return x, nil
+}
+
+// Jacobian computes the finite-difference Jacobian ∂f/∂x of the model at
+// state x using central differences.
+func Jacobian(m Model, x []float64) *linalg.Matrix {
+	n := m.Dim()
+	j := linalg.NewMatrix(n, n)
+	fPlus := make([]float64, n)
+	fMinus := make([]float64, n)
+	xp := append([]float64(nil), x...)
+	for col := 0; col < n; col++ {
+		h := 1e-6 * math.Max(1, math.Abs(x[col]))
+		orig := xp[col]
+		xp[col] = orig + h
+		m.RHS(0, xp, fPlus)
+		xp[col] = orig - h
+		m.RHS(0, xp, fMinus)
+		xp[col] = orig
+		for row := 0; row < n; row++ {
+			j.Set(row, col, (fPlus[row]-fMinus[row])/(2*h))
+		}
+	}
+	return j
+}
+
+// StabilityReport describes the linearization of a model at a fixed point.
+type StabilityReport struct {
+	// Eigenvalues of the Jacobian, sorted by descending real part.
+	Eigenvalues []linalg.Eigenvalue
+	// Abscissa is the largest real part; negative means asymptotically
+	// stable.
+	Abscissa float64
+	// Stable is Abscissa < 0.
+	Stable bool
+}
+
+// Stability linearizes the model at state x and reports eigenvalue-based
+// local stability.
+func Stability(m Model, x []float64) (*StabilityReport, error) {
+	j := Jacobian(m, x)
+	eigs, err := linalg.Eigenvalues(j)
+	if err != nil {
+		return nil, err
+	}
+	abscissa := linalg.MaxRealPart(eigs)
+	return &StabilityReport{Eigenvalues: eigs, Abscissa: abscissa, Stable: abscissa < 0}, nil
+}
+
+// Residual returns ‖f(x)‖∞ for the model at x — a cheap fixed-point check.
+func Residual(m Model, x []float64) float64 {
+	dst := make([]float64, m.Dim())
+	m.RHS(0, x, dst)
+	return ode.MaxNorm(dst)
+}

@@ -1,0 +1,136 @@
+package fluid
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Class describes one bandwidth class C_i(μ_i, c_i) of Section 2's
+// heterogeneous-peer framework: upload bandwidth Mu, download bandwidth C,
+// arrival rate Lambda and seed departure rate Gamma.
+type Class struct {
+	// Name labels the class in reports ("broadband", "dsl", ...).
+	Name string
+	// Mu is the upload bandwidth μ_i.
+	Mu float64
+	// C is the download bandwidth c_i (used only to split the seeds'
+	// altruistic service, per assumption 2).
+	C float64
+	// Lambda is the class arrival rate λ_i.
+	Lambda float64
+	// Gamma is the class seed departure rate γ_i.
+	Gamma float64
+}
+
+// Validate checks one class.
+func (c Class) Validate() error {
+	if c.Mu <= 0 || c.C <= 0 || c.Lambda <= 0 || c.Gamma <= 0 {
+		return fmt.Errorf("fluid: class %q has non-positive parameter (μ=%v c=%v λ=%v γ=%v)",
+			c.Name, c.Mu, c.C, c.Lambda, c.Gamma)
+	}
+	return nil
+}
+
+// MultiClass is the heterogeneous single-torrent fluid model built on the
+// two assumptions of Section 2:
+//
+//  1. downloaders of class i receive tit-for-tat service η·μ_i·x_i
+//     (proportional to their own upload capacity), and
+//  2. the seeds' aggregate service Σ_l μ_l·y_l is split across classes
+//     proportionally to download capacity: x_i·c_i / Σ_l x_l·c_l.
+//
+// Dynamics (state [x_1..x_S, y_1..y_S]):
+//
+//	dx_i/dt = λ_i − η·μ_i·x_i − (x_i·c_i/Σx_l·c_l)·Σμ_l·y_l
+//	dy_i/dt = η·μ_i·x_i + (x_i·c_i/Σx_l·c_l)·Σμ_l·y_l − γ_i·y_i
+//
+// The paper introduces this framework and then specializes to homogeneous
+// peers; the general model is implemented here as a substrate (and feeds
+// the heterogeneous-swarm example).
+type MultiClass struct {
+	// Eta is the shared downloader efficiency η.
+	Eta     float64
+	Classes []Class
+}
+
+// NewMultiClass validates and returns the model.
+func NewMultiClass(eta float64, classes []Class) (*MultiClass, error) {
+	if eta <= 0 || eta > 1 {
+		return nil, fmt.Errorf("fluid: η = %v outside (0,1]", eta)
+	}
+	if len(classes) == 0 {
+		return nil, errors.New("fluid: no classes")
+	}
+	for _, c := range classes {
+		if err := c.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	return &MultiClass{Eta: eta, Classes: classes}, nil
+}
+
+// Dim implements Model.
+func (m *MultiClass) Dim() int { return 2 * len(m.Classes) }
+
+// RHS implements Model.
+func (m *MultiClass) RHS(_ float64, s, dst []float64) {
+	n := len(m.Classes)
+	shareDen, seedService := 0.0, 0.0
+	for i, c := range m.Classes {
+		x := s[i]
+		if x < 0 {
+			x = 0
+		}
+		y := s[n+i]
+		if y < 0 {
+			y = 0
+		}
+		shareDen += x * c.C
+		seedService += c.Mu * y
+	}
+	for i, c := range m.Classes {
+		x := s[i]
+		if x < 0 {
+			x = 0
+		}
+		y := s[n+i]
+		if y < 0 {
+			y = 0
+		}
+		served := m.Eta * c.Mu * x
+		if shareDen > 0 {
+			served += x * c.C / shareDen * seedService
+		}
+		dst[i] = c.Lambda - served
+		dst[n+i] = served - c.Gamma*y
+	}
+}
+
+// InitialState implements Model.
+func (m *MultiClass) InitialState() []float64 {
+	n := len(m.Classes)
+	s := make([]float64, 2*n)
+	for i, c := range m.Classes {
+		s[i] = c.Lambda*10 + 1e-6
+		s[n+i] = c.Lambda/c.Gamma*0.5 + 1e-6
+	}
+	return s
+}
+
+var _ Model = (*MultiClass)(nil)
+
+// ClassTimes converts a steady state into per-class download and online
+// times via Little's law.
+func (m *MultiClass) ClassTimes(ss []float64) (download, online []float64, err error) {
+	if len(ss) != m.Dim() {
+		return nil, nil, errors.New("fluid: state dimension mismatch")
+	}
+	n := len(m.Classes)
+	download = make([]float64, n)
+	online = make([]float64, n)
+	for i, c := range m.Classes {
+		download[i] = ss[i] / c.Lambda
+		online[i] = download[i] + 1/c.Gamma
+	}
+	return download, online, nil
+}

@@ -1,0 +1,29 @@
+package metainfo_test
+
+import (
+	"fmt"
+	"log"
+
+	"mfdl/internal/metainfo"
+)
+
+// Build a two-episode multi-file torrent and inspect its subtorrents.
+func ExampleBuild() {
+	content := make([]byte, 3000)
+	meta, err := metainfo.Build("season", "http://tracker/announce", 1024,
+		[]metainfo.FileEntry{
+			{Path: "season/e01.mkv", Length: 1800},
+			{Path: "season/e02.mkv", Length: 1200},
+		}, metainfo.BytesSource(content))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("pieces:", meta.Info.NumPieces())
+	for i, r := range meta.Info.FilePieces() {
+		fmt.Printf("file %d: pieces %d-%d\n", i, r.First, r.Last)
+	}
+	// Output:
+	// pieces: 3
+	// file 0: pieces 0-1
+	// file 1: pieces 1-2
+}

@@ -1,0 +1,53 @@
+package metainfo
+
+import (
+	"testing"
+)
+
+// FuzzUnmarshal checks the .torrent parser never panics and that every
+// accepted torrent survives a marshal/unmarshal round trip with a stable
+// info-hash.
+func FuzzUnmarshal(f *testing.F) {
+	// A valid 2-file torrent as a seed.
+	data := make([]byte, 600)
+	m, err := Build("x", "http://t/a", 256, []FileEntry{
+		{Path: "x/a", Length: 400},
+		{Path: "x/b", Length: 200},
+	}, BytesSource(data))
+	if err != nil {
+		f.Fatal(err)
+	}
+	enc, err := m.Marshal()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(enc)
+	f.Add([]byte("de"))
+	f.Add([]byte("d4:infodee"))
+	f.Add([]byte("d4:infod4:name1:x12:piece lengthi1e6:pieces0:6:lengthi0eee"))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		parsed, err := Unmarshal(raw)
+		if err != nil {
+			return
+		}
+		h1, err := parsed.Info.InfoHash()
+		if err != nil {
+			t.Fatalf("accepted torrent has unhashable info: %v", err)
+		}
+		re, err := parsed.Marshal()
+		if err != nil {
+			t.Fatalf("accepted torrent failed to marshal: %v", err)
+		}
+		back, err := Unmarshal(re)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		h2, err := back.Info.InfoHash()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h1 != h2 {
+			t.Fatal("info-hash changed across round trip")
+		}
+	})
+}

@@ -1,0 +1,292 @@
+// Package metainfo builds and parses BitTorrent metadata (.torrent files)
+// with multi-file support — the artifact a publisher uploads to the web
+// server in the paper's server–torrent architecture (Section 3.1), and the
+// thing that makes a "multi-file torrent" (Sections 3.4–3.5) a single
+// swarm: one info dictionary, one info-hash, K files laid out back to back
+// over a shared piece space.
+//
+// The subtorrent decomposition the paper analyzes is implemented by
+// FilePieces: the piece-index range of each file, with shared boundary
+// pieces attributed to both neighbours (those are exactly the pieces that
+// couple adjacent subtorrents in a real deployment).
+package metainfo
+
+import (
+	"crypto/sha1"
+	"errors"
+	"fmt"
+	"strings"
+
+	"mfdl/internal/bencode"
+)
+
+// FileEntry is one file of a multi-file torrent.
+type FileEntry struct {
+	// Path is the slash-separated relative path inside the torrent.
+	Path string
+	// Length is the file size in bytes.
+	Length int64
+}
+
+// Info is the torrent's info dictionary.
+type Info struct {
+	// Name is the torrent (directory) name.
+	Name string
+	// PieceLength is the piece size in bytes.
+	PieceLength int64
+	// Pieces holds the concatenated 20-byte SHA-1 piece hashes.
+	Pieces []byte
+	// Files lists the contained files in order. A single-file torrent
+	// has exactly one entry whose Path is Name.
+	Files []FileEntry
+}
+
+// MetaInfo is a parsed .torrent.
+type MetaInfo struct {
+	// Announce is the tracker URL.
+	Announce string
+	// Comment is free-form publisher text.
+	Comment string
+	Info    Info
+}
+
+// TotalLength returns the sum of all file lengths.
+func (i *Info) TotalLength() int64 {
+	var n int64
+	for _, f := range i.Files {
+		n += f.Length
+	}
+	return n
+}
+
+// NumPieces returns the number of pieces.
+func (i *Info) NumPieces() int { return len(i.Pieces) / sha1.Size }
+
+// Validate checks structural consistency.
+func (i *Info) Validate() error {
+	if i.Name == "" {
+		return errors.New("metainfo: empty name")
+	}
+	if i.PieceLength <= 0 {
+		return fmt.Errorf("metainfo: piece length %d", i.PieceLength)
+	}
+	if len(i.Files) == 0 {
+		return errors.New("metainfo: no files")
+	}
+	for _, f := range i.Files {
+		if f.Length < 0 {
+			return fmt.Errorf("metainfo: file %q has negative length", f.Path)
+		}
+		if f.Path == "" || strings.HasPrefix(f.Path, "/") || strings.Contains(f.Path, "..") {
+			return fmt.Errorf("metainfo: unsafe file path %q", f.Path)
+		}
+	}
+	if len(i.Pieces)%sha1.Size != 0 {
+		return fmt.Errorf("metainfo: pieces length %d not a multiple of %d", len(i.Pieces), sha1.Size)
+	}
+	total := i.TotalLength()
+	want := int((total + i.PieceLength - 1) / i.PieceLength)
+	if total == 0 {
+		want = 0
+	}
+	if i.NumPieces() != want {
+		return fmt.Errorf("metainfo: %d pieces for %d bytes at piece length %d (want %d)",
+			i.NumPieces(), total, i.PieceLength, want)
+	}
+	return nil
+}
+
+// PieceRange is a half-open piece-index interval [First, Last].
+type PieceRange struct {
+	First, Last int // inclusive piece indices; Last < First means empty
+}
+
+// Empty reports whether the range contains no pieces.
+func (r PieceRange) Empty() bool { return r.Last < r.First }
+
+// Count returns the number of pieces in the range.
+func (r PieceRange) Count() int {
+	if r.Empty() {
+		return 0
+	}
+	return r.Last - r.First + 1
+}
+
+// FilePieces returns, per file, the pieces that contain any of its bytes —
+// the paper's subtorrents. Boundary pieces shared by adjacent files appear
+// in both ranges.
+func (i *Info) FilePieces() []PieceRange {
+	out := make([]PieceRange, len(i.Files))
+	var offset int64
+	for idx, f := range i.Files {
+		if f.Length == 0 {
+			out[idx] = PieceRange{First: 0, Last: -1}
+			continue
+		}
+		first := int(offset / i.PieceLength)
+		last := int((offset + f.Length - 1) / i.PieceLength)
+		out[idx] = PieceRange{First: first, Last: last}
+		offset += f.Length
+	}
+	return out
+}
+
+// DataSource supplies torrent content for hashing, piece by piece, as one
+// contiguous stream over the concatenated files.
+type DataSource interface {
+	// ReadAt fills p with torrent bytes starting at off; short reads are
+	// errors. The source length must equal Info.TotalLength().
+	ReadAt(p []byte, off int64) error
+}
+
+// BytesSource adapts an in-memory byte slice.
+type BytesSource []byte
+
+// ReadAt implements DataSource.
+func (b BytesSource) ReadAt(p []byte, off int64) error {
+	if off < 0 || off+int64(len(p)) > int64(len(b)) {
+		return fmt.Errorf("metainfo: read [%d,%d) outside %d bytes", off, off+int64(len(p)), len(b))
+	}
+	copy(p, b[off:])
+	return nil
+}
+
+// Build assembles a MetaInfo for the given files, hashing content from src.
+func Build(name, announce string, pieceLength int64, files []FileEntry, src DataSource) (*MetaInfo, error) {
+	info := Info{Name: name, PieceLength: pieceLength, Files: files}
+	if pieceLength <= 0 {
+		return nil, errors.New("metainfo: piece length must be positive")
+	}
+	total := info.TotalLength()
+	buf := make([]byte, pieceLength)
+	var pieces []byte
+	for off := int64(0); off < total; off += pieceLength {
+		n := pieceLength
+		if off+n > total {
+			n = total - off
+		}
+		if err := src.ReadAt(buf[:n], off); err != nil {
+			return nil, err
+		}
+		h := sha1.Sum(buf[:n])
+		pieces = append(pieces, h[:]...)
+	}
+	info.Pieces = pieces
+	if err := info.Validate(); err != nil {
+		return nil, err
+	}
+	return &MetaInfo{Announce: announce, Info: info}, nil
+}
+
+// infoDict returns the canonical bencode value of the info dictionary.
+func (i *Info) infoDict() map[string]any {
+	d := map[string]any{
+		"name":         i.Name,
+		"piece length": i.PieceLength,
+		"pieces":       string(i.Pieces),
+	}
+	if len(i.Files) == 1 && i.Files[0].Path == i.Name {
+		d["length"] = i.Files[0].Length
+		return d
+	}
+	var files []any
+	for _, f := range i.Files {
+		var path []any
+		for _, seg := range strings.Split(f.Path, "/") {
+			path = append(path, seg)
+		}
+		files = append(files, map[string]any{"length": f.Length, "path": path})
+	}
+	d["files"] = files
+	return d
+}
+
+// InfoHash returns the SHA-1 of the canonical bencoded info dictionary —
+// the torrent's identity on the tracker.
+func (i *Info) InfoHash() ([20]byte, error) {
+	enc, err := bencode.Marshal(i.infoDict())
+	if err != nil {
+		return [20]byte{}, err
+	}
+	return sha1.Sum(enc), nil
+}
+
+// Marshal encodes the full .torrent file.
+func (m *MetaInfo) Marshal() ([]byte, error) {
+	if err := m.Info.Validate(); err != nil {
+		return nil, err
+	}
+	d := map[string]any{
+		"announce": m.Announce,
+		"info":     m.Info.infoDict(),
+	}
+	if m.Comment != "" {
+		d["comment"] = m.Comment
+	}
+	return bencode.Marshal(d)
+}
+
+// Unmarshal parses a .torrent file.
+func Unmarshal(data []byte) (*MetaInfo, error) {
+	v, err := bencode.Unmarshal(data)
+	if err != nil {
+		return nil, err
+	}
+	top, ok := v.(map[string]any)
+	if !ok {
+		return nil, errors.New("metainfo: top-level value is not a dict")
+	}
+	m := &MetaInfo{}
+	if s, ok := top["announce"].(string); ok {
+		m.Announce = s
+	}
+	if s, ok := top["comment"].(string); ok {
+		m.Comment = s
+	}
+	infoRaw, ok := top["info"].(map[string]any)
+	if !ok {
+		return nil, errors.New("metainfo: missing info dict")
+	}
+	name, _ := infoRaw["name"].(string)
+	pieceLen, _ := infoRaw["piece length"].(int64)
+	pieces, _ := infoRaw["pieces"].(string)
+	m.Info = Info{Name: name, PieceLength: pieceLen, Pieces: []byte(pieces)}
+	switch {
+	case infoRaw["files"] != nil:
+		list, ok := infoRaw["files"].([]any)
+		if !ok {
+			return nil, errors.New("metainfo: files is not a list")
+		}
+		for _, e := range list {
+			fd, ok := e.(map[string]any)
+			if !ok {
+				return nil, errors.New("metainfo: file entry is not a dict")
+			}
+			length, _ := fd["length"].(int64)
+			pathList, ok := fd["path"].([]any)
+			if !ok {
+				return nil, errors.New("metainfo: file path missing")
+			}
+			var segs []string
+			for _, s := range pathList {
+				seg, ok := s.(string)
+				if !ok {
+					return nil, errors.New("metainfo: non-string path segment")
+				}
+				segs = append(segs, seg)
+			}
+			m.Info.Files = append(m.Info.Files, FileEntry{
+				Path: strings.Join(segs, "/"), Length: length,
+			})
+		}
+	case infoRaw["length"] != nil:
+		length, _ := infoRaw["length"].(int64)
+		m.Info.Files = []FileEntry{{Path: name, Length: length}}
+	default:
+		return nil, errors.New("metainfo: neither files nor length present")
+	}
+	if err := m.Info.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

@@ -1,0 +1,218 @@
+package metainfo
+
+import (
+	"bytes"
+	"crypto/sha1"
+	"testing"
+
+	"mfdl/internal/rng"
+)
+
+// season builds a 3-file torrent over deterministic content.
+func season(t *testing.T, pieceLength int64) (*MetaInfo, []byte) {
+	t.Helper()
+	src := rng.New(5)
+	sizes := []int64{1000, 700, 1300}
+	var data []byte
+	var files []FileEntry
+	names := []string{"e01.mkv", "e02.mkv", "e03.mkv"}
+	for i, n := range sizes {
+		for j := int64(0); j < n; j++ {
+			data = append(data, byte(src.Uint32()))
+		}
+		files = append(files, FileEntry{Path: "season/" + names[i], Length: n})
+	}
+	m, err := Build("season", "http://tracker.local/announce", pieceLength, files, BytesSource(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, data
+}
+
+func TestBuildPieceCount(t *testing.T) {
+	m, data := season(t, 256)
+	want := (len(data) + 255) / 256
+	if m.Info.NumPieces() != want {
+		t.Fatalf("pieces = %d, want %d", m.Info.NumPieces(), want)
+	}
+	if m.Info.TotalLength() != int64(len(data)) {
+		t.Fatalf("total length %d", m.Info.TotalLength())
+	}
+}
+
+func TestPieceHashesMatchContent(t *testing.T) {
+	m, data := season(t, 512)
+	for p := 0; p < m.Info.NumPieces(); p++ {
+		lo := p * 512
+		hi := lo + 512
+		if hi > len(data) {
+			hi = len(data)
+		}
+		want := sha1.Sum(data[lo:hi])
+		got := m.Info.Pieces[p*20 : p*20+20]
+		if !bytes.Equal(got, want[:]) {
+			t.Fatalf("piece %d hash mismatch", p)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	m, _ := season(t, 256)
+	m.Comment = "repro"
+	enc, err := m.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Unmarshal(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Announce != m.Announce || back.Comment != "repro" {
+		t.Fatal("header fields lost")
+	}
+	if len(back.Info.Files) != 3 || back.Info.Files[1].Path != "season/e02.mkv" {
+		t.Fatalf("files lost: %+v", back.Info.Files)
+	}
+	if !bytes.Equal(back.Info.Pieces, m.Info.Pieces) {
+		t.Fatal("pieces lost")
+	}
+	// Info-hash must survive the round trip (identity on the tracker).
+	h1, err := m.Info.InfoHash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := back.Info.InfoHash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h2 {
+		t.Fatal("info-hash changed across round trip")
+	}
+}
+
+func TestInfoHashSensitivity(t *testing.T) {
+	a, _ := season(t, 256)
+	b, _ := season(t, 512) // different piece length → different identity
+	ha, _ := a.Info.InfoHash()
+	hb, _ := b.Info.InfoHash()
+	if ha == hb {
+		t.Fatal("info-hash ignored piece length")
+	}
+	// Announce is outside the info dict: changing it keeps the identity.
+	c, _ := season(t, 256)
+	c.Announce = "http://other/announce"
+	hc, _ := c.Info.InfoHash()
+	if ha != hc {
+		t.Fatal("info-hash depends on announce URL")
+	}
+}
+
+func TestSingleFileShape(t *testing.T) {
+	data := bytes.Repeat([]byte{7}, 1000)
+	m, err := Build("file.bin", "http://t/a", 256,
+		[]FileEntry{{Path: "file.bin", Length: 1000}}, BytesSource(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := m.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Single-file torrents use the "length" form, not "files".
+	if bytes.Contains(enc, []byte("5:files")) {
+		t.Fatal("single-file torrent used multi-file form")
+	}
+	back, err := Unmarshal(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Info.Files) != 1 || back.Info.Files[0].Length != 1000 {
+		t.Fatalf("single-file parse: %+v", back.Info.Files)
+	}
+}
+
+func TestFilePiecesSubtorrents(t *testing.T) {
+	// Files of 1000, 700, 1300 bytes at piece length 256:
+	// file 0: bytes [0,1000)    → pieces 0..3
+	// file 1: bytes [1000,1700) → pieces 3..6   (shares piece 3)
+	// file 2: bytes [1700,3000) → pieces 6..11  (shares piece 6)
+	m, _ := season(t, 256)
+	pr := m.Info.FilePieces()
+	want := []PieceRange{{0, 3}, {3, 6}, {6, 11}}
+	for i, r := range pr {
+		if r != want[i] {
+			t.Fatalf("file %d range %+v, want %+v", i, r, want[i])
+		}
+	}
+	if pr[0].Count() != 4 || pr[2].Count() != 6 {
+		t.Fatal("range counts wrong")
+	}
+}
+
+func TestFilePiecesEmptyFile(t *testing.T) {
+	files := []FileEntry{
+		{Path: "a", Length: 100},
+		{Path: "b", Length: 0},
+		{Path: "c", Length: 100},
+	}
+	data := make([]byte, 200)
+	m, err := Build("x", "http://t/a", 64, files, BytesSource(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := m.Info.FilePieces()
+	if !pr[1].Empty() || pr[1].Count() != 0 {
+		t.Fatalf("empty file range %+v", pr[1])
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	good, _ := season(t, 256)
+	cases := []func(*Info){
+		func(i *Info) { i.Name = "" },
+		func(i *Info) { i.PieceLength = 0 },
+		func(i *Info) { i.Files = nil },
+		func(i *Info) { i.Files[0].Path = "../evil" },
+		func(i *Info) { i.Files[0].Path = "/abs" },
+		func(i *Info) { i.Files[0].Length = -1 },
+		func(i *Info) { i.Pieces = i.Pieces[:len(i.Pieces)-1] },
+		func(i *Info) { i.Pieces = i.Pieces[:len(i.Pieces)-20] },
+	}
+	for idx, mutate := range cases {
+		info := good.Info
+		info.Files = append([]FileEntry(nil), good.Info.Files...)
+		info.Pieces = append([]byte(nil), good.Info.Pieces...)
+		mutate(&info)
+		if info.Validate() == nil {
+			t.Fatalf("case %d accepted", idx)
+		}
+	}
+}
+
+func TestUnmarshalRejectsMalformed(t *testing.T) {
+	bad := [][]byte{
+		[]byte("i3e"),           // not a dict
+		[]byte("d4:info3:xyze"), // info not a dict
+		[]byte("d4:infodee"),    // neither files nor length
+		[]byte("de"),            // missing info
+	}
+	for i, b := range bad {
+		if _, err := Unmarshal(b); err == nil {
+			t.Fatalf("case %d accepted", i)
+		}
+	}
+}
+
+func TestBytesSourceBounds(t *testing.T) {
+	src := BytesSource([]byte{1, 2, 3})
+	buf := make([]byte, 2)
+	if err := src.ReadAt(buf, 2); err == nil {
+		t.Fatal("out-of-range read accepted")
+	}
+	if err := src.ReadAt(buf, -1); err == nil {
+		t.Fatal("negative offset accepted")
+	}
+	if err := src.ReadAt(buf, 1); err != nil || buf[0] != 2 || buf[1] != 3 {
+		t.Fatalf("read wrong: %v %v", buf, err)
+	}
+}

@@ -1,0 +1,91 @@
+// Package mtsd implements Multi-Torrent Sequential Downloading (Section 3.3
+// of the paper, Eqs. 3–4): a user who requested i files enters one torrent
+// at a time with its full bandwidth, so each torrent behaves exactly like
+// the Qiu–Srikant single torrent and the user's total times are i times the
+// single-torrent times:
+//
+//	T_i^MTSD = i·(T + 1/γ),  T = (γ−μ)/(γμη),  γ > μ.
+package mtsd
+
+import (
+	"fmt"
+
+	"mfdl/internal/correlation"
+	"mfdl/internal/fluid"
+	"mfdl/internal/metrics"
+)
+
+// Scheme is the scheme name reported in results.
+const Scheme = "MTSD"
+
+// Model couples the fluid parameters with a file-correlation model.
+type Model struct {
+	fluid.Params
+	Corr *correlation.Model
+}
+
+// New validates and returns an MTSD model.
+func New(p fluid.Params, corr *correlation.Model) (*Model, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if corr == nil {
+		return nil, fmt.Errorf("mtsd: nil correlation model")
+	}
+	if err := corr.Validate(); err != nil {
+		return nil, err
+	}
+	return &Model{Params: p, Corr: corr}, nil
+}
+
+// SingleDownloadTime returns T = (γ−μ)/(γμη), the per-file download time.
+func (m *Model) SingleDownloadTime() (float64, error) {
+	if !m.UploadConstrained() {
+		return 0, fluid.ErrNotUploadConstrained
+	}
+	return (m.Gamma - m.Mu) / (m.Gamma * m.Mu * m.Eta), nil
+}
+
+// Evaluate returns the steady-state per-class metrics (Eq. 4). Every class
+// has the same per-file times; the correlation model only weights the
+// average.
+func (m *Model) Evaluate() (*metrics.SchemeResult, error) {
+	t, err := m.SingleDownloadTime()
+	if err != nil {
+		return nil, err
+	}
+	res := &metrics.SchemeResult{Scheme: Scheme}
+	for i := 1; i <= m.Corr.K; i++ {
+		fi := float64(i)
+		res.Classes = append(res.Classes, metrics.PerClass{
+			Class:        i,
+			EntryRate:    m.Corr.UserRate(i),
+			DownloadTime: fi * t,
+			OnlineTime:   fi * (t + 1/m.Gamma),
+		})
+	}
+	if err := res.Validate(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// TorrentPopulation returns the steady-state downloader and seed counts in
+// one torrent under MTSD. Each torrent j sees the aggregate arrival rate of
+// peers currently scheduled on it; in steady state with randomized
+// sequential order that is Σ_i λ_j^i (the same peer-arrival mass as MTCD,
+// spread over time instead of concurrently).
+func (m *Model) TorrentPopulation() (x, y float64, err error) {
+	lambda := 0.0
+	for i := 1; i <= m.Corr.K; i++ {
+		lambda += m.Corr.TorrentClassRate(i)
+	}
+	if lambda <= 0 {
+		return 0, 0, fmt.Errorf("mtsd: zero torrent arrival rate (p = %v)", m.Corr.P)
+	}
+	st, err := fluid.NewSingleTorrent(m.Params, lambda)
+	if err != nil {
+		return 0, 0, err
+	}
+	return st.SteadyStateClosed()
+}

@@ -1,0 +1,361 @@
+// Package linalg provides the small dense linear-algebra kernel used by the
+// fluid-model stability analysis (E11 in DESIGN.md): vectors, row-major
+// matrices, LU factorization with partial pivoting, Householder QR, and
+// eigenvalue computation (cyclic Jacobi for symmetric matrices, Hessenberg
+// reduction plus Francis double-shift QR for general real matrices).
+//
+// The matrices involved are tiny (the largest fluid model here has 65
+// states), so clarity is preferred over blocking or SIMD tricks.
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len == Rows*Cols
+}
+
+// NewMatrix returns a zero r×c matrix.
+func NewMatrix(r, c int) *Matrix {
+	if r <= 0 || c <= 0 {
+		panic("linalg: non-positive matrix dimensions")
+	}
+	return &Matrix{Rows: r, Cols: c, Data: make([]float64, r*c)}
+}
+
+// FromRows builds a matrix from row slices (all the same length).
+func FromRows(rows [][]float64) *Matrix {
+	if len(rows) == 0 || len(rows[0]) == 0 {
+		panic("linalg: empty rows")
+	}
+	m := NewMatrix(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.Cols {
+			panic("linalg: ragged rows")
+		}
+		copy(m.Data[i*m.Cols:(i+1)*m.Cols], r)
+	}
+	return m
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// T returns the transpose as a new matrix.
+func (m *Matrix) T() *Matrix {
+	t := NewMatrix(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			t.Set(j, i, m.At(i, j))
+		}
+	}
+	return t
+}
+
+// Mul returns m·o.
+func (m *Matrix) Mul(o *Matrix) *Matrix {
+	if m.Cols != o.Rows {
+		panic(fmt.Sprintf("linalg: dimension mismatch %dx%d · %dx%d", m.Rows, m.Cols, o.Rows, o.Cols))
+	}
+	out := NewMatrix(m.Rows, o.Cols)
+	for i := 0; i < m.Rows; i++ {
+		for k := 0; k < m.Cols; k++ {
+			a := m.At(i, k)
+			if a == 0 {
+				continue
+			}
+			for j := 0; j < o.Cols; j++ {
+				out.Data[i*out.Cols+j] += a * o.At(k, j)
+			}
+		}
+	}
+	return out
+}
+
+// MulVec returns m·v.
+func (m *Matrix) MulVec(v []float64) []float64 {
+	if m.Cols != len(v) {
+		panic("linalg: dimension mismatch in MulVec")
+	}
+	out := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		s := 0.0
+		for j := 0; j < m.Cols; j++ {
+			s += m.At(i, j) * v[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// Add returns m + o.
+func (m *Matrix) Add(o *Matrix) *Matrix {
+	if m.Rows != o.Rows || m.Cols != o.Cols {
+		panic("linalg: dimension mismatch in Add")
+	}
+	out := m.Clone()
+	for i := range out.Data {
+		out.Data[i] += o.Data[i]
+	}
+	return out
+}
+
+// Scale returns s·m.
+func (m *Matrix) Scale(s float64) *Matrix {
+	out := m.Clone()
+	for i := range out.Data {
+		out.Data[i] *= s
+	}
+	return out
+}
+
+// MaxAbs returns the largest absolute entry.
+func (m *Matrix) MaxAbs() float64 {
+	mx := 0.0
+	for _, v := range m.Data {
+		if a := math.Abs(v); a > mx {
+			mx = a
+		}
+	}
+	return mx
+}
+
+// String renders the matrix for debugging.
+func (m *Matrix) String() string {
+	var b strings.Builder
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			fmt.Fprintf(&b, "%12.5g", m.At(i, j))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// ErrSingular is returned when a factorization meets an (effectively)
+// singular matrix.
+var ErrSingular = errors.New("linalg: matrix is singular to working precision")
+
+// LU is an LU factorization with partial pivoting: P·A = L·U.
+type LU struct {
+	lu    *Matrix
+	pivot []int
+	sign  float64
+}
+
+// NewLU factors the square matrix a. a is not modified.
+func NewLU(a *Matrix) (*LU, error) {
+	if a.Rows != a.Cols {
+		return nil, errors.New("linalg: LU requires a square matrix")
+	}
+	n := a.Rows
+	f := &LU{lu: a.Clone(), pivot: make([]int, n), sign: 1}
+	lu := f.lu
+	for i := range f.pivot {
+		f.pivot[i] = i
+	}
+	for k := 0; k < n; k++ {
+		// Partial pivot: largest |entry| in column k at/below the diagonal.
+		p, maxVal := k, math.Abs(lu.At(k, k))
+		for i := k + 1; i < n; i++ {
+			if v := math.Abs(lu.At(i, k)); v > maxVal {
+				p, maxVal = i, v
+			}
+		}
+		if maxVal == 0 {
+			return nil, ErrSingular
+		}
+		if p != k {
+			for j := 0; j < n; j++ {
+				lu.Data[p*n+j], lu.Data[k*n+j] = lu.Data[k*n+j], lu.Data[p*n+j]
+			}
+			f.pivot[p], f.pivot[k] = f.pivot[k], f.pivot[p]
+			f.sign = -f.sign
+		}
+		inv := 1 / lu.At(k, k)
+		for i := k + 1; i < n; i++ {
+			m := lu.At(i, k) * inv
+			lu.Set(i, k, m)
+			if m == 0 {
+				continue
+			}
+			for j := k + 1; j < n; j++ {
+				lu.Data[i*n+j] -= m * lu.Data[k*n+j]
+			}
+		}
+	}
+	return f, nil
+}
+
+// Solve returns x with A·x = b.
+func (f *LU) Solve(b []float64) ([]float64, error) {
+	n := f.lu.Rows
+	if len(b) != n {
+		return nil, errors.New("linalg: rhs length mismatch")
+	}
+	x := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = b[f.pivot[i]]
+	}
+	// Forward substitution (unit lower triangle).
+	for i := 1; i < n; i++ {
+		s := x[i]
+		for j := 0; j < i; j++ {
+			s -= f.lu.At(i, j) * x[j]
+		}
+		x[i] = s
+	}
+	// Back substitution.
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= f.lu.At(i, j) * x[j]
+		}
+		d := f.lu.At(i, i)
+		if d == 0 {
+			return nil, ErrSingular
+		}
+		x[i] = s / d
+	}
+	return x, nil
+}
+
+// Det returns det(A).
+func (f *LU) Det() float64 {
+	d := f.sign
+	for i := 0; i < f.lu.Rows; i++ {
+		d *= f.lu.At(i, i)
+	}
+	return d
+}
+
+// Solve solves A·x = b by LU with partial pivoting.
+func Solve(a *Matrix, b []float64) ([]float64, error) {
+	f, err := NewLU(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b)
+}
+
+// Inverse returns A⁻¹.
+func Inverse(a *Matrix) (*Matrix, error) {
+	f, err := NewLU(a)
+	if err != nil {
+		return nil, err
+	}
+	n := a.Rows
+	inv := NewMatrix(n, n)
+	e := make([]float64, n)
+	for j := 0; j < n; j++ {
+		for i := range e {
+			e[i] = 0
+		}
+		e[j] = 1
+		col, err := f.Solve(e)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < n; i++ {
+			inv.Set(i, j, col[i])
+		}
+	}
+	return inv, nil
+}
+
+// QR holds a Householder QR factorization A = Q·R.
+type QR struct {
+	Q, R *Matrix
+}
+
+// NewQR computes the (thin, here full since square-or-tall inputs only)
+// QR factorization by Householder reflections. Requires Rows >= Cols.
+func NewQR(a *Matrix) (*QR, error) {
+	if a.Rows < a.Cols {
+		return nil, errors.New("linalg: QR requires rows >= cols")
+	}
+	m, n := a.Rows, a.Cols
+	r := a.Clone()
+	q := Identity(m)
+	v := make([]float64, m)
+	for k := 0; k < n && k < m-1; k++ {
+		// Householder vector for column k.
+		norm := 0.0
+		for i := k; i < m; i++ {
+			norm = math.Hypot(norm, r.At(i, k))
+		}
+		if norm == 0 {
+			continue
+		}
+		alpha := -norm
+		if r.At(k, k) < 0 {
+			alpha = norm
+		}
+		vnorm := 0.0
+		for i := k; i < m; i++ {
+			v[i] = r.At(i, k)
+			if i == k {
+				v[i] -= alpha
+			}
+			vnorm = math.Hypot(vnorm, v[i])
+		}
+		if vnorm == 0 {
+			continue
+		}
+		for i := k; i < m; i++ {
+			v[i] /= vnorm
+		}
+		// R <- (I - 2vvᵀ) R
+		for j := k; j < n; j++ {
+			dot := 0.0
+			for i := k; i < m; i++ {
+				dot += v[i] * r.At(i, j)
+			}
+			for i := k; i < m; i++ {
+				r.Set(i, j, r.At(i, j)-2*dot*v[i])
+			}
+		}
+		// Q <- Q (I - 2vvᵀ)
+		for i := 0; i < m; i++ {
+			dot := 0.0
+			for j := k; j < m; j++ {
+				dot += q.At(i, j) * v[j]
+			}
+			for j := k; j < m; j++ {
+				q.Set(i, j, q.At(i, j)-2*dot*v[j])
+			}
+		}
+	}
+	// Zero the numerically-negligible subdiagonal of R.
+	for i := 1; i < m; i++ {
+		for j := 0; j < i && j < n; j++ {
+			r.Set(i, j, 0)
+		}
+	}
+	return &QR{Q: q, R: r}, nil
+}

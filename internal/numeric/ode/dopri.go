@@ -1,0 +1,197 @@
+package ode
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Dormand–Prince 5(4) coefficients (the RKDP tableau used by MATLAB's ode45
+// and SciPy's RK45). The fifth-order solution is propagated; the embedded
+// fourth-order solution provides the local error estimate.
+var (
+	dpC = [7]float64{0, 1.0 / 5, 3.0 / 10, 4.0 / 5, 8.0 / 9, 1, 1}
+	dpA = [7][6]float64{
+		{},
+		{1.0 / 5},
+		{3.0 / 40, 9.0 / 40},
+		{44.0 / 45, -56.0 / 15, 32.0 / 9},
+		{19372.0 / 6561, -25360.0 / 2187, 64448.0 / 6561, -212.0 / 729},
+		{9017.0 / 3168, -355.0 / 33, 46732.0 / 5247, 49.0 / 176, -5103.0 / 18656},
+		{35.0 / 384, 0, 500.0 / 1113, 125.0 / 192, -2187.0 / 6784, 11.0 / 84},
+	}
+	// 5th-order weights (same as the last A row: FSAL property).
+	dpB5 = [7]float64{35.0 / 384, 0, 500.0 / 1113, 125.0 / 192, -2187.0 / 6784, 11.0 / 84, 0}
+	// 4th-order (embedded) weights.
+	dpB4 = [7]float64{5179.0 / 57600, 0, 7571.0 / 16695, 393.0 / 640, -92097.0 / 339200, 187.0 / 2100, 1.0 / 40}
+)
+
+// DOPRIOptions configures the adaptive integrator.
+type DOPRIOptions struct {
+	// RTol and ATol are the relative and absolute error tolerances
+	// (defaults 1e-8 and 1e-10).
+	RTol, ATol float64
+	// InitialStep is the first trial step (default: chosen automatically).
+	InitialStep float64
+	// MaxStep bounds the step size (default: unbounded).
+	MaxStep float64
+	// MaxSteps bounds the number of accepted+rejected steps (default 1e7).
+	MaxSteps int
+}
+
+func (o *DOPRIOptions) defaults() {
+	if o.RTol <= 0 {
+		o.RTol = 1e-8
+	}
+	if o.ATol <= 0 {
+		o.ATol = 1e-10
+	}
+	if o.MaxSteps <= 0 {
+		o.MaxSteps = 1e7
+	}
+}
+
+// DOPRIStats reports integrator effort.
+type DOPRIStats struct {
+	Accepted, Rejected int
+	Evaluations        int
+}
+
+// ErrStepTooSmall is returned when error control forces the step below the
+// representable resolution at the current time.
+var ErrStepTooSmall = errors.New("ode: adaptive step underflow (stiff system or unreachable tolerance?)")
+
+// DOPRI integrates dx/dt = f(t,x) from t0 to t1 with adaptive Dormand–Prince
+// RK45, advancing x in place. It returns effort statistics.
+func DOPRI(f RHS, t0, t1 float64, x []float64, opt DOPRIOptions) (DOPRIStats, error) {
+	opt.defaults()
+	var st DOPRIStats
+	if t1 < t0 {
+		return st, errors.New("ode: t1 must be >= t0")
+	}
+	if t1 == t0 {
+		return st, nil
+	}
+	dim := len(x)
+	var k [7][]float64
+	for i := range k {
+		k[i] = make([]float64, dim)
+	}
+	tmp := make([]float64, dim)
+	xNew := make([]float64, dim)
+	errVec := make([]float64, dim)
+
+	t := t0
+	f(t, x, k[0])
+	st.Evaluations++
+
+	h := opt.InitialStep
+	if h <= 0 {
+		h = initialStep(f, t, x, k[0], opt, &st)
+	}
+	if opt.MaxStep > 0 && h > opt.MaxStep {
+		h = opt.MaxStep
+	}
+
+	for t < t1 {
+		if st.Accepted+st.Rejected >= opt.MaxSteps {
+			return st, fmt.Errorf("ode: exceeded %d steps", opt.MaxSteps)
+		}
+		if t+h > t1 {
+			h = t1 - t
+		}
+		if h <= math.Nextafter(t, math.Inf(1))-t {
+			return st, ErrStepTooSmall
+		}
+		// Stages 2..7.
+		for s := 1; s < 7; s++ {
+			for i := 0; i < dim; i++ {
+				sum := 0.0
+				for j := 0; j < s; j++ {
+					sum += dpA[s][j] * k[j][i]
+				}
+				tmp[i] = x[i] + h*sum
+			}
+			f(t+dpC[s]*h, tmp, k[s])
+			st.Evaluations++
+		}
+		// 5th-order solution and embedded error.
+		errNorm := 0.0
+		for i := 0; i < dim; i++ {
+			sum5, sum4 := 0.0, 0.0
+			for s := 0; s < 7; s++ {
+				sum5 += dpB5[s] * k[s][i]
+				sum4 += dpB4[s] * k[s][i]
+			}
+			xNew[i] = x[i] + h*sum5
+			errVec[i] = h * (sum5 - sum4)
+			sc := opt.ATol + opt.RTol*math.Max(math.Abs(x[i]), math.Abs(xNew[i]))
+			e := errVec[i] / sc
+			errNorm += e * e
+		}
+		errNorm = math.Sqrt(errNorm / float64(dim))
+
+		if errNorm <= 1 {
+			// Accept. FSAL: k7 of this step is k1 of the next.
+			t += h
+			copy(x, xNew)
+			copy(k[0], k[6])
+			st.Accepted++
+		} else {
+			st.Rejected++
+		}
+		// PI-style step update with safety factor and clamps.
+		factor := 0.9 * math.Pow(errNorm, -0.2)
+		if factor < 0.2 {
+			factor = 0.2
+		}
+		if factor > 5 {
+			factor = 5
+		}
+		h *= factor
+		if opt.MaxStep > 0 && h > opt.MaxStep {
+			h = opt.MaxStep
+		}
+	}
+	return st, nil
+}
+
+// initialStep implements the standard Hairer–Nørsett–Wanner starting step
+// heuristic (algorithm II.4 in "Solving Ordinary Differential Equations I").
+func initialStep(f RHS, t float64, x, f0 []float64, opt DOPRIOptions, st *DOPRIStats) float64 {
+	dim := len(x)
+	d0, d1 := 0.0, 0.0
+	for i := 0; i < dim; i++ {
+		sc := opt.ATol + opt.RTol*math.Abs(x[i])
+		d0 += (x[i] / sc) * (x[i] / sc)
+		d1 += (f0[i] / sc) * (f0[i] / sc)
+	}
+	d0, d1 = math.Sqrt(d0/float64(dim)), math.Sqrt(d1/float64(dim))
+	var h0 float64
+	if d0 < 1e-5 || d1 < 1e-5 {
+		h0 = 1e-6
+	} else {
+		h0 = 0.01 * d0 / d1
+	}
+	x1 := make([]float64, dim)
+	f1 := make([]float64, dim)
+	for i := range x1 {
+		x1[i] = x[i] + h0*f0[i]
+	}
+	f(t+h0, x1, f1)
+	st.Evaluations++
+	d2 := 0.0
+	for i := 0; i < dim; i++ {
+		sc := opt.ATol + opt.RTol*math.Abs(x[i])
+		d := (f1[i] - f0[i]) / sc
+		d2 += d * d
+	}
+	d2 = math.Sqrt(d2/float64(dim)) / h0
+	var h1 float64
+	if math.Max(d1, d2) <= 1e-15 {
+		h1 = math.Max(1e-6, h0*1e-3)
+	} else {
+		h1 = math.Pow(0.01/math.Max(d1, d2), 1.0/5)
+	}
+	return math.Min(100*h0, h1)
+}

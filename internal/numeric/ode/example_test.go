@@ -1,0 +1,32 @@
+package ode_test
+
+import (
+	"fmt"
+	"log"
+
+	"mfdl/internal/numeric/ode"
+)
+
+// Integrate exponential decay with the classic RK4.
+func ExampleRK4() {
+	decay := func(t float64, x, dst []float64) { dst[0] = -x[0] }
+	x := []float64{1}
+	if _, err := ode.Integrate(ode.NewRK4(1), decay, 0, 1, x, 0.01); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("x(1) = %.6f\n", x[0])
+	// Output:
+	// x(1) = 0.367879
+}
+
+// Relax a system to its fixed point.
+func ExampleSteadyState() {
+	logistic := func(t float64, x, dst []float64) { dst[0] = x[0] * (1 - x[0]) }
+	x := []float64{0.01}
+	if _, err := ode.SteadyState(ode.NewRK4(1), logistic, x, ode.SteadyStateOptions{}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("x* = %.4f\n", x[0])
+	// Output:
+	// x* = 1.0000
+}

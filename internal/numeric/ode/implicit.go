@@ -1,0 +1,193 @@
+package ode
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"mfdl/internal/numeric/linalg"
+)
+
+// ImplicitEuler is the backward Euler method: x₁ solves
+// x₁ = x₀ + h·f(t+h, x₁), found by Newton iteration with a
+// finite-difference Jacobian and LU solves. First order but A-stable, so
+// it tolerates step sizes far beyond the explicit stability limits — the
+// integrator of last resort for stiff parameter corners of the fluid
+// models.
+type ImplicitEuler struct {
+	dim     int
+	fx, rhs []float64
+	xTrial  []float64
+	// MaxNewton bounds the Newton iterations per step (default 20).
+	MaxNewton int
+	// Tol is the Newton residual tolerance (default 1e-12).
+	Tol float64
+}
+
+// NewImplicitEuler returns an implicit Euler stepper for dimension dim.
+func NewImplicitEuler(dim int) *ImplicitEuler {
+	return &ImplicitEuler{
+		dim:       dim,
+		fx:        make([]float64, dim),
+		rhs:       make([]float64, dim),
+		xTrial:    make([]float64, dim),
+		MaxNewton: 20,
+		Tol:       1e-12,
+	}
+}
+
+// Order implements Stepper.
+func (s *ImplicitEuler) Order() int { return 1 }
+
+// Name implements Stepper.
+func (s *ImplicitEuler) Name() string { return "implicit-euler" }
+
+// Step implements Stepper. If the Newton iteration fails to converge or
+// meets a singular matrix, it falls back to one explicit Euler step (the
+// caller keeps integrating; fluid relaxations only need eventual
+// contraction).
+func (s *ImplicitEuler) Step(f RHS, t float64, x []float64, h float64) {
+	copy(s.xTrial, x)
+	tNew := t + h
+	converged := false
+	for it := 0; it < s.MaxNewton; it++ {
+		// Residual g(x₁) = x₁ − x₀ − h·f(t+h, x₁).
+		f(tNew, s.xTrial, s.fx)
+		norm := 0.0
+		for i := 0; i < s.dim; i++ {
+			s.rhs[i] = -(s.xTrial[i] - x[i] - h*s.fx[i])
+			if a := math.Abs(s.rhs[i]); a > norm {
+				norm = a
+			}
+		}
+		if norm <= s.Tol*(1+MaxNorm(s.xTrial)) {
+			converged = true
+			break
+		}
+		// J_g = I − h·J_f (finite differences).
+		jac := numericalJacobian(f, tNew, s.xTrial)
+		for r := 0; r < s.dim; r++ {
+			for c := 0; c < s.dim; c++ {
+				v := -h * jac.At(r, c)
+				if r == c {
+					v += 1
+				}
+				jac.Set(r, c, v)
+			}
+		}
+		delta, err := linalg.Solve(jac, s.rhs)
+		if err != nil {
+			break
+		}
+		for i := 0; i < s.dim; i++ {
+			s.xTrial[i] += delta[i]
+		}
+	}
+	if converged {
+		copy(x, s.xTrial)
+		return
+	}
+	// Fallback: explicit Euler.
+	f(t, x, s.fx)
+	for i := range x {
+		x[i] += h * s.fx[i]
+	}
+}
+
+// numericalJacobian computes ∂f/∂x by central differences.
+func numericalJacobian(f RHS, t float64, x []float64) *linalg.Matrix {
+	n := len(x)
+	j := linalg.NewMatrix(n, n)
+	fp := make([]float64, n)
+	fm := make([]float64, n)
+	xp := append([]float64(nil), x...)
+	for c := 0; c < n; c++ {
+		h := 1e-7 * math.Max(1, math.Abs(x[c]))
+		orig := xp[c]
+		xp[c] = orig + h
+		f(t, xp, fp)
+		xp[c] = orig - h
+		f(t, xp, fm)
+		xp[c] = orig
+		for r := 0; r < n; r++ {
+			j.Set(r, c, (fp[r]-fm[r])/(2*h))
+		}
+	}
+	return j
+}
+
+// NewtonOptions configures NewtonSteadyState.
+type NewtonOptions struct {
+	// Tol is the residual tolerance ‖f(x)‖∞ (default 1e-12).
+	Tol float64
+	// MaxIter bounds the Newton iterations (default 200).
+	MaxIter int
+	// Damping is the backtracking shrink factor (default 0.5) applied
+	// until the residual decreases; at most 30 halvings per iteration.
+	Damping float64
+}
+
+func (o *NewtonOptions) defaults() {
+	if o.Tol <= 0 {
+		o.Tol = 1e-12
+	}
+	if o.MaxIter <= 0 {
+		o.MaxIter = 200
+	}
+	if o.Damping <= 0 || o.Damping >= 1 {
+		o.Damping = 0.5
+	}
+}
+
+// ErrNewtonFailed is returned when the damped Newton iteration stalls.
+var ErrNewtonFailed = errors.New("ode: Newton steady-state iteration failed")
+
+// NewtonSteadyState solves f(x) = 0 directly by damped Newton iteration
+// from the supplied starting state (modified in place). It is vastly
+// faster than time relaxation when the starting point is in the basin —
+// callers typically warm-start it with a short relaxation.
+func NewtonSteadyState(f RHS, x []float64, opt NewtonOptions) error {
+	opt.defaults()
+	n := len(x)
+	fx := make([]float64, n)
+	trial := make([]float64, n)
+	f(0, x, fx)
+	resid := MaxNorm(fx)
+	for it := 0; it < opt.MaxIter; it++ {
+		if resid <= opt.Tol {
+			return nil
+		}
+		jac := numericalJacobian(f, 0, x)
+		rhs := make([]float64, n)
+		for i := range rhs {
+			rhs[i] = -fx[i]
+		}
+		delta, err := linalg.Solve(jac, rhs)
+		if err != nil {
+			return fmt.Errorf("ode: Newton Jacobian solve: %w", err)
+		}
+		// Backtracking line search on the residual norm.
+		step := 1.0
+		improved := false
+		for back := 0; back < 30; back++ {
+			for i := range trial {
+				trial[i] = x[i] + step*delta[i]
+			}
+			f(0, trial, fx)
+			if newResid := MaxNorm(fx); newResid < resid {
+				copy(x, trial)
+				resid = newResid
+				improved = true
+				break
+			}
+			step *= opt.Damping
+		}
+		if !improved {
+			return ErrNewtonFailed
+		}
+	}
+	if resid <= opt.Tol {
+		return nil
+	}
+	return ErrNewtonFailed
+}

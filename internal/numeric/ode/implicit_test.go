@@ -1,0 +1,134 @@
+package ode
+
+import (
+	"math"
+	"testing"
+)
+
+// stiffDecay is dx/dt = -1000(x - cos(t)) — classically stiff.
+func stiffDecay(t float64, x, dst []float64) {
+	dst[0] = -1000 * (x[0] - math.Cos(t))
+}
+
+func TestImplicitEulerStableOnStiffProblem(t *testing.T) {
+	// Explicit Euler with h = 0.01 blows up (|1 + h·λ| = 9 > 1);
+	// implicit Euler must stay bounded and track cos(t).
+	s := NewImplicitEuler(1)
+	x := []float64{0}
+	if _, err := Integrate(s, stiffDecay, 0, 2, x, 0.01); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-math.Cos(2)) > 0.02 {
+		t.Fatalf("x(2) = %v, want ≈%v", x[0], math.Cos(2))
+	}
+	// Demonstrate the explicit failure for contrast.
+	e := NewEuler(1)
+	xe := []float64{0}
+	if _, err := Integrate(e, stiffDecay, 0, 2, xe, 0.01); err != nil {
+		t.Fatal(err)
+	}
+	if !(math.IsInf(xe[0], 0) || math.IsNaN(xe[0]) || math.Abs(xe[0]) > 1e10) {
+		t.Fatalf("explicit Euler unexpectedly stable: %v", xe[0])
+	}
+}
+
+func TestImplicitEulerAccuracyOnSmoothProblem(t *testing.T) {
+	s := NewImplicitEuler(1)
+	x := []float64{1}
+	if _, err := Integrate(s, expDecay, 0, 1, x, 0.001); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-math.Exp(-1)) > 1e-3 {
+		t.Fatalf("x(1) = %v", x[0])
+	}
+	if s.Order() != 1 || s.Name() != "implicit-euler" {
+		t.Fatal("metadata wrong")
+	}
+}
+
+func TestImplicitEulerSystem(t *testing.T) {
+	// Two-dimensional stiff-ish linear system relaxing to (2, 3).
+	rhs := func(t float64, x, dst []float64) {
+		dst[0] = -50 * (x[0] - 2)
+		dst[1] = -0.5 * (x[1] - 3)
+	}
+	s := NewImplicitEuler(2)
+	x := []float64{0, 0}
+	if _, err := Integrate(s, rhs, 0, 40, x, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-2) > 1e-6 || math.Abs(x[1]-3) > 1e-6 {
+		t.Fatalf("steady state %v", x)
+	}
+}
+
+func TestNewtonSteadyStateLinear(t *testing.T) {
+	rhs := func(t float64, x, dst []float64) {
+		dst[0] = 2 - x[0]
+		dst[1] = 3 - x[1]
+	}
+	x := []float64{100, -100}
+	if err := NewtonSteadyState(rhs, x, NewtonOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-2) > 1e-10 || math.Abs(x[1]-3) > 1e-10 {
+		t.Fatalf("fixed point %v", x)
+	}
+}
+
+func TestNewtonSteadyStateNonlinear(t *testing.T) {
+	// Logistic: f(x) = x(1-x); from 0.2 Newton must find x = 1 or x = 0 —
+	// with damping from 0.2 it converges to a root with zero residual.
+	x := []float64{0.2}
+	if err := NewtonSteadyState(logistic, x, NewtonOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]) > 1e-9 && math.Abs(x[0]-1) > 1e-9 {
+		t.Fatalf("root %v", x[0])
+	}
+}
+
+func TestNewtonSteadyStateFailsOnRootlessSystem(t *testing.T) {
+	rhs := func(t float64, x, dst []float64) { dst[0] = 1 + x[0]*x[0] }
+	x := []float64{0}
+	if err := NewtonSteadyState(rhs, x, NewtonOptions{MaxIter: 30}); err == nil {
+		t.Fatal("rootless system converged")
+	}
+}
+
+func TestNewtonMatchesRelaxation(t *testing.T) {
+	// 3-state contrived nonlinear system: Newton and RK4 relaxation must
+	// find the same fixed point.
+	rhs := func(t float64, x, dst []float64) {
+		dst[0] = 1 - x[0] - 0.1*x[0]*x[1]
+		dst[1] = x[0] - 0.5*x[1]
+		dst[2] = x[1] - 0.2*x[2]
+	}
+	a := []float64{1, 1, 1}
+	if _, err := SteadyState(NewRK4(3), rhs, a, SteadyStateOptions{Tol: 1e-13}); err != nil {
+		t.Fatal(err)
+	}
+	b := []float64{1, 1, 1}
+	if err := NewtonSteadyState(rhs, b, NewtonOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > 1e-8 {
+			t.Fatalf("component %d: relaxation %v vs Newton %v", i, a[i], b[i])
+		}
+	}
+}
+
+func BenchmarkNewtonSteadyState(b *testing.B) {
+	rhs := func(t float64, x, dst []float64) {
+		for i := range x {
+			dst[i] = 1 - x[i] - 0.01*x[i]*x[(i+1)%len(x)]
+		}
+	}
+	for i := 0; i < b.N; i++ {
+		x := make([]float64, 20)
+		if err := NewtonSteadyState(rhs, x, NewtonOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

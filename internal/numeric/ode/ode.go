@@ -1,0 +1,270 @@
+// Package ode implements the ordinary-differential-equation machinery the
+// fluid models need: explicit fixed-step integrators (Euler, Heun, the
+// classic fourth-order Runge–Kutta), an adaptive Dormand–Prince RK45
+// integrator with PI step control, trajectory sampling, and a relaxation
+// driver that integrates a system until it reaches steady state.
+//
+// Everything is hand-rolled over float64 slices; there are no external
+// dependencies. Systems are autonomous or time-dependent via the RHS
+// signature f(t, x, dst).
+package ode
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// RHS evaluates the right-hand side dx/dt = f(t, x) into dst. dst and x are
+// the same length and never alias. Implementations must not retain either
+// slice.
+type RHS func(t float64, x, dst []float64)
+
+// Stepper advances a state by one step of size h. Implementations write the
+// new state into x in place, using scratch storage owned by the Stepper, so
+// a Stepper is not safe for concurrent use.
+type Stepper interface {
+	// Step advances x from time t by h in place.
+	Step(f RHS, t float64, x []float64, h float64)
+	// Order returns the classical order of accuracy.
+	Order() int
+	// Name returns a short identifier ("rk4", "euler", ...).
+	Name() string
+}
+
+// Euler is the explicit first-order Euler method.
+type Euler struct{ k, tmp []float64 }
+
+// NewEuler returns an Euler stepper for systems of dimension dim.
+func NewEuler(dim int) *Euler { return &Euler{k: make([]float64, dim)} }
+
+// Step implements Stepper.
+func (e *Euler) Step(f RHS, t float64, x []float64, h float64) {
+	f(t, x, e.k)
+	for i := range x {
+		x[i] += h * e.k[i]
+	}
+}
+
+// Order implements Stepper.
+func (e *Euler) Order() int { return 1 }
+
+// Name implements Stepper.
+func (e *Euler) Name() string { return "euler" }
+
+// Heun is the explicit second-order trapezoidal (improved Euler) method.
+type Heun struct{ k1, k2, tmp []float64 }
+
+// NewHeun returns a Heun stepper for systems of dimension dim.
+func NewHeun(dim int) *Heun {
+	return &Heun{
+		k1:  make([]float64, dim),
+		k2:  make([]float64, dim),
+		tmp: make([]float64, dim),
+	}
+}
+
+// Step implements Stepper.
+func (s *Heun) Step(f RHS, t float64, x []float64, h float64) {
+	f(t, x, s.k1)
+	for i := range x {
+		s.tmp[i] = x[i] + h*s.k1[i]
+	}
+	f(t+h, s.tmp, s.k2)
+	for i := range x {
+		x[i] += 0.5 * h * (s.k1[i] + s.k2[i])
+	}
+}
+
+// Order implements Stepper.
+func (s *Heun) Order() int { return 2 }
+
+// Name implements Stepper.
+func (s *Heun) Name() string { return "heun" }
+
+// RK4 is the classic fourth-order Runge–Kutta method — the integrator named
+// in the reproduction plan for the CMFSD model (Eq. 5 of the paper).
+type RK4 struct{ k1, k2, k3, k4, tmp []float64 }
+
+// NewRK4 returns an RK4 stepper for systems of dimension dim.
+func NewRK4(dim int) *RK4 {
+	return &RK4{
+		k1:  make([]float64, dim),
+		k2:  make([]float64, dim),
+		k3:  make([]float64, dim),
+		k4:  make([]float64, dim),
+		tmp: make([]float64, dim),
+	}
+}
+
+// Step implements Stepper.
+func (s *RK4) Step(f RHS, t float64, x []float64, h float64) {
+	f(t, x, s.k1)
+	for i := range x {
+		s.tmp[i] = x[i] + 0.5*h*s.k1[i]
+	}
+	f(t+0.5*h, s.tmp, s.k2)
+	for i := range x {
+		s.tmp[i] = x[i] + 0.5*h*s.k2[i]
+	}
+	f(t+0.5*h, s.tmp, s.k3)
+	for i := range x {
+		s.tmp[i] = x[i] + h*s.k3[i]
+	}
+	f(t+h, s.tmp, s.k4)
+	for i := range x {
+		x[i] += h / 6 * (s.k1[i] + 2*s.k2[i] + 2*s.k3[i] + s.k4[i])
+	}
+}
+
+// Order implements Stepper.
+func (s *RK4) Order() int { return 4 }
+
+// Name implements Stepper.
+func (s *RK4) Name() string { return "rk4" }
+
+// NewStepper returns a stepper by name: "euler", "heun", or "rk4".
+func NewStepper(name string, dim int) (Stepper, error) {
+	switch name {
+	case "euler":
+		return NewEuler(dim), nil
+	case "heun":
+		return NewHeun(dim), nil
+	case "rk4":
+		return NewRK4(dim), nil
+	default:
+		return nil, fmt.Errorf("ode: unknown stepper %q", name)
+	}
+}
+
+// Integrate advances x in place from t0 to t1 with fixed steps of size h
+// (the final step is shortened to land exactly on t1). It returns the final
+// time. h must be positive and t1 >= t0.
+func Integrate(s Stepper, f RHS, t0, t1 float64, x []float64, h float64) (float64, error) {
+	if h <= 0 {
+		return t0, errors.New("ode: step size must be positive")
+	}
+	if t1 < t0 {
+		return t0, errors.New("ode: t1 must be >= t0")
+	}
+	t := t0
+	for t < t1 {
+		step := h
+		if t+step > t1 {
+			step = t1 - t
+		}
+		s.Step(f, t, x, step)
+		t += step
+	}
+	return t, nil
+}
+
+// Sample holds one trajectory point.
+type Sample struct {
+	T float64
+	X []float64
+}
+
+// Trajectory integrates from t0 to t1 with fixed step h, recording the state
+// every 'every' steps (and always the initial and final states). The initial
+// state x is not modified; the returned samples own their storage.
+func Trajectory(s Stepper, f RHS, t0, t1 float64, x []float64, h float64, every int) ([]Sample, error) {
+	if every <= 0 {
+		every = 1
+	}
+	cur := append([]float64(nil), x...)
+	out := []Sample{{T: t0, X: append([]float64(nil), cur...)}}
+	if h <= 0 {
+		return nil, errors.New("ode: step size must be positive")
+	}
+	if t1 < t0 {
+		return nil, errors.New("ode: t1 must be >= t0")
+	}
+	t := t0
+	n := 0
+	for t < t1 {
+		step := h
+		if t+step > t1 {
+			step = t1 - t
+		}
+		s.Step(f, t, cur, step)
+		t += step
+		n++
+		if n%every == 0 || t >= t1 {
+			out = append(out, Sample{T: t, X: append([]float64(nil), cur...)})
+		}
+	}
+	return out, nil
+}
+
+// MaxNorm returns the infinity norm of v.
+func MaxNorm(v []float64) float64 {
+	m := 0.0
+	for _, x := range v {
+		if a := math.Abs(x); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// SteadyStateOptions configures SteadyState.
+type SteadyStateOptions struct {
+	// Step is the fixed integration step (default 0.5).
+	Step float64
+	// Tol is the convergence tolerance: the run stops when
+	// ‖f(x)‖∞ <= Tol · max(1, ‖x‖∞) (default 1e-10).
+	Tol float64
+	// MaxTime bounds the simulated time (default 1e6).
+	MaxTime float64
+	// CheckEvery is the number of steps between convergence checks
+	// (default 16).
+	CheckEvery int
+}
+
+func (o *SteadyStateOptions) defaults() {
+	if o.Step <= 0 {
+		o.Step = 0.5
+	}
+	if o.Tol <= 0 {
+		o.Tol = 1e-10
+	}
+	if o.MaxTime <= 0 {
+		o.MaxTime = 1e6
+	}
+	if o.CheckEvery <= 0 {
+		o.CheckEvery = 16
+	}
+}
+
+// ErrNoConvergence is returned when relaxation hits MaxTime before the
+// residual drops below tolerance.
+var ErrNoConvergence = errors.New("ode: steady state not reached within MaxTime")
+
+// SteadyState integrates dx/dt = f(x) from x until the residual ‖f(x)‖∞ is
+// below tolerance, returning the fixed point and the simulated time spent.
+// x is modified in place. The RHS must be autonomous in the sense that its
+// explicit t-dependence vanishes in the long run (all fluid models here are
+// autonomous).
+func SteadyState(s Stepper, f RHS, x []float64, opt SteadyStateOptions) (float64, error) {
+	opt.defaults()
+	dim := len(x)
+	resid := make([]float64, dim)
+	t := 0.0
+	for t < opt.MaxTime {
+		for i := 0; i < opt.CheckEvery && t < opt.MaxTime; i++ {
+			s.Step(f, t, x, opt.Step)
+			t += opt.Step
+		}
+		for _, v := range x {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return t, fmt.Errorf("ode: state diverged at t=%g", t)
+			}
+		}
+		f(t, x, resid)
+		if MaxNorm(resid) <= opt.Tol*math.Max(1, MaxNorm(x)) {
+			return t, nil
+		}
+	}
+	return t, ErrNoConvergence
+}

@@ -1,0 +1,310 @@
+// Package stats provides the summary statistics, distribution functions and
+// accumulators used by the fluid-model experiments and the simulators:
+// streaming moments, confidence intervals, time-weighted averages,
+// histograms, and exact PMFs for the binomial correlation model.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary accumulates streaming sample moments (Welford's algorithm) so that
+// mean and variance are numerically stable even for long simulations.
+type Summary struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add records one observation.
+func (s *Summary) Add(x float64) {
+	s.n++
+	if s.n == 1 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	delta := x - s.mean
+	s.mean += delta / float64(s.n)
+	s.m2 += delta * (x - s.mean)
+}
+
+// AddAll records every value in xs.
+func (s *Summary) AddAll(xs []float64) {
+	for _, x := range xs {
+		s.Add(x)
+	}
+}
+
+// N returns the number of observations.
+func (s *Summary) N() int { return s.n }
+
+// Mean returns the sample mean (0 for an empty summary).
+func (s *Summary) Mean() float64 { return s.mean }
+
+// Min returns the smallest observation (0 for an empty summary).
+func (s *Summary) Min() float64 { return s.min }
+
+// Max returns the largest observation (0 for an empty summary).
+func (s *Summary) Max() float64 { return s.max }
+
+// Variance returns the unbiased sample variance (0 when n < 2).
+func (s *Summary) Variance() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (s *Summary) StdDev() float64 { return math.Sqrt(s.Variance()) }
+
+// StdErr returns the standard error of the mean.
+func (s *Summary) StdErr() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.StdDev() / math.Sqrt(float64(s.n))
+}
+
+// CI95 returns the half-width of a 95% normal-approximation confidence
+// interval for the mean.
+func (s *Summary) CI95() float64 { return 1.959963984540054 * s.StdErr() }
+
+// String formats the summary for experiment logs.
+func (s *Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.6g ±%.3g sd=%.4g min=%.4g max=%.4g",
+		s.n, s.Mean(), s.CI95(), s.StdDev(), s.min, s.max)
+}
+
+// Merge combines another summary into s (parallel reduction; Chan et al.).
+func (s *Summary) Merge(o *Summary) {
+	if o.n == 0 {
+		return
+	}
+	if s.n == 0 {
+		*s = *o
+		return
+	}
+	n := s.n + o.n
+	delta := o.mean - s.mean
+	mean := s.mean + delta*float64(o.n)/float64(n)
+	m2 := s.m2 + o.m2 + delta*delta*float64(s.n)*float64(o.n)/float64(n)
+	if o.min < s.min {
+		s.min = o.min
+	}
+	if o.max > s.max {
+		s.max = o.max
+	}
+	s.n, s.mean, s.m2 = n, mean, m2
+}
+
+// TimeWeighted accumulates the time-average of a piecewise-constant signal,
+// e.g. the number of downloaders in a swarm over simulated time.
+type TimeWeighted struct {
+	lastT   float64
+	lastV   float64
+	area    float64
+	started bool
+}
+
+// Observe records that the signal took value v at time t and holds it until
+// the next call. Times must be non-decreasing.
+func (w *TimeWeighted) Observe(t, v float64) {
+	if w.started {
+		if t < w.lastT {
+			panic("stats: TimeWeighted times must be non-decreasing")
+		}
+		w.area += w.lastV * (t - w.lastT)
+	} else {
+		w.started = true
+	}
+	w.lastT, w.lastV = t, v
+}
+
+// MeanUntil returns the time average of the signal over [t0, t], where t0 is
+// the first observation time. The signal is held at its last value up to t.
+func (w *TimeWeighted) MeanUntil(t float64) float64 {
+	if !w.started || t <= 0 {
+		return 0
+	}
+	area := w.area + w.lastV*(t-w.lastT)
+	return area / t
+}
+
+// Histogram is a fixed-width bucket histogram over [lo, hi); out-of-range
+// observations are counted in the under/over bins.
+type Histogram struct {
+	Lo, Hi  float64
+	Buckets []int
+	Under   int
+	Over    int
+	total   int
+}
+
+// NewHistogram returns a histogram with n equal buckets over [lo, hi).
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if !(hi > lo) || n <= 0 {
+		panic("stats: invalid histogram bounds")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Buckets: make([]int, n)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	h.total++
+	switch {
+	case x < h.Lo:
+		h.Under++
+	case x >= h.Hi:
+		h.Over++
+	default:
+		i := int(float64(len(h.Buckets)) * (x - h.Lo) / (h.Hi - h.Lo))
+		if i == len(h.Buckets) { // guard against FP rounding at the top edge
+			i--
+		}
+		h.Buckets[i]++
+	}
+}
+
+// Total returns the number of observations, including out-of-range ones.
+func (h *Histogram) Total() int { return h.total }
+
+// Quantile returns an approximate q-quantile (0 <= q <= 1) from the bucket
+// midpoints, ignoring out-of-range observations.
+func (h *Histogram) Quantile(q float64) float64 {
+	in := h.total - h.Under - h.Over
+	if in == 0 {
+		return math.NaN()
+	}
+	target := q * float64(in)
+	cum := 0.0
+	width := (h.Hi - h.Lo) / float64(len(h.Buckets))
+	for i, c := range h.Buckets {
+		cum += float64(c)
+		if cum >= target {
+			return h.Lo + (float64(i)+0.5)*width
+		}
+	}
+	return h.Hi - 0.5*width
+}
+
+// Mean returns the sample mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Median returns the sample median of xs (0 for empty input).
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	n := len(cp)
+	if n%2 == 1 {
+		return cp[n/2]
+	}
+	return 0.5 * (cp[n/2-1] + cp[n/2])
+}
+
+// BinomialCoeff returns C(n, k) as a float64, computed multiplicatively to
+// avoid factorial overflow. Returns 0 for k < 0 or k > n.
+func BinomialCoeff(n, k int) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	c := 1.0
+	for i := 0; i < k; i++ {
+		c = c * float64(n-i) / float64(i+1)
+	}
+	return c
+}
+
+// BinomialPMF returns P[X = k] for X ~ Binomial(n, p).
+func BinomialPMF(n, k int, p float64) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	if p <= 0 {
+		if k == 0 {
+			return 1
+		}
+		return 0
+	}
+	if p >= 1 {
+		if k == n {
+			return 1
+		}
+		return 0
+	}
+	// Work in logs for robustness at large n.
+	logPMF := logBinomialCoeff(n, k) + float64(k)*math.Log(p) + float64(n-k)*math.Log1p(-p)
+	return math.Exp(logPMF)
+}
+
+func logBinomialCoeff(n, k int) float64 {
+	return logFactorial(n) - logFactorial(k) - logFactorial(n-k)
+}
+
+// logFactorial returns ln(n!) using exact accumulation for small n and
+// Stirling's series beyond.
+func logFactorial(n int) float64 {
+	if n < 2 {
+		return 0
+	}
+	if n < 256 {
+		s := 0.0
+		for i := 2; i <= n; i++ {
+			s += math.Log(float64(i))
+		}
+		return s
+	}
+	x := float64(n)
+	return x*math.Log(x) - x + 0.5*math.Log(2*math.Pi*x) +
+		1/(12*x) - 1/(360*x*x*x)
+}
+
+// PoissonPMF returns P[X = k] for X ~ Poisson(mean).
+func PoissonPMF(k int, mean float64) float64 {
+	if k < 0 || mean < 0 {
+		return 0
+	}
+	if mean == 0 {
+		if k == 0 {
+			return 1
+		}
+		return 0
+	}
+	return math.Exp(float64(k)*math.Log(mean) - mean - logFactorial(k))
+}
+
+// RelErr returns |got-want| / max(|want|, floor): a relative error with an
+// absolute floor to keep comparisons meaningful near zero.
+func RelErr(got, want, floor float64) float64 {
+	d := math.Abs(got - want)
+	scale := math.Abs(want)
+	if scale < floor {
+		scale = floor
+	}
+	return d / scale
+}

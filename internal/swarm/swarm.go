@@ -1,0 +1,823 @@
+// Package swarm is a chunk-level, round-based BitTorrent simulator for the
+// multi-file torrent scenario (Sections 3.4–3.5 of the paper): one torrent
+// carries K files split into chunks; peers exchange chunks under tit-for-tat
+// choking with an optimistic unchoke slot and rarest-first piece selection.
+//
+// It simulates three schemes at the mechanism level the fluid model
+// abstracts away:
+//
+//   - MFCD: a peer wants every missing chunk of every file it requested and
+//     picks rarest-first across all of them — exactly the "download the
+//     chunks randomly" behaviour of real clients the paper describes.
+//   - CMFSD: a peer downloads its files sequentially, wanting only chunks of
+//     the current file, and once it has completed at least one file it acts
+//     as a partial seed: a fraction ρ of its upload plays tit-for-tat in its
+//     current subtorrent and 1−ρ altruistically serves chunks of its
+//     finished files.
+//   - MTSD: sequential with a dedicated per-file seeding pause — the
+//     multi-torrent sequential behaviour embedded in one swarm.
+//
+// MTCD is covered by the flow-level simulator in internal/eventsim (in a
+// shared swarm it is chunk-for-chunk identical to MFCD); chunk-level
+// realism matters most inside a single multi-file torrent, where piece
+// selection couples the subtorrents.
+//
+// Simplifications (documented in DESIGN.md): time advances in rechoke
+// rounds; bandwidth is an integer number of chunks per round; each peer
+// knows a bounded random neighbor set plus the origin seed; an origin seed
+// (the publisher) holds all chunks permanently, which is how real torrents
+// bootstrap.
+package swarm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"mfdl/internal/adapt"
+	"mfdl/internal/correlation"
+	"mfdl/internal/rng"
+	"mfdl/internal/stats"
+	"mfdl/internal/trace"
+)
+
+// Scheme selects the downloading scheme.
+type Scheme int
+
+// The chunk-level schemes.
+const (
+	// MFCD wants every chunk of every requested file at once.
+	MFCD Scheme = iota
+	// CMFSD downloads files sequentially and partial-seeds finished ones
+	// while downloading.
+	CMFSD
+	// MTSD downloads files sequentially with a dedicated seeding pause
+	// of mean 1/γ rounds after each file — the multi-torrent sequential
+	// behaviour embedded in one swarm (a peer in an MTSD pause is
+	// indistinguishable from a per-file seed).
+	MTSD
+)
+
+// String implements fmt.Stringer.
+func (s Scheme) String() string {
+	switch s {
+	case MFCD:
+		return "MFCD"
+	case CMFSD:
+		return "CMFSD"
+	case MTSD:
+		return "MTSD"
+	default:
+		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+}
+
+// Config parameterizes one swarm simulation.
+type Config struct {
+	// K is the number of files in the torrent.
+	K int
+	// ChunksPerFile is the number of chunks per file.
+	ChunksPerFile int
+	// Lambda0 is the user visiting rate in users per round.
+	Lambda0 float64
+	// P is the file correlation.
+	P float64
+	// Scheme is MFCD, CMFSD or MTSD.
+	Scheme Scheme
+	// Rho is the CMFSD partial-seed allocation ratio when Adapt is nil.
+	Rho float64
+	// Adapt, when non-nil, runs the Adapt controller per obedient peer.
+	Adapt *adapt.Config
+	// CheaterFraction is the fraction of CMFSD peers pinning ρ = 1.
+	CheaterFraction float64
+	// UploadPerRound is each peer's upload bandwidth in chunks per round.
+	UploadPerRound int
+	// TFTEfficiency is the paper's η: the probability that a chunk sent
+	// over a tit-for-tat link between two downloaders is actually useful
+	// (duplicate blocks, choking churn and request latency waste the
+	// rest). Seed and virtual-seed uploads are altruistic and always
+	// land, matching the fluid model's μηP·x vs μ(1−P)·x asymmetry.
+	TFTEfficiency float64
+	// Slots is the number of unchoke slots (including the optimistic one).
+	Slots int
+	// OptimisticEvery is the optimistic-unchoke rotation period in rounds.
+	OptimisticEvery int
+	// Gamma is the per-round seed departure probability parameter: seeds
+	// stay for a geometric number of rounds with mean 1/Gamma.
+	Gamma float64
+	// MaxNeighbors bounds each peer's neighbor set (the origin seed is
+	// always known).
+	MaxNeighbors int
+	// OriginUpload is the origin seed's upload bandwidth (defaults to
+	// UploadPerRound).
+	OriginUpload int
+	// Horizon is the number of rounds to simulate.
+	Horizon int
+	// Warmup discards users arriving before this round from statistics.
+	Warmup int
+	// Seed drives the deterministic RNG.
+	Seed uint64
+	// SampleEvery, when positive, records downloader and seed population
+	// series into Result.Trace every that many rounds.
+	SampleEvery int
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.K < 1 {
+		return fmt.Errorf("swarm: K = %d must be >= 1", c.K)
+	}
+	if c.ChunksPerFile < 1 {
+		return errors.New("swarm: ChunksPerFile must be >= 1")
+	}
+	if c.Lambda0 <= 0 {
+		return errors.New("swarm: Lambda0 must be positive")
+	}
+	if c.P <= 0 || c.P > 1 {
+		return fmt.Errorf("swarm: p = %v outside (0,1]", c.P)
+	}
+	if c.Scheme < MFCD || c.Scheme > MTSD {
+		return fmt.Errorf("swarm: unknown scheme %d", int(c.Scheme))
+	}
+	if c.Rho < 0 || c.Rho > 1 {
+		return fmt.Errorf("swarm: ρ = %v outside [0,1]", c.Rho)
+	}
+	if c.Adapt != nil {
+		if err := c.Adapt.Validate(); err != nil {
+			return err
+		}
+	}
+	if c.CheaterFraction < 0 || c.CheaterFraction > 1 {
+		return errors.New("swarm: cheater fraction outside [0,1]")
+	}
+	if c.UploadPerRound < 1 {
+		return errors.New("swarm: UploadPerRound must be >= 1")
+	}
+	if c.TFTEfficiency <= 0 || c.TFTEfficiency > 1 {
+		return fmt.Errorf("swarm: η = %v outside (0,1]", c.TFTEfficiency)
+	}
+	if c.Slots < 2 {
+		return errors.New("swarm: need at least 2 unchoke slots")
+	}
+	if c.OptimisticEvery < 1 {
+		return errors.New("swarm: OptimisticEvery must be >= 1")
+	}
+	if c.Gamma <= 0 || c.Gamma > 1 {
+		return fmt.Errorf("swarm: Gamma = %v outside (0,1]", c.Gamma)
+	}
+	if c.MaxNeighbors < 1 {
+		return errors.New("swarm: MaxNeighbors must be >= 1")
+	}
+	if c.Horizon < 1 {
+		return errors.New("swarm: Horizon must be >= 1")
+	}
+	if c.Warmup < 0 || c.Warmup >= c.Horizon {
+		return errors.New("swarm: Warmup outside [0, Horizon)")
+	}
+	if c.SampleEvery < 0 {
+		return errors.New("swarm: SampleEvery must be non-negative")
+	}
+	return nil
+}
+
+// DefaultConfig is a small but realistic operating point used by the
+// examples and tests.
+var DefaultConfig = Config{
+	K:               5,
+	ChunksPerFile:   16,
+	Lambda0:         0.5,
+	P:               0.9,
+	Scheme:          CMFSD,
+	Rho:             0,
+	UploadPerRound:  4,
+	TFTEfficiency:   0.5,
+	Slots:           4,
+	OptimisticEvery: 3,
+	Gamma:           0.1,
+	MaxNeighbors:    25,
+	Horizon:         1500,
+	Warmup:          300,
+	Seed:            1,
+}
+
+// ClassStats aggregates completed users of one class.
+type ClassStats struct {
+	Class          int
+	Completed      int
+	OnlineRounds   stats.Summary
+	DownloadRounds stats.Summary
+}
+
+// Result is the outcome of one swarm run.
+type Result struct {
+	Config Config
+	// Classes holds classes 1..K.
+	Classes []ClassStats
+	// ArrivedUsers / CompletedUsers count post-warmup users.
+	ArrivedUsers, CompletedUsers int
+	// AvgOnlinePerFile and AvgDownloadPerFile are the paper's aggregation
+	// in rounds per file.
+	AvgOnlinePerFile, AvgDownloadPerFile float64
+	// MeanDownloaders / MeanSeeds are time-averaged populations.
+	MeanDownloaders, MeanSeeds float64
+	// FinalRho summarizes completed obedient multi-file peers' final ρ.
+	FinalRho stats.Summary
+	// ChunksTransferred counts every chunk delivery (excluding origin).
+	ChunksTransferred int
+	// Trace holds "downloaders" and "seeds" series when
+	// Config.SampleEvery > 0, else nil.
+	Trace *trace.Recorder
+}
+
+type peerState uint8
+
+const (
+	stateDownloading peerState = iota
+	stateSeeding
+)
+
+type peer struct {
+	id        int
+	class     int
+	files     []int // requested files in download order
+	have      []bool
+	haveCount []int // per file
+	state     peerState
+	cursor    int // current file index (CMFSD)
+	finished  int
+	arrival   int
+	counted   bool
+	cheater   bool
+	rho       float64
+	ctrl      *adapt.Controller
+
+	neighbors []*peer
+	received  map[int]int // peer id -> chunks received last round (TFT)
+	recvNow   map[int]int // accumulating this round
+	optPeer   *peer
+	optAge    int
+
+	downloadRounds int
+	seedLeft       int
+	fileSeedLeft   int // MTSD: rounds left in the current per-file pause
+
+	virtUp, virtDown int // chunks via virtual seeding this adapt window
+	adaptAge         int
+}
+
+// wantsFile reports whether the peer currently wants chunks of file f.
+func (s *sim) wantsFile(p *peer, f int) bool {
+	if p.state != stateDownloading {
+		return false
+	}
+	if p.haveCount[f] == s.cfg.ChunksPerFile {
+		return false
+	}
+	switch s.cfg.Scheme {
+	case MFCD:
+		for _, rf := range p.files {
+			if rf == f {
+				return true
+			}
+		}
+		return false
+	default: // CMFSD/MTSD: only the current file, and not during a pause
+		if p.fileSeedLeft > 0 {
+			return false
+		}
+		return p.cursor < len(p.files) && p.files[p.cursor] == f
+	}
+}
+
+// interested reports whether q could use any chunk p is offering from file
+// set judged at file granularity (cheap over-approximation; a useless
+// unchoke just transfers nothing).
+func (s *sim) interested(q, p *peer, virtualOnly bool) bool {
+	for f := 0; f < s.cfg.K; f++ {
+		if !s.wantsFile(q, f) {
+			continue
+		}
+		if virtualOnly && !s.fileFinished(p, f) {
+			continue
+		}
+		if p.haveCount[f] > 0 && q.haveCount[f] < s.cfg.ChunksPerFile {
+			return true
+		}
+	}
+	return false
+}
+
+// fileFinished reports whether p holds all chunks of file f.
+func (s *sim) fileFinished(p *peer, f int) bool {
+	return p.haveCount[f] == s.cfg.ChunksPerFile
+}
+
+type sim struct {
+	cfg    Config
+	corr   *correlation.Model
+	rng    *rng.Source
+	peers  []*peer
+	origin *peer
+	nextID int
+	round  int
+
+	chunkCount []int // global availability per chunk (including origin)
+
+	res       *Result
+	dlPop     stats.TimeWeighted
+	seedPop   stats.TimeWeighted
+	sumOnline float64
+	sumDl     float64
+	sumFiles  int
+	classCDF  []float64
+	totalRate float64
+}
+
+// Run executes one swarm simulation.
+func Run(cfg Config) (*Result, error) {
+	if cfg.OriginUpload == 0 {
+		cfg.OriginUpload = cfg.UploadPerRound
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	corr, err := correlation.New(cfg.K, cfg.P, cfg.Lambda0)
+	if err != nil {
+		return nil, err
+	}
+	s := &sim{
+		cfg:  cfg,
+		corr: corr,
+		rng:  rng.New(cfg.Seed),
+		res:  &Result{Config: cfg, Classes: make([]ClassStats, cfg.K)},
+	}
+	for i := range s.res.Classes {
+		s.res.Classes[i].Class = i + 1
+	}
+	s.setup()
+	for s.round = 0; s.round < cfg.Horizon; s.round++ {
+		s.step()
+	}
+	s.finish()
+	return s.res, nil
+}
+
+func (s *sim) totalChunks() int { return s.cfg.K * s.cfg.ChunksPerFile }
+
+func (s *sim) setup() {
+	n := s.totalChunks()
+	s.chunkCount = make([]int, n)
+	origin := &peer{
+		id:        0,
+		class:     0,
+		have:      make([]bool, n),
+		haveCount: make([]int, s.cfg.K),
+		state:     stateSeeding,
+		seedLeft:  math.MaxInt32,
+		received:  map[int]int{},
+		recvNow:   map[int]int{},
+	}
+	for i := range origin.have {
+		origin.have[i] = true
+		s.chunkCount[i]++
+	}
+	for f := 0; f < s.cfg.K; f++ {
+		origin.haveCount[f] = s.cfg.ChunksPerFile
+	}
+	s.origin = origin
+	s.nextID = 1
+	acc := 0.0
+	s.classCDF = make([]float64, s.cfg.K)
+	for i := 1; i <= s.cfg.K; i++ {
+		acc += s.corr.UserRate(i)
+		s.classCDF[i-1] = acc
+	}
+	s.totalRate = acc
+}
+
+func (s *sim) sampleClass() int {
+	u := s.rng.Float64() * s.totalRate
+	for i, c := range s.classCDF {
+		if u <= c {
+			return i + 1
+		}
+	}
+	return s.cfg.K
+}
+
+func (s *sim) arrive() {
+	n := s.rng.Poisson(s.totalRate)
+	for i := 0; i < n; i++ {
+		class := s.sampleClass()
+		files := s.rng.Perm(s.cfg.K)[:class]
+		p := &peer{
+			id:        s.nextID,
+			class:     class,
+			files:     files,
+			have:      make([]bool, s.totalChunks()),
+			haveCount: make([]int, s.cfg.K),
+			arrival:   s.round,
+			counted:   s.round >= s.cfg.Warmup,
+			rho:       s.cfg.Rho,
+			received:  map[int]int{},
+			recvNow:   map[int]int{},
+		}
+		s.nextID++
+		if s.cfg.Scheme == CMFSD {
+			if s.rng.Bernoulli(s.cfg.CheaterFraction) {
+				p.cheater = true
+				p.rho = 1
+			} else if s.cfg.Adapt != nil {
+				if ctrl, err := adapt.NewController(*s.cfg.Adapt); err == nil {
+					p.ctrl = ctrl
+					p.rho = ctrl.Rho()
+				}
+			}
+		}
+		// Neighbor set: a bounded random sample of current peers, plus
+		// the origin seed. Links are symmetric.
+		cand := s.peers
+		want := s.cfg.MaxNeighbors
+		if want > len(cand) {
+			want = len(cand)
+		}
+		for _, idx := range s.rng.Perm(len(cand))[:want] {
+			q := cand[idx]
+			p.neighbors = append(p.neighbors, q)
+			q.neighbors = append(q.neighbors, p)
+		}
+		p.neighbors = append(p.neighbors, s.origin)
+		if p.counted {
+			s.res.ArrivedUsers++
+		}
+		s.peers = append(s.peers, p)
+	}
+}
+
+// uploadBudgets returns the TFT and virtual-seed chunk budgets of p this
+// round.
+func (s *sim) uploadBudgets(p *peer) (tft, virtual int) {
+	u := s.cfg.UploadPerRound
+	if p == s.origin {
+		return 0, s.cfg.OriginUpload
+	}
+	if p.state == stateSeeding {
+		return 0, u
+	}
+	if s.cfg.Scheme == MTSD && p.fileSeedLeft > 0 {
+		// Per-file seeding pause: the whole upload serves finished files.
+		return 0, u
+	}
+	if s.cfg.Scheme == CMFSD && p.class > 1 && p.finished >= 1 {
+		v := int(math.Round((1 - p.rho) * float64(u)))
+		return u - v, v
+	}
+	return u, 0
+}
+
+// transfer is one scheduled chunk delivery, applied at the end of the round.
+type transfer struct {
+	to      *peer
+	from    *peer
+	chunk   int
+	virtual bool
+}
+
+// step simulates one rechoke round.
+func (s *sim) step() {
+	s.arrive()
+
+	// Record populations at the start of the round.
+	if s.round >= s.cfg.Warmup || (s.cfg.SampleEvery > 0 && s.round%s.cfg.SampleEvery == 0) {
+		dl, sd := 0, 0
+		for _, p := range s.peers {
+			if p.state == stateDownloading {
+				dl++
+			} else {
+				sd++
+			}
+		}
+		if s.round >= s.cfg.Warmup {
+			s.dlPop.Observe(float64(s.round-s.cfg.Warmup), float64(dl))
+			s.seedPop.Observe(float64(s.round-s.cfg.Warmup), float64(sd))
+		}
+		if s.cfg.SampleEvery > 0 && s.round%s.cfg.SampleEvery == 0 {
+			if s.res.Trace == nil {
+				s.res.Trace = trace.NewRecorder()
+			}
+			_ = s.res.Trace.Record("downloaders", float64(s.round), float64(dl))
+			_ = s.res.Trace.Record("seeds", float64(s.round), float64(sd))
+		}
+	}
+
+	// Plan all transfers with the pre-round state, then apply.
+	var planned []transfer
+	incoming := map[int]map[int]bool{} // receiver id -> chunk set scheduled
+	uploaders := append([]*peer{s.origin}, s.peers...)
+	for _, p := range uploaders {
+		tftBudget, virtBudget := s.uploadBudgets(p)
+		if tftBudget > 0 {
+			targets := s.tftUnchoke(p)
+			planned = s.serve(planned, incoming, p, targets, tftBudget, false, s.cfg.TFTEfficiency)
+		}
+		if virtBudget > 0 {
+			isVirtual := p != s.origin && p.state == stateDownloading
+			targets := s.altruisticUnchoke(p, isVirtual)
+			planned = s.serve(planned, incoming, p, targets, virtBudget, isVirtual, 1)
+		}
+	}
+	for _, tr := range planned {
+		if tr.to.have[tr.chunk] {
+			continue
+		}
+		tr.to.have[tr.chunk] = true
+		tr.to.haveCount[tr.chunk/s.cfg.ChunksPerFile]++
+		s.chunkCount[tr.chunk]++
+		tr.to.recvNow[tr.from.id] += 1
+		s.res.ChunksTransferred++
+		if tr.virtual {
+			tr.from.virtUp++
+			tr.to.virtDown++
+		}
+	}
+
+	// Post-transfer bookkeeping: completions, seeding transitions,
+	// departures, TFT history rotation, Adapt.
+	var alive []*peer
+	for _, p := range s.peers {
+		p.received, p.recvNow = p.recvNow, map[int]int{}
+		if p.state == stateDownloading {
+			if p.fileSeedLeft > 0 {
+				// MTSD per-file seeding pause.
+				p.fileSeedLeft--
+				if p.fileSeedLeft == 0 {
+					p.cursor++
+				}
+			} else {
+				p.downloadRounds++
+				s.checkCompletion(p)
+			}
+		}
+		if p.state == stateSeeding {
+			p.seedLeft--
+			if p.seedLeft <= 0 {
+				s.depart(p)
+				continue
+			}
+		}
+		if p.ctrl != nil && p.state == stateDownloading {
+			p.adaptAge++
+			if float64(p.adaptAge) >= p.ctrl.Period() {
+				if p.finished >= 1 && p.class > 1 {
+					delta := float64(p.virtUp-p.virtDown) / float64(p.adaptAge)
+					p.rho = p.ctrl.Observe(delta)
+				}
+				p.virtUp, p.virtDown, p.adaptAge = 0, 0, 0
+			}
+		}
+		alive = append(alive, p)
+	}
+	s.peers = alive
+}
+
+// checkCompletion advances a downloader whose current goal is met.
+func (s *sim) checkCompletion(p *peer) {
+	switch s.cfg.Scheme {
+	case MFCD:
+		for _, f := range p.files {
+			if !s.fileFinished(p, f) {
+				return
+			}
+		}
+		p.finished = len(p.files)
+		s.startSeeding(p)
+	case MTSD:
+		if p.fileSeedLeft > 0 {
+			return // mid-pause; cursor advances when the pause ends
+		}
+		if p.cursor >= len(p.files) || !s.fileFinished(p, p.files[p.cursor]) {
+			return
+		}
+		p.finished++
+		if p.cursor+1 >= len(p.files) {
+			s.startSeeding(p)
+			return
+		}
+		p.fileSeedLeft = 1 + int(s.rng.Exp(s.cfg.Gamma))
+	default: // CMFSD
+		for p.cursor < len(p.files) && s.fileFinished(p, p.files[p.cursor]) {
+			p.cursor++
+			p.finished++
+		}
+		if p.cursor >= len(p.files) {
+			s.startSeeding(p)
+		}
+	}
+}
+
+func (s *sim) startSeeding(p *peer) {
+	p.state = stateSeeding
+	// Geometric residence with mean 1/γ rounds.
+	p.seedLeft = 1 + int(s.rng.Exp(s.cfg.Gamma))
+}
+
+// depart removes a seed from the swarm bookkeeping (the caller drops it
+// from the peer list) and records its statistics.
+func (s *sim) depart(dead *peer) {
+	for c, h := range dead.have {
+		if h {
+			s.chunkCount[c]--
+		}
+	}
+	// Remove from neighbor lists lazily: links to departed peers are
+	// skipped because they are no longer in s.peers; to keep neighbor
+	// scans cheap we filter here.
+	for _, q := range dead.neighbors {
+		for i, r := range q.neighbors {
+			if r == dead {
+				q.neighbors[i] = q.neighbors[len(q.neighbors)-1]
+				q.neighbors = q.neighbors[:len(q.neighbors)-1]
+				break
+			}
+		}
+	}
+	if !dead.counted {
+		return
+	}
+	online := float64(s.round - dead.arrival + 1)
+	cs := &s.res.Classes[dead.class-1]
+	cs.Completed++
+	cs.OnlineRounds.Add(online)
+	cs.DownloadRounds.Add(float64(dead.downloadRounds))
+	s.res.CompletedUsers++
+	s.sumOnline += online
+	s.sumDl += float64(dead.downloadRounds)
+	s.sumFiles += dead.class
+	if s.cfg.Scheme == CMFSD && dead.class > 1 && !dead.cheater {
+		s.res.FinalRho.Add(dead.rho)
+	}
+}
+
+// tftUnchoke returns the peers p unchokes with its tit-for-tat budget: the
+// top Slots−1 contributors among interested neighbors plus one optimistic.
+func (s *sim) tftUnchoke(p *peer) []*peer {
+	var interested []*peer
+	for _, q := range p.neighbors {
+		if q == p || q.state != stateDownloading {
+			continue
+		}
+		if s.interested(q, p, false) {
+			interested = append(interested, q)
+		}
+	}
+	if len(interested) == 0 {
+		return nil
+	}
+	sort.Slice(interested, func(i, j int) bool {
+		ri := p.received[interested[i].id]
+		rj := p.received[interested[j].id]
+		if ri != rj {
+			return ri > rj
+		}
+		return interested[i].id < interested[j].id
+	})
+	n := s.cfg.Slots - 1
+	if n > len(interested) {
+		n = len(interested)
+	}
+	targets := append([]*peer(nil), interested[:n]...)
+	// Optimistic slot: rotate a random interested peer not already chosen.
+	p.optAge++
+	if p.optPeer == nil || p.optAge >= s.cfg.OptimisticEvery || !s.stillInterested(p, p.optPeer) {
+		p.optPeer = nil
+		p.optAge = 0
+		var pool []*peer
+		for _, q := range interested[n:] {
+			pool = append(pool, q)
+		}
+		if len(pool) > 0 {
+			p.optPeer = pool[s.rng.Intn(len(pool))]
+		}
+	}
+	if p.optPeer != nil {
+		targets = append(targets, p.optPeer)
+	}
+	return targets
+}
+
+func (s *sim) stillInterested(p, q *peer) bool {
+	if q.state != stateDownloading {
+		return false
+	}
+	for _, r := range p.neighbors {
+		if r == q {
+			return s.interested(q, p, false)
+		}
+	}
+	return false
+}
+
+// altruisticUnchoke picks random interested peers for a seed (or, with
+// virtualOnly, for a partial seed's finished files).
+func (s *sim) altruisticUnchoke(p *peer, virtualOnly bool) []*peer {
+	var pool []*peer
+	neighbors := p.neighbors
+	if p == s.origin {
+		neighbors = s.peers
+	}
+	for _, q := range neighbors {
+		if q == p || q.state != stateDownloading {
+			continue
+		}
+		if s.interested(q, p, virtualOnly) {
+			pool = append(pool, q)
+		}
+	}
+	if len(pool) == 0 {
+		return nil
+	}
+	n := s.cfg.Slots
+	if n > len(pool) {
+		n = len(pool)
+	}
+	s.rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+	return pool[:n]
+}
+
+// serve splits budget chunks across targets and schedules rarest-first
+// picks for each. Each chunk lands with the given efficiency; misses model
+// the sharing loss η of downloader-to-downloader exchange and consume the
+// slot's budget without delivering.
+func (s *sim) serve(planned []transfer, incoming map[int]map[int]bool, p *peer, targets []*peer, budget int, virtual bool, efficiency float64) []transfer {
+	if len(targets) == 0 || budget <= 0 {
+		return planned
+	}
+	base := budget / len(targets)
+	extra := budget % len(targets)
+	for i, q := range targets {
+		n := base
+		if i < extra {
+			n++
+		}
+		for j := 0; j < n; j++ {
+			if efficiency < 1 && !s.rng.Bernoulli(efficiency) {
+				continue
+			}
+			c := s.pickChunk(q, p, incoming[q.id], virtual)
+			if c < 0 {
+				break
+			}
+			if incoming[q.id] == nil {
+				incoming[q.id] = map[int]bool{}
+			}
+			incoming[q.id][c] = true
+			planned = append(planned, transfer{to: q, from: p, chunk: c, virtual: virtual})
+		}
+	}
+	return planned
+}
+
+// pickChunk selects the rarest chunk q wants that p can offer (restricted
+// to p's finished files when virtual), excluding chunks already scheduled.
+func (s *sim) pickChunk(q, p *peer, scheduled map[int]bool, virtual bool) int {
+	best := -1
+	bestCount := math.MaxInt32
+	cpf := s.cfg.ChunksPerFile
+	for f := 0; f < s.cfg.K; f++ {
+		if !s.wantsFile(q, f) {
+			continue
+		}
+		if virtual && !s.fileFinished(p, f) {
+			continue
+		}
+		if p.haveCount[f] == 0 {
+			continue
+		}
+		baseIdx := f * cpf
+		for c := baseIdx; c < baseIdx+cpf; c++ {
+			if q.have[c] || !p.have[c] || scheduled[c] {
+				continue
+			}
+			if s.chunkCount[c] < bestCount {
+				bestCount = s.chunkCount[c]
+				best = c
+			}
+		}
+	}
+	return best
+}
+
+// finish aggregates the run.
+func (s *sim) finish() {
+	if s.sumFiles > 0 {
+		s.res.AvgOnlinePerFile = s.sumOnline / float64(s.sumFiles)
+		s.res.AvgDownloadPerFile = s.sumDl / float64(s.sumFiles)
+	} else {
+		s.res.AvgOnlinePerFile = math.NaN()
+		s.res.AvgDownloadPerFile = math.NaN()
+	}
+	span := float64(s.cfg.Horizon - s.cfg.Warmup)
+	s.res.MeanDownloaders = s.dlPop.MeanUntil(span)
+	s.res.MeanSeeds = s.seedPop.MeanUntil(span)
+}

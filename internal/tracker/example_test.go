@@ -1,0 +1,43 @@
+package tracker_test
+
+import (
+	"fmt"
+	"log"
+
+	"mfdl/internal/metainfo"
+	"mfdl/internal/tracker"
+)
+
+// Publish a torrent, announce two peers, and read the swarm state — the
+// whole Figure-1 control plane without HTTP.
+func ExampleRegistry() {
+	reg := tracker.NewRegistry(1)
+	data := make([]byte, 2048)
+	meta, err := metainfo.Build("demo", "/announce", 1024,
+		[]metainfo.FileEntry{{Path: "demo/file.bin", Length: 2048}},
+		metainfo.BytesSource(data))
+	if err != nil {
+		log.Fatal(err)
+	}
+	hash, err := reg.Publish(meta)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := reg.Announce(tracker.AnnounceRequest{
+		InfoHash: hash, PeerID: "seed-1", IP: "10.0.0.1", Port: 6881,
+		Left: 0, Event: tracker.EventCompleted,
+	}); err != nil {
+		log.Fatal(err)
+	}
+	resp, err := reg.Announce(tracker.AnnounceRequest{
+		InfoHash: hash, PeerID: "leech-1", IP: "10.0.0.2", Port: 6881,
+		Left: 2048, Event: tracker.EventStarted,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("seeds=%d downloaders=%d peers=%d\n",
+		resp.Complete, resp.Incomplete, len(resp.Peers))
+	// Output:
+	// seeds=1 downloaders=1 peers=1
+}

@@ -1,0 +1,220 @@
+package tracker
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"mfdl/internal/metainfo"
+)
+
+// publishTestTorrent registers a small 2-file torrent and returns its hash.
+func publishTestTorrent(t *testing.T, r *Registry, name string) InfoHash {
+	t.Helper()
+	data := make([]byte, 600)
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	m, err := metainfo.Build(name, "http://t/announce", 256, []metainfo.FileEntry{
+		{Path: name + "/a.bin", Length: 400},
+		{Path: name + "/b.bin", Length: 200},
+	}, metainfo.BytesSource(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := r.Publish(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func announce(t *testing.T, r *Registry, h InfoHash, id string, left int64, ev Event) *AnnounceResponse {
+	t.Helper()
+	resp, err := r.Announce(AnnounceRequest{
+		InfoHash: h, PeerID: id, IP: "10.0.0.1", Port: 6881, Left: left, Event: ev,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func TestPublishIdempotent(t *testing.T) {
+	r := NewRegistry(1)
+	h1 := publishTestTorrent(t, r, "x")
+	h2 := publishTestTorrent(t, r, "x")
+	if h1 != h2 {
+		t.Fatal("same torrent published twice with different hashes")
+	}
+	if _, err := r.Publish(nil); err == nil {
+		t.Fatal("nil metainfo accepted")
+	}
+}
+
+func TestAnnounceLifecycle(t *testing.T) {
+	r := NewRegistry(1)
+	h := publishTestTorrent(t, r, "x")
+
+	resp := announce(t, r, h, "peer1", 600, EventStarted)
+	if resp.Incomplete != 1 || resp.Complete != 0 {
+		t.Fatalf("after start: %d/%d", resp.Complete, resp.Incomplete)
+	}
+	if len(resp.Peers) != 0 {
+		t.Fatal("peer saw itself")
+	}
+
+	resp = announce(t, r, h, "peer2", 600, EventStarted)
+	if resp.Incomplete != 2 {
+		t.Fatalf("incomplete = %d", resp.Incomplete)
+	}
+	if len(resp.Peers) != 1 || resp.Peers[0].ID != "peer1" {
+		t.Fatalf("peer list %v", resp.Peers)
+	}
+
+	resp = announce(t, r, h, "peer1", 0, EventCompleted)
+	if resp.Complete != 1 || resp.Incomplete != 1 {
+		t.Fatalf("after complete: %d/%d", resp.Complete, resp.Incomplete)
+	}
+
+	resp = announce(t, r, h, "peer1", 0, EventStopped)
+	if resp.Complete != 0 || resp.Incomplete != 1 {
+		t.Fatalf("after stop: %d/%d", resp.Complete, resp.Incomplete)
+	}
+}
+
+func TestAnnounceValidation(t *testing.T) {
+	r := NewRegistry(1)
+	h := publishTestTorrent(t, r, "x")
+	if _, err := r.Announce(AnnounceRequest{InfoHash: h, PeerID: "", Port: 1}); err == nil {
+		t.Fatal("empty peer id accepted")
+	}
+	if _, err := r.Announce(AnnounceRequest{InfoHash: h, PeerID: "p", Port: 0}); err == nil {
+		t.Fatal("port 0 accepted")
+	}
+	var unknown InfoHash
+	if _, err := r.Announce(AnnounceRequest{InfoHash: unknown, PeerID: "p", Port: 1}); err != ErrUnknownTorrent {
+		t.Fatalf("unknown torrent: %v", err)
+	}
+}
+
+func TestNumWantCapsPeerList(t *testing.T) {
+	r := NewRegistry(1)
+	h := publishTestTorrent(t, r, "x")
+	for i := 0; i < 80; i++ {
+		announce(t, r, h, "peer"+string(rune('A'+i%26))+string(rune('a'+i/26)), 100, EventStarted)
+	}
+	resp, err := r.Announce(AnnounceRequest{
+		InfoHash: h, PeerID: "me", Port: 1, Left: 100, NumWant: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Peers) != 10 {
+		t.Fatalf("numwant ignored: %d peers", len(resp.Peers))
+	}
+	// Default cap is 50.
+	resp, err = r.Announce(AnnounceRequest{InfoHash: h, PeerID: "me2", Port: 1, Left: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Peers) != 50 {
+		t.Fatalf("default cap: %d peers", len(resp.Peers))
+	}
+}
+
+func TestPruneExpiredPeers(t *testing.T) {
+	r := NewRegistry(1)
+	now := time.Unix(1000000, 0)
+	r.Now = func() time.Time { return now }
+	h := publishTestTorrent(t, r, "x")
+	announce(t, r, h, "old", 100, EventStarted)
+	now = now.Add(3 * r.Interval) // past the 2×interval deadline
+	resp := announce(t, r, h, "new", 100, EventStarted)
+	if resp.Incomplete != 1 {
+		t.Fatalf("stale peer not pruned: incomplete = %d", resp.Incomplete)
+	}
+}
+
+func TestScrape(t *testing.T) {
+	r := NewRegistry(1)
+	ha := publishTestTorrent(t, r, "alpha")
+	hb := publishTestTorrent(t, r, "beta")
+	announce(t, r, ha, "p1", 0, EventCompleted)
+	announce(t, r, ha, "p2", 100, EventStarted)
+	announce(t, r, hb, "p3", 100, EventStarted)
+
+	all := r.Scrape()
+	if len(all) != 2 || all[0].Name != "alpha" || all[1].Name != "beta" {
+		t.Fatalf("scrape all: %+v", all)
+	}
+	if all[0].Complete != 1 || all[0].Incomplete != 1 || all[0].Downloaded != 1 {
+		t.Fatalf("alpha stats: %+v", all[0])
+	}
+	one := r.Scrape(hb)
+	if len(one) != 1 || one[0].Name != "beta" || one[0].Incomplete != 1 {
+		t.Fatalf("scrape one: %+v", one)
+	}
+}
+
+func TestTorrentRetrieval(t *testing.T) {
+	r := NewRegistry(1)
+	h := publishTestTorrent(t, r, "x")
+	m, err := r.Torrent(h)
+	if err != nil || m.Info.Name != "x" {
+		t.Fatalf("torrent lookup: %v %v", m, err)
+	}
+	var unknown InfoHash
+	if _, err := r.Torrent(unknown); err != ErrUnknownTorrent {
+		t.Fatalf("unknown lookup: %v", err)
+	}
+}
+
+func TestHexHashRoundTrip(t *testing.T) {
+	r := NewRegistry(1)
+	h := publishTestTorrent(t, r, "x")
+	back, err := ParseHexHash(HexHash(h))
+	if err != nil || back != h {
+		t.Fatalf("hex round trip: %v %v", back, err)
+	}
+	if _, err := ParseHexHash("zz"); err == nil {
+		t.Fatal("bad hex accepted")
+	}
+	if _, err := ParseHexHash("abcd"); err == nil {
+		t.Fatal("short hex accepted")
+	}
+}
+
+func TestConcurrentAnnounces(t *testing.T) {
+	r := NewRegistry(1)
+	h := publishTestTorrent(t, r, "x")
+	var wg sync.WaitGroup
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			id := fmt.Sprintf("peer-%02d", w)
+			for i := 0; i < 50; i++ {
+				if _, err := r.Announce(AnnounceRequest{
+					InfoHash: h, PeerID: id, IP: "10.0.0.1", Port: 6881,
+					Left: int64(50 - i), Event: EventNone,
+				}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			if _, err := r.Announce(AnnounceRequest{
+				InfoHash: h, PeerID: id, IP: "10.0.0.1", Port: 6881,
+				Left: 0, Event: EventCompleted,
+			}); err != nil {
+				t.Error(err)
+			}
+		}(w)
+	}
+	wg.Wait()
+	entries := r.Scrape(h)
+	if len(entries) != 1 || entries[0].Complete != 16 || entries[0].Downloaded != 16 {
+		t.Fatalf("after concurrent announces: %+v", entries)
+	}
+}
