@@ -1,0 +1,16 @@
+# Verification tiers. tier1 is the gate every change must keep green;
+# tier2 adds static analysis and the race detector over the concurrent
+# paths (runner pool, memo cache, simulators).
+
+.PHONY: tier1 tier2 bench
+
+tier1:
+	go build ./... && go test ./...
+
+tier2:
+	go vet ./... && go test -race ./...
+
+# bench regenerates every paper artifact under timing, including the
+# serial-vs-parallel sweep comparison.
+bench:
+	go test -bench=. -benchtime=1x .

@@ -6,10 +6,15 @@
 package mfdl_test
 
 import (
+	"context"
+	"fmt"
+	"runtime"
 	"testing"
 
 	"mfdl/internal/adapt"
 	"mfdl/internal/experiments"
+	"mfdl/internal/runner"
+	"mfdl/internal/scheme"
 	"mfdl/internal/swarm"
 )
 
@@ -46,6 +51,40 @@ func BenchmarkFig4A(b *testing.B) {
 		if _, err := experiments.Fig4A(experiments.PaperConfig, pGrid, rhoGrid); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkSweepParallel measures the sweep engine on a CMFSD p × ρ grid
+// (the Figure 4(a) workload) at several worker counts. The workers=1 case
+// is the serial baseline; on an N-core machine the parallel cases should
+// approach N× (every cell is an independent 65-state RK4 relaxation). The
+// grid result is asserted byte-identical across worker counts in
+// cmd/sweep's and internal/experiments' test suites; here we only record
+// the time.
+func BenchmarkSweepParallel(b *testing.B) {
+	grid, err := runner.NewGrid(
+		runner.Dim{Name: "p", Values: runner.Linspace(0.1, 1, 5)},
+		runner.Dim{Name: "rho", Values: runner.Linspace(0, 1, 5)},
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	counts := []int{1, 4}
+	if n := runtime.GOMAXPROCS(0); n > 4 {
+		counts = append(counts, n)
+	}
+	for _, workers := range counts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, err := experiments.Sweep(context.Background(), experiments.SweepSpec{
+					Config: experiments.PaperConfig, P: 0.9,
+					Scheme: scheme.CMFSD, Grid: grid, Workers: workers,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -1,23 +1,39 @@
-// Command sweep runs one-dimensional parameter sweeps of the fluid models:
-// pick a dimension (p, rho, k, mu, gamma, eta, or lambda0), a range, and a
-// scheme, and it prints the average online time per file across the sweep.
-// This generalizes the paper's figures to arbitrary axes — e.g. how the
-// CMFSD gain varies with swarm scale or with seed patience 1/γ.
+// Command sweep runs parameter sweeps of the fluid models: pick one or
+// more dimensions (p, rho, k, mu, gamma, eta, lambda0), a range per
+// dimension, and a scheme, and it prints the average online and download
+// time per file over the full grid. This generalizes the paper's figures
+// to arbitrary axes — e.g. how the CMFSD gain varies with swarm scale or
+// with seed patience 1/γ — and, with several dimensions, regenerates whole
+// surfaces like Figure 4(a) in one call.
+//
+// Grid cells are independent steady-state solves: they fan out over a
+// bounded worker pool (-workers, default all cores) and the output is
+// byte-identical at every worker count. Cells whose parameters coincide
+// (for instance a ρ axis under a scheme that ignores ρ) are solved once.
 //
 // Usage:
 //
 //	sweep -dim rho -from 0 -to 1 -steps 10 -scheme CMFSD -p 0.9
+//	sweep -dim p,rho -from 0.1,0 -to 1,1 -steps 9,10 -workers 8 -scheme CMFSD
+//
+// -from, -to and -steps accept either a single value (applied to every
+// dimension) or one comma-separated value per dimension.
 package main
 
 import (
-	"flag"
+	"context"
 	"fmt"
 	"math"
 	"os"
+	"strconv"
+	"strings"
 
-	"mfdl/internal/core"
+	"flag"
+
+	"mfdl/internal/experiments"
 	"mfdl/internal/fluid"
-	"mfdl/internal/table"
+	"mfdl/internal/runner"
+	"mfdl/internal/scheme"
 )
 
 func main() {
@@ -27,13 +43,67 @@ func main() {
 	}
 }
 
+// formats lists the table formats the -format flag accepts.
+var formats = map[string]bool{
+	"": true, "ascii": true, "csv": true, "tsv": true, "markdown": true, "md": true,
+}
+
+// parseFloats parses a comma-separated float list and broadcasts a single
+// value to n entries. NaN and ±Inf are rejected: they would silently
+// produce a degenerate grid.
+func parseFloats(flagName, s string, n int) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, part := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, fmt.Errorf("-%s: invalid value %q", flagName, part)
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("-%s: value %q is not finite", flagName, part)
+		}
+		out = append(out, v)
+	}
+	return broadcast(flagName, out, n)
+}
+
+// parseInts is parseFloats for integer lists.
+func parseInts(flagName, s string, n int) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, part := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("-%s: invalid value %q", flagName, part)
+		}
+		out = append(out, v)
+	}
+	return broadcast(flagName, out, n)
+}
+
+// broadcast expands a 1-element list to n entries and rejects any other
+// length mismatch.
+func broadcast[T any](flagName string, vals []T, n int) ([]T, error) {
+	if len(vals) == n {
+		return vals, nil
+	}
+	if len(vals) == 1 {
+		out := make([]T, n)
+		for i := range out {
+			out[i] = vals[0]
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("-%s: got %d values for %d dimensions", flagName, len(vals), n)
+}
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
 	var (
-		dim     = fs.String("dim", "p", "swept dimension: p, rho, k, mu, gamma, eta, lambda0")
-		from    = fs.Float64("from", 0.05, "sweep start")
-		to      = fs.Float64("to", 1, "sweep end")
-		steps   = fs.Int("steps", 10, "number of sweep intervals")
+		dim     = fs.String("dim", "p", "swept dimensions (comma-separated): p, rho, k, mu, gamma, eta, lambda0")
+		from    = fs.String("from", "0.05", "sweep start, one value or one per dimension")
+		to      = fs.String("to", "1", "sweep end, one value or one per dimension")
+		steps   = fs.String("steps", "10", "sweep intervals, one value or one per dimension")
 		schemeF = fs.String("scheme", "CMFSD", "scheme: MTCD, MTSD, MFCD, CMFSD")
 		k       = fs.Int("k", 10, "number of files K")
 		mu      = fs.Float64("mu", 0.02, "upload bandwidth μ")
@@ -42,6 +112,8 @@ func run(args []string) error {
 		lambda0 = fs.Float64("lambda0", 1, "visiting rate λ₀")
 		p       = fs.Float64("p", 0.9, "file correlation p")
 		rho     = fs.Float64("rho", 0, "CMFSD allocation ratio ρ")
+		workers = fs.Int("workers", 0, "worker pool size (0 = all cores)")
+		verbose = fs.Bool("progress", false, "report per-cell progress on stderr")
 		format  = fs.String("format", "ascii", "output format: ascii, csv, tsv, or markdown")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -50,54 +122,70 @@ func run(args []string) error {
 	if fs.NArg() != 0 {
 		return fmt.Errorf("unexpected arguments: %v", fs.Args())
 	}
-	scheme, err := core.ParseScheme(*schemeF)
+	sc, err := scheme.Parse(*schemeF)
 	if err != nil {
 		return err
 	}
-	if *steps < 1 {
-		return fmt.Errorf("steps must be >= 1")
+	if !formats[*format] {
+		return fmt.Errorf("unknown format %q (want ascii, csv, tsv, or markdown)", *format)
 	}
-	tb := table.New(
-		fmt.Sprintf("Sweep of %s for %s (K=%d, p=%g, ρ=%g, μ=%g, η=%g, γ=%g)",
-			*dim, scheme, *k, *p, *rho, *mu, *eta, *gamma),
-		*dim, "avg online/file", "avg download/file")
-	for i := 0; i <= *steps; i++ {
-		v := *from + (*to-*from)*float64(i)/float64(*steps)
-		cfg := core.Config{
+	if *workers < 0 {
+		return fmt.Errorf("workers must be >= 0, got %d", *workers)
+	}
+
+	names := strings.Split(*dim, ",")
+	for i, name := range names {
+		names[i] = strings.TrimSpace(name)
+	}
+	froms, err := parseFloats("from", *from, len(names))
+	if err != nil {
+		return err
+	}
+	tos, err := parseFloats("to", *to, len(names))
+	if err != nil {
+		return err
+	}
+	stepsN, err := parseInts("steps", *steps, len(names))
+	if err != nil {
+		return err
+	}
+	dims := make([]runner.Dim, len(names))
+	for i, name := range names {
+		if froms[i] > tos[i] {
+			return fmt.Errorf("dimension %s: -from %g > -to %g", name, froms[i], tos[i])
+		}
+		if stepsN[i] < 1 {
+			return fmt.Errorf("dimension %s: steps must be >= 1, got %d", name, stepsN[i])
+		}
+		dims[i] = runner.Dim{Name: name, Values: runner.Linspace(froms[i], tos[i], stepsN[i])}
+	}
+	grid, err := runner.NewGrid(dims...)
+	if err != nil {
+		return err
+	}
+
+	spec := experiments.SweepSpec{
+		Config: experiments.Config{
 			Params:  fluid.Params{Mu: *mu, Eta: *eta, Gamma: *gamma},
 			K:       *k,
 			Lambda0: *lambda0,
-			P:       *p,
-		}
-		rhoV := *rho
-		switch *dim {
-		case "p":
-			cfg.P = v
-		case "rho":
-			rhoV = v
-		case "k":
-			cfg.K = int(math.Round(v))
-		case "mu":
-			cfg.Mu = v
-		case "gamma":
-			cfg.Gamma = v
-		case "eta":
-			cfg.Eta = v
-		case "lambda0":
-			cfg.Lambda0 = v
-		default:
-			return fmt.Errorf("unknown dimension %q", *dim)
-		}
-		sys, err := core.NewSystem(cfg)
-		if err != nil {
-			return fmt.Errorf("%s=%g: %w", *dim, v, err)
-		}
-		res, err := sys.Evaluate(scheme, core.WithRho(rhoV))
-		if err != nil {
-			return fmt.Errorf("%s=%g: %w", *dim, v, err)
-		}
-		tb.MustAddRow(table.Fmt(v),
-			table.Fmt(res.AvgOnlinePerFile()), table.Fmt(res.AvgDownloadPerFile()))
+		},
+		P: *p, Rho: *rho,
+		Scheme:  sc,
+		Grid:    grid,
+		Workers: *workers,
 	}
-	return tb.Write(os.Stdout, *format)
+	if *verbose {
+		total := grid.Size()
+		done := 0
+		spec.Hooks = runner.Hooks{OnCell: func(pt runner.Point, err error) {
+			done++
+			fmt.Fprintf(os.Stderr, "sweep: %d/%d (%s)\n", done, total, pt.Label())
+		}}
+	}
+	res, err := experiments.Sweep(context.Background(), spec)
+	if err != nil {
+		return err
+	}
+	return res.Table().Write(os.Stdout, *format)
 }

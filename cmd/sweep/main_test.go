@@ -85,10 +85,74 @@ func TestSweepRejections(t *testing.T) {
 		{"-steps", "0"},                         // bad steps
 		{"extra"},                               // positional arg
 		{"-dim", "p", "-from", "2", "-to", "3"}, // p out of range
+		{"-from", "1", "-to", "0.5"},            // inverted range
+		{"-from", "NaN"},                        // non-finite bound
+		{"-to", "+Inf"},                         // non-finite bound
+		{"-from", "Infinity"},                   // non-finite bound
+		{"-format", "xml"},                      // unknown format
+		{"-workers", "-1"},                      // negative pool
+		{"-dim", "p,rho", "-from", "0,0,0"},     // arity mismatch
+		{"-dim", "p,p"},                         // duplicate dimension
+		{"-dim", "p,rho", "-steps", "3,0"},      // bad steps on one axis
+		{"-from", "zero"},                       // unparsable bound
 	}
 	for i, args := range cases {
 		if _, err := capture(t, func() error { return run(args) }); err == nil {
 			t.Fatalf("case %d accepted: %v", i, args)
+		}
+	}
+}
+
+func TestSweepMultiDim(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-dim", "p,rho", "-from", "0.1,0", "-to", "0.9,1",
+			"-steps", "2", "-scheme", "CMFSD"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Sweep of p,rho") {
+		t.Fatalf("title wrong:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3+9 { // title, header, rule, 3×3 cells
+		t.Fatalf("row count wrong (%d lines):\n%s", len(lines), out)
+	}
+}
+
+// The headline determinism guarantee, end to end through the CLI: the
+// same grid must render byte-identically at every worker count.
+func TestSweepWorkersByteIdentical(t *testing.T) {
+	var base string
+	for _, workers := range []string{"1", "4", "8"} {
+		out, err := capture(t, func() error {
+			return run([]string{"-dim", "p,rho", "-from", "0.1,0", "-to", "0.9,1",
+				"-steps", "2,2", "-scheme", "CMFSD", "-workers", workers})
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if base == "" {
+			base = out
+			continue
+		}
+		if out != base {
+			t.Fatalf("-workers %s output differs:\n%s\nvs\n%s", workers, out, base)
+		}
+	}
+}
+
+func TestSweepBroadcastAndFormats(t *testing.T) {
+	for _, format := range []string{"csv", "tsv", "markdown"} {
+		out, err := capture(t, func() error {
+			return run([]string{"-dim", "eta,rho", "-from", "0.4", "-to", "0.8",
+				"-steps", "1", "-scheme", "CMFSD", "-format", format})
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", format, err)
+		}
+		if !strings.Contains(out, "avg online/file") {
+			t.Fatalf("%s output:\n%s", format, out)
 		}
 	}
 }

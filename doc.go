@@ -6,6 +6,15 @@
 // simulators that validate the models at the flow and chunk level, and the
 // Adapt mechanism for distributed tuning of the collaboration ratio ρ.
 //
+// Two packages tie the stack together: internal/scheme is the unified
+// factory — scheme.New dispatches a Scheme name plus fluid/correlation
+// parameters to the right model and returns a uniform Evaluate surface —
+// and internal/runner is the parallel execution engine every grid study
+// runs on: N-dimensional grids over a bounded worker pool, per-cell
+// deterministic RNG streams (results are bit-identical at any worker
+// count), context cancellation with first-error propagation, and a
+// memoization cache that collapses coinciding steady-state solves.
+//
 // The root package only anchors the module; all functionality lives under
 // internal/ (see README.md for the map) and is exercised by the binaries in
 // cmd/, the runnable examples in examples/, and the per-figure benchmarks

@@ -19,41 +19,34 @@ import (
 	"errors"
 	"fmt"
 
-	"mfdl/internal/cmfsd"
 	"mfdl/internal/correlation"
 	"mfdl/internal/fluid"
 	"mfdl/internal/metrics"
-	"mfdl/internal/mtcd"
-	"mfdl/internal/mtsd"
+	"mfdl/internal/scheme"
 )
 
-// Scheme identifies one of the paper's downloading schemes.
-type Scheme string
+// Scheme identifies one of the paper's downloading schemes. It aliases
+// scheme.Scheme so core values flow directly into the scheme.New factory.
+type Scheme = scheme.Scheme
 
-// The four schemes of the paper.
+// The four schemes of the paper (see the scheme package for details).
 const (
-	// MTCD: multi-torrent concurrent downloading (Section 3.2).
-	MTCD Scheme = "MTCD"
-	// MTSD: multi-torrent sequential downloading (Section 3.3).
-	MTSD Scheme = "MTSD"
-	// MFCD: multi-file torrent concurrent downloading (Section 3.4).
-	MFCD Scheme = "MFCD"
-	// CMFSD: collaborative multi-file torrent sequential downloading —
-	// the paper's proposal (Section 3.5).
-	CMFSD Scheme = "CMFSD"
+	MTCD  = scheme.MTCD
+	MTSD  = scheme.MTSD
+	MFCD  = scheme.MFCD
+	CMFSD = scheme.CMFSD
 )
 
 // Schemes lists all schemes in paper order.
-var Schemes = []Scheme{MTCD, MTSD, MFCD, CMFSD}
+var Schemes = scheme.Schemes
 
 // ParseScheme converts a string to a Scheme.
 func ParseScheme(s string) (Scheme, error) {
-	for _, sc := range Schemes {
-		if string(sc) == s {
-			return sc, nil
-		}
+	sc, err := scheme.Parse(s)
+	if err != nil {
+		return "", fmt.Errorf("core: unknown scheme %q", s)
 	}
-	return "", fmt.Errorf("core: unknown scheme %q", s)
+	return sc, nil
 }
 
 // Config describes a server–torrent system.
@@ -93,8 +86,7 @@ func (s *System) Correlation() *correlation.Model { return s.corr }
 
 // evalOptions collects per-call options.
 type evalOptions struct {
-	rho    float64
-	rhoSet bool
+	rho float64
 }
 
 // Option customizes Evaluate.
@@ -103,39 +95,20 @@ type Option func(*evalOptions)
 // WithRho sets the CMFSD bandwidth allocation ratio ρ (ignored by the other
 // schemes). The default is the paper's recommended initial setting ρ = 0.
 func WithRho(rho float64) Option {
-	return func(o *evalOptions) { o.rho = rho; o.rhoSet = true }
+	return func(o *evalOptions) { o.rho = rho }
 }
 
 // Evaluate computes the steady-state per-class metrics for the scheme.
-func (s *System) Evaluate(scheme Scheme, opts ...Option) (*metrics.SchemeResult, error) {
+func (s *System) Evaluate(sc Scheme, opts ...Option) (*metrics.SchemeResult, error) {
 	var o evalOptions
 	for _, opt := range opts {
 		opt(&o)
 	}
-	switch scheme {
-	case MTCD:
-		m, err := mtcd.New(s.cfg.Params, s.corr)
-		if err != nil {
-			return nil, err
-		}
-		return m.Evaluate()
-	case MTSD:
-		m, err := mtsd.New(s.cfg.Params, s.corr)
-		if err != nil {
-			return nil, err
-		}
-		return m.Evaluate()
-	case MFCD:
-		return cmfsd.EvaluateMFCD(s.cfg.Params, s.corr)
-	case CMFSD:
-		m, err := cmfsd.New(s.cfg.Params, s.corr, o.rho)
-		if err != nil {
-			return nil, err
-		}
-		return m.Evaluate()
-	default:
-		return nil, fmt.Errorf("core: unknown scheme %q", scheme)
+	m, err := scheme.New(sc, s.cfg.Params, s.corr, scheme.Options{Rho: o.rho})
+	if err != nil {
+		return nil, err
 	}
+	return m.Evaluate()
 }
 
 // Comparison pairs a scheme with its evaluation.

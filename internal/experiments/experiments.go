@@ -28,18 +28,18 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
-	"runtime"
-	"sync"
 
 	"mfdl/internal/cmfsd"
 	"mfdl/internal/correlation"
 	"mfdl/internal/fluid"
-	"mfdl/internal/metrics"
 	"mfdl/internal/mtcd"
-	"mfdl/internal/mtsd"
 	"mfdl/internal/numeric/rootfind"
+	"mfdl/internal/rng"
+	"mfdl/internal/runner"
+	"mfdl/internal/scheme"
 	"mfdl/internal/table"
 )
 
@@ -125,19 +125,11 @@ func Fig2(cfg Config, pGrid []float64) (*Fig2Result, error) {
 			}
 			pt.MTCDOnline, pt.MTSDOnline = t, t
 		} else {
-			mc, err := mtcd.New(cfg.Params, corr)
-			if err != nil {
-				return nil, err
-			}
-			rc, err := mc.Evaluate()
+			rc, err := scheme.Evaluate(scheme.MTCD, cfg.Params, corr, scheme.Options{})
 			if err != nil {
 				return nil, fmt.Errorf("experiments: MTCD at p=%v: %w", p, err)
 			}
-			ms, err := mtsd.New(cfg.Params, corr)
-			if err != nil {
-				return nil, err
-			}
-			rs, err := ms.Evaluate()
+			rs, err := scheme.Evaluate(scheme.MTSD, cfg.Params, corr, scheme.Options{})
 			if err != nil {
 				return nil, fmt.Errorf("experiments: MTSD at p=%v: %w", p, err)
 			}
@@ -185,19 +177,11 @@ func Fig3(cfg Config, p float64) (*Fig3Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	mc, err := mtcd.New(cfg.Params, corr)
+	rc, err := scheme.Evaluate(scheme.MTCD, cfg.Params, corr, scheme.Options{})
 	if err != nil {
 		return nil, err
 	}
-	rc, err := mc.Evaluate()
-	if err != nil {
-		return nil, err
-	}
-	ms, err := mtsd.New(cfg.Params, corr)
-	if err != nil {
-		return nil, err
-	}
-	rs, err := ms.Evaluate()
+	rs, err := scheme.Evaluate(scheme.MTSD, cfg.Params, corr, scheme.Options{})
 	if err != nil {
 		return nil, err
 	}
@@ -241,8 +225,8 @@ type Fig4AResult struct {
 
 // Fig4A evaluates the CMFSD average online time per file over the given
 // correlation and allocation-ratio grids (Figure 4(a)). The grid cells are
-// independent 65-state relaxations, so they are evaluated concurrently on
-// all cores.
+// independent 65-state relaxations, fanned out over all cores by the
+// runner engine.
 func Fig4A(cfg Config, pGrid, rhoGrid []float64) (*Fig4AResult, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -252,47 +236,35 @@ func Fig4A(cfg Config, pGrid, rhoGrid []float64) (*Fig4AResult, error) {
 	for i := range res.Online {
 		res.Online[i] = make([]float64, len(rhoGrid))
 	}
-	type cell struct{ i, j int }
-	cells := make(chan cell)
-	errs := make(chan error, 1)
-	var wg sync.WaitGroup
-	for w := 0; w < runtime.GOMAXPROCS(0); w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for c := range cells {
-				corr, err := cfg.corr(pGrid[c.i])
-				if err == nil {
-					var m *cmfsd.Model
-					m, err = cmfsd.New(cfg.Params, corr, rhoGrid[c.j])
-					if err == nil {
-						var r *metrics.SchemeResult
-						r, err = m.Evaluate()
-						if err == nil {
-							res.Online[c.i][c.j] = r.AvgOnlinePerFile()
-							continue
-						}
-					}
-				}
-				select {
-				case errs <- fmt.Errorf("experiments: CMFSD p=%v ρ=%v: %w",
-					pGrid[c.i], rhoGrid[c.j], err):
-				default:
-				}
+	if len(pGrid) == 0 || len(rhoGrid) == 0 {
+		return res, nil
+	}
+	grid, err := runner.NewGrid(
+		runner.Dim{Name: "p", Values: pGrid},
+		runner.Dim{Name: "rho", Values: rhoGrid},
+	)
+	if err != nil {
+		return nil, err
+	}
+	online, err := runner.Run(context.Background(), grid,
+		func(_ context.Context, pt runner.Point, _ *rng.Source) (float64, error) {
+			p, _ := pt.Value("p")
+			rho, _ := pt.Value("rho")
+			corr, err := cfg.corr(p)
+			if err != nil {
+				return 0, err
 			}
-		}()
+			r, err := scheme.Evaluate(scheme.CMFSD, cfg.Params, corr, scheme.Options{Rho: rho})
+			if err != nil {
+				return 0, fmt.Errorf("experiments: CMFSD: %w", err)
+			}
+			return r.AvgOnlinePerFile(), nil
+		}, runner.Options{})
+	if err != nil {
+		return nil, err
 	}
 	for i := range pGrid {
-		for j := range rhoGrid {
-			cells <- cell{i, j}
-		}
-	}
-	close(cells)
-	wg.Wait()
-	select {
-	case err := <-errs:
-		return nil, err
-	default:
+		copy(res.Online[i], online[i*len(rhoGrid):(i+1)*len(rhoGrid)])
 	}
 	return res, nil
 }
@@ -342,22 +314,15 @@ func Fig4BC(cfg Config, p, lowRho, highRho float64) (*Fig4BCResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	eval := func(rho float64) (*metrics.SchemeResult, error) {
-		m, err := cmfsd.New(cfg.Params, corr, rho)
-		if err != nil {
-			return nil, err
-		}
-		return m.Evaluate()
-	}
-	low, err := eval(lowRho)
+	low, err := scheme.Evaluate(scheme.CMFSD, cfg.Params, corr, scheme.Options{Rho: lowRho})
 	if err != nil {
 		return nil, err
 	}
-	high, err := eval(highRho)
+	high, err := scheme.Evaluate(scheme.CMFSD, cfg.Params, corr, scheme.Options{Rho: highRho})
 	if err != nil {
 		return nil, err
 	}
-	mfcd, err := cmfsd.EvaluateMFCD(cfg.Params, corr)
+	mfcd, err := scheme.Evaluate(scheme.MFCD, cfg.Params, corr, scheme.Options{})
 	if err != nil {
 		return nil, err
 	}
@@ -427,27 +392,15 @@ func Validate(cfg Config) (*ValidationResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	mc, err := mtcd.New(one.Params, corr)
+	rc, err := scheme.Evaluate(scheme.MTCD, one.Params, corr, scheme.Options{})
 	if err != nil {
 		return nil, err
 	}
-	rc, err := mc.Evaluate()
+	rs, err := scheme.Evaluate(scheme.MTSD, one.Params, corr, scheme.Options{})
 	if err != nil {
 		return nil, err
 	}
-	ms, err := mtsd.New(one.Params, corr)
-	if err != nil {
-		return nil, err
-	}
-	rs, err := ms.Evaluate()
-	if err != nil {
-		return nil, err
-	}
-	mf, err := cmfsd.New(one.Params, corr, 0.5)
-	if err != nil {
-		return nil, err
-	}
-	rf, err := mf.Evaluate()
+	rf, err := scheme.Evaluate(scheme.CMFSD, one.Params, corr, scheme.Options{Rho: 0.5})
 	if err != nil {
 		return nil, err
 	}

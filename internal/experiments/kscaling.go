@@ -1,9 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
-	"mfdl/internal/cmfsd"
+	"mfdl/internal/rng"
+	"mfdl/internal/runner"
+	"mfdl/internal/scheme"
 	"mfdl/internal/table"
 )
 
@@ -24,39 +27,49 @@ type KScalingResult struct {
 	Rows   []KScalingRow
 }
 
-// KScaling evaluates MFCD vs CMFSD(ρ=0) over torrent sizes.
+// KScaling evaluates MFCD vs CMFSD(ρ=0) over torrent sizes. The per-K
+// relaxations are independent, so they run in parallel on the runner pool.
 func KScaling(cfg Config, p float64, ks []int) (*KScalingResult, error) {
 	res := &KScalingResult{Config: cfg, P: p}
-	for _, k := range ks {
-		c := cfg
-		c.K = k
-		if err := c.Validate(); err != nil {
-			return nil, err
-		}
-		corr, err := c.corr(p)
-		if err != nil {
-			return nil, err
-		}
-		mfcd, err := cmfsd.EvaluateMFCD(c.Params, corr)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: MFCD K=%d: %w", k, err)
-		}
-		m, err := cmfsd.New(c.Params, corr, 0)
-		if err != nil {
-			return nil, err
-		}
-		collab, err := m.Evaluate()
-		if err != nil {
-			return nil, fmt.Errorf("experiments: CMFSD K=%d: %w", k, err)
-		}
-		row := KScalingRow{
-			K:     k,
-			MFCD:  mfcd.AvgOnlinePerFile(),
-			CMFSD: collab.AvgOnlinePerFile(),
-		}
-		row.GainPercent = 100 * (1 - row.CMFSD/row.MFCD)
-		res.Rows = append(res.Rows, row)
+	if len(ks) == 0 {
+		return res, nil
 	}
+	grid, err := runner.Indexed("k", len(ks))
+	if err != nil {
+		return nil, err
+	}
+	rows, err := runner.Run(context.Background(), grid,
+		func(_ context.Context, pt runner.Point, _ *rng.Source) (KScalingRow, error) {
+			k := ks[pt.Index]
+			c := cfg
+			c.K = k
+			if err := c.Validate(); err != nil {
+				return KScalingRow{}, err
+			}
+			corr, err := c.corr(p)
+			if err != nil {
+				return KScalingRow{}, err
+			}
+			mfcd, err := scheme.Evaluate(scheme.MFCD, c.Params, corr, scheme.Options{})
+			if err != nil {
+				return KScalingRow{}, fmt.Errorf("experiments: MFCD K=%d: %w", k, err)
+			}
+			collab, err := scheme.Evaluate(scheme.CMFSD, c.Params, corr, scheme.Options{Rho: 0})
+			if err != nil {
+				return KScalingRow{}, fmt.Errorf("experiments: CMFSD K=%d: %w", k, err)
+			}
+			row := KScalingRow{
+				K:     k,
+				MFCD:  mfcd.AvgOnlinePerFile(),
+				CMFSD: collab.AvgOnlinePerFile(),
+			}
+			row.GainPercent = 100 * (1 - row.CMFSD/row.MFCD)
+			return row, nil
+		}, runner.Options{})
+	if err != nil {
+		return nil, err
+	}
+	res.Rows = rows
 	return res, nil
 }
 

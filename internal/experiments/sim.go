@@ -1,15 +1,16 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"mfdl/internal/adapt"
-	"mfdl/internal/cmfsd"
 	"mfdl/internal/eventsim"
 	"mfdl/internal/fluid"
-	"mfdl/internal/mtcd"
-	"mfdl/internal/mtsd"
+	"mfdl/internal/rng"
+	"mfdl/internal/runner"
+	"mfdl/internal/scheme"
 	"mfdl/internal/stats"
 	"mfdl/internal/swarm"
 	"mfdl/internal/table"
@@ -55,81 +56,98 @@ type SimValidateResult struct {
 	Rows     []SimValidateRow
 }
 
+// simValidateSpec is one planned row: a scheme/ρ setting at one
+// correlation, with its fluid prediction attached.
+type simValidateSpec struct {
+	scheme    string
+	p, rho    float64 // rho is NaN for the non-CMFSD schemes
+	fluid     float64
+	simScheme eventsim.Scheme
+}
+
 // SimValidate runs the flow-level simulator for every scheme and compares
 // the measured average online time per file against the fluid prediction
-// (experiment E9 in DESIGN.md).
+// (experiment E9 in DESIGN.md). The fluid predictions are memoized solves;
+// the simulation runs — the expensive part — fan out over all cores. Each
+// run keeps its own fixed seed, so the result table is identical at every
+// worker count.
 func SimValidate(set SimSettings, ps []float64) (*SimValidateResult, error) {
 	res := &SimValidateResult{Settings: set}
-	for _, p := range ps {
-		cfg := Config{Params: set.Params, K: set.K, Lambda0: set.Lambda0}
-		corr, err := cfg.corr(p)
+	cache := runner.NewCache()
+	predict := func(sc scheme.Scheme, p, rho float64) (float64, error) {
+		r, err := cache.Evaluate(runner.Key{
+			Scheme: sc, Params: set.Params,
+			K: set.K, P: p, Lambda0: set.Lambda0, Rho: rho,
+		})
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
-		addRow := func(scheme string, rho, fluidVal float64, simScheme eventsim.Scheme) error {
+		return r.AvgOnlinePerFile(), nil
+	}
+	var specs []simValidateSpec
+	for _, p := range ps {
+		plan := []struct {
+			scheme    scheme.Scheme
+			rho       float64
+			simScheme eventsim.Scheme
+		}{
+			{scheme.MTSD, math.NaN(), eventsim.MTSD},
+			{scheme.MTCD, math.NaN(), eventsim.MTCD},
+			// In the fluid model MFCD coincides with MTCD (Section 3.4).
+			{scheme.MTCD, math.NaN(), eventsim.MFCD},
+			{scheme.CMFSD, 0, eventsim.CMFSD},
+			{scheme.CMFSD, 0.5, eventsim.CMFSD},
+			{scheme.CMFSD, 1, eventsim.CMFSD},
+		}
+		for _, pl := range plan {
+			rho := pl.rho
+			if math.IsNaN(rho) {
+				rho = 0
+			}
+			fluidVal, err := predict(pl.scheme, p, rho)
+			if err != nil {
+				return nil, err
+			}
+			specs = append(specs, simValidateSpec{
+				scheme: pl.simScheme.String(), p: p, rho: pl.rho,
+				fluid: fluidVal, simScheme: pl.simScheme,
+			})
+		}
+	}
+	if len(specs) == 0 {
+		return res, nil
+	}
+	grid, err := runner.Indexed("row", len(specs))
+	if err != nil {
+		return nil, err
+	}
+	rows, err := runner.Run(context.Background(), grid,
+		func(_ context.Context, pt runner.Point, _ *rng.Source) (SimValidateRow, error) {
+			sp := specs[pt.Index]
 			sc := eventsim.Config{
-				Params: set.Params, K: set.K, Lambda0: set.Lambda0, P: p,
-				Scheme: simScheme, Rho: rho,
+				Params: set.Params, K: set.K, Lambda0: set.Lambda0, P: sp.p,
+				Scheme: sp.simScheme, Rho: sp.rho,
 				Horizon: set.Horizon, Warmup: set.Warmup, Seed: set.Seed,
 			}
-			if math.IsNaN(rho) {
+			if math.IsNaN(sp.rho) {
 				sc.Rho = 0
 			}
 			out, err := eventsim.Run(sc)
 			if err != nil {
-				return err
+				return SimValidateRow{}, err
 			}
-			res.Rows = append(res.Rows, SimValidateRow{
-				Scheme: scheme, P: p, Rho: rho,
-				Fluid:     fluidVal,
+			return SimValidateRow{
+				Scheme: sp.scheme, P: sp.p, Rho: sp.rho,
+				Fluid:     sp.fluid,
 				Simulated: out.AvgOnlinePerFile,
-				RelErr:    stats.RelErr(out.AvgOnlinePerFile, fluidVal, 1),
+				RelErr:    stats.RelErr(out.AvgOnlinePerFile, sp.fluid, 1),
 				Completed: out.CompletedUsers,
-			})
-			return nil
-		}
-		// MTSD fluid prediction.
-		ms, err := mtsd.New(set.Params, corr)
-		if err != nil {
-			return nil, err
-		}
-		rs, err := ms.Evaluate()
-		if err != nil {
-			return nil, err
-		}
-		if err := addRow("MTSD", math.NaN(), rs.AvgOnlinePerFile(), eventsim.MTSD); err != nil {
-			return nil, err
-		}
-		// MTCD/MFCD fluid prediction.
-		mc, err := mtcd.New(set.Params, corr)
-		if err != nil {
-			return nil, err
-		}
-		rc, err := mc.Evaluate()
-		if err != nil {
-			return nil, err
-		}
-		if err := addRow("MTCD", math.NaN(), rc.AvgOnlinePerFile(), eventsim.MTCD); err != nil {
-			return nil, err
-		}
-		if err := addRow("MFCD", math.NaN(), rc.AvgOnlinePerFile(), eventsim.MFCD); err != nil {
-			return nil, err
-		}
-		// CMFSD at ρ ∈ {0, 0.5, 1}.
-		for _, rho := range []float64{0, 0.5, 1} {
-			mf, err := cmfsd.New(set.Params, corr, rho)
-			if err != nil {
-				return nil, err
-			}
-			rf, err := mf.Evaluate()
-			if err != nil {
-				return nil, err
-			}
-			if err := addRow("CMFSD", rho, rf.AvgOnlinePerFile(), eventsim.CMFSD); err != nil {
-				return nil, err
-			}
-		}
+			}, nil
+		}, runner.Options{Seed: set.Seed})
+	if err != nil {
+		return nil, err
 	}
+	res.Rows = rows
 	return res, nil
 }
 
@@ -171,23 +189,36 @@ type AdaptSweepResult struct {
 // cheating spreads.
 func AdaptSweep(set SimSettings, p float64, ac adapt.Config, cheaterFractions []float64) (*AdaptSweepResult, error) {
 	res := &AdaptSweepResult{Settings: set, P: p, Adapt: ac}
-	for _, cf := range cheaterFractions {
-		cfg := eventsim.Config{
-			Params: set.Params, K: set.K, Lambda0: set.Lambda0, P: p,
-			Scheme: eventsim.CMFSD, Adapt: &ac, CheaterFraction: cf,
-			Horizon: set.Horizon, Warmup: set.Warmup, Seed: set.Seed,
-		}
-		out, err := eventsim.Run(cfg)
-		if err != nil {
-			return nil, err
-		}
-		res.Rows = append(res.Rows, AdaptRow{
-			CheaterFraction: cf,
-			MeanFinalRho:    out.FinalRho.Mean(),
-			AvgOnline:       out.AvgOnlinePerFile,
-			Completed:       out.CompletedUsers,
-		})
+	if len(cheaterFractions) == 0 {
+		return res, nil
 	}
+	grid, err := runner.NewGrid(runner.Dim{Name: "cheaters", Values: cheaterFractions})
+	if err != nil {
+		return nil, err
+	}
+	rows, err := runner.Run(context.Background(), grid,
+		func(_ context.Context, pt runner.Point, _ *rng.Source) (AdaptRow, error) {
+			cf, _ := pt.Value("cheaters")
+			cfg := eventsim.Config{
+				Params: set.Params, K: set.K, Lambda0: set.Lambda0, P: p,
+				Scheme: eventsim.CMFSD, Adapt: &ac, CheaterFraction: cf,
+				Horizon: set.Horizon, Warmup: set.Warmup, Seed: set.Seed,
+			}
+			out, err := eventsim.Run(cfg)
+			if err != nil {
+				return AdaptRow{}, err
+			}
+			return AdaptRow{
+				CheaterFraction: cf,
+				MeanFinalRho:    out.FinalRho.Mean(),
+				AvgOnline:       out.AvgOnlinePerFile,
+				Completed:       out.CompletedUsers,
+			}, nil
+		}, runner.Options{Seed: set.Seed})
+	if err != nil {
+		return nil, err
+	}
+	res.Rows = rows
 	return res, nil
 }
 

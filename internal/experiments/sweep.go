@@ -1,0 +1,150 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"strings"
+
+	"mfdl/internal/rng"
+	"mfdl/internal/runner"
+	"mfdl/internal/scheme"
+	"mfdl/internal/table"
+)
+
+// SweepDims lists the dimension names Sweep understands: every swept axis
+// maps onto one knob of the server–torrent system.
+var SweepDims = []string{"p", "rho", "k", "mu", "gamma", "eta", "lambda0"}
+
+// SweepSpec describes a multi-dimensional parameter study of one scheme:
+// a base operating point plus an N-dimensional grid of overrides. Cells
+// are independent steady-state solves, so Sweep fans them out over a
+// worker pool and memoizes solves that coincide (e.g. sweeping ρ under a
+// scheme that ignores it).
+type SweepSpec struct {
+	// Config is the base operating point; swept dimensions override its
+	// fields cell by cell.
+	Config Config
+	// P is the base file correlation.
+	P float64
+	// Rho is the base CMFSD allocation ratio.
+	Rho float64
+	// Scheme is the evaluated scheme.
+	Scheme scheme.Scheme
+	// Grid holds the swept dimensions; names must come from SweepDims.
+	Grid runner.Grid
+	// Workers bounds the pool (<= 0 means all cores).
+	Workers int
+	// Hooks observe per-cell progress.
+	Hooks runner.Hooks
+}
+
+// SweepCell is the evaluation of one grid cell.
+type SweepCell struct {
+	// Values are the swept dimension values, in grid dimension order.
+	Values []float64
+	// AvgOnline and AvgDownload are the paper's per-file aggregates.
+	AvgOnline, AvgDownload float64
+}
+
+// SweepResult holds the evaluated grid in row-major cell order.
+type SweepResult struct {
+	Spec  SweepSpec
+	Cells []SweepCell
+	// CacheHits and CacheMisses count memoized vs actual solves.
+	CacheHits, CacheMisses int
+}
+
+// applyDim overrides one knob of a solve key.
+func applyDim(key *runner.Key, name string, v float64) error {
+	switch name {
+	case "p":
+		key.P = v
+	case "rho":
+		key.Rho = v
+	case "k":
+		key.K = int(math.Round(v))
+	case "mu":
+		key.Params.Mu = v
+	case "gamma":
+		key.Params.Gamma = v
+	case "eta":
+		key.Params.Eta = v
+	case "lambda0":
+		key.Lambda0 = v
+	default:
+		return fmt.Errorf("experiments: unknown sweep dimension %q (have %s)",
+			name, strings.Join(SweepDims, ", "))
+	}
+	return nil
+}
+
+// Sweep evaluates the scheme over every cell of the grid. Results are
+// deterministic: cell order, values and errors are independent of the
+// worker count.
+func Sweep(ctx context.Context, spec SweepSpec) (*SweepResult, error) {
+	if err := spec.Config.Validate(); err != nil {
+		return nil, err
+	}
+	base := runner.Key{
+		Scheme: spec.Scheme, Params: spec.Config.Params,
+		K: spec.Config.K, P: spec.P, Lambda0: spec.Config.Lambda0, Rho: spec.Rho,
+	}
+	// Reject unknown dimensions before spinning up the pool.
+	for _, d := range spec.Grid.Dims() {
+		probe := base
+		if err := applyDim(&probe, d.Name, d.Values[0]); err != nil {
+			return nil, err
+		}
+	}
+	cache := runner.NewCache()
+	cells, err := runner.Run(ctx, spec.Grid,
+		func(_ context.Context, pt runner.Point, _ *rng.Source) (SweepCell, error) {
+			key := base
+			for _, d := range spec.Grid.Dims() {
+				v, _ := pt.Value(d.Name)
+				if err := applyDim(&key, d.Name, v); err != nil {
+					return SweepCell{}, err
+				}
+			}
+			res, err := cache.Evaluate(key)
+			if err != nil {
+				return SweepCell{}, err
+			}
+			return SweepCell{
+				Values:      pt.Values(),
+				AvgOnline:   res.AvgOnlinePerFile(),
+				AvgDownload: res.AvgDownloadPerFile(),
+			}, nil
+		}, runner.Options{Workers: spec.Workers, Hooks: spec.Hooks})
+	if err != nil {
+		return nil, err
+	}
+	hits, misses := cache.Stats()
+	return &SweepResult{Spec: spec, Cells: cells, CacheHits: hits, CacheMisses: misses}, nil
+}
+
+// Table renders the sweep with one row per cell: the swept values followed
+// by the per-file aggregates.
+func (r *SweepResult) Table() *table.Table {
+	dims := r.Spec.Grid.Dims()
+	names := make([]string, len(dims))
+	for i, d := range dims {
+		names[i] = d.Name
+	}
+	cols := append(append([]string{}, names...), "avg online/file", "avg download/file")
+	tb := table.New(
+		fmt.Sprintf("Sweep of %s for %s (K=%d, p=%g, ρ=%g, μ=%g, η=%g, γ=%g)",
+			strings.Join(names, ","), r.Spec.Scheme, r.Spec.Config.K, r.Spec.P, r.Spec.Rho,
+			r.Spec.Config.Mu, r.Spec.Config.Eta, r.Spec.Config.Gamma),
+		cols...)
+	for _, c := range r.Cells {
+		cells := make([]string, 0, len(cols))
+		for _, v := range c.Values {
+			cells = append(cells, table.Fmt(v))
+		}
+		cells = append(cells, table.Fmt(c.AvgOnline), table.Fmt(c.AvgDownload))
+		tb.MustAddRow(cells...)
+	}
+	return tb
+}

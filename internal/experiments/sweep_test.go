@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"mfdl/internal/runner"
+	"mfdl/internal/scheme"
+)
+
+func sweepGrid(t *testing.T) runner.Grid {
+	t.Helper()
+	g, err := runner.NewGrid(
+		runner.Dim{Name: "p", Values: runner.Linspace(0.1, 0.9, 4)},
+		runner.Dim{Name: "rho", Values: runner.Linspace(0, 1, 4)},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// The acceptance bar for the whole runner stack: the same grid rendered at
+// workers=1 and workers=8 must produce byte-identical tables.
+func TestSweepDeterministicAcrossWorkerCounts(t *testing.T) {
+	spec := SweepSpec{
+		Config: PaperConfig, P: 0.9, Scheme: scheme.CMFSD, Grid: sweepGrid(t),
+	}
+	var base string
+	for _, workers := range []int{1, 8} {
+		spec.Workers = workers
+		res, err := Sweep(context.Background(), spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := res.Table().String()
+		if base == "" {
+			base = out
+			continue
+		}
+		if out != base {
+			t.Fatalf("workers=%d table differs from workers=1:\n%s\nvs\n%s", workers, out, base)
+		}
+	}
+	if want := 5 * 5; len(strings.Split(strings.TrimSpace(base), "\n")) != want+3 {
+		t.Fatalf("unexpected table:\n%s", base)
+	}
+}
+
+// Sweeping ρ under MTSD (which ignores ρ) must collapse to one solve.
+func TestSweepMemoizesInsensitiveDims(t *testing.T) {
+	g, err := runner.NewGrid(runner.Dim{Name: "rho", Values: runner.Linspace(0, 1, 9)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Sweep(context.Background(), SweepSpec{
+		Config: PaperConfig, P: 0.9, Scheme: scheme.MTSD, Grid: g, Workers: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CacheMisses != 1 || res.CacheHits != 9 {
+		t.Fatalf("hits=%d misses=%d, want 9/1", res.CacheHits, res.CacheMisses)
+	}
+	for _, c := range res.Cells[1:] {
+		if c.AvgOnline != res.Cells[0].AvgOnline {
+			t.Fatal("MTSD varied with rho")
+		}
+	}
+}
+
+func TestSweepCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Sweep(ctx, SweepSpec{
+		Config: PaperConfig, P: 0.9, Scheme: scheme.CMFSD, Grid: sweepGrid(t),
+	}); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestSweepRejectsBadInput(t *testing.T) {
+	g, err := runner.NewGrid(runner.Dim{Name: "flux", Values: []float64{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Sweep(context.Background(), SweepSpec{
+		Config: PaperConfig, P: 0.9, Scheme: scheme.CMFSD, Grid: g,
+	}); err == nil || !strings.Contains(err.Error(), "flux") {
+		t.Fatalf("unknown dimension accepted: %v", err)
+	}
+	bad := PaperConfig
+	bad.K = 0
+	if _, err := Sweep(context.Background(), SweepSpec{
+		Config: bad, P: 0.9, Scheme: scheme.CMFSD, Grid: sweepGrid(t),
+	}); err == nil {
+		t.Fatal("K=0 accepted")
+	}
+	pg, err := runner.NewGrid(runner.Dim{Name: "p", Values: []float64{0.5, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Sweep(context.Background(), SweepSpec{
+		Config: PaperConfig, P: 0.9, Scheme: scheme.MTSD, Grid: pg,
+	}); err == nil {
+		t.Fatal("p=2 cell accepted")
+	}
+}
+
+// KScaling's gain ordering must survive the parallel migration.
+func TestSweepKDimensionMatchesDirectEvaluation(t *testing.T) {
+	g, err := runner.NewGrid(runner.Dim{Name: "k", Values: []float64{2, 5, 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Sweep(context.Background(), SweepSpec{
+		Config: PaperConfig, P: 0.9, Scheme: scheme.CMFSD, Grid: g, Workers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ks, err := KScaling(PaperConfig, 0.9, []int{2, 5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range res.Cells {
+		if c.AvgOnline != ks.Rows[i].CMFSD {
+			t.Fatalf("k=%v: sweep %v != kscaling %v", c.Values[0], c.AvgOnline, ks.Rows[i].CMFSD)
+		}
+	}
+}

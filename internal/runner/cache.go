@@ -1,0 +1,89 @@
+package runner
+
+import (
+	"sync"
+
+	"mfdl/internal/correlation"
+	"mfdl/internal/fluid"
+	"mfdl/internal/metrics"
+	"mfdl/internal/scheme"
+)
+
+// Key identifies one steady-state solve: the scheme plus everything that
+// determines its fixed point. Grid cells that map to the same Key share
+// one solve.
+type Key struct {
+	Scheme scheme.Scheme
+	Params fluid.Params
+	// K, P and Lambda0 determine the correlation model.
+	K       int
+	P       float64
+	Lambda0 float64
+	// Rho is the CMFSD allocation ratio; the other schemes normalize it
+	// to 0 so that sweeping ρ under them costs one solve, not one per
+	// cell.
+	Rho float64
+}
+
+// normalize collapses key components the scheme does not depend on.
+func (k Key) normalize() Key {
+	if k.Scheme != scheme.CMFSD {
+		k.Rho = 0
+	}
+	return k
+}
+
+// Cache memoizes scheme solves across grid cells. It is safe for
+// concurrent use; when several workers request the same key the solve runs
+// once and the rest block on it. Results are shared — callers must treat
+// them as immutable.
+type Cache struct {
+	mu      sync.Mutex
+	entries map[Key]*cacheEntry
+	misses  int
+	hits    int
+}
+
+type cacheEntry struct {
+	once sync.Once
+	res  *metrics.SchemeResult
+	err  error
+}
+
+// NewCache returns an empty cache.
+func NewCache() *Cache {
+	return &Cache{entries: map[Key]*cacheEntry{}}
+}
+
+// Evaluate returns the steady-state metrics for the key, solving it at
+// most once per cache lifetime.
+func (c *Cache) Evaluate(k Key) (*metrics.SchemeResult, error) {
+	k = k.normalize()
+	c.mu.Lock()
+	e, ok := c.entries[k]
+	if !ok {
+		e = &cacheEntry{}
+		c.entries[k] = e
+		c.misses++
+	} else {
+		c.hits++
+	}
+	c.mu.Unlock()
+	e.once.Do(func() {
+		corr, err := correlation.New(k.K, k.P, k.Lambda0)
+		if err != nil {
+			e.err = err
+			return
+		}
+		e.res, e.err = scheme.Evaluate(k.Scheme, k.Params, corr, scheme.Options{Rho: k.Rho})
+	})
+	return e.res, e.err
+}
+
+// Stats reports how many Evaluate calls hit an existing entry and how many
+// had to solve.
+func (c *Cache) Stats() (hits, misses int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

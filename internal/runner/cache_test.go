@@ -1,0 +1,130 @@
+package runner
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"mfdl/internal/fluid"
+	"mfdl/internal/rng"
+	"mfdl/internal/scheme"
+)
+
+func TestCacheSolvesOnce(t *testing.T) {
+	c := NewCache()
+	k := Key{Scheme: scheme.MTSD, Params: fluid.PaperParams, K: 10, P: 0.9, Lambda0: 1}
+	a, err := c.Evaluate(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.Evaluate(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("second Evaluate did not return the cached result pointer")
+	}
+	if hits, misses := c.Stats(); hits != 1 || misses != 1 {
+		t.Fatalf("hits=%d misses=%d", hits, misses)
+	}
+}
+
+// Sweeping ρ under a scheme that ignores ρ must cost exactly one solve.
+func TestCacheNormalizesRho(t *testing.T) {
+	c := NewCache()
+	base := Key{Scheme: scheme.MTCD, Params: fluid.PaperParams, K: 10, P: 0.9, Lambda0: 1}
+	for _, rho := range []float64{0, 0.25, 0.5, 1} {
+		k := base
+		k.Rho = rho
+		if _, err := c.Evaluate(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if hits, misses := c.Stats(); misses != 1 || hits != 3 {
+		t.Fatalf("hits=%d misses=%d, want 3/1", hits, misses)
+	}
+	// CMFSD does depend on ρ: distinct solves.
+	cm := NewCache()
+	for _, rho := range []float64{0, 0.5} {
+		k := Key{Scheme: scheme.CMFSD, Params: fluid.PaperParams, K: 5, P: 0.9, Lambda0: 1, Rho: rho}
+		if _, err := cm.Evaluate(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, misses := cm.Stats(); misses != 2 {
+		t.Fatalf("CMFSD rho collapsed: misses=%d", misses)
+	}
+}
+
+func TestCacheErrorsAreCachedToo(t *testing.T) {
+	c := NewCache()
+	k := Key{Scheme: scheme.MTSD, Params: fluid.PaperParams, K: 10, P: 2, Lambda0: 1}
+	if _, err := c.Evaluate(k); err == nil {
+		t.Fatal("p=2 accepted")
+	}
+	if _, err := c.Evaluate(k); err == nil {
+		t.Fatal("cached error lost")
+	}
+}
+
+// Concurrent workers hammering the same key must agree on one result.
+func TestCacheConcurrent(t *testing.T) {
+	c := NewCache()
+	k := Key{Scheme: scheme.CMFSD, Params: fluid.PaperParams, K: 5, P: 0.8, Lambda0: 1, Rho: 0.3}
+	var wg sync.WaitGroup
+	results := make([]float64, 16)
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := c.Evaluate(k)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = res.AvgOnlinePerFile()
+		}(i)
+	}
+	wg.Wait()
+	for _, v := range results[1:] {
+		if v != results[0] {
+			t.Fatalf("divergent cached results: %v vs %v", v, results[0])
+		}
+	}
+	if _, misses := c.Stats(); misses != 1 {
+		t.Fatalf("misses=%d, want 1", misses)
+	}
+}
+
+// A cache plugged into Run turns an n-cell grid over an insensitive
+// dimension into one solve without changing any result.
+func TestCacheInsideRun(t *testing.T) {
+	g, err := NewGrid(Dim{Name: "rho", Values: Linspace(0, 1, 9)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCache()
+	out, err := Run(context.Background(), g,
+		func(ctx context.Context, p Point, src *rng.Source) (float64, error) {
+			rho, _ := p.Value("rho")
+			res, err := c.Evaluate(Key{
+				Scheme: scheme.MTSD, Params: fluid.PaperParams,
+				K: 10, P: 0.9, Lambda0: 1, Rho: rho,
+			})
+			if err != nil {
+				return 0, err
+			}
+			return res.AvgOnlinePerFile(), nil
+		}, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range out[1:] {
+		if v != out[0] {
+			t.Fatalf("MTSD varied with rho: %v", out)
+		}
+	}
+	if _, misses := c.Stats(); misses != 1 {
+		t.Fatalf("misses=%d, want 1", misses)
+	}
+}

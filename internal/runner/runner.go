@@ -1,0 +1,298 @@
+// Package runner is the parallel execution engine behind the parameter
+// studies: N-dimensional grid specifications, a bounded worker pool,
+// context cancellation with deterministic first-error propagation, and
+// per-cell random-number streams derived by deterministic stream splitting
+// so every result is bit-identical at any worker count.
+//
+// The paper's evaluation (Section 4) is a family of grids — p × ρ surfaces,
+// η ablations, K scalings — whose cells are independent steady-state solves
+// or simulation runs. Run executes any such grid:
+//
+//	grid, _ := runner.NewGrid(
+//	    runner.Dim{Name: "p", Values: runner.Linspace(0.1, 1, 9)},
+//	    runner.Dim{Name: "rho", Values: runner.Linspace(0, 1, 10)},
+//	)
+//	online, err := runner.Run(ctx, grid,
+//	    func(ctx context.Context, pt runner.Point, src *rng.Source) (float64, error) {
+//	        ...
+//	    }, runner.Options{Workers: 8})
+//
+// Determinism contract: cell i always receives the i-th split of the base
+// seed's stream and its result lands at index i of the output slice, so
+// neither the worker count nor scheduling order is observable in the
+// results. Errors are deterministic too — when several cells fail, Run
+// reports the failure of the lowest-indexed cell.
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mfdl/internal/rng"
+	"mfdl/internal/trace"
+)
+
+// Dim is one axis of a parameter grid: a name and the values swept along
+// it.
+type Dim struct {
+	Name   string
+	Values []float64
+}
+
+// Grid is the cartesian product of its dimensions, enumerated row-major
+// (the last dimension varies fastest).
+type Grid struct {
+	dims []Dim
+}
+
+// NewGrid validates the dimensions and returns a Grid. Every dimension
+// needs a unique non-empty name and at least one value.
+func NewGrid(dims ...Dim) (Grid, error) {
+	seen := map[string]bool{}
+	for _, d := range dims {
+		if d.Name == "" {
+			return Grid{}, fmt.Errorf("runner: dimension with empty name")
+		}
+		if seen[d.Name] {
+			return Grid{}, fmt.Errorf("runner: duplicate dimension %q", d.Name)
+		}
+		seen[d.Name] = true
+		if len(d.Values) == 0 {
+			return Grid{}, fmt.Errorf("runner: dimension %q has no values", d.Name)
+		}
+	}
+	copied := make([]Dim, len(dims))
+	for i, d := range dims {
+		copied[i] = Dim{Name: d.Name, Values: append([]float64(nil), d.Values...)}
+	}
+	return Grid{dims: copied}, nil
+}
+
+// Indexed returns a one-dimensional grid whose cells are the integers
+// 0..n-1 — the degenerate grid used to fan a fixed work list out over the
+// pool.
+func Indexed(name string, n int) (Grid, error) {
+	if n < 1 {
+		return Grid{}, fmt.Errorf("runner: indexed grid needs n >= 1, got %d", n)
+	}
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = float64(i)
+	}
+	return NewGrid(Dim{Name: name, Values: vals})
+}
+
+// Linspace returns steps+1 evenly spaced values from from to to
+// (inclusive). steps < 1 is treated as 1.
+func Linspace(from, to float64, steps int) []float64 {
+	if steps < 1 {
+		steps = 1
+	}
+	out := make([]float64, steps+1)
+	for i := 0; i <= steps; i++ {
+		out[i] = from + (to-from)*float64(i)/float64(steps)
+	}
+	return out
+}
+
+// Dims returns the grid's dimensions (shared; do not mutate).
+func (g Grid) Dims() []Dim { return g.dims }
+
+// Size returns the number of cells (1 for a zero-dimensional grid).
+func (g Grid) Size() int {
+	n := 1
+	for _, d := range g.dims {
+		n *= len(d.Values)
+	}
+	return n
+}
+
+// Point returns the cell with linear index i.
+func (g Grid) Point(i int) Point {
+	if i < 0 || i >= g.Size() {
+		panic(fmt.Sprintf("runner: cell index %d outside grid of %d", i, g.Size()))
+	}
+	coords := make([]int, len(g.dims))
+	rem := i
+	for d := len(g.dims) - 1; d >= 0; d-- {
+		n := len(g.dims[d].Values)
+		coords[d] = rem % n
+		rem /= n
+	}
+	return Point{Index: i, Coords: coords, dims: g.dims}
+}
+
+// Point is one grid cell: its linear index, its per-dimension coordinates,
+// and accessors for the swept values.
+type Point struct {
+	// Index is the linear cell index in row-major enumeration order.
+	Index int
+	// Coords holds the per-dimension value indices.
+	Coords []int
+	dims   []Dim
+}
+
+// Values returns the swept value of every dimension, in dimension order.
+func (p Point) Values() []float64 {
+	out := make([]float64, len(p.dims))
+	for d := range p.dims {
+		out[d] = p.dims[d].Values[p.Coords[d]]
+	}
+	return out
+}
+
+// Value returns the swept value of the named dimension.
+func (p Point) Value(name string) (float64, bool) {
+	for d := range p.dims {
+		if p.dims[d].Name == name {
+			return p.dims[d].Values[p.Coords[d]], true
+		}
+	}
+	return 0, false
+}
+
+// Label renders the cell as "name=value name=value" for error messages.
+func (p Point) Label() string {
+	s := ""
+	for d := range p.dims {
+		if d > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%s=%g", p.dims[d].Name, p.dims[d].Values[p.Coords[d]])
+	}
+	return s
+}
+
+// Hooks observe grid execution. All hooks are invoked serially (never
+// concurrently with themselves or each other), so they may touch shared
+// state without locking.
+type Hooks struct {
+	// OnCell fires after every cell completes, successfully or not.
+	OnCell func(p Point, err error)
+	// Recorder, when non-nil, accumulates a "completed" (and, if any cell
+	// fails, a "failed") series of cumulative counts against wall-clock
+	// seconds since Run started.
+	Recorder *trace.Recorder
+}
+
+// Options configure one Run call.
+type Options struct {
+	// Workers bounds the pool; <= 0 means runtime.GOMAXPROCS(0).
+	Workers int
+	// Seed is the base seed from which every cell's random stream is
+	// split. Two Runs with the same seed and grid hand every cell the same
+	// stream regardless of worker count.
+	Seed uint64
+	// Hooks observe progress.
+	Hooks Hooks
+}
+
+// Run executes job over every cell of the grid with a bounded worker pool
+// and returns the per-cell results indexed like the grid. The first error
+// (by cell index) cancels the remaining cells and is returned; if ctx is
+// canceled first, Run returns promptly with ctx.Err().
+func Run[T any](ctx context.Context, g Grid, job func(ctx context.Context, p Point, src *rng.Source) (T, error), opts Options) ([]T, error) {
+	n := g.Size()
+	out := make([]T, n)
+	if n == 0 {
+		return out, ctx.Err()
+	}
+
+	// Derive one independent stream per cell, in cell order, before any
+	// worker starts: the assignment cell -> stream is then a pure function
+	// of (seed, grid), untouched by scheduling.
+	parent := rng.New(opts.Seed)
+	srcs := make([]*rng.Source, n)
+	for i := range srcs {
+		srcs[i] = parent.Split()
+	}
+
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		mu       sync.Mutex // guards errIdx/firstErr and the hooks
+		errIdx   = -1
+		firstErr error
+		done     int
+		failed   int
+		start    = time.Now()
+	)
+	finish := func(p Point, err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if err != nil {
+			// Lowest-indexed failure wins, except that cancellation noise
+			// (cells aborted by an earlier real error) never displaces a
+			// real error.
+			isCancel := errors.Is(err, context.Canceled)
+			curCancel := errors.Is(firstErr, context.Canceled)
+			switch {
+			case firstErr == nil,
+				curCancel && !isCancel,
+				curCancel == isCancel && p.Index < errIdx:
+				errIdx, firstErr = p.Index, err
+			}
+			cancel()
+		}
+		done++
+		if err != nil {
+			failed++
+		}
+		if rec := opts.Hooks.Recorder; rec != nil {
+			t := time.Since(start).Seconds()
+			_ = rec.Record("completed", t, float64(done))
+			if failed > 0 {
+				_ = rec.Record("failed", t, float64(failed))
+			}
+		}
+		if opts.Hooks.OnCell != nil {
+			opts.Hooks.OnCell(p, err)
+		}
+	}
+
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || runCtx.Err() != nil {
+					return
+				}
+				p := g.Point(i)
+				v, err := job(runCtx, p, srcs[i])
+				if err != nil {
+					finish(p, fmt.Errorf("runner: cell %s: %w", p.Label(), err))
+					continue
+				}
+				out[i] = v
+				finish(p, nil)
+			}
+		}()
+	}
+	wg.Wait()
+
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}

@@ -1,0 +1,113 @@
+// Package scheme provides the unified constructor for the paper's four
+// downloading schemes. Every scheme package exposes its own constructor
+// with a slightly different signature (mtcd.New and mtsd.New take the
+// fluid parameters and a correlation model; cmfsd.New additionally takes
+// the allocation ratio ρ; MFCD has no model type at all, only the
+// cmfsd.EvaluateMFCD function). Callers that dispatch on a Scheme value —
+// the CLIs, the experiment generators, the sweep runner — previously each
+// re-implemented the same switch statement. scheme.New is that switch,
+// written once: it returns a Model exposing the common Evaluate surface.
+//
+// The concrete constructors remain available for callers that need the
+// scheme-specific machinery (ODE right-hand sides, steady-state vectors,
+// stability reports).
+package scheme
+
+import (
+	"fmt"
+
+	"mfdl/internal/cmfsd"
+	"mfdl/internal/correlation"
+	"mfdl/internal/fluid"
+	"mfdl/internal/metrics"
+	"mfdl/internal/mtcd"
+	"mfdl/internal/mtsd"
+)
+
+// Scheme identifies one of the paper's downloading schemes.
+type Scheme string
+
+// The four schemes of the paper.
+const (
+	// MTCD: multi-torrent concurrent downloading (Section 3.2).
+	MTCD Scheme = "MTCD"
+	// MTSD: multi-torrent sequential downloading (Section 3.3).
+	MTSD Scheme = "MTSD"
+	// MFCD: multi-file torrent concurrent downloading (Section 3.4).
+	MFCD Scheme = "MFCD"
+	// CMFSD: collaborative multi-file torrent sequential downloading —
+	// the paper's proposal (Section 3.5).
+	CMFSD Scheme = "CMFSD"
+)
+
+// Schemes lists all schemes in paper order.
+var Schemes = []Scheme{MTCD, MTSD, MFCD, CMFSD}
+
+// Parse converts a string to a Scheme.
+func Parse(s string) (Scheme, error) {
+	for _, sc := range Schemes {
+		if string(sc) == s {
+			return sc, nil
+		}
+	}
+	return "", fmt.Errorf("scheme: unknown scheme %q", s)
+}
+
+// Options carries the per-scheme knobs of New. The zero value is the
+// paper's recommended initial setting for every scheme.
+type Options struct {
+	// Rho is the CMFSD bandwidth allocation ratio ρ ∈ [0, 1]; the other
+	// schemes ignore it.
+	Rho float64
+}
+
+// Model is the common evaluation surface of the four schemes: a
+// constructed, validated model that can be solved into the shared metrics
+// types.
+type Model interface {
+	// Evaluate computes the steady-state per-class metrics.
+	Evaluate() (*metrics.SchemeResult, error)
+}
+
+// mfcdModel adapts the MFCD closed form (a function, not a type) to the
+// Model interface.
+type mfcdModel struct {
+	params fluid.Params
+	corr   *correlation.Model
+}
+
+func (m mfcdModel) Evaluate() (*metrics.SchemeResult, error) {
+	return cmfsd.EvaluateMFCD(m.params, m.corr)
+}
+
+// New constructs the model for the named scheme. It is the single dispatch
+// point over the per-package constructors.
+func New(s Scheme, params fluid.Params, corr *correlation.Model, opts Options) (Model, error) {
+	switch s {
+	case MTCD:
+		return mtcd.New(params, corr)
+	case MTSD:
+		return mtsd.New(params, corr)
+	case MFCD:
+		if err := params.Validate(); err != nil {
+			return nil, err
+		}
+		if err := corr.Validate(); err != nil {
+			return nil, err
+		}
+		return mfcdModel{params: params, corr: corr}, nil
+	case CMFSD:
+		return cmfsd.New(params, corr, opts.Rho)
+	default:
+		return nil, fmt.Errorf("scheme: unknown scheme %q", s)
+	}
+}
+
+// Evaluate constructs and solves the named scheme in one call.
+func Evaluate(s Scheme, params fluid.Params, corr *correlation.Model, opts Options) (*metrics.SchemeResult, error) {
+	m, err := New(s, params, corr, opts)
+	if err != nil {
+		return nil, err
+	}
+	return m.Evaluate()
+}

@@ -1,0 +1,107 @@
+package scheme
+
+import (
+	"math"
+	"testing"
+
+	"mfdl/internal/cmfsd"
+	"mfdl/internal/correlation"
+	"mfdl/internal/fluid"
+	"mfdl/internal/mtcd"
+	"mfdl/internal/mtsd"
+)
+
+func model(t *testing.T, p float64) *correlation.Model {
+	t.Helper()
+	corr, err := correlation.New(10, p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return corr
+}
+
+func TestParse(t *testing.T) {
+	for _, sc := range Schemes {
+		got, err := Parse(string(sc))
+		if err != nil || got != sc {
+			t.Fatalf("Parse(%q) = %v, %v", sc, got, err)
+		}
+	}
+	if _, err := Parse("FTP"); err == nil {
+		t.Fatal("unknown scheme parsed")
+	}
+}
+
+// The factory must agree exactly with the concrete constructors it wraps.
+func TestNewMatchesConcreteConstructors(t *testing.T) {
+	corr := model(t, 0.9)
+	params := fluid.PaperParams
+
+	mc, err := mtcd.New(params, corr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := mtsd.New(params, corr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mf, err := cmfsd.New(params, corr, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[Scheme]float64{}
+	for sc, m := range map[Scheme]Model{MTCD: mc, MTSD: ms, CMFSD: mf} {
+		res, err := m.Evaluate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[sc] = res.AvgOnlinePerFile()
+	}
+	mfcd, err := cmfsd.EvaluateMFCD(params, corr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want[MFCD] = mfcd.AvgOnlinePerFile()
+
+	for _, sc := range Schemes {
+		res, err := Evaluate(sc, params, corr, Options{Rho: 0.3})
+		if err != nil {
+			t.Fatalf("%s: %v", sc, err)
+		}
+		if res.Scheme != string(sc) {
+			t.Fatalf("%s: result labelled %q", sc, res.Scheme)
+		}
+		if got := res.AvgOnlinePerFile(); got != want[sc] {
+			t.Fatalf("%s: factory %v != concrete %v", sc, got, want[sc])
+		}
+	}
+}
+
+func TestNewRejectsBadInputs(t *testing.T) {
+	corr := model(t, 0.5)
+	if _, err := New(Scheme("bogus"), fluid.PaperParams, corr, Options{}); err == nil {
+		t.Fatal("bogus scheme constructed")
+	}
+	bad := fluid.Params{Mu: -1, Eta: 0.5, Gamma: 0.05}
+	for _, sc := range Schemes {
+		if _, err := New(sc, bad, corr, Options{}); err == nil {
+			t.Fatalf("%s accepted μ<0", sc)
+		}
+	}
+	if _, err := New(CMFSD, fluid.PaperParams, corr, Options{Rho: 2}); err == nil {
+		t.Fatal("CMFSD accepted ρ=2")
+	}
+}
+
+func TestEvaluateAllPositive(t *testing.T) {
+	corr := model(t, 0.7)
+	for _, sc := range Schemes {
+		res, err := Evaluate(sc, fluid.PaperParams, corr, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", sc, err)
+		}
+		if v := res.AvgOnlinePerFile(); math.IsNaN(v) || v <= 0 {
+			t.Fatalf("%s: bad average %v", sc, v)
+		}
+	}
+}
