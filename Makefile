@@ -1,6 +1,7 @@
 # Verification tiers. tier1 is the gate every change must keep green;
 # tier2 adds static analysis and the race detector over the concurrent
-# paths (runner pool, memo cache, simulators).
+# paths (runner pool, two-tier solve cache incl. runner/diskcache, the
+# parallel experiment fan-outs, simulators).
 
 .PHONY: tier1 tier2 bench
 

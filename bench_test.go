@@ -8,6 +8,7 @@ package mfdl_test
 import (
 	"context"
 	"fmt"
+	"path/filepath"
 	"runtime"
 	"testing"
 
@@ -48,7 +49,7 @@ func BenchmarkFig4A(b *testing.B) {
 	pGrid := []float64{0.1, 0.5, 0.9}
 	rhoGrid := []float64{0, 0.5, 1}
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Fig4A(experiments.PaperConfig, pGrid, rhoGrid); err != nil {
+		if _, err := experiments.Fig4A(context.Background(), experiments.PaperConfig, pGrid, rhoGrid); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -86,6 +87,49 @@ func BenchmarkSweepParallel(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkSweepDiskCache measures the persistent solve cache on the
+// Figure 4(a) workload: "cold" solves every cell and persists it into a
+// fresh directory; "warm" replays the same grid against an already
+// populated directory, so every cell is a disk decode instead of an RK4
+// relaxation. The warm case should be orders of magnitude faster; the
+// test suites assert the outputs are byte-identical.
+func BenchmarkSweepDiskCache(b *testing.B) {
+	grid, err := runner.NewGrid(
+		runner.Dim{Name: "p", Values: runner.Linspace(0.1, 1, 5)},
+		runner.Dim{Name: "rho", Values: runner.Linspace(0, 1, 5)},
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := experiments.SweepSpec{
+		Config: experiments.PaperConfig, P: 0.9, Scheme: scheme.CMFSD, Grid: grid,
+	}
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			spec.CacheDir = filepath.Join(b.TempDir(), fmt.Sprintf("c%d", i))
+			if _, err := experiments.Sweep(context.Background(), spec); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		spec.CacheDir = b.TempDir()
+		if _, err := experiments.Sweep(context.Background(), spec); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := experiments.Sweep(context.Background(), spec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Cache.Solves() != 0 {
+				b.Fatalf("warm run re-solved %d cells", res.Cache.Solves())
+			}
+		}
+	})
 }
 
 // BenchmarkFig4B regenerates Figure 4(b): per-class times at p = 0.9,
@@ -161,7 +205,7 @@ func BenchmarkSwarmCompare(b *testing.B) {
 	base.Warmup = 200
 	for i := 0; i < b.N; i++ {
 		base.Seed = uint64(i + 1)
-		if _, err := experiments.SwarmCompare(base, []float64{0, 1}); err != nil {
+		if _, err := experiments.SwarmCompare(context.Background(), base, []float64{0, 1}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -207,7 +251,7 @@ func BenchmarkEtaAblation(b *testing.B) {
 	etas := []float64{0.25, 0.5, 0.75, 1.0}
 	grid := experiments.PGrid(0, 1, 20)
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.EtaAblation(experiments.PaperConfig, etas, grid); err != nil {
+		if _, err := experiments.EtaAblation(context.Background(), experiments.PaperConfig, etas, grid); err != nil {
 			b.Fatal(err)
 		}
 	}

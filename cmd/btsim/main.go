@@ -16,9 +16,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"mfdl/internal/adapt"
 	"mfdl/internal/eventsim"
@@ -100,7 +102,9 @@ func run(args []string) error {
 		base.Horizon = int(*horizon)
 		base.Warmup = int(*warmup)
 		base.Seed = *seed
-		res, err := experiments.SwarmCompare(base, []float64{0, 0.25, 0.5, 0.75, 1})
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+		defer stop()
+		res, err := experiments.SwarmCompare(ctx, base, []float64{0, 0.25, 0.5, 0.75, 1})
 		if err != nil {
 			return err
 		}

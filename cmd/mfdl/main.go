@@ -27,12 +27,17 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"time"
 
 	"mfdl/internal/experiments"
 	"mfdl/internal/fluid"
+	"mfdl/internal/runner"
+	"mfdl/internal/runner/diskcache"
 	"mfdl/internal/table"
 )
 
@@ -46,14 +51,16 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("mfdl", flag.ContinueOnError)
 	var (
-		k       = fs.Int("k", 10, "number of files K")
-		mu      = fs.Float64("mu", 0.02, "upload bandwidth μ")
-		eta     = fs.Float64("eta", 0.5, "sharing efficiency η")
-		gamma   = fs.Float64("gamma", 0.05, "seed departure rate γ")
-		lambda0 = fs.Float64("lambda0", 1, "web-server visiting rate λ₀")
-		steps   = fs.Int("steps", 20, "grid resolution for swept axes")
-		format  = fs.String("format", "ascii", "output format: ascii, csv, tsv, or markdown")
-		out     = fs.String("out", "artifacts", "output directory for the 'report' subcommand")
+		k        = fs.Int("k", 10, "number of files K")
+		mu       = fs.Float64("mu", 0.02, "upload bandwidth μ")
+		eta      = fs.Float64("eta", 0.5, "sharing efficiency η")
+		gamma    = fs.Float64("gamma", 0.05, "seed departure rate γ")
+		lambda0  = fs.Float64("lambda0", 1, "web-server visiting rate λ₀")
+		steps    = fs.Int("steps", 20, "grid resolution for swept axes")
+		format   = fs.String("format", "ascii", "output format: ascii, csv, tsv, or markdown")
+		out      = fs.String("out", "artifacts", "output directory for the 'report' subcommand")
+		cacheDir = fs.String("cache-dir", "", "persistent solve-cache directory shared across runs (empty = in-memory only)")
+		stats    = fs.Bool("stats", false, "print per-phase wall-clock and solve-cache hit rates on stderr")
 	)
 	fs.Usage = func() {
 		fmt.Fprintln(fs.Output(), "usage: mfdl [flags] fig2|fig3|fig4a|fig4b|fig4c|validate|stability|crossover|eta|cheating|kscaling|report|params|all")
@@ -66,10 +73,24 @@ func run(args []string) error {
 		fs.Usage()
 		return fmt.Errorf("expected exactly one subcommand, got %d", fs.NArg())
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	// One solve cache for the whole invocation: 'all' and 'report' reuse
+	// solves across figures, and -cache-dir extends the reuse across
+	// processes.
+	cache := runner.NewCache()
+	if *cacheDir != "" {
+		disk, err := diskcache.Open(*cacheDir)
+		if err != nil {
+			return err
+		}
+		cache = runner.NewDiskCache(disk)
+	}
 	cfg := experiments.Config{
 		Params:  fluid.Params{Mu: *mu, Eta: *eta, Gamma: *gamma},
 		K:       *k,
 		Lambda0: *lambda0,
+		Cache:   cache,
 	}
 	emit := func(tb *table.Table) error {
 		if err := tb.Write(os.Stdout, *format); err != nil {
@@ -101,7 +122,7 @@ func run(args []string) error {
 		"fig4a": func() error {
 			pGrid := experiments.PGrid(0.1, 1, *steps/2)
 			rhoGrid := experiments.PGrid(0, 1, 10)
-			res, err := experiments.Fig4A(cfg, pGrid, rhoGrid)
+			res, err := experiments.Fig4A(ctx, cfg, pGrid, rhoGrid)
 			if err != nil {
 				return err
 			}
@@ -143,7 +164,7 @@ func run(args []string) error {
 			return emit(res.Table())
 		},
 		"eta": func() error {
-			res, err := experiments.EtaAblation(cfg,
+			res, err := experiments.EtaAblation(ctx, cfg,
 				[]float64{0.25, 0.5, 0.75, 1.0}, experiments.PGrid(0, 1, *steps))
 			if err != nil {
 				return err
@@ -166,7 +187,7 @@ func run(args []string) error {
 			return emit(res.Table())
 		},
 		"report": func() error {
-			files, err := experiments.Report(cfg, *out)
+			files, err := experiments.Report(ctx, cfg, *out)
 			if err != nil {
 				return err
 			}
@@ -188,19 +209,45 @@ func run(args []string) error {
 			return emit(tb)
 		},
 	}
+	// runPhase times one subcommand; with -stats each phase's wall-clock
+	// lands on stderr, followed by the shared cache's hit rates.
+	runPhase := func(sub string) error {
+		start := time.Now()
+		err := cmds[sub]()
+		if *stats {
+			fmt.Fprintf(os.Stderr, "mfdl: phase %-9s %8.1fms\n", sub, float64(time.Since(start).Microseconds())/1000)
+		}
+		return err
+	}
+	report := func() {
+		if !*stats {
+			return
+		}
+		s := cache.Stats()
+		fmt.Fprintf(os.Stderr, "mfdl: solve cache: memory %d hits / %d misses", s.Hits, s.Misses)
+		if *cacheDir != "" {
+			fmt.Fprintf(os.Stderr, "; disk %d hits / %d misses (%d stored, %d corrupt, %d evicted)",
+				s.Disk.Hits, s.Disk.Misses, s.Disk.Stores, s.Disk.Corrupt, s.Disk.Evicted)
+		}
+		fmt.Fprintf(os.Stderr, "; %d solved\n", s.Solves())
+	}
 	name := fs.Arg(0)
 	if name == "all" {
 		for _, sub := range []string{"params", "validate", "fig2", "fig3", "fig4a", "fig4b", "fig4c", "crossover", "stability", "eta", "cheating", "kscaling"} {
-			if err := cmds[sub](); err != nil {
+			if err := runPhase(sub); err != nil {
 				return fmt.Errorf("%s: %w", sub, err)
 			}
 		}
+		report()
 		return nil
 	}
-	cmd, ok := cmds[name]
-	if !ok {
+	if _, ok := cmds[name]; !ok {
 		fs.Usage()
 		return fmt.Errorf("unknown subcommand %q", name)
 	}
-	return cmd()
+	if err := runPhase(name); err != nil {
+		return err
+	}
+	report()
+	return nil
 }

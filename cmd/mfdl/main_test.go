@@ -157,3 +157,47 @@ func TestReportSubcommand(t *testing.T) {
 		t.Fatalf("report listing:\n%s", out)
 	}
 }
+
+// A second invocation with the same -cache-dir must reuse every solve
+// from disk (0 solved) and print byte-identical tables.
+func TestCacheDirAcrossInvocations(t *testing.T) {
+	dir := t.TempDir()
+	first, err := capture(t, func() error { return run([]string{"-cache-dir", dir, "fig4b"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldErr := os.Stderr
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stderr = w
+	second, runErr := capture(t, func() error { return run([]string{"-cache-dir", dir, "-stats", "fig4b"}) })
+	w.Close()
+	os.Stderr = oldErr
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	var sb strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := r.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	if second != first {
+		t.Fatalf("cached rerun differs:\n%s\nvs\n%s", second, first)
+	}
+	stderr := sb.String()
+	if !strings.Contains(stderr, "; 0 solved") || !strings.Contains(stderr, "mfdl: phase fig4b") {
+		t.Fatalf("-stats report:\n%s", stderr)
+	}
+}
+
+func TestRejectsUnwritableCacheDir(t *testing.T) {
+	if err := run([]string{"-cache-dir", "/dev/null/nope", "params"}); err == nil {
+		t.Fatal("unwritable cache dir accepted")
+	}
+}

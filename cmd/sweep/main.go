@@ -15,9 +15,16 @@
 //
 //	sweep -dim rho -from 0 -to 1 -steps 10 -scheme CMFSD -p 0.9
 //	sweep -dim p,rho -from 0.1,0 -to 1,1 -steps 9,10 -workers 8 -scheme CMFSD
+//	sweep -dim p,rho -steps 9,10 -cache-dir ~/.cache/mfdl -stats
 //
 // -from, -to and -steps accept either a single value (applied to every
 // dimension) or one comma-separated value per dimension.
+//
+// With -cache-dir the solves persist across invocations: a repeated run
+// over the same grid decodes every cell from disk instead of re-solving
+// it, with byte-identical output. -stats reports on stderr how many cells
+// collapsed into shared (memory) or pre-computed (disk) solves, and the
+// wall-clock spent in each phase (setup, solve, render).
 package main
 
 import (
@@ -25,8 +32,10 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"time"
 
 	"flag"
 
@@ -98,23 +107,26 @@ func broadcast[T any](flagName string, vals []T, n int) ([]T, error) {
 }
 
 func run(args []string) error {
+	start := time.Now()
 	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
 	var (
-		dim     = fs.String("dim", "p", "swept dimensions (comma-separated): p, rho, k, mu, gamma, eta, lambda0")
-		from    = fs.String("from", "0.05", "sweep start, one value or one per dimension")
-		to      = fs.String("to", "1", "sweep end, one value or one per dimension")
-		steps   = fs.String("steps", "10", "sweep intervals, one value or one per dimension")
-		schemeF = fs.String("scheme", "CMFSD", "scheme: MTCD, MTSD, MFCD, CMFSD")
-		k       = fs.Int("k", 10, "number of files K")
-		mu      = fs.Float64("mu", 0.02, "upload bandwidth μ")
-		eta     = fs.Float64("eta", 0.5, "sharing efficiency η")
-		gamma   = fs.Float64("gamma", 0.05, "seed departure rate γ")
-		lambda0 = fs.Float64("lambda0", 1, "visiting rate λ₀")
-		p       = fs.Float64("p", 0.9, "file correlation p")
-		rho     = fs.Float64("rho", 0, "CMFSD allocation ratio ρ")
-		workers = fs.Int("workers", 0, "worker pool size (0 = all cores)")
-		verbose = fs.Bool("progress", false, "report per-cell progress on stderr")
-		format  = fs.String("format", "ascii", "output format: ascii, csv, tsv, or markdown")
+		dim      = fs.String("dim", "p", "swept dimensions (comma-separated): p, rho, k, mu, gamma, eta, lambda0")
+		from     = fs.String("from", "0.05", "sweep start, one value or one per dimension")
+		to       = fs.String("to", "1", "sweep end, one value or one per dimension")
+		steps    = fs.String("steps", "10", "sweep intervals, one value or one per dimension")
+		schemeF  = fs.String("scheme", "CMFSD", "scheme: MTCD, MTSD, MFCD, CMFSD")
+		k        = fs.Int("k", 10, "number of files K")
+		mu       = fs.Float64("mu", 0.02, "upload bandwidth μ")
+		eta      = fs.Float64("eta", 0.5, "sharing efficiency η")
+		gamma    = fs.Float64("gamma", 0.05, "seed departure rate γ")
+		lambda0  = fs.Float64("lambda0", 1, "visiting rate λ₀")
+		p        = fs.Float64("p", 0.9, "file correlation p")
+		rho      = fs.Float64("rho", 0, "CMFSD allocation ratio ρ")
+		workers  = fs.Int("workers", 0, "worker pool size (0 = all cores)")
+		verbose  = fs.Bool("progress", false, "report per-cell progress on stderr")
+		format   = fs.String("format", "ascii", "output format: ascii, csv, tsv, or markdown")
+		cacheDir = fs.String("cache-dir", "", "persistent solve-cache directory shared across runs (empty = in-memory only)")
+		stats    = fs.Bool("stats", false, "print cache hit rates and per-phase wall-clock on stderr")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -171,9 +183,10 @@ func run(args []string) error {
 			Lambda0: *lambda0,
 		},
 		P: *p, Rho: *rho,
-		Scheme:  sc,
-		Grid:    grid,
-		Workers: *workers,
+		Scheme:   sc,
+		Grid:     grid,
+		Workers:  *workers,
+		CacheDir: *cacheDir,
 	}
 	if *verbose {
 		total := grid.Size()
@@ -183,9 +196,35 @@ func run(args []string) error {
 			fmt.Fprintf(os.Stderr, "sweep: %d/%d (%s)\n", done, total, pt.Label())
 		}}
 	}
-	res, err := experiments.Sweep(context.Background(), spec)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	setup := time.Since(start)
+	res, err := experiments.Sweep(ctx, spec)
 	if err != nil {
 		return err
 	}
-	return res.Table().Write(os.Stdout, *format)
+	solve := time.Since(start) - setup
+	if err := res.Table().Write(os.Stdout, *format); err != nil {
+		return err
+	}
+	if *stats || *verbose {
+		render := time.Since(start) - setup - solve
+		printStats(os.Stderr, res, *cacheDir != "", setup, solve, render)
+	}
+	return nil
+}
+
+// printStats summarizes how the grid's cells collapsed into shared and
+// pre-computed solves, and where the wall-clock went.
+func printStats(w *os.File, res *experiments.SweepResult, disk bool, setup, solve, render time.Duration) {
+	s := res.Cache
+	fmt.Fprintf(w, "sweep: %d cells: memory %d hits / %d misses", len(res.Cells), s.Hits, s.Misses)
+	if disk {
+		fmt.Fprintf(w, "; disk %d hits / %d misses (%d stored, %d corrupt, %d evicted)",
+			s.Disk.Hits, s.Disk.Misses, s.Disk.Stores, s.Disk.Corrupt, s.Disk.Evicted)
+	}
+	fmt.Fprintf(w, "; %d solved\n", s.Solves())
+	ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+	fmt.Fprintf(w, "sweep: phase setup %.1fms | solve %.1fms | render %.1fms\n",
+		ms(setup), ms(solve), ms(render))
 }

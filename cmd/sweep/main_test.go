@@ -156,3 +156,92 @@ func TestSweepBroadcastAndFormats(t *testing.T) {
 		}
 	}
 }
+
+// captureStderr runs f with os.Stderr redirected and returns what it
+// printed there (the -stats / -progress channel).
+func captureStderr(t *testing.T, f func() error) (string, error) {
+	t.Helper()
+	old := os.Stderr
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stderr = w
+	runErr := f()
+	w.Close()
+	os.Stderr = old
+	var sb strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := r.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	return sb.String(), runErr
+}
+
+// The disk-cache acceptance bar, end to end through the CLI: a repeated
+// run with -cache-dir must serve every solve from disk and still render a
+// byte-identical table.
+func TestSweepCacheDirByteIdenticalAndWarm(t *testing.T) {
+	args := []string{"-dim", "p,rho", "-from", "0.3,0", "-to", "0.9,1",
+		"-steps", "1,2", "-scheme", "CMFSD"}
+	plain, err := capture(t, func() error { return run(args) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached := append(args, "-cache-dir", t.TempDir())
+	cold, err := capture(t, func() error { return run(cached) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold != plain {
+		t.Fatalf("cold cached output differs:\n%s\nvs\n%s", cold, plain)
+	}
+	var warm string
+	stderr, err := captureStderr(t, func() error {
+		var runErr error
+		warm, runErr = capture(t, func() error { return run(append(cached, "-stats")) })
+		return runErr
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm != plain {
+		t.Fatalf("warm cached output differs:\n%s\nvs\n%s", warm, plain)
+	}
+	// Every cell decoded from disk, none re-solved.
+	if !strings.Contains(stderr, "; 0 solved") || !strings.Contains(stderr, "disk") {
+		t.Fatalf("warm -stats report:\n%s", stderr)
+	}
+	if !strings.Contains(stderr, "sweep: phase setup") {
+		t.Fatalf("phase timings missing:\n%s", stderr)
+	}
+}
+
+func TestSweepStatsWithoutCache(t *testing.T) {
+	stderr, err := captureStderr(t, func() error {
+		_, runErr := capture(t, func() error {
+			return run([]string{"-dim", "rho", "-from", "0", "-to", "1",
+				"-steps", "2", "-scheme", "MTSD", "-stats"})
+		})
+		return runErr
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ρ sweep under MTSD collapses to one solve; no disk tier configured.
+	if !strings.Contains(stderr, "memory 2 hits / 1 misses") || strings.Contains(stderr, "disk") {
+		t.Fatalf("-stats report:\n%s", stderr)
+	}
+}
+
+func TestSweepRejectsUnwritableCacheDir(t *testing.T) {
+	if _, err := capture(t, func() error {
+		return run([]string{"-steps", "1", "-cache-dir", "/dev/null/nope"})
+	}); err == nil {
+		t.Fatal("unwritable cache dir accepted")
+	}
+}

@@ -13,7 +13,17 @@
 // runs on: N-dimensional grids over a bounded worker pool, per-cell
 // deterministic RNG streams (results are bit-identical at any worker
 // count), context cancellation with first-error propagation, and a
-// memoization cache that collapses coinciding steady-state solves.
+// two-tier solve cache: an in-process memoization tier that collapses
+// coinciding steady-state solves with single-flight semantics, and an
+// optional persistent tier (internal/runner/diskcache) that serializes
+// results under a versioned, tolerance-aware key fingerprint so repeated
+// invocations skip identical cells entirely (the -cache-dir flag on
+// cmd/sweep and cmd/mfdl).
+//
+// The experiments API is context-first: grid studies (Fig4A, EtaAblation,
+// Report, SwarmCompare, Sweep) take a context.Context and fan out over the
+// runner, so long surfaces are cancellable and parallel while rendering
+// byte-identical tables at any worker count.
 //
 // The root package only anchors the module; all functionality lives under
 // internal/ (see README.md for the map) and is exercised by the binaries in

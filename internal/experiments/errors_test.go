@@ -1,6 +1,9 @@
 package experiments
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 // Every experiment must surface configuration errors instead of panicking
 // or silently computing nonsense.
@@ -13,8 +16,11 @@ func TestExperimentsRejectBadConfig(t *testing.T) {
 	if _, err := Fig3(bad, 0.5); err == nil {
 		t.Fatal("Fig3 accepted K=0")
 	}
-	if _, err := Fig4A(bad, []float64{0.5}, []float64{0}); err == nil {
+	if _, err := Fig4A(context.Background(), bad, []float64{0.5}, []float64{0}); err == nil {
 		t.Fatal("Fig4A accepted K=0")
+	}
+	if _, err := EtaAblation(context.Background(), bad, []float64{0.5}, []float64{0.5}); err == nil {
+		t.Fatal("EtaAblation accepted K=0")
 	}
 	if _, err := Fig4BC(bad, 0.5, 0.1, 0.9); err == nil {
 		t.Fatal("Fig4BC accepted K=0")
@@ -37,7 +43,7 @@ func TestExperimentsRejectBadCorrelation(t *testing.T) {
 	if _, err := Fig3(PaperConfig, 2); err == nil {
 		t.Fatal("Fig3 accepted p=2")
 	}
-	if _, err := Fig4A(PaperConfig, []float64{2}, []float64{0}); err == nil {
+	if _, err := Fig4A(context.Background(), PaperConfig, []float64{2}, []float64{0}); err == nil {
 		t.Fatal("Fig4A accepted p=2")
 	}
 	if _, err := Fig4BC(PaperConfig, 0.5, -1, 0.9); err == nil {

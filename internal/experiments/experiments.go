@@ -35,6 +35,7 @@ import (
 	"mfdl/internal/cmfsd"
 	"mfdl/internal/correlation"
 	"mfdl/internal/fluid"
+	"mfdl/internal/metrics"
 	"mfdl/internal/mtcd"
 	"mfdl/internal/numeric/rootfind"
 	"mfdl/internal/rng"
@@ -50,6 +51,12 @@ type Config struct {
 	K int
 	// Lambda0 is the web-server visiting rate λ₀.
 	Lambda0 float64
+	// Cache, when non-nil, memoizes every steady-state solve the
+	// experiments perform — across figures, across calls and (when the
+	// cache carries a disk tier) across processes. Nil solves directly.
+	// Copies of a Config share the cache, so overriding a parameter (as
+	// the η ablation does) still pools solves in one place.
+	Cache *runner.Cache
 }
 
 // PaperConfig reproduces the parameters used in every figure of the paper:
@@ -72,6 +79,21 @@ func (c Config) Validate() error {
 
 func (c Config) corr(p float64) (*correlation.Model, error) {
 	return correlation.New(c.K, p, c.Lambda0)
+}
+
+// eval solves one scheme at one operating point, through the shared cache
+// when the Config carries one.
+func (c Config) eval(sc scheme.Scheme, p, rho float64) (*metrics.SchemeResult, error) {
+	if c.Cache != nil {
+		return c.Cache.Evaluate(runner.Key{
+			Scheme: sc, Params: c.Params, K: c.K, P: p, Lambda0: c.Lambda0, Rho: rho,
+		})
+	}
+	corr, err := c.corr(p)
+	if err != nil {
+		return nil, err
+	}
+	return scheme.Evaluate(sc, c.Params, corr, scheme.Options{Rho: rho})
 }
 
 // PGrid returns n+1 evenly spaced correlation values from lo to hi.
@@ -107,10 +129,6 @@ func Fig2(cfg Config, pGrid []float64) (*Fig2Result, error) {
 	}
 	res := &Fig2Result{Config: cfg}
 	for _, p := range pGrid {
-		corr, err := cfg.corr(p)
-		if err != nil {
-			return nil, err
-		}
 		pt := Fig2Point{P: p}
 		if p == 0 {
 			// No arrivals: both schemes degenerate to the single-torrent
@@ -125,11 +143,11 @@ func Fig2(cfg Config, pGrid []float64) (*Fig2Result, error) {
 			}
 			pt.MTCDOnline, pt.MTSDOnline = t, t
 		} else {
-			rc, err := scheme.Evaluate(scheme.MTCD, cfg.Params, corr, scheme.Options{})
+			rc, err := cfg.eval(scheme.MTCD, p, 0)
 			if err != nil {
 				return nil, fmt.Errorf("experiments: MTCD at p=%v: %w", p, err)
 			}
-			rs, err := scheme.Evaluate(scheme.MTSD, cfg.Params, corr, scheme.Options{})
+			rs, err := cfg.eval(scheme.MTSD, p, 0)
 			if err != nil {
 				return nil, fmt.Errorf("experiments: MTSD at p=%v: %w", p, err)
 			}
@@ -173,15 +191,11 @@ func Fig3(cfg Config, p float64) (*Fig3Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	corr, err := cfg.corr(p)
+	rc, err := cfg.eval(scheme.MTCD, p, 0)
 	if err != nil {
 		return nil, err
 	}
-	rc, err := scheme.Evaluate(scheme.MTCD, cfg.Params, corr, scheme.Options{})
-	if err != nil {
-		return nil, err
-	}
-	rs, err := scheme.Evaluate(scheme.MTSD, cfg.Params, corr, scheme.Options{})
+	rs, err := cfg.eval(scheme.MTSD, p, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -226,8 +240,8 @@ type Fig4AResult struct {
 // Fig4A evaluates the CMFSD average online time per file over the given
 // correlation and allocation-ratio grids (Figure 4(a)). The grid cells are
 // independent 65-state relaxations, fanned out over all cores by the
-// runner engine.
-func Fig4A(cfg Config, pGrid, rhoGrid []float64) (*Fig4AResult, error) {
+// runner engine; canceling ctx aborts the remaining cells promptly.
+func Fig4A(ctx context.Context, cfg Config, pGrid, rhoGrid []float64) (*Fig4AResult, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -246,15 +260,11 @@ func Fig4A(cfg Config, pGrid, rhoGrid []float64) (*Fig4AResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	online, err := runner.Run(context.Background(), grid,
+	online, err := runner.Run(ctx, grid,
 		func(_ context.Context, pt runner.Point, _ *rng.Source) (float64, error) {
 			p, _ := pt.Value("p")
 			rho, _ := pt.Value("rho")
-			corr, err := cfg.corr(p)
-			if err != nil {
-				return 0, err
-			}
-			r, err := scheme.Evaluate(scheme.CMFSD, cfg.Params, corr, scheme.Options{Rho: rho})
+			r, err := cfg.eval(scheme.CMFSD, p, rho)
 			if err != nil {
 				return 0, fmt.Errorf("experiments: CMFSD: %w", err)
 			}
@@ -310,19 +320,15 @@ func Fig4BC(cfg Config, p, lowRho, highRho float64) (*Fig4BCResult, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	corr, err := cfg.corr(p)
+	low, err := cfg.eval(scheme.CMFSD, p, lowRho)
 	if err != nil {
 		return nil, err
 	}
-	low, err := scheme.Evaluate(scheme.CMFSD, cfg.Params, corr, scheme.Options{Rho: lowRho})
+	high, err := cfg.eval(scheme.CMFSD, p, highRho)
 	if err != nil {
 		return nil, err
 	}
-	high, err := scheme.Evaluate(scheme.CMFSD, cfg.Params, corr, scheme.Options{Rho: highRho})
-	if err != nil {
-		return nil, err
-	}
-	mfcd, err := scheme.Evaluate(scheme.MFCD, cfg.Params, corr, scheme.Options{})
+	mfcd, err := cfg.eval(scheme.MFCD, p, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -388,19 +394,15 @@ func Validate(cfg Config) (*ValidationResult, error) {
 		return nil, err
 	}
 	tOn := tDl + 1/one.Gamma
-	corr, err := one.corr(0.8)
+	rc, err := one.eval(scheme.MTCD, 0.8, 0)
 	if err != nil {
 		return nil, err
 	}
-	rc, err := scheme.Evaluate(scheme.MTCD, one.Params, corr, scheme.Options{})
+	rs, err := one.eval(scheme.MTSD, 0.8, 0)
 	if err != nil {
 		return nil, err
 	}
-	rs, err := scheme.Evaluate(scheme.MTSD, one.Params, corr, scheme.Options{})
-	if err != nil {
-		return nil, err
-	}
-	rf, err := scheme.Evaluate(scheme.CMFSD, one.Params, corr, scheme.Options{Rho: 0.5})
+	rf, err := one.eval(scheme.CMFSD, 0.8, 0.5)
 	if err != nil {
 		return nil, err
 	}
@@ -446,21 +448,49 @@ type EtaAblationResult struct {
 	Online [][]float64
 }
 
-// EtaAblation runs the η sensitivity study (E10).
-func EtaAblation(cfg Config, etas, pGrid []float64) (*EtaAblationResult, error) {
+// EtaAblation runs the η sensitivity study (E10). The η × p grid of MTCD
+// solves fans out over the runner pool — each cell is independent — and
+// the result is byte-identical to the serial Fig-2 replay it replaces.
+func EtaAblation(ctx context.Context, cfg Config, etas, pGrid []float64) (*EtaAblationResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	res := &EtaAblationResult{Config: cfg, Etas: etas, PGrid: pGrid}
-	for _, eta := range etas {
-		c := cfg
-		c.Eta = eta
-		fig, err := Fig2(c, pGrid)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: η=%v: %w", eta, err)
-		}
-		row := make([]float64, len(fig.Points))
-		for i, pt := range fig.Points {
-			row[i] = pt.MTCDOnline
-		}
-		res.Online = append(res.Online, row)
+	if len(etas) == 0 || len(pGrid) == 0 {
+		return res, nil
+	}
+	grid, err := runner.NewGrid(
+		runner.Dim{Name: "eta", Values: etas},
+		runner.Dim{Name: "p", Values: pGrid},
+	)
+	if err != nil {
+		return nil, err
+	}
+	online, err := runner.Run(ctx, grid,
+		func(_ context.Context, pt runner.Point, _ *rng.Source) (float64, error) {
+			eta, _ := pt.Value("eta")
+			p, _ := pt.Value("p")
+			c := cfg
+			c.Eta = eta
+			if p == 0 {
+				// No arrivals: the single-torrent limit, as in Fig2.
+				st, err := fluid.NewSingleTorrent(c.Params, 1)
+				if err != nil {
+					return 0, err
+				}
+				return st.OnlineTime()
+			}
+			r, err := c.eval(scheme.MTCD, p, 0)
+			if err != nil {
+				return 0, fmt.Errorf("experiments: η=%v: %w", eta, err)
+			}
+			return r.AvgOnlinePerFile(), nil
+		}, runner.Options{})
+	if err != nil {
+		return nil, err
+	}
+	for e := range etas {
+		res.Online = append(res.Online, online[e*len(pGrid):(e+1)*len(pGrid)])
 	}
 	return res, nil
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -112,7 +113,7 @@ func TestFig3Shapes(t *testing.T) {
 func TestFig4ASmallGrid(t *testing.T) {
 	pGrid := []float64{0.3, 0.9}
 	rhoGrid := []float64{0, 0.5, 1}
-	res, err := Fig4A(PaperConfig, pGrid, rhoGrid)
+	res, err := Fig4A(context.Background(), PaperConfig, pGrid, rhoGrid)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -181,7 +182,7 @@ func TestValidateDegeneracy(t *testing.T) {
 }
 
 func TestEtaAblation(t *testing.T) {
-	res, err := EtaAblation(PaperConfig, []float64{0.25, 0.5, 1.0}, []float64{0.5, 1})
+	res, err := EtaAblation(context.Background(), PaperConfig, []float64{0.25, 0.5, 1.0}, []float64{0.5, 1})
 	if err != nil {
 		t.Fatal(err)
 	}

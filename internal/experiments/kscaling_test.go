@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -44,7 +45,7 @@ func TestKScalingRejectsBadConfig(t *testing.T) {
 
 func TestReportWritesAllArtifacts(t *testing.T) {
 	dir := t.TempDir()
-	files, err := Report(PaperConfig, dir)
+	files, err := Report(context.Background(), PaperConfig, dir)
 	if err != nil {
 		t.Fatal(err)
 	}

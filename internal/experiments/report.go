@@ -1,10 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
 
+	"mfdl/internal/rng"
+	"mfdl/internal/runner"
 	"mfdl/internal/table"
 )
 
@@ -12,7 +15,13 @@ import (
 // E10, E11, E14, crossover, cheating) into outDir as CSV files, one per
 // table, and returns the written file names. It is the "make artifacts"
 // entry point: a reviewer can diff the directory against a previous run.
-func Report(cfg Config, outDir string) ([]string, error) {
+//
+// The artifacts are independent, so their tables are generated in
+// parallel over the runner pool (sharing cfg.Cache when one is set — the
+// figures overlap heavily in the solves they need); the files are then
+// written serially in the fixed artifact order so the returned listing
+// and the directory contents are deterministic.
+func Report(ctx context.Context, cfg Config, outDir string) ([]string, error) {
 	if err := os.MkdirAll(outDir, 0o755); err != nil {
 		return nil, err
 	}
@@ -50,7 +59,7 @@ func Report(cfg Config, outDir string) ([]string, error) {
 			return r.Table(), nil
 		}},
 		{"fig4a", func() (*table.Table, error) {
-			r, err := Fig4A(cfg, PGrid(0.1, 1, 9), PGrid(0, 1, 10))
+			r, err := Fig4A(ctx, cfg, PGrid(0.1, 1, 9), PGrid(0, 1, 10))
 			if err != nil {
 				return nil, err
 			}
@@ -82,7 +91,7 @@ func Report(cfg Config, outDir string) ([]string, error) {
 			return tb, err
 		}},
 		{"eta_ablation", func() (*table.Table, error) {
-			r, err := EtaAblation(cfg, []float64{0.25, 0.5, 0.75, 1.0}, PGrid(0, 1, 20))
+			r, err := EtaAblation(ctx, cfg, []float64{0.25, 0.5, 0.75, 1.0}, PGrid(0, 1, 20))
 			if err != nil {
 				return nil, err
 			}
@@ -103,18 +112,30 @@ func Report(cfg Config, outDir string) ([]string, error) {
 			return r.Table(), nil
 		}},
 	}
+	grid, err := runner.Indexed("artifact", len(artifacts))
+	if err != nil {
+		return nil, err
+	}
+	tables, err := runner.Run(ctx, grid,
+		func(_ context.Context, pt runner.Point, _ *rng.Source) (*table.Table, error) {
+			a := artifacts[pt.Index]
+			tb, err := a.gen()
+			if err != nil {
+				return nil, fmt.Errorf("experiments: report %s: %w", a.name, err)
+			}
+			return tb, nil
+		}, runner.Options{})
+	if err != nil {
+		return nil, err
+	}
 	var written []string
-	for _, a := range artifacts {
-		tb, err := a.gen()
-		if err != nil {
-			return written, fmt.Errorf("experiments: report %s: %w", a.name, err)
-		}
+	for i, a := range artifacts {
 		path := filepath.Join(outDir, a.name+".csv")
 		f, err := os.Create(path)
 		if err != nil {
 			return written, err
 		}
-		if err := tb.WriteCSV(f); err != nil {
+		if err := tables[i].WriteCSV(f); err != nil {
 			f.Close()
 			return written, err
 		}

@@ -253,34 +253,48 @@ type SwarmCompareResult struct {
 // SwarmCompare runs the chunk-level simulator for MFCD, MTSD and CMFSD
 // over a ρ grid with otherwise identical parameters — the mechanism-level
 // replay of Figure 4(a)'s ordering plus the multi-torrent sequential
-// behaviour embedded in one swarm.
-func SwarmCompare(base swarm.Config, rhos []float64) (*SwarmCompareResult, error) {
+// behaviour embedded in one swarm. The runs are independent simulations,
+// so they fan out over the runner pool; every row keeps the base config's
+// seed, so the table is byte-identical to the serial sweep at any worker
+// count. Canceling ctx aborts the remaining rows.
+func SwarmCompare(ctx context.Context, base swarm.Config, rhos []float64) (*SwarmCompareResult, error) {
 	res := &SwarmCompareResult{Config: base}
-	for _, sc := range []swarm.Scheme{swarm.MFCD, swarm.MTSD} {
-		c := base
-		c.Scheme = sc
-		out, err := swarm.Run(c)
-		if err != nil {
-			return nil, err
-		}
-		res.Rows = append(res.Rows, SwarmRow{
-			Scheme: sc.String(), Rho: math.NaN(),
-			OnlinePerFile: out.AvgOnlinePerFile, Completed: out.CompletedUsers,
-		})
+	type rowSpec struct {
+		scheme swarm.Scheme
+		rho    float64 // NaN for the schemes that ignore ρ
+	}
+	specs := []rowSpec{
+		{swarm.MFCD, math.NaN()},
+		{swarm.MTSD, math.NaN()},
 	}
 	for _, rho := range rhos {
-		cc := base
-		cc.Scheme = swarm.CMFSD
-		cc.Rho = rho
-		out, err := swarm.Run(cc)
-		if err != nil {
-			return nil, err
-		}
-		res.Rows = append(res.Rows, SwarmRow{
-			Scheme: "CMFSD", Rho: rho,
-			OnlinePerFile: out.AvgOnlinePerFile, Completed: out.CompletedUsers,
-		})
+		specs = append(specs, rowSpec{swarm.CMFSD, rho})
 	}
+	grid, err := runner.Indexed("row", len(specs))
+	if err != nil {
+		return nil, err
+	}
+	rows, err := runner.Run(ctx, grid,
+		func(_ context.Context, pt runner.Point, _ *rng.Source) (SwarmRow, error) {
+			sp := specs[pt.Index]
+			c := base
+			c.Scheme = sp.scheme
+			if !math.IsNaN(sp.rho) {
+				c.Rho = sp.rho
+			}
+			out, err := swarm.Run(c)
+			if err != nil {
+				return SwarmRow{}, err
+			}
+			return SwarmRow{
+				Scheme: sp.scheme.String(), Rho: sp.rho,
+				OnlinePerFile: out.AvgOnlinePerFile, Completed: out.CompletedUsers,
+			}, nil
+		}, runner.Options{Seed: base.Seed})
+	if err != nil {
+		return nil, err
+	}
+	res.Rows = rows
 	return res, nil
 }
 

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -65,7 +66,7 @@ func TestSwarmCompareOrdering(t *testing.T) {
 	base := swarm.DefaultConfig
 	base.Horizon = 2000
 	base.Warmup = 300
-	res, err := SwarmCompare(base, []float64{0, 1})
+	res, err := SwarmCompare(context.Background(), base, []float64{0, 1})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -8,6 +8,7 @@ import (
 
 	"mfdl/internal/rng"
 	"mfdl/internal/runner"
+	"mfdl/internal/runner/diskcache"
 	"mfdl/internal/scheme"
 	"mfdl/internal/table"
 )
@@ -35,6 +36,12 @@ type SweepSpec struct {
 	Grid runner.Grid
 	// Workers bounds the pool (<= 0 means all cores).
 	Workers int
+	// CacheDir, when non-empty, backs the solve cache with a persistent
+	// cross-process store in that directory: cells already solved by any
+	// previous run (or process) are decoded instead of re-solved, and
+	// fresh solves are persisted for the next run. Results are
+	// byte-identical with or without it.
+	CacheDir string
 	// Hooks observe per-cell progress.
 	Hooks runner.Hooks
 }
@@ -51,8 +58,9 @@ type SweepCell struct {
 type SweepResult struct {
 	Spec  SweepSpec
 	Cells []SweepCell
-	// CacheHits and CacheMisses count memoized vs actual solves.
-	CacheHits, CacheMisses int
+	// Cache reports how the grid's cells collapsed into shared (memory
+	// tier) and pre-computed (disk tier) solves.
+	Cache runner.CacheStats
 }
 
 // applyDim overrides one knob of a solve key.
@@ -98,6 +106,13 @@ func Sweep(ctx context.Context, spec SweepSpec) (*SweepResult, error) {
 		}
 	}
 	cache := runner.NewCache()
+	if spec.CacheDir != "" {
+		disk, err := diskcache.Open(spec.CacheDir)
+		if err != nil {
+			return nil, err
+		}
+		cache = runner.NewDiskCache(disk)
+	}
 	cells, err := runner.Run(ctx, spec.Grid,
 		func(_ context.Context, pt runner.Point, _ *rng.Source) (SweepCell, error) {
 			key := base
@@ -120,8 +135,7 @@ func Sweep(ctx context.Context, spec SweepSpec) (*SweepResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	hits, misses := cache.Stats()
-	return &SweepResult{Spec: spec, Cells: cells, CacheHits: hits, CacheMisses: misses}, nil
+	return &SweepResult{Spec: spec, Cells: cells, Cache: cache.Stats()}, nil
 }
 
 // Table renders the sweep with one row per cell: the swept values followed

@@ -60,8 +60,8 @@ func TestSweepMemoizesInsensitiveDims(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.CacheMisses != 1 || res.CacheHits != 9 {
-		t.Fatalf("hits=%d misses=%d, want 9/1", res.CacheHits, res.CacheMisses)
+	if res.Cache.Misses != 1 || res.Cache.Hits != 9 {
+		t.Fatalf("hits=%d misses=%d, want 9/1", res.Cache.Hits, res.Cache.Misses)
 	}
 	for _, c := range res.Cells[1:] {
 		if c.AvgOnline != res.Cells[0].AvgOnline {
@@ -105,6 +105,49 @@ func TestSweepRejectsBadInput(t *testing.T) {
 		Config: PaperConfig, P: 0.9, Scheme: scheme.MTSD, Grid: pg,
 	}); err == nil {
 		t.Fatal("p=2 cell accepted")
+	}
+}
+
+// The determinism half of the disk-cache acceptance bar: the same grid
+// rendered without a cache, with a cold cache, and with a warm cache must
+// be byte-identical, and the warm run must serve every solve from disk.
+func TestSweepDiskCacheDeterministicAndWarm(t *testing.T) {
+	g, err := runner.NewGrid(
+		runner.Dim{Name: "p", Values: runner.Linspace(0.3, 0.9, 1)},
+		runner.Dim{Name: "rho", Values: runner.Linspace(0, 1, 2)},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := SweepSpec{Config: PaperConfig, P: 0.9, Scheme: scheme.CMFSD, Grid: g, Workers: 4}
+	plain, err := Sweep(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := plain.Table().String()
+
+	spec.CacheDir = t.TempDir()
+	cold, err := Sweep(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cold.Table().String(); got != want {
+		t.Fatalf("cold cached run differs from uncached:\n%s\nvs\n%s", got, want)
+	}
+	if s := cold.Cache; s.Disk.Hits != 0 || s.Disk.Stores != s.Misses {
+		t.Fatalf("cold stats: %+v", s)
+	}
+
+	warm, err := Sweep(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := warm.Table().String(); got != want {
+		t.Fatalf("warm cached run differs from uncached:\n%s\nvs\n%s", got, want)
+	}
+	s := warm.Cache
+	if s.Disk.Hits != s.Misses || s.Disk.Misses != 0 || s.Solves() != 0 {
+		t.Fatalf("warm run re-solved: %+v", s)
 	}
 }
 

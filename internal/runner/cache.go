@@ -1,11 +1,14 @@
 package runner
 
 import (
+	"fmt"
+	"math"
 	"sync"
 
 	"mfdl/internal/correlation"
 	"mfdl/internal/fluid"
 	"mfdl/internal/metrics"
+	"mfdl/internal/runner/diskcache"
 	"mfdl/internal/scheme"
 )
 
@@ -33,15 +36,49 @@ func (k Key) normalize() Key {
 	return k
 }
 
-// Cache memoizes scheme solves across grid cells. It is safe for
-// concurrent use; when several workers request the same key the solve runs
-// once and the rest block on it. Results are shared — callers must treat
-// them as immutable.
+// solveTolerance is the steady-state convergence tolerance the scheme
+// solvers run at (the ode.SteadyStateOptions default). It is baked into
+// every fingerprint so that a future tolerance change invalidates disk
+// entries solved under the old numerics instead of silently reusing them.
+const solveTolerance = 1e-10
+
+// Fingerprint renders the normalized key as a stable string for the
+// persistent cache. Floats are encoded as their exact IEEE-754 bits, so
+// two keys share a fingerprint iff they solve bit-identically.
+func (k Key) Fingerprint() string {
+	k = k.normalize()
+	b := math.Float64bits
+	return fmt.Sprintf("tol=%g scheme=%s k=%d mu=%016x eta=%016x gamma=%016x p=%016x lambda0=%016x rho=%016x",
+		solveTolerance, k.Scheme, k.K,
+		b(k.Params.Mu), b(k.Params.Eta), b(k.Params.Gamma),
+		b(k.P), b(k.Lambda0), b(k.Rho))
+}
+
+// CacheStats aggregates the counters of both cache tiers.
+type CacheStats struct {
+	// Hits and Misses count Evaluate calls against the in-memory tier.
+	Hits, Misses int
+	// Disk holds the persistent tier's counters; all zero when no disk
+	// store is attached.
+	Disk diskcache.Stats
+}
+
+// Solves returns the number of keys that actually ran a solver: memory
+// misses not served by the disk tier.
+func (s CacheStats) Solves() int { return s.Misses - s.Disk.Hits }
+
+// Cache memoizes scheme solves across grid cells, optionally backed by a
+// persistent cross-process tier. It is safe for concurrent use; when
+// several workers request the same key the solve runs once and the rest
+// block on it — the disk tier is consulted inside that single flight, so
+// each key costs at most one disk read and one solve per process.
+// Results are shared — callers must treat them as immutable.
 type Cache struct {
 	mu      sync.Mutex
 	entries map[Key]*cacheEntry
 	misses  int
 	hits    int
+	disk    *diskcache.Store
 }
 
 type cacheEntry struct {
@@ -50,13 +87,26 @@ type cacheEntry struct {
 	err  error
 }
 
-// NewCache returns an empty cache.
+// NewCache returns an empty in-memory cache.
 func NewCache() *Cache {
 	return &Cache{entries: map[Key]*cacheEntry{}}
 }
 
+// NewDiskCache returns a cache whose misses fall through to (and whose
+// solves populate) the persistent store.
+func NewDiskCache(disk *diskcache.Store) *Cache {
+	c := NewCache()
+	c.disk = disk
+	return c
+}
+
+// Disk returns the attached persistent store, or nil.
+func (c *Cache) Disk() *diskcache.Store { return c.disk }
+
 // Evaluate returns the steady-state metrics for the key, solving it at
-// most once per cache lifetime.
+// most once per cache lifetime. With a disk tier attached, a key already
+// solved by any previous process is decoded instead of re-solved; fresh
+// solves are persisted best-effort (a full disk never fails the solve).
 func (c *Cache) Evaluate(k Key) (*metrics.SchemeResult, error) {
 	k = k.normalize()
 	c.mu.Lock()
@@ -70,20 +120,35 @@ func (c *Cache) Evaluate(k Key) (*metrics.SchemeResult, error) {
 	}
 	c.mu.Unlock()
 	e.once.Do(func() {
+		if c.disk != nil {
+			if res, ok := c.disk.Get(k.Fingerprint()); ok {
+				e.res = res
+				return
+			}
+		}
 		corr, err := correlation.New(k.K, k.P, k.Lambda0)
 		if err != nil {
 			e.err = err
 			return
 		}
 		e.res, e.err = scheme.Evaluate(k.Scheme, k.Params, corr, scheme.Options{Rho: k.Rho})
+		if e.err == nil && c.disk != nil {
+			_ = c.disk.Put(k.Fingerprint(), e.res)
+		}
 	})
 	return e.res, e.err
 }
 
-// Stats reports how many Evaluate calls hit an existing entry and how many
-// had to solve.
-func (c *Cache) Stats() (hits, misses int) {
+// Stats reports both tiers' counters: how many Evaluate calls collapsed
+// into an in-memory entry, and how the fall-through traffic fared against
+// the persistent store.
+func (c *Cache) Stats() CacheStats {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.hits, c.misses
+	hits, misses := c.hits, c.misses
+	c.mu.Unlock()
+	s := CacheStats{Hits: hits, Misses: misses}
+	if c.disk != nil {
+		s.Disk = c.disk.Stats()
+	}
+	return s
 }

@@ -7,6 +7,7 @@ import (
 
 	"mfdl/internal/fluid"
 	"mfdl/internal/rng"
+	"mfdl/internal/runner/diskcache"
 	"mfdl/internal/scheme"
 )
 
@@ -24,8 +25,8 @@ func TestCacheSolvesOnce(t *testing.T) {
 	if a != b {
 		t.Fatal("second Evaluate did not return the cached result pointer")
 	}
-	if hits, misses := c.Stats(); hits != 1 || misses != 1 {
-		t.Fatalf("hits=%d misses=%d", hits, misses)
+	if s := c.Stats(); s.Hits != 1 || s.Misses != 1 {
+		t.Fatalf("hits=%d misses=%d", s.Hits, s.Misses)
 	}
 }
 
@@ -40,8 +41,8 @@ func TestCacheNormalizesRho(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if hits, misses := c.Stats(); misses != 1 || hits != 3 {
-		t.Fatalf("hits=%d misses=%d, want 3/1", hits, misses)
+	if s := c.Stats(); s.Misses != 1 || s.Hits != 3 {
+		t.Fatalf("hits=%d misses=%d, want 3/1", s.Hits, s.Misses)
 	}
 	// CMFSD does depend on ρ: distinct solves.
 	cm := NewCache()
@@ -51,8 +52,8 @@ func TestCacheNormalizesRho(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if _, misses := cm.Stats(); misses != 2 {
-		t.Fatalf("CMFSD rho collapsed: misses=%d", misses)
+	if s := cm.Stats(); s.Misses != 2 {
+		t.Fatalf("CMFSD rho collapsed: misses=%d", s.Misses)
 	}
 }
 
@@ -91,8 +92,8 @@ func TestCacheConcurrent(t *testing.T) {
 			t.Fatalf("divergent cached results: %v vs %v", v, results[0])
 		}
 	}
-	if _, misses := c.Stats(); misses != 1 {
-		t.Fatalf("misses=%d, want 1", misses)
+	if s := c.Stats(); s.Misses != 1 {
+		t.Fatalf("misses=%d, want 1", s.Misses)
 	}
 }
 
@@ -124,7 +125,86 @@ func TestCacheInsideRun(t *testing.T) {
 			t.Fatalf("MTSD varied with rho: %v", out)
 		}
 	}
-	if _, misses := c.Stats(); misses != 1 {
-		t.Fatalf("misses=%d, want 1", misses)
+	if s := c.Stats(); s.Misses != 1 {
+		t.Fatalf("misses=%d, want 1", s.Misses)
+	}
+}
+
+// Two MTCD keys differing only in ρ must share a fingerprint (ρ is dead
+// under MTCD); under CMFSD they must not.
+func TestFingerprintNormalizesRho(t *testing.T) {
+	a := Key{Scheme: scheme.MTCD, Params: fluid.PaperParams, K: 10, P: 0.9, Lambda0: 1, Rho: 0.3}
+	b := a
+	b.Rho = 0.7
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("MTCD fingerprint depends on rho")
+	}
+	a.Scheme, b.Scheme = scheme.CMFSD, scheme.CMFSD
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("CMFSD fingerprint ignores rho")
+	}
+	c := a
+	c.Params.Mu = a.Params.Mu * (1 + 1e-15)
+	if a.Fingerprint() == c.Fingerprint() {
+		t.Fatal("fingerprint not bit-exact in mu")
+	}
+}
+
+// A result solved by one Cache must be decoded — not re-solved — by a
+// fresh Cache sharing the same directory: the cross-process contract.
+func TestDiskCacheCrossProcess(t *testing.T) {
+	dir := t.TempDir()
+	d1, err := diskcache.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := Key{Scheme: scheme.CMFSD, Params: fluid.PaperParams, K: 5, P: 0.8, Lambda0: 1, Rho: 0.3}
+	first := NewDiskCache(d1)
+	a, err := first.Evaluate(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := first.Stats(); s.Disk.Hits != 0 || s.Disk.Misses != 1 || s.Disk.Stores != 1 {
+		t.Fatalf("cold stats: %+v", s.Disk)
+	}
+	d2, err := diskcache.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second := NewDiskCache(d2)
+	b, err := second.Evaluate(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := second.Stats()
+	if s.Misses != 1 || s.Disk.Hits != 1 || s.Disk.Misses != 0 {
+		t.Fatalf("warm stats: mem=%d/%d disk=%+v", s.Hits, s.Misses, s.Disk)
+	}
+	if s.Solves() != 0 {
+		t.Fatalf("warm run solved %d keys, want 0", s.Solves())
+	}
+	if a.AvgOnlinePerFile() != b.AvgOnlinePerFile() || len(a.Classes) != len(b.Classes) {
+		t.Fatalf("disk round-trip changed the result: %v vs %v",
+			a.AvgOnlinePerFile(), b.AvgOnlinePerFile())
+	}
+	for i := range a.Classes {
+		if a.Classes[i] != b.Classes[i] {
+			t.Fatalf("class %d changed across the disk round-trip", i+1)
+		}
+	}
+}
+
+// Failed solves must stay out of the persistent store.
+func TestDiskCacheSkipsErrors(t *testing.T) {
+	d, err := diskcache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewDiskCache(d)
+	if _, err := c.Evaluate(Key{Scheme: scheme.MTSD, Params: fluid.PaperParams, K: 10, P: 2, Lambda0: 1}); err == nil {
+		t.Fatal("p=2 accepted")
+	}
+	if n, err := d.Len(); err != nil || n != 0 {
+		t.Fatalf("error persisted: %d entries (err=%v)", n, err)
 	}
 }

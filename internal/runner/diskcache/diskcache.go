@@ -1,0 +1,246 @@
+// Package diskcache is the persistent tier of the solve cache: a
+// directory of JSON entries, one per solved steady state, shared by every
+// process that points at the same directory. Repeated cmd/sweep or
+// cmd/mfdl invocations over the same grid then skip straight to decoding
+// instead of re-running the RK4 relaxations and closed forms.
+//
+// The store is deliberately forgiving. Writes are atomic (temp file +
+// rename), so a killed process never leaves a half-written entry under the
+// final name. Reads are corruption-tolerant: a truncated, garbled or
+// foreign file decodes into a miss — never an error — and the offending
+// entry is evicted so the next Put replaces it. Entries record the schema
+// version and the full key string they were stored under; a version bump
+// or a (vanishingly unlikely) hash collision also reads as a miss.
+//
+// Keys are opaque strings. The caller is expected to fold everything the
+// solve depends on — scheme, parameters, solver tolerance — into the key
+// (see runner.Key.Fingerprint); the store itself only hashes the string
+// into a file name.
+//
+// Floats cross the JSON boundary as IEEE-754 bit patterns, so every value
+// round-trips bit-exactly — including the NaN times that classes with zero
+// entry rate legitimately carry, which plain JSON numbers cannot encode.
+package diskcache
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+
+	"mfdl/internal/metrics"
+)
+
+// SchemaVersion is recorded in every entry and checked on read. Bump it
+// whenever the entry format or the meaning of stored results changes;
+// entries written under any other version are evicted as stale.
+const SchemaVersion = 1
+
+// entry is the on-disk representation of one cached solve.
+type entry struct {
+	// Schema is the SchemaVersion the entry was written under.
+	Schema int `json:"schema"`
+	// Key is the full (unhashed) cache key, kept so that a file-name hash
+	// collision can never serve the wrong result.
+	Key string `json:"key"`
+	// Result is the cached solve.
+	Result *wireResult `json:"result"`
+}
+
+// bits carries a float64 across JSON as its IEEE-754 bit pattern in hex.
+// encoding/json rejects NaN and ±Inf, but classes with zero entry rate
+// legitimately carry NaN times (see metrics.PerClass), and bit patterns
+// round-trip every value bit-exactly by construction — the byte-identical
+// output guarantee does not hinge on float formatting.
+type bits float64
+
+func (b bits) MarshalJSON() ([]byte, error) {
+	return json.Marshal(strconv.FormatUint(math.Float64bits(float64(b)), 16))
+}
+
+func (b *bits) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	u, err := strconv.ParseUint(s, 16, 64)
+	if err != nil {
+		return err
+	}
+	*b = bits(math.Float64frombits(u))
+	return nil
+}
+
+// wireResult mirrors metrics.SchemeResult with bit-pattern floats.
+type wireResult struct {
+	Scheme  string      `json:"scheme"`
+	Classes []wireClass `json:"classes"`
+}
+
+type wireClass struct {
+	Class        int  `json:"class"`
+	EntryRate    bits `json:"lambda"`
+	DownloadTime bits `json:"download"`
+	OnlineTime   bits `json:"online"`
+}
+
+func toWire(r *metrics.SchemeResult) *wireResult {
+	w := &wireResult{Scheme: r.Scheme, Classes: make([]wireClass, len(r.Classes))}
+	for i, c := range r.Classes {
+		w.Classes[i] = wireClass{
+			Class:     c.Class,
+			EntryRate: bits(c.EntryRate), DownloadTime: bits(c.DownloadTime), OnlineTime: bits(c.OnlineTime),
+		}
+	}
+	return w
+}
+
+func (w *wireResult) result() *metrics.SchemeResult {
+	r := &metrics.SchemeResult{Scheme: w.Scheme, Classes: make([]metrics.PerClass, len(w.Classes))}
+	for i, c := range w.Classes {
+		r.Classes[i] = metrics.PerClass{
+			Class:     c.Class,
+			EntryRate: float64(c.EntryRate), DownloadTime: float64(c.DownloadTime), OnlineTime: float64(c.OnlineTime),
+		}
+	}
+	return r
+}
+
+// Stats counts the store's traffic since Open.
+type Stats struct {
+	// Hits and Misses count Get outcomes.
+	Hits, Misses int
+	// Stores counts successful Puts.
+	Stores int
+	// Corrupt counts entries that existed but failed to decode or
+	// validate; each is also a miss.
+	Corrupt int
+	// Evicted counts entries removed because they were corrupt, written
+	// under another schema version, or stored under a colliding key.
+	Evicted int
+}
+
+// Store is a directory-backed result cache. Safe for concurrent use by
+// any number of goroutines; concurrent processes are safe too because
+// every write is a rename.
+type Store struct {
+	dir string
+
+	mu    sync.Mutex
+	stats Stats
+}
+
+// Open ensures dir exists and returns a store over it.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("diskcache: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("diskcache: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the backing directory.
+func (s *Store) Dir() string { return s.dir }
+
+// path maps a key to its entry file.
+func (s *Store) path(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return filepath.Join(s.dir, hex.EncodeToString(sum[:])+".json")
+}
+
+// Get returns the cached result for key, or false on any kind of miss.
+// Unreadable or stale entries are evicted so they do not stay in the way.
+func (s *Store) Get(key string) (*metrics.SchemeResult, bool) {
+	path := s.path(key)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		s.count(func(st *Stats) { st.Misses++ })
+		return nil, false
+	}
+	var e entry
+	if err := json.Unmarshal(data, &e); err != nil || e.Result == nil {
+		s.evict(path)
+		s.count(func(st *Stats) { st.Misses++; st.Corrupt++ })
+		return nil, false
+	}
+	res := e.Result.result()
+	if res.Validate() != nil {
+		s.evict(path)
+		s.count(func(st *Stats) { st.Misses++; st.Corrupt++ })
+		return nil, false
+	}
+	if e.Schema != SchemaVersion || e.Key != key {
+		s.evict(path)
+		s.count(func(st *Stats) { st.Misses++ })
+		return nil, false
+	}
+	s.count(func(st *Stats) { st.Hits++ })
+	return res, true
+}
+
+// Put stores the result under key, atomically replacing any previous
+// entry. The temp file lives in the cache directory itself so the rename
+// never crosses a filesystem boundary.
+func (s *Store) Put(key string, res *metrics.SchemeResult) error {
+	if res == nil {
+		return fmt.Errorf("diskcache: nil result")
+	}
+	data, err := json.Marshal(entry{Schema: SchemaVersion, Key: key, Result: toWire(res)})
+	if err != nil {
+		return fmt.Errorf("diskcache: %w", err)
+	}
+	tmp, err := os.CreateTemp(s.dir, "put-*.tmp")
+	if err != nil {
+		return fmt.Errorf("diskcache: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("diskcache: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("diskcache: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), s.path(key)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("diskcache: %w", err)
+	}
+	s.count(func(st *Stats) { st.Stores++ })
+	return nil
+}
+
+// Len returns the number of entries currently on disk.
+func (s *Store) Len() (int, error) {
+	names, err := filepath.Glob(filepath.Join(s.dir, "*.json"))
+	if err != nil {
+		return 0, err
+	}
+	return len(names), nil
+}
+
+// Stats returns a snapshot of the counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+func (s *Store) count(f func(*Stats)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f(&s.stats)
+}
+
+func (s *Store) evict(path string) {
+	if os.Remove(path) == nil {
+		s.count(func(st *Stats) { st.Evicted++ })
+	}
+}

@@ -1,0 +1,222 @@
+package diskcache
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mfdl/internal/metrics"
+)
+
+func sample() *metrics.SchemeResult {
+	return &metrics.SchemeResult{
+		Scheme: "MTSD",
+		Classes: []metrics.PerClass{
+			{Class: 1, EntryRate: 0.5, DownloadTime: 50, OnlineTime: 70},
+			{Class: 2, EntryRate: 0.25, DownloadTime: 100, OnlineTime: 120},
+		},
+	}
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get("k1"); ok {
+		t.Fatal("hit on empty store")
+	}
+	want := sample()
+	if err := s.Put("k1", want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get("k1")
+	if !ok {
+		t.Fatal("miss after Put")
+	}
+	if got.Scheme != want.Scheme || len(got.Classes) != len(want.Classes) {
+		t.Fatalf("round trip mangled result: %+v", got)
+	}
+	for i := range want.Classes {
+		if got.Classes[i] != want.Classes[i] {
+			t.Fatalf("class %d mangled: %+v vs %+v", i+1, got.Classes[i], want.Classes[i])
+		}
+	}
+	if st := s.Stats(); st.Hits != 1 || st.Misses != 1 || st.Stores != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	if n, err := s.Len(); err != nil || n != 1 {
+		t.Fatalf("Len = %d (%v)", n, err)
+	}
+}
+
+// Garbage and truncated entries must read as misses (never errors) and be
+// evicted so the next Put can repair them.
+func TestCorruptEntryIsMiss(t *testing.T) {
+	for name, corrupt := range map[string]func([]byte) []byte{
+		"garbage":   func([]byte) []byte { return []byte("not json at all {{{") },
+		"truncated": func(b []byte) []byte { return b[:len(b)/2] },
+		"empty":     func([]byte) []byte { return nil },
+		"nullres":   func([]byte) []byte { return []byte(`{"schema":1,"key":"k","result":null}`) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			s, err := Open(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Put("k", sample()); err != nil {
+				t.Fatal(err)
+			}
+			path := s.path("k")
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, corrupt(data), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if _, ok := s.Get("k"); ok {
+				t.Fatal("corrupt entry served as a hit")
+			}
+			st := s.Stats()
+			if st.Corrupt != 1 || st.Evicted != 1 {
+				t.Fatalf("stats %+v, want 1 corrupt / 1 evicted", st)
+			}
+			if _, err := os.Stat(path); !os.IsNotExist(err) {
+				t.Fatal("corrupt entry not evicted from disk")
+			}
+			// The store must heal: a fresh Put followed by a Get hits.
+			if err := s.Put("k", sample()); err != nil {
+				t.Fatal(err)
+			}
+			if _, ok := s.Get("k"); !ok {
+				t.Fatal("store did not heal after eviction")
+			}
+		})
+	}
+}
+
+// An entry written under a different schema version is stale: miss + evict.
+func TestSchemaBumpInvalidates(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	old, err := json.Marshal(entry{Schema: SchemaVersion + 1, Key: "k", Result: toWire(sample())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(s.path("k"), old, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get("k"); ok {
+		t.Fatal("stale-schema entry served as a hit")
+	}
+	if st := s.Stats(); st.Evicted != 1 || st.Misses != 1 {
+		t.Fatalf("stats %+v, want evicted=1 misses=1", st)
+	}
+	if _, err := os.Stat(s.path("k")); !os.IsNotExist(err) {
+		t.Fatal("stale entry left on disk")
+	}
+}
+
+// A hash collision (same file, different recorded key) must miss rather
+// than serve the wrong solve.
+func TestKeyMismatchIsMiss(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	forged, err := json.Marshal(entry{Schema: SchemaVersion, Key: "other", Result: toWire(sample())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(s.path("k"), forged, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get("k"); ok {
+		t.Fatal("colliding entry served as a hit")
+	}
+}
+
+// Put must never leave temp files behind, and every entry must land under
+// its final .json name.
+func TestPutIsAtomic(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"a", "b", "a"} {
+		if err := s.Put(k, sample()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	names, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 {
+		t.Fatalf("dir has %d files, want 2", len(names))
+	}
+	for _, e := range names {
+		if !strings.HasSuffix(e.Name(), ".json") {
+			t.Fatalf("leftover non-entry file %s", e.Name())
+		}
+	}
+}
+
+func TestOpenRejectsEmptyDir(t *testing.T) {
+	if _, err := Open(""); err == nil {
+		t.Fatal("empty dir accepted")
+	}
+}
+
+func TestOpenCreatesNestedDir(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "a", "b", "cache")
+	if _, err := Open(dir); err != nil {
+		t.Fatal(err)
+	}
+	if info, err := os.Stat(dir); err != nil || !info.IsDir() {
+		t.Fatalf("nested cache dir missing (%v)", err)
+	}
+}
+
+// Classes with zero entry rate carry NaN times (metrics.PerClass's
+// contract); plain JSON rejects NaN, so the wire format must round-trip
+// every IEEE-754 value bit-exactly, including NaN and ±Inf.
+func TestNonFiniteFloatsRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := &metrics.SchemeResult{
+		Scheme: "CMFSD",
+		Classes: []metrics.PerClass{
+			{Class: 1, EntryRate: 0, DownloadTime: math.NaN(), OnlineTime: math.NaN()},
+			{Class: 2, EntryRate: 0.25, DownloadTime: 100, OnlineTime: math.Inf(1)},
+		},
+	}
+	if err := s.Put("k", want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get("k")
+	if !ok {
+		t.Fatal("miss after Put")
+	}
+	for i := range want.Classes {
+		w, g := want.Classes[i], got.Classes[i]
+		for name, pair := range map[string][2]float64{
+			"lambda":   {w.EntryRate, g.EntryRate},
+			"download": {w.DownloadTime, g.DownloadTime},
+			"online":   {w.OnlineTime, g.OnlineTime},
+		} {
+			if math.Float64bits(pair[0]) != math.Float64bits(pair[1]) {
+				t.Fatalf("class %d %s not bit-identical: %v vs %v", i+1, name, pair[0], pair[1])
+			}
+		}
+	}
+}
