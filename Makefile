@@ -1,7 +1,10 @@
 # Verification tiers. tier1 is the gate every change must keep green;
 # tier2 adds static analysis and the race detector over the concurrent
 # paths (runner pool, two-tier solve cache incl. runner/diskcache, the
-# parallel experiment fan-outs, simulators).
+# replica engine, the parallel experiment fan-outs, simulators). The
+# explicit replica runs exercise the engine at R >= 2 — multiple replicas
+# of one cell sharing a Sim value across pool workers — which is exactly
+# where an accidental shared-state mutation would race.
 
 .PHONY: tier1 tier2 bench
 
@@ -10,6 +13,8 @@ tier1:
 
 tier2:
 	go vet ./... && go test -race ./...
+	go test -race -count=1 -run 'Replica|Merge|WorkerCountInvariance' ./internal/replica/ ./internal/stats/
+	go test -race -count=1 -run 'ReplicatedDeterminism|ReplicasExtend' ./internal/experiments/
 
 # bench regenerates every paper artifact under timing, including the
 # serial-vs-parallel sweep comparison.

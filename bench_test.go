@@ -176,7 +176,7 @@ func BenchmarkAdapt(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		set.Seed = uint64(i + 1)
-		if _, err := experiments.AdaptSweep(set, 0.9, ac, []float64{0, 0.5, 1}); err != nil {
+		if _, err := experiments.AdaptSweep(context.Background(), set, 0.9, ac, []float64{0, 0.5, 1}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -191,7 +191,7 @@ func BenchmarkSimValidate(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		set.Seed = uint64(i + 1)
-		if _, err := experiments.SimValidate(set, []float64{0.9}); err != nil {
+		if _, err := experiments.SimValidate(context.Background(), set, []float64{0.9}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -205,7 +205,7 @@ func BenchmarkSwarmCompare(b *testing.B) {
 	base.Warmup = 200
 	for i := 0; i < b.N; i++ {
 		base.Seed = uint64(i + 1)
-		if _, err := experiments.SwarmCompare(context.Background(), base, []float64{0, 1}); err != nil {
+		if _, err := experiments.SwarmCompare(context.Background(), base, []float64{0, 1}, 1); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -218,7 +218,7 @@ func BenchmarkTransient(b *testing.B) {
 	set.Horizon = 150
 	for i := 0; i < b.N; i++ {
 		set.Seed = uint64(i + 1)
-		if _, err := experiments.Transient(set, 0.9, 0, 300); err != nil {
+		if _, err := experiments.Transient(context.Background(), set, 0.9, 0, 300); err != nil {
 			b.Fatal(err)
 		}
 	}

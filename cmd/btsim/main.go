@@ -13,12 +13,20 @@
 //	btsim [flags] hetero     heterogeneous bandwidth classes vs multi-class fluid
 //	btsim [flags] adaptparams  probe φ/υ/period settings (paper's future work)
 //	btsim [flags] run        one flow-level run of -scheme with full stats
+//
+// Every simulator-backed table runs -replicas independently seeded
+// replicas per row on the replica engine (internal/replica) and, with
+// -replicas > 1, reports each simulated metric as mean ± 95% CI. The
+// default of one replica reproduces the unreplicated tables exactly, and
+// for fixed (-seed, -replicas) the output is byte-identical at any
+// -workers count.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"os/signal"
 
@@ -26,6 +34,7 @@ import (
 	"mfdl/internal/eventsim"
 	"mfdl/internal/experiments"
 	"mfdl/internal/fluid"
+	"mfdl/internal/replica"
 	"mfdl/internal/swarm"
 	"mfdl/internal/table"
 )
@@ -37,21 +46,28 @@ func main() {
 	}
 }
 
+// formats lists the table formats the -format flag accepts.
+var formats = map[string]bool{
+	"": true, "ascii": true, "csv": true, "tsv": true, "markdown": true, "md": true,
+}
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("btsim", flag.ContinueOnError)
 	var (
-		k       = fs.Int("k", 10, "number of files K")
-		mu      = fs.Float64("mu", 0.2, "upload bandwidth μ (time-rescaled default)")
-		eta     = fs.Float64("eta", 0.5, "sharing efficiency η")
-		gamma   = fs.Float64("gamma", 0.5, "seed departure rate γ (time-rescaled default)")
-		lambda0 = fs.Float64("lambda0", 1, "visiting rate λ₀")
-		p       = fs.Float64("p", 0.9, "file correlation p")
-		rho     = fs.Float64("rho", 0, "CMFSD allocation ratio ρ")
-		scheme  = fs.String("scheme", "CMFSD", "scheme for 'run': MTCD, MTSD, MFCD, CMFSD")
-		horizon = fs.Float64("horizon", 4000, "simulated time (rounds for 'swarm')")
-		warmup  = fs.Float64("warmup", 800, "warmup time excluded from statistics")
-		seed    = fs.Uint64("seed", 1, "RNG seed")
-		format  = fs.String("format", "ascii", "output format: ascii, csv, tsv, or markdown")
+		k        = fs.Int("k", 10, "number of files K")
+		mu       = fs.Float64("mu", 0.2, "upload bandwidth μ (time-rescaled default)")
+		eta      = fs.Float64("eta", 0.5, "sharing efficiency η")
+		gamma    = fs.Float64("gamma", 0.5, "seed departure rate γ (time-rescaled default)")
+		lambda0  = fs.Float64("lambda0", 1, "visiting rate λ₀")
+		p        = fs.Float64("p", 0.9, "file correlation p")
+		rho      = fs.Float64("rho", 0, "CMFSD allocation ratio ρ")
+		scheme   = fs.String("scheme", "CMFSD", "scheme for 'run': MTCD, MTSD, MFCD, CMFSD")
+		horizon  = fs.Float64("horizon", 4000, "simulated time (rounds for 'swarm')")
+		warmup   = fs.Float64("warmup", 800, "warmup time excluded from statistics")
+		seed     = fs.Uint64("seed", 1, "RNG seed (base of the replica seed derivation)")
+		replicas = fs.Int("replicas", 1, "independently seeded simulation replicas per table row (>= 1)")
+		workers  = fs.Int("workers", 0, "replica worker pool size (0 = all cores)")
+		format   = fs.String("format", "ascii", "output format: ascii, csv, tsv, or markdown")
 	)
 	fs.Usage = func() {
 		fmt.Fprintln(fs.Output(), "usage: btsim [flags] validate|adapt|swarm|transient|hetero|adaptparams|run")
@@ -64,10 +80,36 @@ func run(args []string) error {
 		fs.Usage()
 		return fmt.Errorf("expected exactly one subcommand")
 	}
+	// Strict flag validation: every float must be finite, the replica
+	// count positive, the worker count non-negative and the format known —
+	// the same rejection style cmd/sweep uses.
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"mu", *mu}, {"eta", *eta}, {"gamma", *gamma}, {"lambda0", *lambda0},
+		{"p", *p}, {"rho", *rho}, {"horizon", *horizon}, {"warmup", *warmup},
+	} {
+		if math.IsNaN(f.v) || math.IsInf(f.v, 0) {
+			return fmt.Errorf("-%s: value %v is not finite", f.name, f.v)
+		}
+	}
+	if *replicas < 1 {
+		return fmt.Errorf("-replicas must be >= 1, got %d", *replicas)
+	}
+	if *workers < 0 {
+		return fmt.Errorf("-workers must be >= 0, got %d", *workers)
+	}
+	if !formats[*format] {
+		return fmt.Errorf("unknown format %q (want ascii, csv, tsv, or markdown)", *format)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 	params := fluid.Params{Mu: *mu, Eta: *eta, Gamma: *gamma}
 	set := experiments.SimSettings{
 		Params: params, K: *k, Lambda0: *lambda0,
 		Horizon: *horizon, Warmup: *warmup, Seed: *seed,
+		Replicas: *replicas, Workers: *workers,
 	}
 	emit := func(tb *table.Table) error {
 		if err := tb.Write(os.Stdout, *format); err != nil {
@@ -78,7 +120,7 @@ func run(args []string) error {
 	}
 	switch fs.Arg(0) {
 	case "validate":
-		res, err := experiments.SimValidate(set, []float64{*p})
+		res, err := experiments.SimValidate(ctx, set, []float64{*p})
 		if err != nil {
 			return err
 		}
@@ -89,7 +131,7 @@ func run(args []string) error {
 		ac.Lower = -0.25 * params.Mu
 		ac.Upper = 0.25 * params.Mu
 		ac.Period = 5 / params.Gamma
-		res, err := experiments.AdaptSweep(set, *p, ac,
+		res, err := experiments.AdaptSweep(ctx, set, *p, ac,
 			[]float64{0, 0.2, 0.4, 0.6, 0.8, 1})
 		if err != nil {
 			return err
@@ -102,15 +144,13 @@ func run(args []string) error {
 		base.Horizon = int(*horizon)
 		base.Warmup = int(*warmup)
 		base.Seed = *seed
-		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
-		defer stop()
-		res, err := experiments.SwarmCompare(ctx, base, []float64{0, 0.25, 0.5, 0.75, 1})
+		res, err := experiments.SwarmCompare(ctx, base, []float64{0, 0.25, 0.5, 0.75, 1}, *replicas)
 		if err != nil {
 			return err
 		}
 		return emit(res.Table())
 	case "adaptparams":
-		res, err := experiments.AdaptParams(set, *p, 0.8,
+		res, err := experiments.AdaptParams(ctx, set, *p, 0.8,
 			[]float64{0.05, 0.1, 0.25, 0.5},
 			[]float64{0.1, 0.3},
 			[]float64{2 / params.Gamma, 10 / params.Gamma})
@@ -125,7 +165,7 @@ func run(args []string) error {
 			res.Clean[best].Label, res.Clean[best].MeanFinalRho, res.Cheated[best].MeanFinalRho)
 		return nil
 	case "hetero":
-		res, err := experiments.Hetero(set, 2**lambda0, []experiments.HeteroClass{
+		res, err := experiments.Hetero(ctx, set, 2**lambda0, []experiments.HeteroClass{
 			{Name: "broadband", Mu: 2 * params.Mu, Weight: 4, Fraction: 0.3},
 			{Name: "cable", Mu: params.Mu, Weight: 2, Fraction: 0.4},
 			{Name: "dsl", Mu: params.Mu / 2, Weight: 1, Fraction: 0.3},
@@ -139,7 +179,7 @@ func run(args []string) error {
 		if tset.Horizon > 300 {
 			tset.Horizon = 150 // a dozen residence times at the rescaled rates
 		}
-		res, err := experiments.Transient(tset, *p, *rho, 300)
+		res, err := experiments.Transient(ctx, tset, *p, *rho, 300)
 		if err != nil {
 			return err
 		}
@@ -161,31 +201,56 @@ func run(args []string) error {
 		cfg := eventsim.Config{
 			Params: params, K: *k, Lambda0: *lambda0, P: *p,
 			Scheme: sc, Rho: *rho,
-			Horizon: *horizon, Warmup: *warmup, Seed: *seed,
+			Horizon: *horizon, Warmup: *warmup,
 		}
-		res, err := eventsim.Run(cfg)
+		aggs, err := replica.Run(ctx, 1, func(int) replica.Sim {
+			return eventsim.Sim{Config: cfg}
+		}, replica.Options{Replicas: *replicas, Workers: *workers, Seed: *seed})
 		if err != nil {
 			return err
 		}
-		tb := table.New(fmt.Sprintf("%s flow-level run (p=%.2f, ρ=%.2f, horizon=%g)",
-			*scheme, *p, *rho, *horizon),
-			"metric", "value")
-		tb.MustAddRow("completed users", fmt.Sprintf("%d", res.CompletedUsers))
-		tb.MustAddRow("avg online time per file", table.Fmt(res.AvgOnlinePerFile))
-		tb.MustAddRow("avg download time per file", table.Fmt(res.AvgDownloadPerFile))
-		tb.MustAddRow("mean downloaders", table.Fmt(res.MeanDownloaders))
-		tb.MustAddRow("mean seeds", table.Fmt(res.MeanSeeds))
+		agg := aggs[0]
+		rep := *replicas > 1
+		title := fmt.Sprintf("%s flow-level run (p=%.2f, ρ=%.2f, horizon=%g)",
+			*scheme, *p, *rho, *horizon)
+		if rep {
+			title = fmt.Sprintf("%s flow-level run (p=%.2f, ρ=%.2f, horizon=%g, R=%d)",
+				*scheme, *p, *rho, *horizon, *replicas)
+		}
+		cols := []string{"metric", "value"}
+		if rep {
+			cols = []string{"metric", "value", "±95%"}
+		}
+		tb := table.New(title, cols...)
+		addRow := func(metric, value string, ci float64) {
+			if rep {
+				tb.MustAddRow(metric, value, "±"+table.Fmt(ci))
+			} else {
+				tb.MustAddRow(metric, value)
+			}
+		}
+		addRow("completed users", fmt.Sprintf("%d", int(agg.Count(replica.Completed))), 0)
+		addRow("avg online time per file", table.Fmt(agg.Mean(replica.OnlinePerFile)), agg.CI95(replica.OnlinePerFile))
+		addRow("avg download time per file", table.Fmt(agg.Mean(replica.DownloadPerFile)), agg.CI95(replica.DownloadPerFile))
+		addRow("mean downloaders", table.Fmt(agg.Mean(replica.MeanDownloaders)), agg.CI95(replica.MeanDownloaders))
+		addRow("mean seeds", table.Fmt(agg.Mean(replica.MeanSeeds)), agg.CI95(replica.MeanSeeds))
 		if err := emit(tb); err != nil {
 			return err
 		}
-		cls := table.New("per-class statistics", "class", "completed", "online", "±95%", "download")
-		for _, c := range res.Classes {
-			if c.Completed == 0 {
+		cls := table.New("per-class statistics (pooled over replicas)", "class", "completed", "online", "±95%", "download")
+		if !rep {
+			cls.Title = "per-class statistics"
+		}
+		for class := 1; class <= *k; class++ {
+			n := int(agg.Count(replica.ClassKey(class, replica.Completed)))
+			if n == 0 {
 				continue
 			}
-			cls.MustAddRow(fmt.Sprintf("%d", c.Class), fmt.Sprintf("%d", c.Completed),
-				table.Fmt(c.OnlineTime.Mean()), table.Fmt(c.OnlineTime.CI95()),
-				table.Fmt(c.DownloadTime.Mean()))
+			online := agg.Summary(replica.ClassKey(class, replica.OnlinePerFile))
+			download := agg.Summary(replica.ClassKey(class, replica.DownloadPerFile))
+			cls.MustAddRow(fmt.Sprintf("%d", class), fmt.Sprintf("%d", n),
+				table.Fmt(online.Mean()), table.Fmt(online.CI95()),
+				table.Fmt(download.Mean()))
 		}
 		return emit(cls)
 	default:

@@ -122,3 +122,61 @@ func TestAdaptParamsSubcommand(t *testing.T) {
 		t.Fatalf("adaptparams output:\n%s", out)
 	}
 }
+
+func TestFlagRejections(t *testing.T) {
+	cases := [][]string{
+		{"-replicas", "0", "validate"},   // replicas must be >= 1
+		{"-replicas", "-3", "validate"},  // negative replicas
+		{"-workers", "-1", "validate"},   // negative workers
+		{"-mu", "NaN", "validate"},       // non-finite model parameter
+		{"-horizon", "+Inf", "validate"}, // non-finite horizon
+		{"-format", "xml", "validate"},   // unknown format
+	}
+	for i, args := range cases {
+		if _, err := capture(t, func() error { return run(args) }); err == nil {
+			t.Fatalf("case %d accepted: %v", i, args)
+		}
+	}
+}
+
+func TestReplicatedValidate(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-horizon", "400", "-warmup", "100", "-replicas", "2", "validate"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "±95%") {
+		t.Fatalf("replicated validate output carries no ±95%% column:\n%s", out)
+	}
+}
+
+func TestReplicatedRun(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-horizon", "400", "-warmup", "100", "-replicas", "3", "-scheme", "MTSD", "run"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "R=3") || !strings.Contains(out, "±95%") {
+		t.Fatalf("replicated run output:\n%s", out)
+	}
+}
+
+// TestRunWorkerInvariance checks the CLI-level determinism promise: same
+// seed and replica count, different worker counts, identical bytes.
+func TestRunWorkerInvariance(t *testing.T) {
+	runAt := func(workers string) string {
+		out, err := capture(t, func() error {
+			return run([]string{"-horizon", "400", "-warmup", "100",
+				"-replicas", "3", "-workers", workers, "validate"})
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	if one, eight := runAt("1"), runAt("8"); one != eight {
+		t.Fatalf("output differs between -workers 1 and -workers 8:\n%s\nvs\n%s", one, eight)
+	}
+}

@@ -18,18 +18,23 @@
 //	eta        η-sensitivity ablation of the MTCD curve
 //	cheating   fluid mixed-population sweep: obedient vs ρ=1 cheaters
 //	kscaling   collaboration gain vs number of files K
+//	simvalidate  fluid-vs-event-simulation check (-replicas, -seed; not in 'all')
 //	report     write every artifact above to -out as CSV files
 //	params     print the Table-1 parameter glossary
-//	all        everything above in paper order
+//	all        everything above in paper order (except simvalidate)
 //
 // Flags select the model parameters (defaults are the paper's) and the
-// output format (ascii, csv, tsv, markdown).
+// output format (ascii, csv, tsv, markdown). simvalidate is the only
+// simulator-backed subcommand: it runs -replicas independently seeded
+// replicas per row on the replica engine and, with -replicas > 1, adds a
+// ±95% confidence column.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"os/signal"
 	"time"
@@ -57,13 +62,16 @@ func run(args []string) error {
 		gamma    = fs.Float64("gamma", 0.05, "seed departure rate γ")
 		lambda0  = fs.Float64("lambda0", 1, "web-server visiting rate λ₀")
 		steps    = fs.Int("steps", 20, "grid resolution for swept axes")
+		seed     = fs.Uint64("seed", 7, "RNG seed for 'simvalidate' (base of the replica seed derivation)")
+		replicas = fs.Int("replicas", 1, "independently seeded simulation replicas per 'simvalidate' row (>= 1)")
+		workers  = fs.Int("workers", 0, "replica worker pool size for 'simvalidate' (0 = all cores)")
 		format   = fs.String("format", "ascii", "output format: ascii, csv, tsv, or markdown")
 		out      = fs.String("out", "artifacts", "output directory for the 'report' subcommand")
 		cacheDir = fs.String("cache-dir", "", "persistent solve-cache directory shared across runs (empty = in-memory only)")
 		stats    = fs.Bool("stats", false, "print per-phase wall-clock and solve-cache hit rates on stderr")
 	)
 	fs.Usage = func() {
-		fmt.Fprintln(fs.Output(), "usage: mfdl [flags] fig2|fig3|fig4a|fig4b|fig4c|validate|stability|crossover|eta|cheating|kscaling|report|params|all")
+		fmt.Fprintln(fs.Output(), "usage: mfdl [flags] fig2|fig3|fig4a|fig4b|fig4c|validate|stability|crossover|eta|cheating|kscaling|simvalidate|report|params|all")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -72,6 +80,30 @@ func run(args []string) error {
 	if fs.NArg() != 1 {
 		fs.Usage()
 		return fmt.Errorf("expected exactly one subcommand, got %d", fs.NArg())
+	}
+	// Strict flag validation, in cmd/sweep's rejection style: model floats
+	// must be finite, the replica count positive, the worker count
+	// non-negative and the format known.
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"mu", *mu}, {"eta", *eta}, {"gamma", *gamma}, {"lambda0", *lambda0},
+	} {
+		if math.IsNaN(f.v) || math.IsInf(f.v, 0) {
+			return fmt.Errorf("-%s: value %v is not finite", f.name, f.v)
+		}
+	}
+	if *replicas < 1 {
+		return fmt.Errorf("-replicas must be >= 1, got %d", *replicas)
+	}
+	if *workers < 0 {
+		return fmt.Errorf("-workers must be >= 0, got %d", *workers)
+	}
+	switch *format {
+	case "ascii", "csv", "tsv", "markdown", "md":
+	default:
+		return fmt.Errorf("unknown format %q (want ascii, csv, tsv, or markdown)", *format)
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -181,6 +213,22 @@ func run(args []string) error {
 		"cheating": func() error {
 			res, err := experiments.CheatingSweep(cfg, 0.9, 0,
 				[]float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 1})
+			if err != nil {
+				return err
+			}
+			return emit(res.Table())
+		},
+		"simvalidate": func() error {
+			set := experiments.SimSettings{
+				Params:  cfg.Params,
+				K:       cfg.K,
+				Lambda0: cfg.Lambda0,
+				Horizon: 4000, Warmup: 800,
+				Seed:     *seed,
+				Replicas: *replicas,
+				Workers:  *workers,
+			}
+			res, err := experiments.SimValidate(ctx, set, []float64{0.5, 0.9})
 			if err != nil {
 				return err
 			}

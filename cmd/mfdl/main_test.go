@@ -201,3 +201,19 @@ func TestRejectsUnwritableCacheDir(t *testing.T) {
 		t.Fatal("unwritable cache dir accepted")
 	}
 }
+
+func TestRejectsInvalidReplicaFlags(t *testing.T) {
+	cases := [][]string{
+		{"-replicas", "0", "validate"},  // replicas must be >= 1
+		{"-replicas", "-2", "validate"}, // negative replicas
+		{"-workers", "-1", "validate"},  // negative workers
+		{"-mu", "NaN", "validate"},      // non-finite model parameter
+		{"-gamma", "-Inf", "validate"},  // non-finite model parameter
+		{"-format", "pdf", "validate"},  // unknown format
+	}
+	for i, args := range cases {
+		if _, err := capture(t, func() error { return run(args) }); err == nil {
+			t.Fatalf("case %d accepted: %v", i, args)
+		}
+	}
+}

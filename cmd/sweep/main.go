@@ -23,8 +23,11 @@
 // With -cache-dir the solves persist across invocations: a repeated run
 // over the same grid decodes every cell from disk instead of re-solving
 // it, with byte-identical output. -stats reports on stderr how many cells
-// collapsed into shared (memory) or pre-computed (disk) solves, and the
-// wall-clock spent in each phase (setup, solve, render).
+// collapsed into shared (memory) or pre-computed (disk) solves, the disk
+// store's entry count and size, and the wall-clock spent in each phase
+// (setup, solve, render). -cache-prune-age and -cache-prune-size trim the
+// disk store before the sweep: by entry age, or down to a byte budget
+// evicting least-recently-used entries first (reads refresh recency).
 package main
 
 import (
@@ -42,6 +45,7 @@ import (
 	"mfdl/internal/experiments"
 	"mfdl/internal/fluid"
 	"mfdl/internal/runner"
+	"mfdl/internal/runner/diskcache"
 	"mfdl/internal/scheme"
 )
 
@@ -110,23 +114,25 @@ func run(args []string) error {
 	start := time.Now()
 	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
 	var (
-		dim      = fs.String("dim", "p", "swept dimensions (comma-separated): p, rho, k, mu, gamma, eta, lambda0")
-		from     = fs.String("from", "0.05", "sweep start, one value or one per dimension")
-		to       = fs.String("to", "1", "sweep end, one value or one per dimension")
-		steps    = fs.String("steps", "10", "sweep intervals, one value or one per dimension")
-		schemeF  = fs.String("scheme", "CMFSD", "scheme: MTCD, MTSD, MFCD, CMFSD")
-		k        = fs.Int("k", 10, "number of files K")
-		mu       = fs.Float64("mu", 0.02, "upload bandwidth μ")
-		eta      = fs.Float64("eta", 0.5, "sharing efficiency η")
-		gamma    = fs.Float64("gamma", 0.05, "seed departure rate γ")
-		lambda0  = fs.Float64("lambda0", 1, "visiting rate λ₀")
-		p        = fs.Float64("p", 0.9, "file correlation p")
-		rho      = fs.Float64("rho", 0, "CMFSD allocation ratio ρ")
-		workers  = fs.Int("workers", 0, "worker pool size (0 = all cores)")
-		verbose  = fs.Bool("progress", false, "report per-cell progress on stderr")
-		format   = fs.String("format", "ascii", "output format: ascii, csv, tsv, or markdown")
-		cacheDir = fs.String("cache-dir", "", "persistent solve-cache directory shared across runs (empty = in-memory only)")
-		stats    = fs.Bool("stats", false, "print cache hit rates and per-phase wall-clock on stderr")
+		dim       = fs.String("dim", "p", "swept dimensions (comma-separated): p, rho, k, mu, gamma, eta, lambda0")
+		from      = fs.String("from", "0.05", "sweep start, one value or one per dimension")
+		to        = fs.String("to", "1", "sweep end, one value or one per dimension")
+		steps     = fs.String("steps", "10", "sweep intervals, one value or one per dimension")
+		schemeF   = fs.String("scheme", "CMFSD", "scheme: MTCD, MTSD, MFCD, CMFSD")
+		k         = fs.Int("k", 10, "number of files K")
+		mu        = fs.Float64("mu", 0.02, "upload bandwidth μ")
+		eta       = fs.Float64("eta", 0.5, "sharing efficiency η")
+		gamma     = fs.Float64("gamma", 0.05, "seed departure rate γ")
+		lambda0   = fs.Float64("lambda0", 1, "visiting rate λ₀")
+		p         = fs.Float64("p", 0.9, "file correlation p")
+		rho       = fs.Float64("rho", 0, "CMFSD allocation ratio ρ")
+		workers   = fs.Int("workers", 0, "worker pool size (0 = all cores)")
+		verbose   = fs.Bool("progress", false, "report per-cell progress on stderr")
+		format    = fs.String("format", "ascii", "output format: ascii, csv, tsv, or markdown")
+		cacheDir  = fs.String("cache-dir", "", "persistent solve-cache directory shared across runs (empty = in-memory only)")
+		pruneAge  = fs.Duration("cache-prune-age", 0, "evict cache entries unused for longer than this before the sweep (0 = off; requires -cache-dir)")
+		pruneSize = fs.Int64("cache-prune-size", 0, "evict least-recently-used cache entries down to this many bytes before the sweep (0 = off; requires -cache-dir)")
+		stats     = fs.Bool("stats", false, "print cache hit rates, disk usage and per-phase wall-clock on stderr")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -143,6 +149,27 @@ func run(args []string) error {
 	}
 	if *workers < 0 {
 		return fmt.Errorf("workers must be >= 0, got %d", *workers)
+	}
+	if *pruneAge < 0 {
+		return fmt.Errorf("-cache-prune-age must be >= 0, got %v", *pruneAge)
+	}
+	if *pruneSize < 0 {
+		return fmt.Errorf("-cache-prune-size must be >= 0, got %d", *pruneSize)
+	}
+	if (*pruneAge > 0 || *pruneSize > 0) && *cacheDir == "" {
+		return fmt.Errorf("-cache-prune-age and -cache-prune-size require -cache-dir")
+	}
+	if *pruneAge > 0 || *pruneSize > 0 {
+		store, err := diskcache.Open(*cacheDir)
+		if err != nil {
+			return err
+		}
+		pst, err := store.Prune(diskcache.PruneOptions{MaxAge: *pruneAge, MaxBytes: *pruneSize})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "sweep: cache prune: removed %d entries (%d bytes), kept %d (%d bytes)\n",
+			pst.Removed, pst.Freed, pst.Kept, pst.Remaining)
 	}
 
 	names := strings.Split(*dim, ",")
@@ -209,21 +236,29 @@ func run(args []string) error {
 	}
 	if *stats || *verbose {
 		render := time.Since(start) - setup - solve
-		printStats(os.Stderr, res, *cacheDir != "", setup, solve, render)
+		printStats(os.Stderr, res, *cacheDir, setup, solve, render)
 	}
 	return nil
 }
 
 // printStats summarizes how the grid's cells collapsed into shared and
-// pre-computed solves, and where the wall-clock went.
-func printStats(w *os.File, res *experiments.SweepResult, disk bool, setup, solve, render time.Duration) {
+// pre-computed solves, the disk store's footprint, and where the
+// wall-clock went.
+func printStats(w *os.File, res *experiments.SweepResult, cacheDir string, setup, solve, render time.Duration) {
 	s := res.Cache
 	fmt.Fprintf(w, "sweep: %d cells: memory %d hits / %d misses", len(res.Cells), s.Hits, s.Misses)
-	if disk {
+	if cacheDir != "" {
 		fmt.Fprintf(w, "; disk %d hits / %d misses (%d stored, %d corrupt, %d evicted)",
 			s.Disk.Hits, s.Disk.Misses, s.Disk.Stores, s.Disk.Corrupt, s.Disk.Evicted)
 	}
 	fmt.Fprintf(w, "; %d solved\n", s.Solves())
+	if cacheDir != "" {
+		if store, err := diskcache.Open(cacheDir); err == nil {
+			if entries, bytes, err := store.Usage(); err == nil {
+				fmt.Fprintf(w, "sweep: disk cache: %d entries, %d bytes\n", entries, bytes)
+			}
+		}
+	}
 	ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
 	fmt.Fprintf(w, "sweep: phase setup %.1fms | solve %.1fms | render %.1fms\n",
 		ms(setup), ms(solve), ms(render))

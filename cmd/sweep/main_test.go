@@ -245,3 +245,71 @@ func TestSweepRejectsUnwritableCacheDir(t *testing.T) {
 		t.Fatal("unwritable cache dir accepted")
 	}
 }
+
+func TestSweepPruneFlagRejections(t *testing.T) {
+	cases := [][]string{
+		{"-cache-prune-age", "1h"},                      // prune without -cache-dir
+		{"-cache-prune-size", "1000"},                   // prune without -cache-dir
+		{"-cache-prune-age", "-1h", "-cache-dir", "x"},  // negative age
+		{"-cache-prune-size", "-1", "-cache-dir", "x"},  // negative size
+		{"-cache-prune-age", "soon", "-cache-dir", "x"}, // unparsable duration
+	}
+	for i, args := range cases {
+		if _, err := capture(t, func() error { return run(args) }); err == nil {
+			t.Fatalf("case %d accepted: %v", i, args)
+		}
+	}
+}
+
+// TestSweepCachePruneAndUsage drives the prune flags end to end: populate
+// the disk cache, verify -stats reports its usage, prune it empty, and
+// check the next run re-solves from scratch.
+func TestSweepCachePruneAndUsage(t *testing.T) {
+	dir := t.TempDir()
+	args := []string{"-dim", "rho", "-from", "0", "-to", "1",
+		"-steps", "2", "-scheme", "CMFSD", "-cache-dir", dir}
+	if _, err := capture(t, func() error { return run(args) }); err != nil {
+		t.Fatal(err)
+	}
+	// -stats reports the populated store's footprint.
+	stderr, err := captureStderr(t, func() error {
+		_, runErr := capture(t, func() error { return run(append(args, "-stats")) })
+		return runErr
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stderr, "disk cache: 3 entries") {
+		t.Fatalf("usage line missing from -stats:\n%s", stderr)
+	}
+	// Prune everything (a 1-byte budget evicts every entry), then confirm
+	// the store re-solves: 0 disk hits, 3 stores.
+	stderr, err = captureStderr(t, func() error {
+		_, runErr := capture(t, func() error {
+			return run(append(args, "-cache-prune-size", "1", "-stats"))
+		})
+		return runErr
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stderr, "cache prune: removed 3 entries") {
+		t.Fatalf("prune summary missing:\n%s", stderr)
+	}
+	if !strings.Contains(stderr, "disk 0 hits / 3 misses (3 stored") {
+		t.Fatalf("post-prune stats:\n%s", stderr)
+	}
+	// Age-based prune with a generous window keeps everything.
+	stderr, err = captureStderr(t, func() error {
+		_, runErr := capture(t, func() error {
+			return run(append(args, "-cache-prune-age", "24h", "-stats"))
+		})
+		return runErr
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stderr, "removed 0 entries") || !strings.Contains(stderr, "disk 3 hits / 0 misses") {
+		t.Fatalf("age prune kept nothing or cache went cold:\n%s", stderr)
+	}
+}

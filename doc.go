@@ -21,9 +21,21 @@
 // cmd/sweep and cmd/mfdl).
 //
 // The experiments API is context-first: grid studies (Fig4A, EtaAblation,
-// Report, SwarmCompare, Sweep) take a context.Context and fan out over the
-// runner, so long surfaces are cancellable and parallel while rendering
-// byte-identical tables at any worker count.
+// Report, SwarmCompare, Sweep) and every simulator-backed experiment
+// (SimValidate, AdaptSweep, AdaptParams, Transient, Hetero) take a
+// context.Context and fan out over the runner, so long surfaces are
+// cancellable and parallel while rendering byte-identical tables at any
+// worker count.
+//
+// Simulator-backed numbers run through internal/replica, the replica
+// engine: each simulation cell fans out into R independently seeded
+// replicas (SimSettings.Replicas, or -replicas on cmd/btsim and
+// cmd/mfdl) and every simulated metric reduces to mean / 95% confidence
+// interval / min / max. Replica seeds are a pure function of (base seed,
+// cell, replica) with replica 0 pinned to the base seed, so R = 1
+// reproduces the unreplicated tables byte-for-byte — a promise pinned by
+// golden files — and growing R extends a smaller study rather than
+// resampling it.
 //
 // The root package only anchors the module; all functionality lives under
 // internal/ (see README.md for the map) and is exercised by the binaries in

@@ -1,22 +1,28 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"mfdl/internal/adapt"
 	"mfdl/internal/eventsim"
+	"mfdl/internal/replica"
 	"mfdl/internal/table"
 )
 
 // AdaptParamRow is one controller setting of the parameter study.
 type AdaptParamRow struct {
-	Label        string
-	Threshold    float64 // symmetric |φ| as a fraction of μ
-	StepUp       float64
-	StepDown     float64
-	Period       float64
+	Label     string
+	Threshold float64 // symmetric |φ| as a fraction of μ
+	StepUp    float64
+	StepDown  float64
+	Period    float64
+	// MeanFinalRho / AvgOnline are across-replica means; the CI95 fields
+	// carry their 95% confidence half-widths (0 when Replicas <= 1).
 	MeanFinalRho float64
+	RhoCI95      float64
 	AvgOnline    float64
+	OnlineCI95   float64
 }
 
 // AdaptParamsResult answers the paper's explicit future-work question:
@@ -35,25 +41,18 @@ type AdaptParamsResult struct {
 
 // AdaptParams sweeps the controller parameters. thresholds are symmetric
 // |φ| values as fractions of μ; steps are (υ₁, υ₂) pairs; periods are
-// observation windows.
-func AdaptParams(set SimSettings, p, cheaterFraction float64,
+// observation windows. All settings × {clean, cheated} × replicas fan out
+// over one replica-engine pool.
+func AdaptParams(ctx context.Context, set SimSettings, p, cheaterFraction float64,
 	thresholds, stepUps, periods []float64) (*AdaptParamsResult, error) {
 	res := &AdaptParamsResult{Settings: set, P: p, CheaterFraction: cheaterFraction}
-	runOne := func(ac adapt.Config, cheat float64) (AdaptParamRow, error) {
-		cfg := eventsim.Config{
-			Params: set.Params, K: set.K, Lambda0: set.Lambda0, P: p,
-			Scheme: eventsim.CMFSD, Adapt: &ac, CheaterFraction: cheat,
-			Horizon: set.Horizon, Warmup: set.Warmup, Seed: set.Seed,
-		}
-		out, err := eventsim.Run(cfg)
-		if err != nil {
-			return AdaptParamRow{}, err
-		}
-		return AdaptParamRow{
-			MeanFinalRho: out.FinalRho.Mean(),
-			AvgOnline:    out.AvgOnlinePerFile,
-		}, nil
+	type spec struct {
+		ac     adapt.Config
+		label  string
+		th, up float64
+		cheat  float64
 	}
+	var specs []spec
 	for _, th := range thresholds {
 		for _, up := range stepUps {
 			for _, period := range periods {
@@ -67,42 +66,72 @@ func AdaptParams(set SimSettings, p, cheaterFraction float64,
 					Consecutive: 2,
 				}
 				label := fmt.Sprintf("|φ|=%.2fμ υ₁=%.2f T=%g", th, up, period)
-				clean, err := runOne(ac, 0)
-				if err != nil {
-					return nil, fmt.Errorf("experiments: adapt params %s clean: %w", label, err)
-				}
-				cheated, err := runOne(ac, cheaterFraction)
-				if err != nil {
-					return nil, fmt.Errorf("experiments: adapt params %s cheated: %w", label, err)
-				}
-				for _, row := range []*AdaptParamRow{&clean, &cheated} {
-					row.Label = label
-					row.Threshold = th
-					row.StepUp = up
-					row.StepDown = up / 2
-					row.Period = period
-				}
-				res.Clean = append(res.Clean, clean)
-				res.Cheated = append(res.Cheated, cheated)
+				specs = append(specs,
+					spec{ac: ac, label: label, th: th, up: up, cheat: 0},
+					spec{ac: ac, label: label, th: th, up: up, cheat: cheaterFraction})
 			}
 		}
+	}
+	if len(specs) == 0 {
+		return res, nil
+	}
+	aggs, err := replica.Run(ctx, len(specs), func(cell int) replica.Sim {
+		sp := specs[cell]
+		ac := sp.ac
+		return eventsim.Sim{Config: eventsim.Config{
+			Params: set.Params, K: set.K, Lambda0: set.Lambda0, P: p,
+			Scheme: eventsim.CMFSD, Adapt: &ac, CheaterFraction: sp.cheat,
+			Horizon: set.Horizon, Warmup: set.Warmup,
+		}}
+	}, set.options())
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < len(specs); i += 2 {
+		sp := specs[i]
+		mk := func(agg replica.Agg) AdaptParamRow {
+			return AdaptParamRow{
+				Label:        sp.label,
+				Threshold:    sp.th,
+				StepUp:       sp.up,
+				StepDown:     sp.up / 2,
+				Period:       sp.ac.Period,
+				MeanFinalRho: agg.Mean(replica.FinalRho),
+				RhoCI95:      agg.CI95(replica.FinalRho),
+				AvgOnline:    agg.Mean(replica.OnlinePerFile),
+				OnlineCI95:   agg.CI95(replica.OnlinePerFile),
+			}
+		}
+		res.Clean = append(res.Clean, mk(aggs[i]))
+		res.Cheated = append(res.Cheated, mk(aggs[i+1]))
 	}
 	return res, nil
 }
 
 // Table renders the parameter study: for each setting, the equilibrium ρ
-// and performance in the clean and cheated swarms.
+// and performance in the clean and cheated swarms. Replicated settings
+// add ±95% columns after each ρ.
 func (r *AdaptParamsResult) Table() *table.Table {
+	cols := []string{"setting", "clean rho", "clean online/file", "cheated rho", "cheated online/file"}
+	if r.Settings.replicated() {
+		cols = []string{"setting", "clean rho", "±95%", "clean online/file", "cheated rho", "±95%", "cheated online/file"}
+	}
 	tb := table.New(
 		fmt.Sprintf("Adapt parameter study (p=%.1f; cheated runs at %.0f%% cheaters)",
 			r.P, 100*r.CheaterFraction),
-		"setting", "clean rho", "clean online/file", "cheated rho", "cheated online/file")
+		cols...)
 	for i := range r.Clean {
-		tb.MustAddRow(r.Clean[i].Label,
-			fmt.Sprintf("%.3f", r.Clean[i].MeanFinalRho),
-			table.Fmt(r.Clean[i].AvgOnline),
-			fmt.Sprintf("%.3f", r.Cheated[i].MeanFinalRho),
-			table.Fmt(r.Cheated[i].AvgOnline))
+		cells := []string{r.Clean[i].Label, fmt.Sprintf("%.3f", r.Clean[i].MeanFinalRho)}
+		if r.Settings.replicated() {
+			cells = append(cells, fmt.Sprintf("±%.3f", r.Clean[i].RhoCI95))
+		}
+		cells = append(cells, table.Fmt(r.Clean[i].AvgOnline),
+			fmt.Sprintf("%.3f", r.Cheated[i].MeanFinalRho))
+		if r.Settings.replicated() {
+			cells = append(cells, fmt.Sprintf("±%.3f", r.Cheated[i].RhoCI95))
+		}
+		cells = append(cells, table.Fmt(r.Cheated[i].AvgOnline))
+		tb.MustAddRow(cells...)
 	}
 	return tb
 }

@@ -1,13 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
 
 func TestAdaptParamsStudy(t *testing.T) {
 	set := fastSettings()
-	res, err := AdaptParams(set, 0.9, 0.8,
+	res, err := AdaptParams(context.Background(), set, 0.9, 0.8,
 		[]float64{0.05, 0.25}, // |φ| as fraction of μ: tight vs generous
 		[]float64{0.2},
 		[]float64{5})

@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"mfdl/internal/eventsim"
 	"mfdl/internal/fluid"
+	"mfdl/internal/replica"
 	"mfdl/internal/stats"
 	"mfdl/internal/table"
 )
@@ -13,17 +15,22 @@ import (
 type HeteroRow struct {
 	Name          string
 	FluidDownload float64
-	SimDownload   float64
-	RelErr        float64
-	Completed     int
+	// SimDownload is the across-replica mean download time; SimCI95 its
+	// 95% confidence half-width (0 when Replicas <= 1).
+	SimDownload float64
+	SimCI95     float64
+	RelErr      float64
+	// Completed counts completed class users summed over all replicas.
+	Completed int
 }
 
 // HeteroResult is the E15 experiment: the Section-2 multi-class fluid
 // model validated by the event simulator on a single heterogeneous
 // torrent.
 type HeteroResult struct {
-	Eta  float64
-	Rows []HeteroRow
+	Eta      float64
+	Replicas int
+	Rows     []HeteroRow
 }
 
 // HeteroClass describes one class for the E15 experiment.
@@ -35,8 +42,9 @@ type HeteroClass struct {
 }
 
 // Hetero runs the heterogeneous-swarm validation: one torrent (K = 1),
-// the given bandwidth classes, MTSD peers.
-func Hetero(set SimSettings, lambda0 float64, classes []HeteroClass) (*HeteroResult, error) {
+// the given bandwidth classes, MTSD peers. The simulation side runs
+// Settings.Replicas independently seeded replicas on the replica engine.
+func Hetero(ctx context.Context, set SimSettings, lambda0 float64, classes []HeteroClass) (*HeteroResult, error) {
 	bw := make([]eventsim.BandwidthClass, len(classes))
 	fl := make([]fluid.Class, len(classes))
 	for i, c := range classes {
@@ -55,44 +63,55 @@ func Hetero(set SimSettings, lambda0 float64, classes []HeteroClass) (*HeteroRes
 	if err != nil {
 		return nil, err
 	}
-	cfg := eventsim.Config{
-		Params:    set.Params,
-		K:         1,
-		Lambda0:   lambda0,
-		P:         1,
-		Scheme:    eventsim.MTSD,
-		Horizon:   set.Horizon,
-		Warmup:    set.Warmup,
-		Seed:      set.Seed,
-		Bandwidth: bw,
-	}
-	out, err := eventsim.Run(cfg)
+	aggs, err := replica.Run(ctx, 1, func(int) replica.Sim {
+		return eventsim.Sim{Config: eventsim.Config{
+			Params:    set.Params,
+			K:         1,
+			Lambda0:   lambda0,
+			P:         1,
+			Scheme:    eventsim.MTSD,
+			Horizon:   set.Horizon,
+			Warmup:    set.Warmup,
+			Bandwidth: bw,
+		}}
+	}, set.options())
 	if err != nil {
 		return nil, err
 	}
-	res := &HeteroResult{Eta: set.Params.Eta}
-	for i, bs := range out.Bandwidth {
-		got := bs.DownloadTime.Mean()
+	agg := aggs[0]
+	res := &HeteroResult{Eta: set.Params.Eta, Replicas: set.Replicas}
+	for i, c := range classes {
+		got := agg.Mean(replica.BandwidthKey(c.Name, replica.DownloadPerFile))
 		res.Rows = append(res.Rows, HeteroRow{
-			Name:          bs.Name,
+			Name:          c.Name,
 			FluidDownload: dl[i],
 			SimDownload:   got,
+			SimCI95:       agg.CI95(replica.BandwidthKey(c.Name, replica.DownloadPerFile)),
 			RelErr:        stats.RelErr(got, dl[i], 1),
-			Completed:     bs.Completed,
+			Completed:     int(agg.Count(replica.BandwidthKey(c.Name, replica.Completed))),
 		})
 	}
 	return res, nil
 }
 
-// Table renders the heterogeneous validation.
+// Table renders the heterogeneous validation; with more than one replica
+// a ±95% column follows the simulated mean.
 func (r *HeteroResult) Table() *table.Table {
+	cols := []string{"class", "fluid download", "sim download", "rel err", "completed"}
+	if r.Replicas > 1 {
+		cols = []string{"class", "fluid download", "sim download", "±95%", "rel err", "completed"}
+	}
 	tb := table.New(
 		fmt.Sprintf("Heterogeneous swarm: multi-class fluid vs simulation (η=%.2f)", r.Eta),
-		"class", "fluid download", "sim download", "rel err", "completed")
+		cols...)
 	for _, row := range r.Rows {
-		tb.MustAddRow(row.Name,
-			table.Fmt(row.FluidDownload), table.Fmt(row.SimDownload),
-			fmt.Sprintf("%.1f%%", 100*row.RelErr), fmt.Sprintf("%d", row.Completed))
+		cells := []string{row.Name,
+			table.Fmt(row.FluidDownload), table.Fmt(row.SimDownload)}
+		if r.Replicas > 1 {
+			cells = append(cells, ciCell(row.SimCI95))
+		}
+		cells = append(cells, fmt.Sprintf("%.1f%%", 100*row.RelErr), fmt.Sprintf("%d", row.Completed))
+		tb.MustAddRow(cells...)
 	}
 	return tb
 }

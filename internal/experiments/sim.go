@@ -8,7 +8,7 @@ import (
 	"mfdl/internal/adapt"
 	"mfdl/internal/eventsim"
 	"mfdl/internal/fluid"
-	"mfdl/internal/rng"
+	"mfdl/internal/replica"
 	"mfdl/internal/runner"
 	"mfdl/internal/scheme"
 	"mfdl/internal/stats"
@@ -26,6 +26,15 @@ type SimSettings struct {
 	Horizon float64
 	Warmup  float64
 	Seed    uint64
+	// Replicas is the number of independently seeded simulation replicas
+	// behind every table row (R); 0 or 1 runs a single replica at Seed,
+	// reproducing the unreplicated tables byte-for-byte. With R > 1 every
+	// simulated metric is reported as mean ± 95% CI across replicas, with
+	// seeds derived by the replica engine's scheme (see internal/replica).
+	Replicas int
+	// Workers bounds the replica fan-out pool; 0 means all cores. The
+	// output is byte-identical at any worker count.
+	Workers int
 }
 
 // DefaultSimSettings is the fast validation operating point.
@@ -38,15 +47,32 @@ var DefaultSimSettings = SimSettings{
 	Seed:    1,
 }
 
+// replicated reports whether the settings ask for error bars.
+func (s SimSettings) replicated() bool { return s.Replicas > 1 }
+
+// options assembles the replica-engine options for these settings.
+func (s SimSettings) options() replica.Options {
+	return replica.Options{Replicas: s.Replicas, Workers: s.Workers, Seed: s.Seed}
+}
+
+// ciCell formats a ± cell with table.Fmt precision.
+func ciCell(ci float64) string { return "±" + table.Fmt(ci) }
+
 // SimValidateRow compares one scheme's simulated and fluid-predicted
 // average online time per file.
 type SimValidateRow struct {
-	Scheme    string
-	P         float64
-	Rho       float64 // CMFSD only; NaN otherwise
-	Fluid     float64
+	Scheme string
+	P      float64
+	Rho    float64 // CMFSD only; NaN otherwise
+	Fluid  float64
+	// Simulated is the across-replica mean of the average online time per
+	// file (the single run's value when Replicas <= 1).
 	Simulated float64
-	RelErr    float64
+	// SimCI95 is the half-width of the 95% confidence interval of
+	// Simulated (0 when Replicas <= 1).
+	SimCI95 float64
+	RelErr  float64
+	// Completed counts completed users summed over all replicas.
 	Completed int
 }
 
@@ -68,10 +94,13 @@ type simValidateSpec struct {
 // SimValidate runs the flow-level simulator for every scheme and compares
 // the measured average online time per file against the fluid prediction
 // (experiment E9 in DESIGN.md). The fluid predictions are memoized solves;
-// the simulation runs — the expensive part — fan out over all cores. Each
-// run keeps its own fixed seed, so the result table is identical at every
-// worker count.
-func SimValidate(set SimSettings, ps []float64) (*SimValidateResult, error) {
+// the simulations — the expensive part — fan out over the replica engine:
+// R = max(1, Settings.Replicas) independently seeded replicas per row, all
+// rows and replicas sharing one worker pool. The result table is identical
+// at every worker count; with R = 1 it is identical to the unreplicated
+// tables this function produced before the replica engine existed.
+// Canceling ctx aborts the remaining simulations.
+func SimValidate(ctx context.Context, set SimSettings, ps []float64) (*SimValidateResult, error) {
 	res := &SimValidateResult{Settings: set}
 	cache := runner.NewCache()
 	predict := func(sc scheme.Scheme, p, rho float64) (float64, error) {
@@ -117,52 +146,55 @@ func SimValidate(set SimSettings, ps []float64) (*SimValidateResult, error) {
 	if len(specs) == 0 {
 		return res, nil
 	}
-	grid, err := runner.Indexed("row", len(specs))
+	aggs, err := replica.Run(ctx, len(specs), func(cell int) replica.Sim {
+		sp := specs[cell]
+		sc := eventsim.Config{
+			Params: set.Params, K: set.K, Lambda0: set.Lambda0, P: sp.p,
+			Scheme: sp.simScheme, Horizon: set.Horizon, Warmup: set.Warmup,
+		}
+		if !math.IsNaN(sp.rho) {
+			sc.Rho = sp.rho
+		}
+		return eventsim.Sim{Config: sc}
+	}, set.options())
 	if err != nil {
 		return nil, err
 	}
-	rows, err := runner.Run(context.Background(), grid,
-		func(_ context.Context, pt runner.Point, _ *rng.Source) (SimValidateRow, error) {
-			sp := specs[pt.Index]
-			sc := eventsim.Config{
-				Params: set.Params, K: set.K, Lambda0: set.Lambda0, P: sp.p,
-				Scheme: sp.simScheme, Rho: sp.rho,
-				Horizon: set.Horizon, Warmup: set.Warmup, Seed: set.Seed,
-			}
-			if math.IsNaN(sp.rho) {
-				sc.Rho = 0
-			}
-			out, err := eventsim.Run(sc)
-			if err != nil {
-				return SimValidateRow{}, err
-			}
-			return SimValidateRow{
-				Scheme: sp.scheme, P: sp.p, Rho: sp.rho,
-				Fluid:     sp.fluid,
-				Simulated: out.AvgOnlinePerFile,
-				RelErr:    stats.RelErr(out.AvgOnlinePerFile, sp.fluid, 1),
-				Completed: out.CompletedUsers,
-			}, nil
-		}, runner.Options{Seed: set.Seed})
-	if err != nil {
-		return nil, err
+	for i, agg := range aggs {
+		sp := specs[i]
+		sim := agg.Mean(replica.OnlinePerFile)
+		res.Rows = append(res.Rows, SimValidateRow{
+			Scheme: sp.scheme, P: sp.p, Rho: sp.rho,
+			Fluid:     sp.fluid,
+			Simulated: sim,
+			SimCI95:   agg.CI95(replica.OnlinePerFile),
+			RelErr:    stats.RelErr(sim, sp.fluid, 1),
+			Completed: int(agg.Count(replica.Completed)),
+		})
 	}
-	res.Rows = rows
 	return res, nil
 }
 
-// Table renders the fluid-vs-simulation comparison.
+// Table renders the fluid-vs-simulation comparison. With more than one
+// replica a ±95% column follows the simulated mean.
 func (r *SimValidateResult) Table() *table.Table {
-	tb := table.New("Fluid model vs flow-level simulation: average online time per file",
-		"scheme", "p", "rho", "fluid", "simulated", "rel err", "completed")
+	cols := []string{"scheme", "p", "rho", "fluid", "simulated", "rel err", "completed"}
+	if r.Settings.replicated() {
+		cols = []string{"scheme", "p", "rho", "fluid", "simulated", "±95%", "rel err", "completed"}
+	}
+	tb := table.New("Fluid model vs flow-level simulation: average online time per file", cols...)
 	for _, row := range r.Rows {
 		rho := "-"
 		if !math.IsNaN(row.Rho) {
 			rho = fmt.Sprintf("%.1f", row.Rho)
 		}
-		tb.MustAddRow(row.Scheme, fmt.Sprintf("%.2f", row.P), rho,
-			table.Fmt(row.Fluid), table.Fmt(row.Simulated),
-			fmt.Sprintf("%.1f%%", 100*row.RelErr), fmt.Sprintf("%d", row.Completed))
+		cells := []string{row.Scheme, fmt.Sprintf("%.2f", row.P), rho,
+			table.Fmt(row.Fluid), table.Fmt(row.Simulated)}
+		if r.Settings.replicated() {
+			cells = append(cells, ciCell(row.SimCI95))
+		}
+		cells = append(cells, fmt.Sprintf("%.1f%%", 100*row.RelErr), fmt.Sprintf("%d", row.Completed))
+		tb.MustAddRow(cells...)
 	}
 	return tb
 }
@@ -170,9 +202,15 @@ func (r *SimValidateResult) Table() *table.Table {
 // AdaptRow is one cheater-fraction setting of the Adapt sweep.
 type AdaptRow struct {
 	CheaterFraction float64
-	MeanFinalRho    float64
-	AvgOnline       float64
-	Completed       int
+	// MeanFinalRho is the across-replica mean of the per-run mean final ρ;
+	// RhoCI95 its 95% confidence half-width (0 when Replicas <= 1).
+	MeanFinalRho float64
+	RhoCI95      float64
+	// AvgOnline is the across-replica mean online time per file, with
+	// OnlineCI95 its confidence half-width.
+	AvgOnline  float64
+	OnlineCI95 float64
+	Completed  int
 }
 
 // AdaptSweepResult is the E8 experiment output.
@@ -186,79 +224,90 @@ type AdaptSweepResult struct {
 // AdaptSweep evaluates the Adapt mechanism (the paper's future-work item)
 // under increasing cheater fractions: obedient peers should converge to
 // small ρ in a healthy swarm and drift toward ρ = 1 (MFCD behaviour) as
-// cheating spreads.
-func AdaptSweep(set SimSettings, p float64, ac adapt.Config, cheaterFractions []float64) (*AdaptSweepResult, error) {
+// cheating spreads. Every fraction runs R replicas on the replica engine.
+func AdaptSweep(ctx context.Context, set SimSettings, p float64, ac adapt.Config, cheaterFractions []float64) (*AdaptSweepResult, error) {
 	res := &AdaptSweepResult{Settings: set, P: p, Adapt: ac}
 	if len(cheaterFractions) == 0 {
 		return res, nil
 	}
-	grid, err := runner.NewGrid(runner.Dim{Name: "cheaters", Values: cheaterFractions})
+	aggs, err := replica.Run(ctx, len(cheaterFractions), func(cell int) replica.Sim {
+		return eventsim.Sim{Config: eventsim.Config{
+			Params: set.Params, K: set.K, Lambda0: set.Lambda0, P: p,
+			Scheme: eventsim.CMFSD, Adapt: &ac, CheaterFraction: cheaterFractions[cell],
+			Horizon: set.Horizon, Warmup: set.Warmup,
+		}}
+	}, set.options())
 	if err != nil {
 		return nil, err
 	}
-	rows, err := runner.Run(context.Background(), grid,
-		func(_ context.Context, pt runner.Point, _ *rng.Source) (AdaptRow, error) {
-			cf, _ := pt.Value("cheaters")
-			cfg := eventsim.Config{
-				Params: set.Params, K: set.K, Lambda0: set.Lambda0, P: p,
-				Scheme: eventsim.CMFSD, Adapt: &ac, CheaterFraction: cf,
-				Horizon: set.Horizon, Warmup: set.Warmup, Seed: set.Seed,
-			}
-			out, err := eventsim.Run(cfg)
-			if err != nil {
-				return AdaptRow{}, err
-			}
-			return AdaptRow{
-				CheaterFraction: cf,
-				MeanFinalRho:    out.FinalRho.Mean(),
-				AvgOnline:       out.AvgOnlinePerFile,
-				Completed:       out.CompletedUsers,
-			}, nil
-		}, runner.Options{Seed: set.Seed})
-	if err != nil {
-		return nil, err
+	for i, agg := range aggs {
+		res.Rows = append(res.Rows, AdaptRow{
+			CheaterFraction: cheaterFractions[i],
+			MeanFinalRho:    agg.Mean(replica.FinalRho),
+			RhoCI95:         agg.CI95(replica.FinalRho),
+			AvgOnline:       agg.Mean(replica.OnlinePerFile),
+			OnlineCI95:      agg.CI95(replica.OnlinePerFile),
+			Completed:       int(agg.Count(replica.Completed)),
+		})
 	}
-	res.Rows = rows
 	return res, nil
 }
 
-// Table renders the Adapt sweep.
+// Table renders the Adapt sweep; replicated settings add ±95% columns.
 func (r *AdaptSweepResult) Table() *table.Table {
+	cols := []string{"cheater fraction", "mean final rho", "avg online/file", "completed"}
+	if r.Settings.replicated() {
+		cols = []string{"cheater fraction", "mean final rho", "±95%", "avg online/file", "±95%", "completed"}
+	}
 	tb := table.New(
 		fmt.Sprintf("Adapt mechanism under cheating (p=%.1f, φ=[%.3f,%.3f], υ=[%.2f,%.2f])",
 			r.P, r.Adapt.Lower, r.Adapt.Upper, r.Adapt.StepUp, r.Adapt.StepDown),
-		"cheater fraction", "mean final rho", "avg online/file", "completed")
+		cols...)
 	for _, row := range r.Rows {
-		tb.MustAddRow(fmt.Sprintf("%.2f", row.CheaterFraction),
-			fmt.Sprintf("%.3f", row.MeanFinalRho),
-			table.Fmt(row.AvgOnline), fmt.Sprintf("%d", row.Completed))
+		cells := []string{fmt.Sprintf("%.2f", row.CheaterFraction),
+			fmt.Sprintf("%.3f", row.MeanFinalRho)}
+		if r.Settings.replicated() {
+			cells = append(cells, fmt.Sprintf("±%.3f", row.RhoCI95))
+		}
+		cells = append(cells, table.Fmt(row.AvgOnline))
+		if r.Settings.replicated() {
+			cells = append(cells, ciCell(row.OnlineCI95))
+		}
+		cells = append(cells, fmt.Sprintf("%d", row.Completed))
+		tb.MustAddRow(cells...)
 	}
 	return tb
 }
 
 // SwarmRow is one scheme/ρ setting of the chunk-level comparison.
 type SwarmRow struct {
-	Scheme        string
-	Rho           float64
+	Scheme string
+	Rho    float64
+	// OnlinePerFile is the across-replica mean of online rounds per file;
+	// OnlineCI95 its 95% confidence half-width (0 when replicas <= 1).
 	OnlinePerFile float64
+	OnlineCI95    float64
 	Completed     int
 }
 
 // SwarmCompareResult is the chunk-level MFCD-vs-CMFSD comparison.
 type SwarmCompareResult struct {
-	Config swarm.Config
-	Rows   []SwarmRow
+	Config   swarm.Config
+	Replicas int
+	Rows     []SwarmRow
 }
 
 // SwarmCompare runs the chunk-level simulator for MFCD, MTSD and CMFSD
 // over a ρ grid with otherwise identical parameters — the mechanism-level
 // replay of Figure 4(a)'s ordering plus the multi-torrent sequential
-// behaviour embedded in one swarm. The runs are independent simulations,
-// so they fan out over the runner pool; every row keeps the base config's
-// seed, so the table is byte-identical to the serial sweep at any worker
-// count. Canceling ctx aborts the remaining rows.
-func SwarmCompare(ctx context.Context, base swarm.Config, rhos []float64) (*SwarmCompareResult, error) {
-	res := &SwarmCompareResult{Config: base}
+// behaviour embedded in one swarm. Every row runs max(1, replicas)
+// independently seeded replicas; rows and replicas fan out over one
+// worker pool, the base config's seed anchors the seed derivation, and
+// the table is byte-identical at any worker count (and, with one replica,
+// to the pre-replica-engine serial sweep). Canceling ctx aborts the
+// remaining runs.
+func SwarmCompare(ctx context.Context, base swarm.Config, rhos []float64, replicas int) (*SwarmCompareResult, error) {
+	res := &SwarmCompareResult{Config: base, Replicas: replicas}
 	type rowSpec struct {
 		scheme swarm.Scheme
 		rho    float64 // NaN for the schemes that ignore ρ
@@ -270,46 +319,52 @@ func SwarmCompare(ctx context.Context, base swarm.Config, rhos []float64) (*Swar
 	for _, rho := range rhos {
 		specs = append(specs, rowSpec{swarm.CMFSD, rho})
 	}
-	grid, err := runner.Indexed("row", len(specs))
+	aggs, err := replica.Run(ctx, len(specs), func(cell int) replica.Sim {
+		sp := specs[cell]
+		c := base
+		c.Scheme = sp.scheme
+		if !math.IsNaN(sp.rho) {
+			c.Rho = sp.rho
+		}
+		return swarm.Sim{Config: c}
+	}, replica.Options{Replicas: replicas, Seed: base.Seed})
 	if err != nil {
 		return nil, err
 	}
-	rows, err := runner.Run(ctx, grid,
-		func(_ context.Context, pt runner.Point, _ *rng.Source) (SwarmRow, error) {
-			sp := specs[pt.Index]
-			c := base
-			c.Scheme = sp.scheme
-			if !math.IsNaN(sp.rho) {
-				c.Rho = sp.rho
-			}
-			out, err := swarm.Run(c)
-			if err != nil {
-				return SwarmRow{}, err
-			}
-			return SwarmRow{
-				Scheme: sp.scheme.String(), Rho: sp.rho,
-				OnlinePerFile: out.AvgOnlinePerFile, Completed: out.CompletedUsers,
-			}, nil
-		}, runner.Options{Seed: base.Seed})
-	if err != nil {
-		return nil, err
+	for i, agg := range aggs {
+		sp := specs[i]
+		res.Rows = append(res.Rows, SwarmRow{
+			Scheme: sp.scheme.String(), Rho: sp.rho,
+			OnlinePerFile: agg.Mean(replica.OnlinePerFile),
+			OnlineCI95:    agg.CI95(replica.OnlinePerFile),
+			Completed:     int(agg.Count(replica.Completed)),
+		})
 	}
-	res.Rows = rows
 	return res, nil
 }
 
-// Table renders the chunk-level comparison.
+// Table renders the chunk-level comparison; with more than one replica a
+// ±95% column follows the online-rounds mean.
 func (r *SwarmCompareResult) Table() *table.Table {
+	cols := []string{"scheme", "rho", "online rounds/file", "completed"}
+	if r.Replicas > 1 {
+		cols = []string{"scheme", "rho", "online rounds/file", "±95%", "completed"}
+	}
 	tb := table.New(
 		fmt.Sprintf("Chunk-level swarm: online rounds per file (K=%d, %d chunks/file, p=%.1f, η=%.2f)",
 			r.Config.K, r.Config.ChunksPerFile, r.Config.P, r.Config.TFTEfficiency),
-		"scheme", "rho", "online rounds/file", "completed")
+		cols...)
 	for _, row := range r.Rows {
 		rho := "-"
 		if !math.IsNaN(row.Rho) {
 			rho = fmt.Sprintf("%.1f", row.Rho)
 		}
-		tb.MustAddRow(row.Scheme, rho, table.Fmt(row.OnlinePerFile), fmt.Sprintf("%d", row.Completed))
+		cells := []string{row.Scheme, rho, table.Fmt(row.OnlinePerFile)}
+		if r.Replicas > 1 {
+			cells = append(cells, ciCell(row.OnlineCI95))
+		}
+		cells = append(cells, fmt.Sprintf("%d", row.Completed))
+		tb.MustAddRow(cells...)
 	}
 	return tb
 }

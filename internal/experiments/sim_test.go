@@ -18,7 +18,7 @@ func fastSettings() SimSettings {
 }
 
 func TestSimValidateAgreement(t *testing.T) {
-	res, err := SimValidate(fastSettings(), []float64{1})
+	res, err := SimValidate(context.Background(), fastSettings(), []float64{1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,7 +45,7 @@ func TestAdaptSweepMonotoneRho(t *testing.T) {
 		Lower: -0.05, Upper: 0.05, StepUp: 0.2, StepDown: 0.1,
 		Period: 5, InitialRho: 0, Consecutive: 2,
 	}
-	res, err := AdaptSweep(fastSettings(), 0.9, ac, []float64{0, 0.8})
+	res, err := AdaptSweep(context.Background(), fastSettings(), 0.9, ac, []float64{0, 0.8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +66,7 @@ func TestSwarmCompareOrdering(t *testing.T) {
 	base := swarm.DefaultConfig
 	base.Horizon = 2000
 	base.Warmup = 300
-	res, err := SwarmCompare(context.Background(), base, []float64{0, 1})
+	res, err := SwarmCompare(context.Background(), base, []float64{0, 1}, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

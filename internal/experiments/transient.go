@@ -1,18 +1,27 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"mfdl/internal/cmfsd"
 	"mfdl/internal/eventsim"
 	"mfdl/internal/numeric/ode"
+	"mfdl/internal/replica"
 	"mfdl/internal/table"
 	"mfdl/internal/trace"
 )
 
-// TransientResult compares the fluid Eq. (5) trajectory against one
-// flow-level simulation path after a flash crowd: FlashCrowd users appear
+// Transient metric keys (local to this experiment).
+const (
+	transientRMSDownloaders = "rms_downloaders"
+	transientRMSSeeds       = "rms_seeds"
+	transientPeakSimT       = "peak_sim_t"
+)
+
+// TransientResult compares the fluid Eq. (5) trajectory against the
+// flow-level simulation after a flash crowd: FlashCrowd users appear
 // at t = 0 in an empty torrent (plus the normal Poisson arrivals), and the
 // downloader/seed populations are tracked to steady state. This probes the
 // regime fluid models are usually trusted least in — the transient — which
@@ -21,18 +30,25 @@ type TransientResult struct {
 	Settings   SimSettings
 	P, Rho     float64
 	FlashCrowd int
-	// Fluid and Sim hold "downloaders" and "seeds" series.
+	// Fluid and Sim hold "downloaders" and "seeds" series; Sim is the
+	// path of the first replica (the one seeded with Settings.Seed).
 	Fluid, Sim *trace.Recorder
 	// RMSDownloaders and RMSSeeds are root-mean-square gaps between the
-	// fluid and simulated population paths, normalized by the flash size.
-	RMSDownloaders, RMSSeeds float64
-	// PeakFluidT / PeakSimT are when the downloader populations peak.
+	// fluid and simulated population paths, normalized by the flash size
+	// and averaged across replicas; the CI95 fields carry their 95%
+	// confidence half-widths (0 when Replicas <= 1).
+	RMSDownloaders, RMSSeeds         float64
+	RMSDownloadersCI95, RMSSeedsCI95 float64
+	// PeakFluidT / PeakSimT are when the downloader populations peak
+	// (PeakSimT averaged across replicas).
 	PeakFluidT, PeakSimT float64
 }
 
 // Transient runs the flash-crowd comparison for CMFSD with the given
-// correlation and allocation ratio.
-func Transient(set SimSettings, p, rho float64, flash int) (*TransientResult, error) {
+// correlation and allocation ratio. Settings.Replicas independent
+// simulation paths are compared against the one deterministic fluid
+// trajectory; their RMS gaps are reported as mean ± 95% CI.
+func Transient(ctx context.Context, set SimSettings, p, rho float64, flash int) (*TransientResult, error) {
 	cfg := Config{Params: set.Params, K: set.K, Lambda0: set.Lambda0}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -81,42 +97,68 @@ func Transient(set SimSettings, p, rho float64, flash int) (*TransientResult, er
 		}
 	}
 
-	// Simulated path.
-	sc := eventsim.Config{
-		Params: set.Params, K: set.K, Lambda0: set.Lambda0, P: p,
-		Scheme: eventsim.CMFSD, Rho: rho,
-		Horizon: set.Horizon, Warmup: 0, Seed: set.Seed,
-		FlashCrowd: flash, SampleEvery: sampleEvery,
-	}
-	out, err := eventsim.Run(sc)
-	if err != nil {
-		return nil, err
-	}
-
-	res := &TransientResult{
-		Settings: set, P: p, Rho: rho, FlashCrowd: flash,
-		Fluid: fluidRec, Sim: out.Trace,
-	}
+	// Simulated paths: R independently seeded replicas, each compared
+	// against the (fully built, read-only) fluid trajectory. Traces leave
+	// the engine out of band, one slot per replica.
 	scale := float64(flash)
 	if scale < 1 {
 		scale = 1
 	}
-	dDl, err := trace.RMSDistance(fluidRec.Series("downloaders"), out.Trace.Series("downloaders"), 200)
+	rCount := set.Replicas
+	if rCount < 1 {
+		rCount = 1
+	}
+	traces := make([]*trace.Recorder, rCount)
+	aggs, err := replica.Run(ctx, 1, func(int) replica.Sim {
+		return replica.SimFunc(func(_ context.Context, rep replica.Rep) (replica.Sample, error) {
+			sc := eventsim.Config{
+				Params: set.Params, K: set.K, Lambda0: set.Lambda0, P: p,
+				Scheme: eventsim.CMFSD, Rho: rho,
+				Horizon: set.Horizon, Warmup: 0, Seed: rep.Seed,
+				FlashCrowd: flash, SampleEvery: sampleEvery,
+			}
+			out, err := eventsim.Run(sc)
+			if err != nil {
+				return replica.Sample{}, err
+			}
+			traces[rep.Replica] = out.Trace
+			dDl, err := trace.RMSDistance(fluidRec.Series("downloaders"), out.Trace.Series("downloaders"), 200)
+			if err != nil {
+				return replica.Sample{}, err
+			}
+			dSeeds, err := trace.RMSDistance(fluidRec.Series("seeds"), out.Trace.Series("seeds"), 200)
+			if err != nil {
+				return replica.Sample{}, err
+			}
+			peakT, _ := out.Trace.Series("downloaders").Max()
+			return replica.Sample{Values: map[string]float64{
+				transientRMSDownloaders: dDl / scale,
+				transientRMSSeeds:       dSeeds / scale,
+				transientPeakSimT:       peakT,
+			}}, nil
+		})
+	}, set.options())
 	if err != nil {
 		return nil, err
 	}
-	dSeeds, err := trace.RMSDistance(fluidRec.Series("seeds"), out.Trace.Series("seeds"), 200)
-	if err != nil {
-		return nil, err
+	agg := aggs[0]
+
+	res := &TransientResult{
+		Settings: set, P: p, Rho: rho, FlashCrowd: flash,
+		Fluid: fluidRec, Sim: traces[0],
+		RMSDownloaders:     agg.Mean(transientRMSDownloaders),
+		RMSDownloadersCI95: agg.CI95(transientRMSDownloaders),
+		RMSSeeds:           agg.Mean(transientRMSSeeds),
+		RMSSeedsCI95:       agg.CI95(transientRMSSeeds),
+		PeakSimT:           agg.Mean(transientPeakSimT),
 	}
-	res.RMSDownloaders = dDl / scale
-	res.RMSSeeds = dSeeds / scale
 	res.PeakFluidT, _ = fluidRec.Series("downloaders").Max()
-	res.PeakSimT, _ = out.Trace.Series("downloaders").Max()
 	return res, nil
 }
 
-// Table renders the two paths at a dozen checkpoints.
+// Table renders the two paths at a dozen checkpoints. The simulated
+// columns show the first replica's path; the RMS row aggregates all
+// replicas, with a ±95% row added when there is more than one.
 func (r *TransientResult) Table() *table.Table {
 	tb := table.New(
 		fmt.Sprintf("Flash crowd transient (CMFSD, %d peers at t=0, p=%.1f, ρ=%.1f)",
@@ -135,5 +177,9 @@ func (r *TransientResult) Table() *table.Table {
 	}
 	tb.MustAddRow("RMS/flash", fmt.Sprintf("%.3f", r.RMSDownloaders), "",
 		fmt.Sprintf("%.3f", r.RMSSeeds), "")
+	if r.Settings.replicated() {
+		tb.MustAddRow("±95%", fmt.Sprintf("%.3f", r.RMSDownloadersCI95), "",
+			fmt.Sprintf("%.3f", r.RMSSeedsCI95), "")
+	}
 	return tb
 }

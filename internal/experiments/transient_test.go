@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -8,7 +9,7 @@ import (
 func TestTransientFlashCrowd(t *testing.T) {
 	set := DefaultSimSettings
 	set.Horizon = 150 // rescaled units: ~10 residence times
-	res, err := Transient(set, 0.9, 0, 300)
+	res, err := Transient(context.Background(), set, 0.9, 0, 300)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,7 +53,7 @@ func TestTransientFlashCrowd(t *testing.T) {
 func TestTransientSeedsRiseThenSettle(t *testing.T) {
 	set := DefaultSimSettings
 	set.Horizon = 150
-	res, err := Transient(set, 0.9, 0, 300)
+	res, err := Transient(context.Background(), set, 0.9, 0, 300)
 	if err != nil {
 		t.Fatal(err)
 	}

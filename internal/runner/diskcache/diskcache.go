@@ -30,8 +30,10 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"sync"
+	"time"
 
 	"mfdl/internal/metrics"
 )
@@ -181,6 +183,11 @@ func (s *Store) Get(key string) (*metrics.SchemeResult, bool) {
 		s.count(func(st *Stats) { st.Misses++ })
 		return nil, false
 	}
+	// Touch the entry so mtime approximates recency of use and Prune's
+	// size-based eviction is LRU rather than write-order. Best effort: a
+	// read-only cache directory still serves hits.
+	now := time.Now()
+	_ = os.Chtimes(path, now, now)
 	s.count(func(st *Stats) { st.Hits++ })
 	return res, true
 }
@@ -224,6 +231,109 @@ func (s *Store) Len() (int, error) {
 		return 0, err
 	}
 	return len(names), nil
+}
+
+// Usage reports how many entries the store holds and how many bytes they
+// occupy. Entries that vanish mid-scan (a concurrent prune or eviction)
+// are skipped, not errors.
+func (s *Store) Usage() (entries int, bytes int64, err error) {
+	names, err := filepath.Glob(filepath.Join(s.dir, "*.json"))
+	if err != nil {
+		return 0, 0, err
+	}
+	for _, name := range names {
+		info, err := os.Stat(name)
+		if err != nil {
+			continue
+		}
+		entries++
+		bytes += info.Size()
+	}
+	return entries, bytes, nil
+}
+
+// PruneOptions selects what Prune removes. Zero values disable the
+// corresponding criterion; with both zero, Prune removes nothing.
+type PruneOptions struct {
+	// MaxAge evicts entries not read or written for longer than this
+	// (recency is tracked by mtime; Get touches entries it serves).
+	MaxAge time.Duration
+	// MaxBytes caps the store's total size: least-recently-used entries
+	// are evicted until the remainder fits.
+	MaxBytes int64
+}
+
+// PruneStats reports what one Prune pass did.
+type PruneStats struct {
+	// Removed counts evicted entries; Freed sums their sizes in bytes.
+	Removed int
+	Freed   int64
+	// Kept counts surviving entries; Remaining sums their sizes.
+	Kept      int
+	Remaining int64
+}
+
+// Prune removes entries by age and/or total size (oldest mtime first —
+// approximately least recently used, since Get touches entries on a hit).
+// Entries that disappear mid-pass are treated as already pruned. Stray
+// temp files from crashed writers older than MaxAge are removed too.
+func (s *Store) Prune(opts PruneOptions) (PruneStats, error) {
+	var st PruneStats
+	names, err := filepath.Glob(filepath.Join(s.dir, "*.json"))
+	if err != nil {
+		return st, err
+	}
+	type fileInfo struct {
+		path  string
+		size  int64
+		mtime time.Time
+	}
+	var files []fileInfo
+	now := time.Now()
+	for _, name := range names {
+		info, err := os.Stat(name)
+		if err != nil {
+			continue
+		}
+		files = append(files, fileInfo{path: name, size: info.Size(), mtime: info.ModTime()})
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].mtime.Before(files[j].mtime) })
+	var total int64
+	for _, f := range files {
+		total += f.size
+	}
+	remove := func(f fileInfo) {
+		if os.Remove(f.path) == nil {
+			st.Removed++
+			st.Freed += f.size
+			s.count(func(c *Stats) { c.Evicted++ })
+		}
+		total -= f.size
+	}
+	for _, f := range files {
+		switch {
+		case opts.MaxAge > 0 && now.Sub(f.mtime) > opts.MaxAge:
+			remove(f)
+		case opts.MaxBytes > 0 && total > opts.MaxBytes:
+			remove(f)
+		default:
+			st.Kept++
+			st.Remaining += f.size
+		}
+	}
+	if opts.MaxAge > 0 {
+		tmps, err := filepath.Glob(filepath.Join(s.dir, "put-*.tmp"))
+		if err == nil {
+			for _, name := range tmps {
+				info, err := os.Stat(name)
+				if err != nil || now.Sub(info.ModTime()) <= opts.MaxAge {
+					continue
+				}
+				os.Remove(name)
+			}
+		}
+	}
+	return st, nil
 }
 
 // Stats returns a snapshot of the counters.

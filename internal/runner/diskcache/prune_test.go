@@ -1,0 +1,190 @@
+package diskcache
+
+import (
+	"fmt"
+	"os"
+	"testing"
+	"time"
+)
+
+// fill stores n entries under distinct keys and returns the keys.
+func fill(t *testing.T, s *Store, n int) []string {
+	t.Helper()
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%d", i)
+		if err := s.Put(keys[i], sample()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return keys
+}
+
+// age rewinds an entry's mtime by d.
+func age(t *testing.T, s *Store, key string, d time.Duration) {
+	t.Helper()
+	past := time.Now().Add(-d)
+	if err := os.Chtimes(s.path(key), past, past); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUsage(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, bytes, err := s.Usage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if entries != 0 || bytes != 0 {
+		t.Fatalf("empty store reports %d entries, %d bytes", entries, bytes)
+	}
+	fill(t, s, 3)
+	entries, bytes, err = s.Usage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if entries != 3 {
+		t.Errorf("entries = %d, want 3", entries)
+	}
+	if bytes <= 0 {
+		t.Errorf("bytes = %d, want > 0", bytes)
+	}
+	n, err := s.Len()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != entries {
+		t.Errorf("Len = %d disagrees with Usage entries = %d", n, entries)
+	}
+}
+
+func TestPruneByAge(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := fill(t, s, 4)
+	age(t, s, keys[0], 2*time.Hour)
+	age(t, s, keys[1], 3*time.Hour)
+	st, err := s.Prune(PruneOptions{MaxAge: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Removed != 2 || st.Kept != 2 {
+		t.Fatalf("removed %d kept %d, want 2/2", st.Removed, st.Kept)
+	}
+	if _, ok := s.Get(keys[0]); ok {
+		t.Error("aged-out entry still readable")
+	}
+	if _, ok := s.Get(keys[2]); !ok {
+		t.Error("fresh entry was pruned")
+	}
+	if got := s.Stats().Evicted; got != 2 {
+		t.Errorf("Evicted counter = %d, want 2", got)
+	}
+}
+
+func TestPruneBySizeEvictsLRU(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := fill(t, s, 4)
+	// Stagger recency: keys[0] oldest ... keys[3] newest.
+	for i, k := range keys {
+		age(t, s, k, time.Duration(len(keys)-i)*time.Hour)
+	}
+	_, total, err := s.Usage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	per := total / 4
+	// Budget for two entries: the two least recently used must go.
+	st, err := s.Prune(PruneOptions{MaxBytes: 2 * per})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Removed != 2 || st.Kept != 2 {
+		t.Fatalf("removed %d kept %d, want 2/2", st.Removed, st.Kept)
+	}
+	for _, k := range keys[:2] {
+		if _, ok := s.Get(k); ok {
+			t.Errorf("LRU entry %s survived a size prune", k)
+		}
+	}
+	for _, k := range keys[2:] {
+		if _, ok := s.Get(k); !ok {
+			t.Errorf("recent entry %s was evicted", k)
+		}
+	}
+	if st.Remaining > 2*per {
+		t.Errorf("remaining %d bytes exceeds budget %d", st.Remaining, 2*per)
+	}
+}
+
+// TestGetRefreshesRecency pins the LRU approximation: a hit touches the
+// entry, so a recently read entry outlives an unread one of the same age.
+func TestGetRefreshesRecency(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := fill(t, s, 2)
+	for _, k := range keys {
+		age(t, s, k, 2*time.Hour)
+	}
+	if _, ok := s.Get(keys[1]); !ok {
+		t.Fatal("warm read missed")
+	}
+	st, err := s.Prune(PruneOptions{MaxAge: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Removed != 1 {
+		t.Fatalf("removed %d, want 1 (only the unread entry)", st.Removed)
+	}
+	if _, ok := s.Get(keys[1]); !ok {
+		t.Error("recently read entry was pruned")
+	}
+}
+
+func TestPruneZeroOptionsIsNoop(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := fill(t, s, 3)
+	age(t, s, keys[0], 1000*time.Hour)
+	st, err := s.Prune(PruneOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Removed != 0 || st.Kept != 3 {
+		t.Fatalf("zero options removed %d kept %d, want 0/3", st.Removed, st.Kept)
+	}
+}
+
+func TestPruneRemovesStaleTempFiles(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmp, err := os.CreateTemp(s.Dir(), "put-*.tmp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmp.Close()
+	past := time.Now().Add(-2 * time.Hour)
+	if err := os.Chtimes(tmp.Name(), past, past); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Prune(PruneOptions{MaxAge: time.Hour}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(tmp.Name()); !os.IsNotExist(err) {
+		t.Errorf("stale temp file survived: %v", err)
+	}
+}
