@@ -1,12 +1,13 @@
 # Verification tiers. tier1 is the gate every change must keep green;
 # tier2 adds static analysis and the race detector over the concurrent
 # paths (runner pool, two-tier solve cache incl. runner/diskcache, the
-# replica engine, the parallel experiment fan-outs, simulators). The
+# replica engine, the parallel experiment fan-outs, simulators, and the
+# observability registry hammered from concurrent announces). The
 # explicit replica runs exercise the engine at R >= 2 — multiple replicas
 # of one cell sharing a Sim value across pool workers — which is exactly
 # where an accidental shared-state mutation would race.
 
-.PHONY: tier1 tier2 bench
+.PHONY: tier1 tier2 bench profile
 
 tier1:
 	go build ./... && go test ./...
@@ -15,8 +16,22 @@ tier2:
 	go vet ./... && go test -race ./...
 	go test -race -count=1 -run 'Replica|Merge|WorkerCountInvariance' ./internal/replica/ ./internal/stats/
 	go test -race -count=1 -run 'ReplicatedDeterminism|ReplicasExtend' ./internal/experiments/
+	go test -race -count=1 ./internal/obs/
+	go test -race -count=1 -run 'Metrics|CountersMonotonic|ObservedConcurrent' ./internal/tracker/
 
 # bench regenerates every paper artifact under timing, including the
 # serial-vs-parallel sweep comparison.
 bench:
 	go test -bench=. -benchtime=1x .
+
+# profile runs a small instrumented sweep with every observability sink
+# attached: a JSON metrics snapshot and a Chrome trace land in ./prof/,
+# and /debug/pprof + /metrics are served on localhost:6060 for the
+# duration of the run (try `go tool pprof http://localhost:6060/debug/pprof/profile?seconds=2`
+# from another shell while it runs).
+profile:
+	mkdir -p prof
+	go run ./cmd/sweep -dim p,rho -steps 30,30 -scheme CMFSD \
+		-metrics-out prof/sweep-metrics.json -trace-out prof/sweep-trace.json \
+		-pprof localhost:6060 -stats > prof/sweep-table.txt
+	@echo "wrote prof/sweep-metrics.json prof/sweep-trace.json prof/sweep-table.txt"

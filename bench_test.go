@@ -205,7 +205,7 @@ func BenchmarkSwarmCompare(b *testing.B) {
 	base.Warmup = 200
 	for i := 0; i < b.N; i++ {
 		base.Seed = uint64(i + 1)
-		if _, err := experiments.SwarmCompare(context.Background(), base, []float64{0, 1}, 1); err != nil {
+		if _, err := experiments.SwarmCompare(context.Background(), base, []float64{0, 1}, 1, nil); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -34,6 +34,7 @@ import (
 	"mfdl/internal/eventsim"
 	"mfdl/internal/experiments"
 	"mfdl/internal/fluid"
+	"mfdl/internal/obs"
 	"mfdl/internal/replica"
 	"mfdl/internal/swarm"
 	"mfdl/internal/table"
@@ -69,6 +70,8 @@ func run(args []string) error {
 		workers  = fs.Int("workers", 0, "replica worker pool size (0 = all cores)")
 		format   = fs.String("format", "ascii", "output format: ascii, csv, tsv, or markdown")
 	)
+	var ofl obs.Flags
+	ofl.Register(fs)
 	fs.Usage = func() {
 		fmt.Fprintln(fs.Output(), "usage: btsim [flags] validate|adapt|swarm|transient|hetero|adaptparams|run")
 		fs.PrintDefaults()
@@ -105,11 +108,19 @@ func run(args []string) error {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+	// The registry is nil unless -metrics-out/-trace-out/-pprof asked for
+	// one; every simulator and pool below is then on the nil fast path and
+	// the tables are byte-identical either way.
+	ob, finishObs, err := ofl.Setup(false)
+	if err != nil {
+		return err
+	}
 	params := fluid.Params{Mu: *mu, Eta: *eta, Gamma: *gamma}
 	set := experiments.SimSettings{
 		Params: params, K: *k, Lambda0: *lambda0,
 		Horizon: *horizon, Warmup: *warmup, Seed: *seed,
 		Replicas: *replicas, Workers: *workers,
+		Obs: ob,
 	}
 	emit := func(tb *table.Table) error {
 		if err := tb.Write(os.Stdout, *format); err != nil {
@@ -118,143 +129,151 @@ func run(args []string) error {
 		fmt.Println()
 		return nil
 	}
-	switch fs.Arg(0) {
-	case "validate":
-		res, err := experiments.SimValidate(ctx, set, []float64{*p})
-		if err != nil {
-			return err
-		}
-		return emit(res.Table())
-	case "adapt":
-		ac := adapt.DefaultConfig
-		// Scale the thresholds with μ (they are bandwidth differences).
-		ac.Lower = -0.25 * params.Mu
-		ac.Upper = 0.25 * params.Mu
-		ac.Period = 5 / params.Gamma
-		res, err := experiments.AdaptSweep(ctx, set, *p, ac,
-			[]float64{0, 0.2, 0.4, 0.6, 0.8, 1})
-		if err != nil {
-			return err
-		}
-		return emit(res.Table())
-	case "swarm":
-		base := swarm.DefaultConfig
-		base.P = *p
-		base.TFTEfficiency = *eta
-		base.Horizon = int(*horizon)
-		base.Warmup = int(*warmup)
-		base.Seed = *seed
-		res, err := experiments.SwarmCompare(ctx, base, []float64{0, 0.25, 0.5, 0.75, 1}, *replicas)
-		if err != nil {
-			return err
-		}
-		return emit(res.Table())
-	case "adaptparams":
-		res, err := experiments.AdaptParams(ctx, set, *p, 0.8,
-			[]float64{0.05, 0.1, 0.25, 0.5},
-			[]float64{0.1, 0.3},
-			[]float64{2 / params.Gamma, 10 / params.Gamma})
-		if err != nil {
-			return err
-		}
-		if err := emit(res.Table()); err != nil {
-			return err
-		}
-		best := res.Best()
-		fmt.Printf("best setting: %s (clean ρ %.3f, cheated ρ %.3f)\n",
-			res.Clean[best].Label, res.Clean[best].MeanFinalRho, res.Cheated[best].MeanFinalRho)
-		return nil
-	case "hetero":
-		res, err := experiments.Hetero(ctx, set, 2**lambda0, []experiments.HeteroClass{
-			{Name: "broadband", Mu: 2 * params.Mu, Weight: 4, Fraction: 0.3},
-			{Name: "cable", Mu: params.Mu, Weight: 2, Fraction: 0.4},
-			{Name: "dsl", Mu: params.Mu / 2, Weight: 1, Fraction: 0.3},
-		})
-		if err != nil {
-			return err
-		}
-		return emit(res.Table())
-	case "transient":
-		tset := set
-		if tset.Horizon > 300 {
-			tset.Horizon = 150 // a dozen residence times at the rescaled rates
-		}
-		res, err := experiments.Transient(ctx, tset, *p, *rho, 300)
-		if err != nil {
-			return err
-		}
-		return emit(res.Table())
-	case "run":
-		var sc eventsim.Scheme
-		switch *scheme {
-		case "MTCD":
-			sc = eventsim.MTCD
-		case "MTSD":
-			sc = eventsim.MTSD
-		case "MFCD":
-			sc = eventsim.MFCD
-		case "CMFSD":
-			sc = eventsim.CMFSD
-		default:
-			return fmt.Errorf("unknown scheme %q", *scheme)
-		}
-		cfg := eventsim.Config{
-			Params: params, K: *k, Lambda0: *lambda0, P: *p,
-			Scheme: sc, Rho: *rho,
-			Horizon: *horizon, Warmup: *warmup,
-		}
-		aggs, err := replica.Run(ctx, 1, func(int) replica.Sim {
-			return eventsim.Sim{Config: cfg}
-		}, replica.Options{Replicas: *replicas, Workers: *workers, Seed: *seed})
-		if err != nil {
-			return err
-		}
-		agg := aggs[0]
-		rep := *replicas > 1
-		title := fmt.Sprintf("%s flow-level run (p=%.2f, ρ=%.2f, horizon=%g)",
-			*scheme, *p, *rho, *horizon)
-		if rep {
-			title = fmt.Sprintf("%s flow-level run (p=%.2f, ρ=%.2f, horizon=%g, R=%d)",
-				*scheme, *p, *rho, *horizon, *replicas)
-		}
-		cols := []string{"metric", "value"}
-		if rep {
-			cols = []string{"metric", "value", "±95%"}
-		}
-		tb := table.New(title, cols...)
-		addRow := func(metric, value string, ci float64) {
+	// The subcommands run inside a closure so the metrics snapshot and
+	// trace stream are flushed on every return path.
+	runErr := func() error {
+		switch fs.Arg(0) {
+		case "validate":
+			res, err := experiments.SimValidate(ctx, set, []float64{*p})
+			if err != nil {
+				return err
+			}
+			return emit(res.Table())
+		case "adapt":
+			ac := adapt.DefaultConfig
+			// Scale the thresholds with μ (they are bandwidth differences).
+			ac.Lower = -0.25 * params.Mu
+			ac.Upper = 0.25 * params.Mu
+			ac.Period = 5 / params.Gamma
+			res, err := experiments.AdaptSweep(ctx, set, *p, ac,
+				[]float64{0, 0.2, 0.4, 0.6, 0.8, 1})
+			if err != nil {
+				return err
+			}
+			return emit(res.Table())
+		case "swarm":
+			base := swarm.DefaultConfig
+			base.P = *p
+			base.TFTEfficiency = *eta
+			base.Horizon = int(*horizon)
+			base.Warmup = int(*warmup)
+			base.Seed = *seed
+			res, err := experiments.SwarmCompare(ctx, base, []float64{0, 0.25, 0.5, 0.75, 1}, *replicas, ob)
+			if err != nil {
+				return err
+			}
+			return emit(res.Table())
+		case "adaptparams":
+			res, err := experiments.AdaptParams(ctx, set, *p, 0.8,
+				[]float64{0.05, 0.1, 0.25, 0.5},
+				[]float64{0.1, 0.3},
+				[]float64{2 / params.Gamma, 10 / params.Gamma})
+			if err != nil {
+				return err
+			}
+			if err := emit(res.Table()); err != nil {
+				return err
+			}
+			best := res.Best()
+			fmt.Printf("best setting: %s (clean ρ %.3f, cheated ρ %.3f)\n",
+				res.Clean[best].Label, res.Clean[best].MeanFinalRho, res.Cheated[best].MeanFinalRho)
+			return nil
+		case "hetero":
+			res, err := experiments.Hetero(ctx, set, 2**lambda0, []experiments.HeteroClass{
+				{Name: "broadband", Mu: 2 * params.Mu, Weight: 4, Fraction: 0.3},
+				{Name: "cable", Mu: params.Mu, Weight: 2, Fraction: 0.4},
+				{Name: "dsl", Mu: params.Mu / 2, Weight: 1, Fraction: 0.3},
+			})
+			if err != nil {
+				return err
+			}
+			return emit(res.Table())
+		case "transient":
+			tset := set
+			if tset.Horizon > 300 {
+				tset.Horizon = 150 // a dozen residence times at the rescaled rates
+			}
+			res, err := experiments.Transient(ctx, tset, *p, *rho, 300)
+			if err != nil {
+				return err
+			}
+			return emit(res.Table())
+		case "run":
+			var sc eventsim.Scheme
+			switch *scheme {
+			case "MTCD":
+				sc = eventsim.MTCD
+			case "MTSD":
+				sc = eventsim.MTSD
+			case "MFCD":
+				sc = eventsim.MFCD
+			case "CMFSD":
+				sc = eventsim.CMFSD
+			default:
+				return fmt.Errorf("unknown scheme %q", *scheme)
+			}
+			cfg := eventsim.Config{
+				Params: params, K: *k, Lambda0: *lambda0, P: *p,
+				Scheme: sc, Rho: *rho,
+				Horizon: *horizon, Warmup: *warmup,
+			}
+			aggs, err := replica.Run(ctx, 1, func(int) replica.Sim {
+				return eventsim.Sim{Config: cfg}
+			}, replica.Options{Replicas: *replicas, Workers: *workers, Seed: *seed, Obs: ob})
+			if err != nil {
+				return err
+			}
+			agg := aggs[0]
+			rep := *replicas > 1
+			title := fmt.Sprintf("%s flow-level run (p=%.2f, ρ=%.2f, horizon=%g)",
+				*scheme, *p, *rho, *horizon)
 			if rep {
-				tb.MustAddRow(metric, value, "±"+table.Fmt(ci))
-			} else {
-				tb.MustAddRow(metric, value)
+				title = fmt.Sprintf("%s flow-level run (p=%.2f, ρ=%.2f, horizon=%g, R=%d)",
+					*scheme, *p, *rho, *horizon, *replicas)
 			}
-		}
-		addRow("completed users", fmt.Sprintf("%d", int(agg.Count(replica.Completed))), 0)
-		addRow("avg online time per file", table.Fmt(agg.Mean(replica.OnlinePerFile)), agg.CI95(replica.OnlinePerFile))
-		addRow("avg download time per file", table.Fmt(agg.Mean(replica.DownloadPerFile)), agg.CI95(replica.DownloadPerFile))
-		addRow("mean downloaders", table.Fmt(agg.Mean(replica.MeanDownloaders)), agg.CI95(replica.MeanDownloaders))
-		addRow("mean seeds", table.Fmt(agg.Mean(replica.MeanSeeds)), agg.CI95(replica.MeanSeeds))
-		if err := emit(tb); err != nil {
-			return err
-		}
-		cls := table.New("per-class statistics (pooled over replicas)", "class", "completed", "online", "±95%", "download")
-		if !rep {
-			cls.Title = "per-class statistics"
-		}
-		for class := 1; class <= *k; class++ {
-			n := int(agg.Count(replica.ClassKey(class, replica.Completed)))
-			if n == 0 {
-				continue
+			cols := []string{"metric", "value"}
+			if rep {
+				cols = []string{"metric", "value", "±95%"}
 			}
-			online := agg.Summary(replica.ClassKey(class, replica.OnlinePerFile))
-			download := agg.Summary(replica.ClassKey(class, replica.DownloadPerFile))
-			cls.MustAddRow(fmt.Sprintf("%d", class), fmt.Sprintf("%d", n),
-				table.Fmt(online.Mean()), table.Fmt(online.CI95()),
-				table.Fmt(download.Mean()))
+			tb := table.New(title, cols...)
+			addRow := func(metric, value string, ci float64) {
+				if rep {
+					tb.MustAddRow(metric, value, "±"+table.Fmt(ci))
+				} else {
+					tb.MustAddRow(metric, value)
+				}
+			}
+			addRow("completed users", fmt.Sprintf("%d", int(agg.Count(replica.Completed))), 0)
+			addRow("avg online time per file", table.Fmt(agg.Mean(replica.OnlinePerFile)), agg.CI95(replica.OnlinePerFile))
+			addRow("avg download time per file", table.Fmt(agg.Mean(replica.DownloadPerFile)), agg.CI95(replica.DownloadPerFile))
+			addRow("mean downloaders", table.Fmt(agg.Mean(replica.MeanDownloaders)), agg.CI95(replica.MeanDownloaders))
+			addRow("mean seeds", table.Fmt(agg.Mean(replica.MeanSeeds)), agg.CI95(replica.MeanSeeds))
+			if err := emit(tb); err != nil {
+				return err
+			}
+			cls := table.New("per-class statistics (pooled over replicas)", "class", "completed", "online", "±95%", "download")
+			if !rep {
+				cls.Title = "per-class statistics"
+			}
+			for class := 1; class <= *k; class++ {
+				n := int(agg.Count(replica.ClassKey(class, replica.Completed)))
+				if n == 0 {
+					continue
+				}
+				online := agg.Summary(replica.ClassKey(class, replica.OnlinePerFile))
+				download := agg.Summary(replica.ClassKey(class, replica.DownloadPerFile))
+				cls.MustAddRow(fmt.Sprintf("%d", class), fmt.Sprintf("%d", n),
+					table.Fmt(online.Mean()), table.Fmt(online.CI95()),
+					table.Fmt(download.Mean()))
+			}
+			return emit(cls)
+		default:
+			fs.Usage()
+			return fmt.Errorf("unknown subcommand %q", fs.Arg(0))
 		}
-		return emit(cls)
-	default:
-		fs.Usage()
-		return fmt.Errorf("unknown subcommand %q", fs.Arg(0))
+	}()
+	if ferr := finishObs(); runErr == nil {
+		runErr = ferr
 	}
+	return runErr
 }

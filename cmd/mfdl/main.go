@@ -41,6 +41,7 @@ import (
 
 	"mfdl/internal/experiments"
 	"mfdl/internal/fluid"
+	"mfdl/internal/obs"
 	"mfdl/internal/runner"
 	"mfdl/internal/runner/diskcache"
 	"mfdl/internal/table"
@@ -70,6 +71,8 @@ func run(args []string) error {
 		cacheDir = fs.String("cache-dir", "", "persistent solve-cache directory shared across runs (empty = in-memory only)")
 		stats    = fs.Bool("stats", false, "print per-phase wall-clock and solve-cache hit rates on stderr")
 	)
+	var ofl obs.Flags
+	ofl.Register(fs)
 	fs.Usage = func() {
 		fmt.Fprintln(fs.Output(), "usage: mfdl [flags] fig2|fig3|fig4a|fig4b|fig4c|validate|stability|crossover|eta|cheating|kscaling|simvalidate|report|params|all")
 		fs.PrintDefaults()
@@ -107,6 +110,14 @@ func run(args []string) error {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+	// A registry exists only when something will consume it: -stats
+	// renders from it, -metrics-out/-trace-out/-pprof export it.
+	// Otherwise it stays nil and instrumentation is on the zero-cost fast
+	// path; the tables on stdout are byte-identical either way.
+	reg, finishObs, err := ofl.Setup(*stats)
+	if err != nil {
+		return err
+	}
 	// One solve cache for the whole invocation: 'all' and 'report' reuse
 	// solves across figures, and -cache-dir extends the reuse across
 	// processes.
@@ -118,6 +129,7 @@ func run(args []string) error {
 		}
 		cache = runner.NewDiskCache(disk)
 	}
+	cache.WithObs(reg)
 	cfg := experiments.Config{
 		Params:  fluid.Params{Mu: *mu, Eta: *eta, Gamma: *gamma},
 		K:       *k,
@@ -227,6 +239,7 @@ func run(args []string) error {
 				Seed:     *seed,
 				Replicas: *replicas,
 				Workers:  *workers,
+				Obs:      reg,
 			}
 			res, err := experiments.SimValidate(ctx, set, []float64{0.5, 0.9})
 			if err != nil {
@@ -257,45 +270,69 @@ func run(args []string) error {
 			return emit(tb)
 		},
 	}
-	// runPhase times one subcommand; with -stats each phase's wall-clock
-	// lands on stderr, followed by the shared cache's hit rates.
+	// runPhase times one subcommand into the registry's per-phase gauge;
+	// with -stats each phase's wall-clock also lands on stderr, rendered
+	// from that gauge.
 	runPhase := func(sub string) error {
-		start := time.Now()
+		var start time.Time
+		var sp obs.Span
+		if reg != nil {
+			start = time.Now()
+			sp = reg.StartSpan("phase", obs.L("phase", sub))
+		}
 		err := cmds[sub]()
+		if reg != nil {
+			reg.Gauge("mfdl_phase_seconds", obs.L("phase", sub)).Set(time.Since(start).Seconds())
+			sp.End()
+		}
 		if *stats {
-			fmt.Fprintf(os.Stderr, "mfdl: phase %-9s %8.1fms\n", sub, float64(time.Since(start).Microseconds())/1000)
+			ms := reg.Gauge("mfdl_phase_seconds", obs.L("phase", sub)).Value() * 1000
+			fmt.Fprintf(os.Stderr, "mfdl: phase %-9s %8.1fms\n", sub, ms)
 		}
 		return err
 	}
+	// report renders the cache summary from the registry's solvecache_* /
+	// diskcache_* counters (mirrored by the cache tiers via WithObs).
 	report := func() {
 		if !*stats {
 			return
 		}
-		s := cache.Stats()
-		fmt.Fprintf(os.Stderr, "mfdl: solve cache: memory %d hits / %d misses", s.Hits, s.Misses)
+		count := func(name string) uint64 { return reg.Counter(name).Value() }
+		fmt.Fprintf(os.Stderr, "mfdl: solve cache: memory %d hits / %d misses",
+			count("solvecache_hits_total"), count("solvecache_misses_total"))
 		if *cacheDir != "" {
 			fmt.Fprintf(os.Stderr, "; disk %d hits / %d misses (%d stored, %d corrupt, %d evicted)",
-				s.Disk.Hits, s.Disk.Misses, s.Disk.Stores, s.Disk.Corrupt, s.Disk.Evicted)
+				count("diskcache_hits_total"), count("diskcache_misses_total"),
+				count("diskcache_stores_total"), count("diskcache_corrupt_total"),
+				count("diskcache_evicted_total"))
 		}
-		fmt.Fprintf(os.Stderr, "; %d solved\n", s.Solves())
+		fmt.Fprintf(os.Stderr, "; %d solved\n", count("solvecache_solves_total"))
 	}
-	name := fs.Arg(0)
-	if name == "all" {
-		for _, sub := range []string{"params", "validate", "fig2", "fig3", "fig4a", "fig4b", "fig4c", "crossover", "stability", "eta", "cheating", "kscaling"} {
-			if err := runPhase(sub); err != nil {
-				return fmt.Errorf("%s: %w", sub, err)
+	// The subcommands run inside a closure so the metrics snapshot and
+	// trace stream are flushed on every return path.
+	runErr := func() error {
+		name := fs.Arg(0)
+		if name == "all" {
+			for _, sub := range []string{"params", "validate", "fig2", "fig3", "fig4a", "fig4b", "fig4c", "crossover", "stability", "eta", "cheating", "kscaling"} {
+				if err := runPhase(sub); err != nil {
+					return fmt.Errorf("%s: %w", sub, err)
+				}
 			}
+			report()
+			return nil
+		}
+		if _, ok := cmds[name]; !ok {
+			fs.Usage()
+			return fmt.Errorf("unknown subcommand %q", name)
+		}
+		if err := runPhase(name); err != nil {
+			return err
 		}
 		report()
 		return nil
+	}()
+	if ferr := finishObs(); runErr == nil {
+		runErr = ferr
 	}
-	if _, ok := cmds[name]; !ok {
-		fs.Usage()
-		return fmt.Errorf("unknown subcommand %q", name)
-	}
-	if err := runPhase(name); err != nil {
-		return err
-	}
-	report()
-	return nil
+	return runErr
 }

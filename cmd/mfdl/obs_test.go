@@ -1,0 +1,79 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// captureStderr runs f with os.Stderr redirected and returns what it
+// printed there (the -stats channel).
+func captureStderr(t *testing.T, f func() error) (string, error) {
+	t.Helper()
+	old := os.Stderr
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stderr = w
+	runErr := f()
+	w.Close()
+	os.Stderr = old
+	var sb strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := r.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	return sb.String(), runErr
+}
+
+// The observability golden guard for mfdl: enabling every sink must not
+// change the figures on stdout by a single byte.
+func TestMfdlObservabilityGoldenStdout(t *testing.T) {
+	args := []string{"-steps", "4", "fig2"}
+	plain, err := capture(t, func() error { return run(args) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics := filepath.Join(t.TempDir(), "metrics.json")
+	var observed string
+	stderr, err := captureStderr(t, func() error {
+		var runErr error
+		observed, runErr = capture(t, func() error {
+			return run(append([]string{"-metrics-out", metrics, "-stats"}, args...))
+		})
+		return runErr
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if observed != plain {
+		t.Fatalf("observability perturbed stdout:\n%s\nvs\n%s", observed, plain)
+	}
+	if !strings.Contains(stderr, "mfdl: phase fig2") || !strings.Contains(stderr, "solve cache: memory") {
+		t.Fatalf("-stats report:\n%s", stderr)
+	}
+	raw, err := os.ReadFile(metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Counters map[string]uint64  `json:"counters"`
+		Gauges   map[string]float64 `json:"gauges"`
+	}
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatalf("metrics snapshot not JSON: %v\n%s", err, raw)
+	}
+	if snap.Counters["solvecache_solves_total"] == 0 {
+		t.Fatalf("no solves recorded:\n%s", raw)
+	}
+	if _, ok := snap.Gauges[`mfdl_phase_seconds{phase="fig2"}`]; !ok {
+		t.Fatalf("phase gauge missing:\n%s", raw)
+	}
+}

@@ -44,6 +44,7 @@ import (
 
 	"mfdl/internal/experiments"
 	"mfdl/internal/fluid"
+	"mfdl/internal/obs"
 	"mfdl/internal/runner"
 	"mfdl/internal/runner/diskcache"
 	"mfdl/internal/scheme"
@@ -134,6 +135,8 @@ func run(args []string) error {
 		pruneSize = fs.Int64("cache-prune-size", 0, "evict least-recently-used cache entries down to this many bytes before the sweep (0 = off; requires -cache-dir)")
 		stats     = fs.Bool("stats", false, "print cache hit rates, disk usage and per-phase wall-clock on stderr")
 	)
+	var ofl obs.Flags
+	ofl.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -203,6 +206,15 @@ func run(args []string) error {
 		return err
 	}
 
+	// A registry exists only when something will consume it (-stats and
+	// -progress render from it; -metrics-out/-trace-out/-pprof export
+	// it). Otherwise spec.Obs stays nil and every instrumentation site in
+	// the runner and caches is on the zero-cost fast path — the table on
+	// stdout is byte-identical either way.
+	reg, finishObs, err := ofl.Setup(*stats || *verbose)
+	if err != nil {
+		return err
+	}
 	spec := experiments.SweepSpec{
 		Config: experiments.Config{
 			Params:  fluid.Params{Mu: *mu, Eta: *eta, Gamma: *gamma},
@@ -214,17 +226,35 @@ func run(args []string) error {
 		Grid:     grid,
 		Workers:  *workers,
 		CacheDir: *cacheDir,
+		Obs:      reg,
 	}
 	if *verbose {
+		// Progress renders from the registry's completed-cell counter:
+		// cells/sec over the solve phase so far, and the ETA for the rest
+		// of the grid at that rate.
 		total := grid.Size()
-		done := 0
+		completed := reg.Counter("runner_cells_completed_total")
+		failed := reg.Counter("runner_cells_failed_total")
+		solveStart := time.Now()
+		first := true
 		spec.Hooks = runner.Hooks{OnCell: func(pt runner.Point, err error) {
-			done++
-			fmt.Fprintf(os.Stderr, "sweep: %d/%d (%s)\n", done, total, pt.Label())
+			if first {
+				solveStart = time.Now()
+				first = false
+			}
+			done := int(completed.Value() + failed.Value())
+			line := fmt.Sprintf("sweep: %d/%d (%s)", done, total, pt.Label())
+			if elapsed := time.Since(solveStart).Seconds(); elapsed > 0 && done > 1 {
+				rate := float64(done) / elapsed
+				eta := time.Duration(float64(total-done) / rate * float64(time.Second))
+				line += fmt.Sprintf(" %.1f cells/s eta %s", rate, eta.Round(10*time.Millisecond))
+			}
+			fmt.Fprintln(os.Stderr, line)
 		}}
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+	phase := reg.Gauge // nil-safe; three samples land as sweep_phase_seconds{phase=...}
 	setup := time.Since(start)
 	res, err := experiments.Sweep(ctx, spec)
 	if err != nil {
@@ -234,32 +264,61 @@ func run(args []string) error {
 	if err := res.Table().Write(os.Stdout, *format); err != nil {
 		return err
 	}
-	if *stats || *verbose {
-		render := time.Since(start) - setup - solve
-		printStats(os.Stderr, res, *cacheDir, setup, solve, render)
+	render := time.Since(start) - setup - solve
+	phase("sweep_phase_seconds", obs.L("phase", "setup")).Set(setup.Seconds())
+	phase("sweep_phase_seconds", obs.L("phase", "solve")).Set(solve.Seconds())
+	phase("sweep_phase_seconds", obs.L("phase", "render")).Set(render.Seconds())
+	if reg != nil {
+		snapshotDerived(reg, len(res.Cells), *cacheDir)
 	}
-	return nil
+	if *stats || *verbose {
+		printStats(os.Stderr, reg, *cacheDir)
+	}
+	return finishObs()
 }
 
-// printStats summarizes how the grid's cells collapsed into shared and
-// pre-computed solves, the disk store's footprint, and where the
-// wall-clock went.
-func printStats(w *os.File, res *experiments.SweepResult, cacheDir string, setup, solve, render time.Duration) {
-	s := res.Cache
-	fmt.Fprintf(w, "sweep: %d cells: memory %d hits / %d misses", len(res.Cells), s.Hits, s.Misses)
-	if cacheDir != "" {
-		fmt.Fprintf(w, "; disk %d hits / %d misses (%d stored, %d corrupt, %d evicted)",
-			s.Disk.Hits, s.Disk.Misses, s.Disk.Stores, s.Disk.Corrupt, s.Disk.Evicted)
+// snapshotDerived folds end-of-run derived values into the registry so
+// both -stats and the -metrics-out snapshot render from one source:
+// the cell count, the cache hit ratio and the disk store's footprint.
+func snapshotDerived(reg *obs.Registry, cells int, cacheDir string) {
+	reg.Gauge("sweep_cells").Set(float64(cells))
+	hits := reg.Counter("solvecache_hits_total").Value()
+	misses := reg.Counter("solvecache_misses_total").Value()
+	if total := hits + misses; total > 0 {
+		reg.Gauge("solvecache_hit_ratio").Set(float64(hits) / float64(total))
 	}
-	fmt.Fprintf(w, "; %d solved\n", s.Solves())
 	if cacheDir != "" {
 		if store, err := diskcache.Open(cacheDir); err == nil {
 			if entries, bytes, err := store.Usage(); err == nil {
-				fmt.Fprintf(w, "sweep: disk cache: %d entries, %d bytes\n", entries, bytes)
+				reg.Gauge("diskcache_entries").Set(float64(entries))
+				reg.Gauge("diskcache_bytes").Set(float64(bytes))
 			}
 		}
 	}
-	ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+}
+
+// printStats renders the -stats report from the registry: how the
+// grid's cells collapsed into shared and pre-computed solves, the disk
+// store's footprint, and where the wall-clock went.
+func printStats(w *os.File, reg *obs.Registry, cacheDir string) {
+	count := func(name string) uint64 { return reg.Counter(name).Value() }
+	fmt.Fprintf(w, "sweep: %d cells: memory %d hits / %d misses",
+		int(reg.Gauge("sweep_cells").Value()),
+		count("solvecache_hits_total"), count("solvecache_misses_total"))
+	if cacheDir != "" {
+		fmt.Fprintf(w, "; disk %d hits / %d misses (%d stored, %d corrupt, %d evicted)",
+			count("diskcache_hits_total"), count("diskcache_misses_total"),
+			count("diskcache_stores_total"), count("diskcache_corrupt_total"),
+			count("diskcache_evicted_total"))
+	}
+	fmt.Fprintf(w, "; %d solved\n", count("solvecache_solves_total"))
+	if cacheDir != "" {
+		fmt.Fprintf(w, "sweep: disk cache: %d entries, %d bytes\n",
+			int(reg.Gauge("diskcache_entries").Value()), int64(reg.Gauge("diskcache_bytes").Value()))
+	}
+	ms := func(phase string) float64 {
+		return reg.Gauge("sweep_phase_seconds", obs.L("phase", phase)).Value() * 1000
+	}
 	fmt.Fprintf(w, "sweep: phase setup %.1fms | solve %.1fms | render %.1fms\n",
-		ms(setup), ms(solve), ms(render))
+		ms("setup"), ms("solve"), ms("render"))
 }

@@ -1,0 +1,127 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The observability golden guard: full instrumentation (-metrics-out,
+// -trace-out, -stats) must not perturb the table on stdout by a single
+// byte — metrics go only to their own sinks and stderr.
+func TestSweepObservabilityGoldenStdout(t *testing.T) {
+	args := []string{"-dim", "p,rho", "-from", "0.3,0", "-to", "0.9,1",
+		"-steps", "1,2", "-scheme", "CMFSD"}
+	plain, err := capture(t, func() error { return run(args) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	metrics := filepath.Join(dir, "metrics.json")
+	trace := filepath.Join(dir, "trace.json")
+	instrumented := append(args, "-metrics-out", metrics, "-trace-out", trace, "-stats")
+	var observed string
+	if _, err := captureStderr(t, func() error {
+		var runErr error
+		observed, runErr = capture(t, func() error { return run(instrumented) })
+		return runErr
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if observed != plain {
+		t.Fatalf("observability perturbed stdout:\n%s\nvs\n%s", observed, plain)
+	}
+
+	// The metrics snapshot must be valid JSON carrying the acceptance
+	// metrics: cache hit rates, cell latency quantiles, utilization.
+	raw, err := os.ReadFile(metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Counters   map[string]uint64  `json:"counters"`
+		Gauges     map[string]float64 `json:"gauges"`
+		Histograms map[string]struct {
+			Count     uint64             `json:"count"`
+			Quantiles map[string]float64 `json:"quantiles"`
+		} `json:"histograms"`
+	}
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatalf("metrics snapshot not JSON: %v\n%s", err, raw)
+	}
+	if snap.Counters["solvecache_misses_total"] == 0 {
+		t.Fatalf("no solve-cache activity in snapshot:\n%s", raw)
+	}
+	h, ok := snap.Histograms["runner_cell_seconds"]
+	if !ok || h.Count != 6 {
+		t.Fatalf("runner_cell_seconds missing or wrong count:\n%s", raw)
+	}
+	if _, ok := h.Quantiles["p99"]; !ok {
+		t.Fatalf("latency quantiles missing:\n%s", raw)
+	}
+	if _, ok := snap.Gauges["runner_worker_utilization"]; !ok {
+		t.Fatalf("worker utilization missing:\n%s", raw)
+	}
+
+	// The trace stream must be a valid Chrome trace: a JSON array of
+	// complete ("ph":"X") events, one per cell.
+	rawTrace, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []struct {
+		Name string `json:"name"`
+		Ph   string `json:"ph"`
+	}
+	if err := json.Unmarshal(rawTrace, &events); err != nil {
+		t.Fatalf("trace not a JSON event array: %v\n%s", err, rawTrace)
+	}
+	cells := 0
+	for _, e := range events {
+		if e.Ph != "X" {
+			t.Fatalf("unexpected phase %q in trace", e.Ph)
+		}
+		if e.Name == "cell" {
+			cells++
+		}
+	}
+	if cells != 6 {
+		t.Fatalf("trace has %d cell spans, want 6", cells)
+	}
+}
+
+// -progress must report throughput and ETA derived from the registry's
+// completed-cell counter.
+func TestSweepProgressRate(t *testing.T) {
+	stderr, err := captureStderr(t, func() error {
+		_, runErr := capture(t, func() error {
+			return run([]string{"-dim", "p,rho", "-from", "0.3,0", "-to", "0.9,1",
+				"-steps", "1,3", "-scheme", "CMFSD", "-workers", "1", "-progress"})
+		})
+		return runErr
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stderr, "8/8") {
+		t.Fatalf("final progress line missing:\n%s", stderr)
+	}
+	if !strings.Contains(stderr, "cells/s eta ") {
+		t.Fatalf("throughput/ETA missing from -progress:\n%s", stderr)
+	}
+}
+
+func TestSweepRejectsBadObsSinks(t *testing.T) {
+	cases := [][]string{
+		{"-steps", "1", "-metrics-out", "/dev/null/nope"},
+		{"-steps", "1", "-trace-out", "/dev/null/nope"},
+		{"-steps", "1", "-pprof", "256.0.0.1:0"},
+	}
+	for i, args := range cases {
+		if _, err := capture(t, func() error { return run(args) }); err == nil {
+			t.Fatalf("case %d accepted: %v", i, args)
+		}
+	}
+}

@@ -9,16 +9,32 @@
 //	trackerd -addr :8080 -k 10 &
 //	curl 'http://localhost:8080/index'
 //	curl 'http://localhost:8080/announce?info_hash=<hex>&peer_id=me&port=6881&left=1&event=started'
+//	curl 'http://localhost:8080/metrics'
+//
+// The service is observable by default: /metrics serves per-endpoint
+// request counters and latency histograms in Prometheus text format, and
+// /debug/pprof serves the standard Go profiles. On SIGINT or SIGTERM the
+// server shuts down gracefully — in-flight announces drain (bounded by
+// -shutdown-timeout) before the listener closes — and a final metrics
+// snapshot is logged to stderr.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
 
 	"mfdl/internal/metainfo"
+	"mfdl/internal/obs"
 	"mfdl/internal/rng"
 	"mfdl/internal/tracker"
 )
@@ -33,27 +49,93 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("trackerd", flag.ContinueOnError)
 	var (
-		addr     = fs.String("addr", ":8080", "listen address")
-		k        = fs.Int("k", 10, "files in the demo torrent")
-		fileSize = fs.Int64("filesize", 1<<16, "bytes per demo file")
-		pieceLen = fs.Int64("piecelen", 1<<14, "piece length")
-		seed     = fs.Uint64("seed", 1, "content RNG seed")
+		addr       = fs.String("addr", ":8080", "listen address")
+		k          = fs.Int("k", 10, "files in the demo torrent")
+		fileSize   = fs.Int64("filesize", 1<<16, "bytes per demo file")
+		pieceLen   = fs.Int64("piecelen", 1<<14, "piece length")
+		seed       = fs.Uint64("seed", 1, "content RNG seed")
+		drain      = fs.Duration("shutdown-timeout", 5*time.Second, "grace period for in-flight requests on SIGINT/SIGTERM")
+		metricsOut = fs.String("metrics-out", "", "also write the final JSON metrics snapshot to this file on shutdown")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	reg := tracker.NewRegistry(*seed)
+	if *drain <= 0 {
+		return fmt.Errorf("-shutdown-timeout must be > 0, got %v", *drain)
+	}
+	treg := tracker.NewRegistry(*seed)
 	m, err := DemoTorrent(*k, *fileSize, *pieceLen, *seed)
 	if err != nil {
 		return err
 	}
-	h, err := reg.Publish(m)
+	h, err := treg.Publish(m)
 	if err != nil {
 		return err
 	}
+	ob := obs.New()
+	mux := http.NewServeMux()
+	mux.Handle("/", tracker.ObservedHandler(treg, ob))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	log.Printf("published %q (%d files) info-hash %s", m.Info.Name, len(m.Info.Files), tracker.HexHash(h))
-	log.Printf("listening on %s (endpoints: /announce /scrape /index /torrent/<hex>)", *addr)
-	return http.ListenAndServe(*addr, tracker.Handler(reg))
+	log.Printf("listening on %s (endpoints: /announce /scrape /index /torrent/<hex> /metrics /debug/pprof)", *addr)
+	return serve(*addr, mux, ob, *drain, *metricsOut)
+}
+
+// serve runs the HTTP server until SIGINT/SIGTERM, then shuts down
+// gracefully: the listener closes, in-flight requests drain for up to
+// the grace period, and the final metrics snapshot is logged.
+func serve(addr string, handler http.Handler, ob *obs.Registry, grace time.Duration, metricsOut string) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	srv := &http.Server{Addr: addr, Handler: handler}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		// Listener failed before any signal (e.g. address in use).
+		return err
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills immediately instead of draining
+	log.Printf("shutting down (draining in-flight requests up to %v)", grace)
+	shutCtx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	shutErr := srv.Shutdown(shutCtx)
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	logFinalMetrics(ob, metricsOut)
+	return shutErr
+}
+
+// logFinalMetrics writes the registry's closing snapshot: one log line
+// per tracker counter, plus (optionally) the full JSON snapshot to a
+// file.
+func logFinalMetrics(ob *obs.Registry, metricsOut string) {
+	var sb strings.Builder
+	if err := ob.WritePrometheus(&sb); err == nil {
+		for _, line := range strings.Split(sb.String(), "\n") {
+			if strings.HasPrefix(line, "tracker_requests_total") {
+				log.Printf("final metrics: %s", line)
+			}
+		}
+	}
+	if metricsOut != "" {
+		out, err := os.Create(metricsOut)
+		if err == nil {
+			err = ob.WriteJSON(out)
+			if cerr := out.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			log.Printf("metrics-out: %v", err)
+		}
+	}
 }
 
 // DemoTorrent builds a deterministic K-file multi-file torrent ("season"

@@ -72,7 +72,7 @@ func TestSwarmCompareGolden(t *testing.T) {
 	base.Horizon = 800
 	base.Warmup = 200
 	base.Seed = 7
-	res, err := SwarmCompare(context.Background(), base, []float64{0, 1}, 1)
+	res, err := SwarmCompare(context.Background(), base, []float64{0, 1}, 1, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

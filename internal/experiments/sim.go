@@ -8,6 +8,7 @@ import (
 	"mfdl/internal/adapt"
 	"mfdl/internal/eventsim"
 	"mfdl/internal/fluid"
+	"mfdl/internal/obs"
 	"mfdl/internal/replica"
 	"mfdl/internal/runner"
 	"mfdl/internal/scheme"
@@ -35,6 +36,10 @@ type SimSettings struct {
 	// Workers bounds the replica fan-out pool; 0 means all cores. The
 	// output is byte-identical at any worker count.
 	Workers int
+	// Obs, when non-nil, instruments the replica engine (simulate/reduce
+	// latency histograms and phase spans) and the runner pool beneath it.
+	// Results are byte-identical with or without it.
+	Obs *obs.Registry
 }
 
 // DefaultSimSettings is the fast validation operating point.
@@ -52,7 +57,7 @@ func (s SimSettings) replicated() bool { return s.Replicas > 1 }
 
 // options assembles the replica-engine options for these settings.
 func (s SimSettings) options() replica.Options {
-	return replica.Options{Replicas: s.Replicas, Workers: s.Workers, Seed: s.Seed}
+	return replica.Options{Replicas: s.Replicas, Workers: s.Workers, Seed: s.Seed, Obs: s.Obs}
 }
 
 // ciCell formats a ± cell with table.Fmt precision.
@@ -305,8 +310,9 @@ type SwarmCompareResult struct {
 // worker pool, the base config's seed anchors the seed derivation, and
 // the table is byte-identical at any worker count (and, with one replica,
 // to the pre-replica-engine serial sweep). Canceling ctx aborts the
-// remaining runs.
-func SwarmCompare(ctx context.Context, base swarm.Config, rhos []float64, replicas int) (*SwarmCompareResult, error) {
+// remaining runs. ob, when non-nil, instruments the replica fan-out
+// (results are byte-identical with or without it).
+func SwarmCompare(ctx context.Context, base swarm.Config, rhos []float64, replicas int, ob *obs.Registry) (*SwarmCompareResult, error) {
 	res := &SwarmCompareResult{Config: base, Replicas: replicas}
 	type rowSpec struct {
 		scheme swarm.Scheme
@@ -327,7 +333,7 @@ func SwarmCompare(ctx context.Context, base swarm.Config, rhos []float64, replic
 			c.Rho = sp.rho
 		}
 		return swarm.Sim{Config: c}
-	}, replica.Options{Replicas: replicas, Seed: base.Seed})
+	}, replica.Options{Replicas: replicas, Seed: base.Seed, Obs: ob})
 	if err != nil {
 		return nil, err
 	}

@@ -66,7 +66,7 @@ func TestSwarmCompareOrdering(t *testing.T) {
 	base := swarm.DefaultConfig
 	base.Horizon = 2000
 	base.Warmup = 300
-	res, err := SwarmCompare(context.Background(), base, []float64{0, 1}, 1)
+	res, err := SwarmCompare(context.Background(), base, []float64{0, 1}, 1, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -6,6 +6,7 @@ import (
 	"math"
 	"strings"
 
+	"mfdl/internal/obs"
 	"mfdl/internal/rng"
 	"mfdl/internal/runner"
 	"mfdl/internal/runner/diskcache"
@@ -44,6 +45,11 @@ type SweepSpec struct {
 	CacheDir string
 	// Hooks observe per-cell progress.
 	Hooks runner.Hooks
+	// Obs, when non-nil, instruments the sweep: the runner pool's cell
+	// latency / utilization metrics plus the solve cache's
+	// solvecache_* / diskcache_* counters all land in this registry.
+	// Results are byte-identical with or without it.
+	Obs *obs.Registry
 }
 
 // SweepCell is the evaluation of one grid cell.
@@ -113,6 +119,7 @@ func Sweep(ctx context.Context, spec SweepSpec) (*SweepResult, error) {
 		}
 		cache = runner.NewDiskCache(disk)
 	}
+	cache.WithObs(spec.Obs)
 	cells, err := runner.Run(ctx, spec.Grid,
 		func(_ context.Context, pt runner.Point, _ *rng.Source) (SweepCell, error) {
 			key := base
@@ -131,7 +138,7 @@ func Sweep(ctx context.Context, spec SweepSpec) (*SweepResult, error) {
 				AvgOnline:   res.AvgOnlinePerFile(),
 				AvgDownload: res.AvgDownloadPerFile(),
 			}, nil
-		}, runner.Options{Workers: spec.Workers, Hooks: spec.Hooks})
+		}, runner.Options{Workers: spec.Workers, Hooks: spec.Hooks, Obs: spec.Obs})
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,53 @@
+package obs
+
+import (
+	"io"
+	"testing"
+)
+
+// BenchmarkNilInstrumentation pins the disabled fast path: resolving
+// instruments from a nil registry and using them must cost a handful of
+// nil checks and zero allocations per operation.
+func BenchmarkNilInstrumentation(b *testing.B) {
+	var r *Registry
+	c := r.Counter("cells_total")
+	g := r.Gauge("inflight")
+	h := r.Histogram("lat_seconds", nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+		g.Set(1)
+		h.Observe(0.01)
+		sp := r.StartSpan("cell")
+		sp.End()
+	}
+}
+
+// BenchmarkLiveInstrumentation is the attached-registry counterpart, for
+// comparison against the nil fast path.
+func BenchmarkLiveInstrumentation(b *testing.B) {
+	r := New()
+	c := r.Counter("cells_total")
+	g := r.Gauge("inflight")
+	h := r.Histogram("lat_seconds", nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+		g.Set(1)
+		h.Observe(0.01)
+	}
+}
+
+// BenchmarkSpanWithTrace measures a recorded span end to end.
+func BenchmarkSpanWithTrace(b *testing.B) {
+	r := New()
+	r.SetSpanSink(NewTraceWriter(io.Discard))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp := r.StartSpan("cell", L("cell", "i"))
+		sp.End()
+	}
+}

@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+)
+
+// Flags is the standard observability flag set shared by the CLIs:
+//
+//	-metrics-out FILE   write a JSON metrics snapshot on exit
+//	-trace-out FILE     stream phase spans as Chrome trace events
+//	-pprof ADDR         serve /debug/pprof and /metrics on ADDR for the
+//	                    duration of the run
+//
+// Bind the flags with Register, then call Setup once flags are parsed.
+// When no observability output is requested (and force is false) Setup
+// returns a nil registry, which keeps every instrumentation site on the
+// zero-cost nil fast path.
+type Flags struct {
+	MetricsOut string
+	TraceOut   string
+	Pprof      string
+}
+
+// Register binds the flags on fs.
+func (f *Flags) Register(fs *flag.FlagSet) {
+	fs.StringVar(&f.MetricsOut, "metrics-out", "", "write a JSON metrics snapshot (counters, gauges, histogram quantiles) to this file on exit")
+	fs.StringVar(&f.TraceOut, "trace-out", "", "stream phase spans to this file as Chrome trace events (load in chrome://tracing or ui.perfetto.dev)")
+	fs.StringVar(&f.Pprof, "pprof", "", "serve /debug/pprof and /metrics on this address (e.g. localhost:6060) while running")
+}
+
+// Enabled reports whether any observability output was requested.
+func (f *Flags) Enabled() bool {
+	return f.MetricsOut != "" || f.TraceOut != "" || f.Pprof != ""
+}
+
+// Setup wires the requested sinks. It returns the registry — nil when
+// nothing was requested and force is false, so instrumented code stays
+// on the nil fast path — and a finish function that snapshots
+// -metrics-out and closes the trace stream; call it exactly once, after
+// the run's final gauges are set. Pass force to obtain a registry even
+// without output flags (e.g. because -stats or -progress render from
+// it).
+func (f *Flags) Setup(force bool) (*Registry, func() error, error) {
+	if !f.Enabled() && !force {
+		return nil, func() error { return nil }, nil
+	}
+	reg := New()
+	var (
+		traceFile *os.File
+		tw        *TraceWriter
+	)
+	if f.TraceOut != "" {
+		var err error
+		traceFile, err = os.Create(f.TraceOut)
+		if err != nil {
+			return nil, nil, fmt.Errorf("-trace-out: %w", err)
+		}
+		tw = NewTraceWriter(traceFile)
+		reg.SetSpanSink(tw)
+	}
+	if f.Pprof != "" {
+		ln, err := net.Listen("tcp", f.Pprof)
+		if err != nil {
+			if tw != nil {
+				tw.Close()
+				traceFile.Close()
+			}
+			return nil, nil, fmt.Errorf("-pprof: %w", err)
+		}
+		go func() { _ = http.Serve(ln, DebugMux(reg)) }()
+	}
+	finish := func() error {
+		var first error
+		if f.MetricsOut != "" {
+			out, err := os.Create(f.MetricsOut)
+			if err == nil {
+				err = reg.WriteJSON(out)
+				if cerr := out.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				first = fmt.Errorf("-metrics-out: %w", err)
+			}
+		}
+		if tw != nil {
+			err := tw.Close()
+			if cerr := traceFile.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil && first == nil {
+				first = fmt.Errorf("-trace-out: %w", err)
+			}
+		}
+		return first
+	}
+	return reg, finish, nil
+}
+
+// DebugMux returns a mux serving the registry at /metrics (Prometheus
+// text format) and the standard pprof handlers under /debug/pprof/.
+func DebugMux(reg *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", HTTPHandler(reg))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,210 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// ContentType is the Prometheus text exposition content type served by
+// HTTPHandler.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// snapshot copies the family/instrument structure (not the live values)
+// under the registry lock, so exports iterate deterministically in
+// creation order without holding the lock across writes.
+func (r *Registry) snapshot() []*family {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*family, 0, len(r.order))
+	for _, name := range r.order {
+		out = append(out, r.families[name])
+	}
+	return out
+}
+
+// instruments returns the family's instruments in creation order. The
+// registry lock guards family maps too (instruments are only added
+// under it), so take it around the copy.
+func (r *Registry) instruments(f *family) []*instrument {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*instrument, 0, len(f.order))
+	for _, sig := range f.order {
+		out = append(out, f.insts[sig])
+	}
+	return out
+}
+
+// fnum formats a float the way the Prometheus text format expects.
+func fnum(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	default:
+		return strconv.FormatFloat(v, 'g', -1, 64)
+	}
+}
+
+// series renders name{labels} for one instrument.
+func series(name string, labels []Label, suffix string, extra string) string {
+	sig := signature(labels)
+	if extra != "" {
+		if sig != "" {
+			sig += ","
+		}
+		sig += extra
+	}
+	if sig == "" {
+		return name + suffix
+	}
+	return name + suffix + "{" + sig + "}"
+}
+
+// WritePrometheus writes every metric in the text exposition format
+// (version 0.0.4): counters, gauges, and histograms with cumulative
+// le-buckets, _sum and _count. Families appear in creation order, label
+// variants in creation order within each family. Nil-safe: a nil
+// registry writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, f := range r.snapshot() {
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+			return err
+		}
+		for _, inst := range r.instruments(f) {
+			var err error
+			switch f.kind {
+			case counterKind:
+				_, err = fmt.Fprintf(w, "%s %d\n", series(f.name, inst.labels, "", ""), inst.c.Value())
+			case gaugeKind:
+				_, err = fmt.Fprintf(w, "%s %s\n", series(f.name, inst.labels, "", ""), fnum(inst.g.Value()))
+			case histogramKind:
+				err = writePromHistogram(w, f.name, inst)
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writePromHistogram(w io.Writer, name string, inst *instrument) error {
+	h := inst.h
+	counts := h.BucketCounts()
+	var cum uint64
+	for i, bound := range h.Bounds() {
+		cum += counts[i]
+		le := fmt.Sprintf("le=%q", fnum(bound))
+		if _, err := fmt.Fprintf(w, "%s %d\n", series(name, inst.labels, "_bucket", le), cum); err != nil {
+			return err
+		}
+	}
+	cum += counts[len(counts)-1]
+	if _, err := fmt.Fprintf(w, "%s %d\n", series(name, inst.labels, "_bucket", `le="+Inf"`), cum); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s %s\n", series(name, inst.labels, "_sum", ""), fnum(h.Sum())); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s %d\n", series(name, inst.labels, "_count", ""), cum)
+	return err
+}
+
+// jsonHistogram is the JSON shape of one histogram series.
+type jsonHistogram struct {
+	Count     uint64             `json:"count"`
+	Sum       float64            `json:"sum"`
+	Quantiles map[string]float64 `json:"quantiles,omitempty"`
+	Buckets   []jsonBucket       `json:"buckets"`
+}
+
+type jsonBucket struct {
+	LE    string `json:"le"`
+	Count uint64 `json:"count"`
+}
+
+// WriteJSON writes an expvar-style snapshot: three top-level objects —
+// counters, gauges, histograms — keyed by the metric's full series name
+// (name{labels}). Histograms carry count, sum, p50/p90/p99 quantile
+// estimates and the raw cumulative buckets. Keys are sorted by
+// encoding/json, so the snapshot is deterministic for fixed values.
+// Nil-safe: a nil registry writes an empty snapshot.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	counters := map[string]uint64{}
+	gauges := map[string]float64{}
+	histograms := map[string]jsonHistogram{}
+	for _, f := range r.snapshot() {
+		for _, inst := range r.instruments(f) {
+			key := series(f.name, inst.labels, "", "")
+			switch f.kind {
+			case counterKind:
+				counters[key] = inst.c.Value()
+			case gaugeKind:
+				gauges[key] = jsonSafe(inst.g.Value())
+			case histogramKind:
+				histograms[key] = jsonHistogramOf(inst.h)
+			}
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(map[string]any{
+		"counters":   counters,
+		"gauges":     gauges,
+		"histograms": histograms,
+	})
+}
+
+func jsonHistogramOf(h *Histogram) jsonHistogram {
+	counts := h.BucketCounts()
+	out := jsonHistogram{Sum: jsonSafe(h.Sum())}
+	var cum uint64
+	for i, bound := range h.Bounds() {
+		cum += counts[i]
+		out.Buckets = append(out.Buckets, jsonBucket{LE: fnum(bound), Count: cum})
+	}
+	cum += counts[len(counts)-1]
+	out.Buckets = append(out.Buckets, jsonBucket{LE: "+Inf", Count: cum})
+	out.Count = cum
+	if cum > 0 {
+		out.Quantiles = map[string]float64{
+			"p50": jsonSafe(h.Quantile(0.50)),
+			"p90": jsonSafe(h.Quantile(0.90)),
+			"p99": jsonSafe(h.Quantile(0.99)),
+		}
+	}
+	return out
+}
+
+// jsonSafe maps the float values encoding/json rejects to 0; metric
+// values are never legitimately NaN or infinite.
+func jsonSafe(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return v
+}
+
+// HTTPHandler serves the registry in Prometheus text format — mount it
+// at /metrics. A nil registry serves an empty (valid) exposition.
+func HTTPHandler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		var sb strings.Builder
+		if err := r.WritePrometheus(&sb); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", ContentType)
+		_, _ = io.WriteString(w, sb.String())
+	})
+}

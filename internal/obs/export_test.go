@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func buildRegistry() *Registry {
+	r := New()
+	c := r.Counter("requests_total", L("endpoint", "announce"))
+	c.Add(3)
+	r.Counter("requests_total", L("endpoint", "scrape")).Inc()
+	r.Gauge("workers").Set(4)
+	h := r.Histogram("request_seconds", []float64{0.01, 0.1, 1}, L("endpoint", "announce"))
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(0.5)
+	return r
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	var sb strings.Builder
+	if err := buildRegistry().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE requests_total counter\n",
+		`requests_total{endpoint="announce"} 3` + "\n",
+		`requests_total{endpoint="scrape"} 1` + "\n",
+		"# TYPE workers gauge\n",
+		"workers 4\n",
+		"# TYPE request_seconds histogram\n",
+		`request_seconds_bucket{endpoint="announce",le="0.01"} 1` + "\n",
+		`request_seconds_bucket{endpoint="announce",le="0.1"} 2` + "\n",
+		`request_seconds_bucket{endpoint="announce",le="1"} 3` + "\n",
+		`request_seconds_bucket{endpoint="announce",le="+Inf"} 3` + "\n",
+		`request_seconds_sum{endpoint="announce"} 0.555` + "\n",
+		`request_seconds_count{endpoint="announce"} 3` + "\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Every non-comment line is "series value".
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if parts := strings.Fields(line); len(parts) != 2 {
+			t.Fatalf("malformed line %q", line)
+		}
+	}
+}
+
+func TestPrometheusLabelEscaping(t *testing.T) {
+	r := New()
+	r.Counter("m_total", L("cell", `p="0.5" rho\1`)).Inc()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `m_total{cell="p=\"0.5\" rho\\1"} 1`) {
+		t.Fatalf("escaping wrong:\n%s", sb.String())
+	}
+}
+
+func TestWriteJSONSnapshot(t *testing.T) {
+	var sb strings.Builder
+	if err := buildRegistry().WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Counters   map[string]uint64        `json:"counters"`
+		Gauges     map[string]float64       `json:"gauges"`
+		Histograms map[string]jsonHistogram `json:"histograms"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &snap); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v\n%s", err, sb.String())
+	}
+	if snap.Counters[`requests_total{endpoint="announce"}`] != 3 {
+		t.Fatalf("counters: %v", snap.Counters)
+	}
+	if snap.Gauges["workers"] != 4 {
+		t.Fatalf("gauges: %v", snap.Gauges)
+	}
+	h, ok := snap.Histograms[`request_seconds{endpoint="announce"}`]
+	if !ok || h.Count != 3 {
+		t.Fatalf("histograms: %v", snap.Histograms)
+	}
+	if h.Quantiles["p50"] <= 0.01 || h.Quantiles["p50"] > 0.1 {
+		t.Fatalf("p50 = %g, want within (0.01, 0.1]", h.Quantiles["p50"])
+	}
+	if len(h.Buckets) != 4 || h.Buckets[3].LE != "+Inf" {
+		t.Fatalf("buckets: %+v", h.Buckets)
+	}
+}
+
+func TestHTTPHandler(t *testing.T) {
+	srv := httptest.NewServer(HTTPHandler(buildRegistry()))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != ContentType {
+		t.Fatalf("content type = %q, want %q", ct, ContentType)
+	}
+	buf := make([]byte, 1<<16)
+	n, _ := resp.Body.Read(buf)
+	if !strings.Contains(string(buf[:n]), "requests_total") {
+		t.Fatalf("body:\n%s", buf[:n])
+	}
+}

@@ -1,0 +1,308 @@
+// Package obs is the unified observability layer: a dependency-free,
+// race-safe Registry of counters, gauges and fixed-bucket histograms,
+// plus lightweight phase spans, shared by every execution layer — the
+// runner pool, the two-tier solve cache, the replica engine and the
+// tracker daemon — and exportable as an expvar-style JSON snapshot
+// (WriteJSON), Prometheus text exposition (WritePrometheus) and a
+// Chrome-trace-event span stream (TraceWriter).
+//
+// # Nil-registry fast path
+//
+// Everything in this package is safe to call on a nil receiver: a nil
+// *Registry hands out nil instruments, and Add/Inc/Set/Observe on a nil
+// instrument are no-ops. Instrumented code therefore carries no
+// conditional wiring — it resolves its instruments once (possibly from a
+// nil registry) and uses them unconditionally:
+//
+//	cells := reg.Counter("runner_cells_completed_total") // nil-safe
+//	...
+//	cells.Inc() // no-op when reg was nil
+//
+// A disabled (nil-registry) instrumentation site costs one nil check and
+// no allocation, which keeps hot loops within benchmark noise of
+// uninstrumented code.
+//
+// # Identity and concurrency
+//
+// A metric is identified by its name plus an optional label set; the
+// registry interns instruments so repeated lookups return the same
+// value, and all instruments are updated with atomics — any number of
+// goroutines may bump the same counter or observe into the same
+// histogram concurrently with exports.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one key=value dimension of a metric or span.
+type Label struct {
+	Key, Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// kind discriminates the metric families a registry can hold.
+type kind int
+
+const (
+	counterKind kind = iota
+	gaugeKind
+	histogramKind
+)
+
+func (k kind) String() string {
+	switch k {
+	case counterKind:
+		return "counter"
+	case gaugeKind:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// instrument is one (name, labels) series: exactly one of the typed
+// pointers is set, matching the family's kind.
+type instrument struct {
+	labels []Label // sorted by key
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// family groups every label variant of one metric name.
+type family struct {
+	name   string
+	kind   kind
+	bounds []float64 // histogram families only
+	order  []string  // label signatures in creation order
+	insts  map[string]*instrument
+}
+
+// Registry holds the metric families and the optional span sink. The
+// zero value is not usable; call New. A nil *Registry is the disabled
+// layer: every method is a cheap no-op.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	order    []string
+	sink     atomic.Pointer[sinkBox]
+}
+
+// sinkBox wraps the SpanSink interface so it can live in an
+// atomic.Pointer (interfaces cannot).
+type sinkBox struct{ s SpanSink }
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{families: map[string]*family{}}
+}
+
+// validName reports whether s is a legal Prometheus metric name.
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// validLabelKey reports whether s is a legal Prometheus label name.
+func validLabelKey(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		ok := r == '_' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// escapeLabelValue escapes a label value for the text exposition format.
+func escapeLabelValue(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+// signature renders sorted labels as `k1="v1",k2="v2"` — the interning
+// key within a family and the exported label block.
+func signature(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	for i, l := range labels {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, `%s="%s"`, l.Key, escapeLabelValue(l.Value))
+	}
+	return sb.String()
+}
+
+// sortedLabels validates and returns a sorted copy of labels.
+func sortedLabels(name string, labels []Label) []Label {
+	out := append([]Label(nil), labels...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	for i, l := range out {
+		if !validLabelKey(l.Key) {
+			panic(fmt.Sprintf("obs: invalid label key %q on metric %q", l.Key, name))
+		}
+		if i > 0 && out[i-1].Key == l.Key {
+			panic(fmt.Sprintf("obs: duplicate label key %q on metric %q", l.Key, name))
+		}
+	}
+	return out
+}
+
+// lookup interns the (name, labels) instrument, creating the family
+// and/or instrument on first use. bounds is only consulted for new
+// histogram families.
+func (r *Registry) lookup(name string, k kind, bounds []float64, labels []Label) *instrument {
+	if !validName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	ls := sortedLabels(name, labels)
+	sig := signature(ls)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, kind: k, insts: map[string]*instrument{}}
+		if k == histogramKind {
+			f.bounds = normalizeBounds(bounds)
+		}
+		r.families[name] = f
+		r.order = append(r.order, name)
+	}
+	if f.kind != k {
+		panic(fmt.Sprintf("obs: metric %q registered as %s, requested as %s", name, f.kind, k))
+	}
+	inst, ok := f.insts[sig]
+	if !ok {
+		inst = &instrument{labels: ls}
+		switch k {
+		case counterKind:
+			inst.c = &Counter{}
+		case gaugeKind:
+			inst.g = &Gauge{}
+		case histogramKind:
+			inst.h = newHistogram(f.bounds)
+		}
+		f.insts[sig] = inst
+		f.order = append(f.order, sig)
+	}
+	return inst
+}
+
+// Counter returns the counter with the given name and labels, creating
+// it on first use. Nil-safe: a nil registry returns a nil counter whose
+// methods are no-ops.
+func (r *Registry) Counter(name string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, counterKind, nil, labels).c
+}
+
+// Gauge returns the gauge with the given name and labels, creating it
+// on first use. Nil-safe like Counter.
+func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, gaugeKind, nil, labels).g
+}
+
+// Histogram returns the histogram with the given name and labels,
+// creating it on first use with the given bucket upper bounds (shared
+// by every label variant of the name; the bounds of the first call
+// win). Nil-safe like Counter.
+func (r *Registry) Histogram(name string, bounds []float64, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, histogramKind, bounds, labels).h
+}
+
+// Counter is a monotonically increasing event count. All methods are
+// nil-safe no-ops on a nil receiver.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n events.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count (0 on a nil counter).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an instantaneous float64 value. All methods are nil-safe
+// no-ops on a nil receiver.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Add adds delta to the gauge (atomically, via compare-and-swap).
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 on a nil gauge).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}

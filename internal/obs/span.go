@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// SpanEvent is one completed phase span as delivered to a SpanSink.
+type SpanEvent struct {
+	// Name is the phase name, e.g. "cell" or "simulate".
+	Name string
+	// Start and Duration bound the span in wall-clock time.
+	Start    time.Time
+	Duration time.Duration
+	// Labels carry the span's dimensions (cell index, replica, ...).
+	Labels []Label
+}
+
+// SpanSink receives completed spans. Implementations must be safe for
+// concurrent use; the registry delivers spans from whichever goroutine
+// ends them.
+type SpanSink interface {
+	RecordSpan(SpanEvent)
+}
+
+// SetSpanSink attaches (or, with nil, detaches) the span sink. Nil-safe.
+func (r *Registry) SetSpanSink(s SpanSink) {
+	if r == nil {
+		return
+	}
+	if s == nil {
+		r.sink.Store(nil)
+		return
+	}
+	r.sink.Store(&sinkBox{s: s})
+}
+
+// spanSink returns the current sink, or nil.
+func (r *Registry) spanSink() SpanSink {
+	if r == nil {
+		return nil
+	}
+	if b := r.sink.Load(); b != nil {
+		return b.s
+	}
+	return nil
+}
+
+// Tracing reports whether a span sink is attached — hot paths use it to
+// skip building span labels when no one is listening. Nil-safe.
+func (r *Registry) Tracing() bool { return r.spanSink() != nil }
+
+// Span is one in-flight phase: started by Registry.StartSpan, finished
+// by End. The zero Span (and any span started on a registry without a
+// sink) is inert — End is a no-op and no clock is read — so span
+// instrumentation costs nothing when tracing is off.
+type Span struct {
+	sink   SpanSink
+	name   string
+	labels []Label
+	start  time.Time
+}
+
+// StartSpan opens a span. When the registry is nil or has no sink the
+// returned span is inert and no time is read.
+func (r *Registry) StartSpan(name string, labels ...Label) Span {
+	sink := r.spanSink()
+	if sink == nil {
+		return Span{}
+	}
+	return Span{sink: sink, name: name, labels: labels, start: time.Now()}
+}
+
+// Active reports whether ending the span will record anything.
+func (s Span) Active() bool { return s.sink != nil }
+
+// End completes the span and delivers it to the sink. No-op on an inert
+// span.
+func (s Span) End() {
+	if s.sink == nil {
+		return
+	}
+	s.sink.RecordSpan(SpanEvent{
+		Name: s.name, Start: s.start, Duration: time.Since(s.start), Labels: s.labels,
+	})
+}
+
+// TraceWriter is a SpanSink that streams spans as Chrome trace events:
+// a JSON array of complete ("ph":"X") events, one event per line, so
+// the output is both line-parsable (strip the trailing comma) and loads
+// directly into chrome://tracing / https://ui.perfetto.dev. Timestamps
+// are microseconds relative to the first recorded span. Close finishes
+// the array; Chrome also accepts an unterminated file from a crashed
+// process.
+type TraceWriter struct {
+	mu     sync.Mutex
+	w      io.Writer
+	base   time.Time
+	opened bool
+	closed bool
+	err    error
+}
+
+// NewTraceWriter returns a trace sink writing to w.
+func NewTraceWriter(w io.Writer) *TraceWriter {
+	return &TraceWriter{w: w}
+}
+
+// RecordSpan implements SpanSink.
+func (t *TraceWriter) RecordSpan(e SpanEvent) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed || t.err != nil {
+		return
+	}
+	if !t.opened {
+		t.opened = true
+		t.base = e.Start
+		if _, err := io.WriteString(t.w, "[\n"); err != nil {
+			t.err = err
+			return
+		}
+	} else if _, err := io.WriteString(t.w, ",\n"); err != nil {
+		t.err = err
+		return
+	}
+	var args strings.Builder
+	for i, l := range e.Labels {
+		if i > 0 {
+			args.WriteByte(',')
+		}
+		fmt.Fprintf(&args, `"%s":"%s"`, l.Key, escapeLabelValue(l.Value))
+	}
+	_, err := fmt.Fprintf(t.w,
+		`{"name":"%s","ph":"X","pid":1,"tid":1,"ts":%d,"dur":%d,"args":{%s}}`,
+		escapeLabelValue(e.Name), e.Start.Sub(t.base).Microseconds(),
+		e.Duration.Microseconds(), args.String())
+	if err != nil {
+		t.err = err
+	}
+}
+
+// Close terminates the JSON array. Safe to call once; further spans are
+// dropped. Returns the first write error encountered, if any.
+func (t *TraceWriter) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return t.err
+	}
+	t.closed = true
+	if t.err != nil {
+		return t.err
+	}
+	if !t.opened {
+		if _, err := io.WriteString(t.w, "[\n"); err != nil {
+			t.err = err
+			return t.err
+		}
+	}
+	if _, err := io.WriteString(t.w, "\n]\n"); err != nil {
+		t.err = err
+	}
+	return t.err
+}

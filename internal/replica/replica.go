@@ -43,7 +43,10 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"strconv"
+	"time"
 
+	"mfdl/internal/obs"
 	"mfdl/internal/rng"
 	"mfdl/internal/runner"
 	"mfdl/internal/stats"
@@ -126,6 +129,13 @@ type Options struct {
 	Seed uint64
 	// Hooks observe per-(cell, replica) progress.
 	Hooks runner.Hooks
+	// Obs, when non-nil, instruments the run: a replica_simulate_seconds
+	// histogram per (cell, replica) Simulate, a replica_reduce_seconds
+	// histogram per cell reduction, and — with a span sink attached —
+	// "simulate" and "reduce" phase spans labeled with cell/replica
+	// indices. The registry is also passed down to the runner pool. Nil
+	// disables instrumentation (no clock reads, no allocations).
+	Obs *obs.Registry
 }
 
 // replicas normalizes the replica count.
@@ -226,21 +236,54 @@ func Run(ctx context.Context, cells int, sim func(cell int) Sim, opts Options) (
 	if err != nil {
 		return nil, err
 	}
+	ob := opts.Obs
+	simSeconds := ob.Histogram("replica_simulate_seconds", obs.LatencyBuckets)
+	tracing := ob.Tracing()
 	samples, err := runner.Run(ctx, grid,
 		func(ctx context.Context, pt runner.Point, _ *rng.Source) (Sample, error) {
 			cell, rep := pt.Index/r, pt.Index%r
+			var (
+				simStart time.Time
+				sp       obs.Span
+			)
+			if ob != nil {
+				simStart = time.Now()
+				if tracing {
+					sp = ob.StartSpan("simulate",
+						obs.L("cell", strconv.Itoa(cell)), obs.L("replica", strconv.Itoa(rep)))
+				}
+			}
 			s, err := sims[cell].Simulate(ctx, Rep{Cell: cell, Replica: rep, Seed: seeds[cell][rep]})
+			if ob != nil {
+				simSeconds.Since(simStart)
+				sp.End()
+			}
 			if err != nil {
 				return Sample{}, fmt.Errorf("cell %d replica %d (seed %d): %w", cell, rep, seeds[cell][rep], err)
 			}
 			return s, nil
-		}, runner.Options{Workers: opts.Workers, Seed: opts.Seed, Hooks: opts.Hooks})
+		}, runner.Options{Workers: opts.Workers, Seed: opts.Seed, Hooks: opts.Hooks, Obs: ob})
 	if err != nil {
 		return nil, err
 	}
+	reduceSeconds := ob.Histogram("replica_reduce_seconds", obs.LatencyBuckets)
 	out := make([]Agg, cells)
 	for i := range out {
+		var (
+			redStart time.Time
+			sp       obs.Span
+		)
+		if ob != nil {
+			redStart = time.Now()
+			if tracing {
+				sp = ob.StartSpan("reduce", obs.L("cell", strconv.Itoa(i)))
+			}
+		}
 		out[i] = reduce(samples[i*r : (i+1)*r])
+		if ob != nil {
+			reduceSeconds.Since(redStart)
+			sp.End()
+		}
 	}
 	return out, nil
 }

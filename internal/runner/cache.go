@@ -4,10 +4,12 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"time"
 
 	"mfdl/internal/correlation"
 	"mfdl/internal/fluid"
 	"mfdl/internal/metrics"
+	"mfdl/internal/obs"
 	"mfdl/internal/runner/diskcache"
 	"mfdl/internal/scheme"
 )
@@ -79,6 +81,15 @@ type Cache struct {
 	misses  int
 	hits    int
 	disk    *diskcache.Store
+
+	// Observability: when a registry is attached via WithObs the cache
+	// reports its traffic through solvecache_* counters and a
+	// solvecache_solve_seconds histogram. All fields are nil (no-op)
+	// until then.
+	obsHits      *obs.Counter
+	obsMisses    *obs.Counter
+	obsSolves    *obs.Counter
+	solveSeconds *obs.Histogram
 }
 
 type cacheEntry struct {
@@ -103,6 +114,23 @@ func NewDiskCache(disk *diskcache.Store) *Cache {
 // Disk returns the attached persistent store, or nil.
 func (c *Cache) Disk() *diskcache.Store { return c.disk }
 
+// WithObs routes the cache's counters through the registry —
+// solvecache_hits_total / solvecache_misses_total / solvecache_solves_total
+// plus a solvecache_solve_seconds latency histogram — and wires the disk
+// tier's diskcache_* counters too. CacheStats remains available as a
+// compatibility view of the same traffic. A nil registry is a no-op.
+// Returns the cache for chaining.
+func (c *Cache) WithObs(reg *obs.Registry) *Cache {
+	c.obsHits = reg.Counter("solvecache_hits_total")
+	c.obsMisses = reg.Counter("solvecache_misses_total")
+	c.obsSolves = reg.Counter("solvecache_solves_total")
+	c.solveSeconds = reg.Histogram("solvecache_solve_seconds", obs.LatencyBuckets)
+	if c.disk != nil {
+		c.disk.WithObs(reg)
+	}
+	return c
+}
+
 // Evaluate returns the steady-state metrics for the key, solving it at
 // most once per cache lifetime. With a disk tier attached, a key already
 // solved by any previous process is decoded instead of re-solved; fresh
@@ -119,6 +147,11 @@ func (c *Cache) Evaluate(k Key) (*metrics.SchemeResult, error) {
 		c.hits++
 	}
 	c.mu.Unlock()
+	if !ok {
+		c.obsMisses.Inc()
+	} else {
+		c.obsHits.Inc()
+	}
 	e.once.Do(func() {
 		if c.disk != nil {
 			if res, ok := c.disk.Get(k.Fingerprint()); ok {
@@ -126,12 +159,20 @@ func (c *Cache) Evaluate(k Key) (*metrics.SchemeResult, error) {
 				return
 			}
 		}
+		c.obsSolves.Inc()
+		var solveStart time.Time
+		if c.solveSeconds != nil {
+			solveStart = time.Now()
+		}
 		corr, err := correlation.New(k.K, k.P, k.Lambda0)
 		if err != nil {
 			e.err = err
 			return
 		}
 		e.res, e.err = scheme.Evaluate(k.Scheme, k.Params, corr, scheme.Options{Rho: k.Rho})
+		if c.solveSeconds != nil {
+			c.solveSeconds.Since(solveStart)
+		}
 		if e.err == nil && c.disk != nil {
 			_ = c.disk.Put(k.Fingerprint(), e.res)
 		}

@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"mfdl/internal/metrics"
+	"mfdl/internal/obs"
 )
 
 // SchemaVersion is recorded in every entry and checked on read. Bump it
@@ -135,6 +136,14 @@ type Store struct {
 
 	mu    sync.Mutex
 	stats Stats
+
+	// Observability mirrors of the Stats counters, attached by WithObs;
+	// nil (no-op) until then. Stats stays the compatibility view.
+	obsHits    *obs.Counter
+	obsMisses  *obs.Counter
+	obsStores  *obs.Counter
+	obsCorrupt *obs.Counter
+	obsEvicted *obs.Counter
 }
 
 // Open ensures dir exists and returns a store over it.
@@ -151,6 +160,20 @@ func Open(dir string) (*Store, error) {
 // Dir returns the backing directory.
 func (s *Store) Dir() string { return s.dir }
 
+// WithObs routes the store's counters through the registry as
+// diskcache_hits_total, diskcache_misses_total, diskcache_stores_total,
+// diskcache_corrupt_total and diskcache_evicted_total. Stats remains
+// available as a compatibility view of the same traffic. A nil registry
+// is a no-op. Returns the store for chaining.
+func (s *Store) WithObs(reg *obs.Registry) *Store {
+	s.obsHits = reg.Counter("diskcache_hits_total")
+	s.obsMisses = reg.Counter("diskcache_misses_total")
+	s.obsStores = reg.Counter("diskcache_stores_total")
+	s.obsCorrupt = reg.Counter("diskcache_corrupt_total")
+	s.obsEvicted = reg.Counter("diskcache_evicted_total")
+	return s
+}
+
 // path maps a key to its entry file.
 func (s *Store) path(key string) string {
 	sum := sha256.Sum256([]byte(key))
@@ -164,23 +187,29 @@ func (s *Store) Get(key string) (*metrics.SchemeResult, bool) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		s.count(func(st *Stats) { st.Misses++ })
+		s.obsMisses.Inc()
 		return nil, false
 	}
 	var e entry
 	if err := json.Unmarshal(data, &e); err != nil || e.Result == nil {
 		s.evict(path)
 		s.count(func(st *Stats) { st.Misses++; st.Corrupt++ })
+		s.obsMisses.Inc()
+		s.obsCorrupt.Inc()
 		return nil, false
 	}
 	res := e.Result.result()
 	if res.Validate() != nil {
 		s.evict(path)
 		s.count(func(st *Stats) { st.Misses++; st.Corrupt++ })
+		s.obsMisses.Inc()
+		s.obsCorrupt.Inc()
 		return nil, false
 	}
 	if e.Schema != SchemaVersion || e.Key != key {
 		s.evict(path)
 		s.count(func(st *Stats) { st.Misses++ })
+		s.obsMisses.Inc()
 		return nil, false
 	}
 	// Touch the entry so mtime approximates recency of use and Prune's
@@ -189,6 +218,7 @@ func (s *Store) Get(key string) (*metrics.SchemeResult, bool) {
 	now := time.Now()
 	_ = os.Chtimes(path, now, now)
 	s.count(func(st *Stats) { st.Hits++ })
+	s.obsHits.Inc()
 	return res, true
 }
 
@@ -221,6 +251,7 @@ func (s *Store) Put(key string, res *metrics.SchemeResult) error {
 		return fmt.Errorf("diskcache: %w", err)
 	}
 	s.count(func(st *Stats) { st.Stores++ })
+	s.obsStores.Inc()
 	return nil
 }
 
@@ -307,6 +338,7 @@ func (s *Store) Prune(opts PruneOptions) (PruneStats, error) {
 			st.Removed++
 			st.Freed += f.size
 			s.count(func(c *Stats) { c.Evicted++ })
+			s.obsEvicted.Inc()
 		}
 		total -= f.size
 	}
@@ -352,5 +384,6 @@ func (s *Store) count(f func(*Stats)) {
 func (s *Store) evict(path string) {
 	if os.Remove(path) == nil {
 		s.count(func(st *Stats) { st.Evicted++ })
+		s.obsEvicted.Inc()
 	}
 }

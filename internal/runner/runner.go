@@ -33,6 +33,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"mfdl/internal/obs"
 	"mfdl/internal/rng"
 	"mfdl/internal/trace"
 )
@@ -190,6 +191,15 @@ type Options struct {
 	Seed uint64
 	// Hooks observe progress.
 	Hooks Hooks
+	// Obs, when non-nil, receives the run's metrics: runner_cells /
+	// runner_workers gauges, runner_cells_completed_total and
+	// runner_cells_failed_total counters, a runner_cell_seconds latency
+	// histogram, a runner_queue_wait_seconds backlog gauge and a final
+	// runner_worker_utilization sample. With a span sink attached it also
+	// records one "cell" span per cell. Nil disables instrumentation at
+	// the cost of a few nil checks per cell (no clock reads, no
+	// allocations).
+	Obs *obs.Registry
 }
 
 // Run executes job over every cell of the grid with a bounded worker pool
@@ -223,6 +233,22 @@ func Run[T any](ctx context.Context, g Grid, job func(ctx context.Context, p Poi
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
+	// Instrumentation: all instruments are nil-safe no-ops when no
+	// registry is attached, so the disabled path costs a few nil checks
+	// per cell and reads no clocks.
+	ob := opts.Obs
+	var (
+		cellSeconds = ob.Histogram("runner_cell_seconds", obs.LatencyBuckets)
+		queueWait   = ob.Gauge("runner_queue_wait_seconds")
+		completedC  = ob.Counter("runner_cells_completed_total")
+		failedC     = ob.Counter("runner_cells_failed_total")
+		tracing     = ob.Tracing()
+	)
+	if ob != nil {
+		ob.Gauge("runner_cells").Set(float64(n))
+		ob.Gauge("runner_workers").Set(float64(workers))
+	}
+
 	var (
 		next     atomic.Int64
 		wg       sync.WaitGroup
@@ -231,11 +257,13 @@ func Run[T any](ctx context.Context, g Grid, job func(ctx context.Context, p Poi
 		firstErr error
 		done     int
 		failed   int
+		busy     time.Duration
 		start    = time.Now()
 	)
-	finish := func(p Point, err error) {
+	finish := func(p Point, dur time.Duration, err error) {
 		mu.Lock()
 		defer mu.Unlock()
+		busy += dur
 		if err != nil {
 			// Lowest-indexed failure wins, except that cancellation noise
 			// (cells aborted by an earlier real error) never displaces a
@@ -253,6 +281,9 @@ func Run[T any](ctx context.Context, g Grid, job func(ctx context.Context, p Poi
 		done++
 		if err != nil {
 			failed++
+			failedC.Inc()
+		} else {
+			completedC.Inc()
 		}
 		if rec := opts.Hooks.Recorder; rec != nil {
 			t := time.Since(start).Seconds()
@@ -276,17 +307,43 @@ func Run[T any](ctx context.Context, g Grid, job func(ctx context.Context, p Poi
 					return
 				}
 				p := g.Point(i)
+				var (
+					cellStart time.Time
+					sp        obs.Span
+				)
+				if ob != nil {
+					cellStart = time.Now()
+					queueWait.Set(cellStart.Sub(start).Seconds())
+					if tracing {
+						sp = ob.StartSpan("cell", obs.L("cell", p.Label()))
+					}
+				}
 				v, err := job(runCtx, p, srcs[i])
+				var dur time.Duration
+				if ob != nil {
+					dur = time.Since(cellStart)
+					cellSeconds.Observe(dur.Seconds())
+					sp.End()
+				}
 				if err != nil {
-					finish(p, fmt.Errorf("runner: cell %s: %w", p.Label(), err))
+					finish(p, dur, fmt.Errorf("runner: cell %s: %w", p.Label(), err))
 					continue
 				}
 				out[i] = v
-				finish(p, nil)
+				finish(p, dur, nil)
 			}
 		}()
 	}
 	wg.Wait()
+
+	if ob != nil {
+		// Worker utilization: busy time summed over cells against the
+		// pool's total wall-clock capacity.
+		if elapsed := time.Since(start).Seconds(); elapsed > 0 {
+			ob.Gauge("runner_worker_utilization").Set(
+				busy.Seconds() / (float64(workers) * elapsed))
+		}
+	}
 
 	if err := ctx.Err(); err != nil {
 		return nil, err

@@ -5,8 +5,10 @@ import (
 	"net"
 	"net/http"
 	"strconv"
+	"time"
 
 	"mfdl/internal/bencode"
+	"mfdl/internal/obs"
 )
 
 // Handler exposes the registry over HTTP with BEP-3-style endpoints:
@@ -18,9 +20,22 @@ import (
 //
 // Announce and scrape respond with bencoded dictionaries; errors use the
 // standard "failure reason" key with HTTP 200, as real clients expect.
-func Handler(r *Registry) http.Handler {
+func Handler(r *Registry) http.Handler { return ObservedHandler(r, nil) }
+
+// ObservedHandler is Handler instrumented against ob: every endpoint
+// counts requests in tracker_requests_total{endpoint=...} and samples
+// latency into tracker_request_seconds{endpoint=...}, and the registry
+// itself is served at /metrics in Prometheus text format. A nil ob
+// yields the plain uninstrumented handler (no /metrics endpoint).
+func ObservedHandler(r *Registry, ob *obs.Registry) http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/announce", func(w http.ResponseWriter, req *http.Request) {
+	handle := func(pattern, endpoint string, h http.HandlerFunc) {
+		mux.HandleFunc(pattern, instrument(ob, endpoint, h))
+	}
+	if ob != nil {
+		mux.Handle("/metrics", obs.HTTPHandler(ob))
+	}
+	handle("/announce", "announce", func(w http.ResponseWriter, req *http.Request) {
 		resp, err := announceFromQuery(r, req)
 		if err != nil {
 			writeBencoded(w, map[string]any{"failure reason": err.Error()})
@@ -57,7 +72,7 @@ func Handler(r *Registry) http.Handler {
 		}
 		writeBencoded(w, out)
 	})
-	mux.HandleFunc("/scrape", func(w http.ResponseWriter, req *http.Request) {
+	handle("/scrape", "scrape", func(w http.ResponseWriter, req *http.Request) {
 		var hashes []InfoHash
 		for _, raw := range req.URL.Query()["info_hash"] {
 			h, err := hashFromRaw(raw)
@@ -78,7 +93,7 @@ func Handler(r *Registry) http.Handler {
 		}
 		writeBencoded(w, map[string]any{"files": files})
 	})
-	mux.HandleFunc("/index", func(w http.ResponseWriter, req *http.Request) {
+	handle("/index", "index", func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintf(w, "%-20s %-42s %8s %12s %10s\n", "name", "info-hash", "seeds", "downloaders", "downloads")
 		for _, e := range r.Scrape() {
@@ -86,7 +101,7 @@ func Handler(r *Registry) http.Handler {
 				e.Name, HexHash(e.InfoHash), e.Complete, e.Incomplete, e.Downloaded)
 		}
 	})
-	mux.HandleFunc("/torrent/", func(w http.ResponseWriter, req *http.Request) {
+	handle("/torrent/", "torrent", func(w http.ResponseWriter, req *http.Request) {
 		hexHash := req.URL.Path[len("/torrent/"):]
 		h, err := ParseHexHash(hexHash)
 		if err != nil {
@@ -107,6 +122,23 @@ func Handler(r *Registry) http.Handler {
 		_, _ = w.Write(data)
 	})
 	return mux
+}
+
+// instrument wraps an endpoint handler with a request counter and a
+// latency histogram; with a nil registry the handler is returned as-is,
+// so the uninstrumented path has zero per-request overhead.
+func instrument(ob *obs.Registry, endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	if ob == nil {
+		return h
+	}
+	requests := ob.Counter("tracker_requests_total", obs.L("endpoint", endpoint))
+	latency := ob.Histogram("tracker_request_seconds", obs.LatencyBuckets, obs.L("endpoint", endpoint))
+	return func(w http.ResponseWriter, req *http.Request) {
+		start := time.Now()
+		h(w, req)
+		requests.Inc()
+		latency.Since(start)
+	}
 }
 
 // announceFromQuery decodes an announce request from URL parameters.

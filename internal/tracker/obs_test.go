@@ -1,0 +1,132 @@
+package tracker
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"mfdl/internal/metainfo"
+	"mfdl/internal/obs"
+)
+
+// observedServer publishes one demo torrent behind an ObservedHandler and
+// returns the test server, the torrent's info-hash and the registry. The
+// uninstrumented variant of this wiring lives in http_test.go.
+func observedServer(t *testing.T) (*httptest.Server, InfoHash, *obs.Registry) {
+	t.Helper()
+	reg := NewRegistry(1)
+	m, err := metainfo.Build("obs", "/announce", 256,
+		[]metainfo.FileEntry{{Path: "obs/a.bin", Length: 1024}},
+		metainfo.BytesSource(make([]byte, 1024)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := reg.Publish(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ob := obs.New()
+	srv := httptest.NewServer(ObservedHandler(reg, ob))
+	t.Cleanup(srv.Close)
+	return srv, h, ob
+}
+
+func TestMetricsContentType(t *testing.T) {
+	srv, _, _ := observedServer(t)
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if got := resp.Header.Get("Content-Type"); got != obs.ContentType {
+		t.Fatalf("Content-Type = %q, want %q", got, obs.ContentType)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+}
+
+func TestRequestCountersMonotonic(t *testing.T) {
+	srv, h, ob := observedServer(t)
+	counter := func(endpoint string) uint64 {
+		return ob.Counter("tracker_requests_total", obs.L("endpoint", endpoint)).Value()
+	}
+	if _, body := get(t, announceURL(srv, h, "peer1", "512", "started")); strings.Contains(string(body), "failure") {
+		t.Fatalf("announce failed: %s", body)
+	}
+	if got := counter("announce"); got != 1 {
+		t.Fatalf("announce counter after 1 request = %d", got)
+	}
+	get(t, announceURL(srv, h, "peer2", "512", "started"))
+	get(t, srv.URL+"/scrape")
+	get(t, srv.URL+"/index")
+	for endpoint, want := range map[string]uint64{"announce": 2, "scrape": 1, "index": 1} {
+		if got := counter(endpoint); got != want {
+			t.Fatalf("%s counter = %d, want %d", endpoint, got, want)
+		}
+	}
+	// Latency histograms observe one sample per request.
+	hist := ob.Histogram("tracker_request_seconds", obs.LatencyBuckets, obs.L("endpoint", "announce"))
+	if hist.Count() != 2 {
+		t.Fatalf("announce latency samples = %d, want 2", hist.Count())
+	}
+	// The /metrics endpoint reports the same values in Prometheus text,
+	// and fetching it never decreases any counter.
+	_, body := get(t, srv.URL+"/metrics")
+	want := `tracker_requests_total{endpoint="announce"} 2`
+	if !strings.Contains(string(body), want) {
+		t.Fatalf("/metrics missing %q:\n%s", want, body)
+	}
+	get(t, srv.URL+"/metrics")
+	if got := counter("announce"); got != 2 {
+		t.Fatalf("announce counter moved to %d after /metrics fetches", got)
+	}
+}
+
+// TestObservedConcurrentAnnounces hammers the instrumented handler from
+// many goroutines; run under -race it checks the registry's thread
+// safety on the serving path, and the final counter checks the
+// accounting.
+func TestObservedConcurrentAnnounces(t *testing.T) {
+	srv, h, ob := observedServer(t)
+	const goroutines, perG = 8, 25
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				id := fmt.Sprintf("peer-%d-%d", g, i)
+				resp, err := http.Get(announceURL(srv, h, id, "512", "started"))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}(g)
+	}
+	// Concurrent scrapes exercise the exporter against live writers.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			resp, err := http.Get(srv.URL + "/metrics")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}()
+	wg.Wait()
+	if got := ob.Counter("tracker_requests_total", obs.L("endpoint", "announce")).Value(); got != goroutines*perG {
+		t.Fatalf("announce counter = %d, want %d", got, goroutines*perG)
+	}
+}
