@@ -5,7 +5,11 @@
 # observability registry hammered from concurrent announces). The
 # explicit replica runs exercise the engine at R >= 2 — multiple replicas
 # of one cell sharing a Sim value across pool workers — which is exactly
-# where an accidental shared-state mutation would race.
+# where an accidental shared-state mutation would race. The resilience
+# runs cover the fault-injection layer: deterministic fault plans, panic
+# isolation with retries, checkpoint/resume, the chaos-golden check
+# (same chaos seed ⇒ identical tables at any worker count), and the
+# client's disconnect/watchdog/announce-retry paths.
 
 .PHONY: tier1 tier2 bench profile
 
@@ -18,6 +22,10 @@ tier2:
 	go test -race -count=1 -run 'ReplicatedDeterminism|ReplicasExtend' ./internal/experiments/
 	go test -race -count=1 ./internal/obs/
 	go test -race -count=1 -run 'Metrics|CountersMonotonic|ObservedConcurrent' ./internal/tracker/
+	go test -race -count=1 ./internal/faults/
+	go test -race -count=1 -run 'Panic|Retr|Checkpoint' ./internal/runner/ ./internal/runner/diskcache/
+	go test -race -count=1 -run 'ChurnSweepDeterministic' ./internal/experiments/
+	go test -race -count=1 -run 'Disconnect|Watchdog|AnnounceWithRetry|Reconnect' ./internal/client/
 
 # bench regenerates every paper artifact under timing, including the
 # serial-vs-parallel sweep comparison.

@@ -19,15 +19,20 @@
 //	cheating   fluid mixed-population sweep: obedient vs ρ=1 cheaters
 //	kscaling   collaboration gain vs number of files K
 //	simvalidate  fluid-vs-event-simulation check (-replicas, -seed; not in 'all')
+//	churn      download time under deterministic chaos: downloader aborts and
+//	           virtual-seed quits, fluid vs simulation (-chaos-seed,
+//	           -abort-rate, -quit-rate; not in 'all')
 //	report     write every artifact above to -out as CSV files
 //	params     print the Table-1 parameter glossary
-//	all        everything above in paper order (except simvalidate)
+//	all        everything above in paper order (except simvalidate and churn)
 //
 // Flags select the model parameters (defaults are the paper's) and the
-// output format (ascii, csv, tsv, markdown). simvalidate is the only
-// simulator-backed subcommand: it runs -replicas independently seeded
-// replicas per row on the replica engine and, with -replicas > 1, adds a
-// ±95% confidence column.
+// output format (ascii, csv, tsv, markdown). simvalidate and churn are the
+// simulator-backed subcommands: they run -replicas independently seeded
+// replicas per row on the replica engine and, with -replicas > 1, add a
+// ±95% confidence column. churn additionally injects a fault plan derived
+// from -chaos-seed: the same seed reproduces the same aborts and seed
+// quits byte-for-byte at any -workers count.
 package main
 
 import (
@@ -37,6 +42,8 @@ import (
 	"math"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"time"
 
 	"mfdl/internal/experiments"
@@ -54,6 +61,26 @@ func main() {
 	}
 }
 
+// parseRates parses a comma-separated list of non-negative finite rates;
+// an empty string means the axis is skipped.
+func parseRates(name, s string) ([]float64, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, fmt.Errorf("-%s: %w", name, err)
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			return nil, fmt.Errorf("-%s: rate %v must be finite and >= 0", name, v)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("mfdl", flag.ContinueOnError)
 	var (
@@ -63,9 +90,12 @@ func run(args []string) error {
 		gamma    = fs.Float64("gamma", 0.05, "seed departure rate γ")
 		lambda0  = fs.Float64("lambda0", 1, "web-server visiting rate λ₀")
 		steps    = fs.Int("steps", 20, "grid resolution for swept axes")
-		seed     = fs.Uint64("seed", 7, "RNG seed for 'simvalidate' (base of the replica seed derivation)")
-		replicas = fs.Int("replicas", 1, "independently seeded simulation replicas per 'simvalidate' row (>= 1)")
-		workers  = fs.Int("workers", 0, "replica worker pool size for 'simvalidate' (0 = all cores)")
+		seed     = fs.Uint64("seed", 7, "RNG seed for the simulator subcommands (base of the replica seed derivation)")
+		replicas = fs.Int("replicas", 1, "independently seeded simulation replicas per simulator row (>= 1)")
+		workers  = fs.Int("workers", 0, "replica worker pool size for the simulator subcommands (0 = all cores)")
+		chaos    = fs.Uint64("chaos-seed", 42, "fault-plan seed for 'churn' (same seed ⇒ identical chaos)")
+		abortsFl = fs.String("abort-rate", "0,0.0005,0.001,0.002", "comma-separated downloader abort rates θ for 'churn' (empty skips the axis)")
+		quitsFl  = fs.String("quit-rate", "0.02,0.05,0.1", "comma-separated virtual-seed quit rates for 'churn' (empty skips the axis)")
 		format   = fs.String("format", "ascii", "output format: ascii, csv, tsv, or markdown")
 		out      = fs.String("out", "artifacts", "output directory for the 'report' subcommand")
 		cacheDir = fs.String("cache-dir", "", "persistent solve-cache directory shared across runs (empty = in-memory only)")
@@ -74,7 +104,7 @@ func run(args []string) error {
 	var ofl obs.Flags
 	ofl.Register(fs)
 	fs.Usage = func() {
-		fmt.Fprintln(fs.Output(), "usage: mfdl [flags] fig2|fig3|fig4a|fig4b|fig4c|validate|stability|crossover|eta|cheating|kscaling|simvalidate|report|params|all")
+		fmt.Fprintln(fs.Output(), "usage: mfdl [flags] fig2|fig3|fig4a|fig4b|fig4c|validate|stability|crossover|eta|cheating|kscaling|simvalidate|churn|report|params|all")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -246,6 +276,39 @@ func run(args []string) error {
 				return err
 			}
 			return emit(res.Table())
+		},
+		"churn": func() error {
+			thetas, err := parseRates("abort-rate", *abortsFl)
+			if err != nil {
+				return err
+			}
+			quits, err := parseRates("quit-rate", *quitsFl)
+			if err != nil {
+				return err
+			}
+			if len(thetas) == 0 && len(quits) == 0 {
+				return fmt.Errorf("churn: both -abort-rate and -quit-rate are empty, nothing to sweep")
+			}
+			set := experiments.SimSettings{
+				Params:  cfg.Params,
+				K:       cfg.K,
+				Lambda0: cfg.Lambda0,
+				Horizon: 4000, Warmup: 800,
+				Seed:     *seed,
+				Replicas: *replicas,
+				Workers:  *workers,
+				Obs:      reg,
+			}
+			res, err := experiments.ChurnSweep(ctx, set, 0.9, *chaos, thetas, quits)
+			if err != nil {
+				return err
+			}
+			for _, tb := range res.Tables() {
+				if err := emit(tb); err != nil {
+					return err
+				}
+			}
+			return nil
 		},
 		"report": func() error {
 			files, err := experiments.Report(ctx, cfg, *out)

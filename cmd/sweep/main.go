@@ -1,7 +1,7 @@
 // Command sweep runs parameter sweeps of the fluid models: pick one or
-// more dimensions (p, rho, k, mu, gamma, eta, lambda0), a range per
-// dimension, and a scheme, and it prints the average online and download
-// time per file over the full grid. This generalizes the paper's figures
+// more dimensions (p, rho, k, mu, gamma, eta, lambda0, theta), a range
+// per dimension, and a scheme, and it prints the average online and
+// download time per file over the full grid. This generalizes the paper's figures
 // to arbitrary axes — e.g. how the CMFSD gain varies with swarm scale or
 // with seed patience 1/γ — and, with several dimensions, regenerates whole
 // surfaces like Figure 4(a) in one call.
@@ -28,6 +28,12 @@
 // (setup, solve, render). -cache-prune-age and -cache-prune-size trim the
 // disk store before the sweep: by entry age, or down to a byte budget
 // evicting least-recently-used entries first (reads refresh recency).
+//
+// With -checkpoint-dir every completed cell is also flushed to disk as
+// the sweep runs: a run killed mid-grid (crash, SIGKILL, power loss)
+// resumes on the next invocation from the completed cells and emits the
+// byte-identical final table. -retries re-attempts panicking cells a
+// bounded number of times before giving up on the run.
 package main
 
 import (
@@ -115,7 +121,7 @@ func run(args []string) error {
 	start := time.Now()
 	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
 	var (
-		dim       = fs.String("dim", "p", "swept dimensions (comma-separated): p, rho, k, mu, gamma, eta, lambda0")
+		dim       = fs.String("dim", "p", "swept dimensions (comma-separated): p, rho, k, mu, gamma, eta, lambda0, theta")
 		from      = fs.String("from", "0.05", "sweep start, one value or one per dimension")
 		to        = fs.String("to", "1", "sweep end, one value or one per dimension")
 		steps     = fs.String("steps", "10", "sweep intervals, one value or one per dimension")
@@ -127,7 +133,10 @@ func run(args []string) error {
 		lambda0   = fs.Float64("lambda0", 1, "visiting rate λ₀")
 		p         = fs.Float64("p", 0.9, "file correlation p")
 		rho       = fs.Float64("rho", 0, "CMFSD allocation ratio ρ")
+		theta     = fs.Float64("theta", 0, "downloader abort rate θ (0 = paper's churn-free model)")
 		workers   = fs.Int("workers", 0, "worker pool size (0 = all cores)")
+		retries   = fs.Int("retries", 0, "re-attempts for a panicking cell before the run fails")
+		ckptDir   = fs.String("checkpoint-dir", "", "flush completed cells here so a killed run resumes (empty = off)")
 		verbose   = fs.Bool("progress", false, "report per-cell progress on stderr")
 		format    = fs.String("format", "ascii", "output format: ascii, csv, tsv, or markdown")
 		cacheDir  = fs.String("cache-dir", "", "persistent solve-cache directory shared across runs (empty = in-memory only)")
@@ -152,6 +161,9 @@ func run(args []string) error {
 	}
 	if *workers < 0 {
 		return fmt.Errorf("workers must be >= 0, got %d", *workers)
+	}
+	if *retries < 0 {
+		return fmt.Errorf("-retries must be >= 0, got %d", *retries)
 	}
 	if *pruneAge < 0 {
 		return fmt.Errorf("-cache-prune-age must be >= 0, got %v", *pruneAge)
@@ -221,12 +233,14 @@ func run(args []string) error {
 			K:       *k,
 			Lambda0: *lambda0,
 		},
-		P: *p, Rho: *rho,
-		Scheme:   sc,
-		Grid:     grid,
-		Workers:  *workers,
-		CacheDir: *cacheDir,
-		Obs:      reg,
+		P: *p, Rho: *rho, Theta: *theta,
+		Scheme:        sc,
+		Grid:          grid,
+		Workers:       *workers,
+		Retries:       *retries,
+		CacheDir:      *cacheDir,
+		CheckpointDir: *ckptDir,
+		Obs:           reg,
 	}
 	if *verbose {
 		// Progress renders from the registry's completed-cell counter:

@@ -91,7 +91,15 @@ func run(args []string) error {
 func serve(addr string, handler http.Handler, ob *obs.Registry, grace time.Duration, metricsOut string) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	srv := &http.Server{Addr: addr, Handler: handler}
+	// Explicit timeouts: a client that dials and goes silent (or trickles
+	// a request forever) must not pin a connection indefinitely.
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 	select {

@@ -64,6 +64,12 @@ type Config struct {
 	// RechokeEvery is the choker period (default 100ms; only used when
 	// UnchokeSlots > 0).
 	RechokeEvery time.Duration
+	// RequestTimeout, when positive, bounds how long a piece request may
+	// stay in flight: a per-connection watchdog drops timed-out requests
+	// and immediately re-requests the pieces (on this or any other
+	// connection), so a stalled remote costs a timeout, not a deadlock.
+	// Zero disables the watchdog.
+	RequestTimeout time.Duration
 }
 
 // Client is one peer. Create with New, attach connections with AddConn.
@@ -94,7 +100,7 @@ type conn struct {
 	remoteInterested bool
 	weInterested     bool
 	windowBytes      int64 // bytes received this rechoke window
-	inflight         map[int]struct{}
+	inflight         map[int]time.Time // piece -> request time
 	closed           bool
 }
 
@@ -253,7 +259,7 @@ func (c *Client) AddConn(nc net.Conn) error {
 		remoteHave:    wire.NewBitfield(c.cfg.Info.NumPieces()),
 		remoteChoking: true,
 		weChoking:     c.cfg.UnchokeSlots > 0, // choker mode starts choked
-		inflight:      map[int]struct{}{},
+		inflight:      map[int]time.Time{},
 	}
 	c.mu.Lock()
 	c.conns[pc] = struct{}{}
@@ -264,7 +270,42 @@ func (c *Client) AddConn(nc net.Conn) error {
 		return err
 	}
 	go pc.readLoop()
+	if c.cfg.RequestTimeout > 0 {
+		go pc.requestWatchdog(c.cfg.RequestTimeout)
+	}
 	return nil
+}
+
+// requestWatchdog re-requests pieces whose in-flight request exceeded the
+// timeout. Dropping the entry is enough: the next updateInterestAndRequest
+// treats the piece as unrequested and pipelines it again, on this
+// connection or a faster one.
+func (pc *conn) requestWatchdog(timeout time.Duration) {
+	every := timeout / 4
+	if every < time.Millisecond {
+		every = time.Millisecond
+	}
+	tick := time.NewTicker(every)
+	defer tick.Stop()
+	for {
+		select {
+		case <-pc.quit:
+			return
+		case now := <-tick.C:
+			pc.mu.Lock()
+			expired := 0
+			for p, at := range pc.inflight {
+				if now.Sub(at) >= timeout {
+					delete(pc.inflight, p)
+					expired++
+				}
+			}
+			pc.mu.Unlock()
+			if expired > 0 {
+				_ = pc.updateInterestAndRequest()
+			}
+		}
+	}
 }
 
 // send enqueues one message for the writer goroutine.
@@ -383,7 +424,7 @@ func (pc *conn) handle(msg *wire.Message) error {
 	case wire.MsgChoke:
 		pc.mu.Lock()
 		pc.remoteChoking = true
-		pc.inflight = map[int]struct{}{}
+		pc.inflight = map[int]time.Time{}
 		pc.mu.Unlock()
 		return nil
 	case wire.MsgUnchoke:
@@ -512,7 +553,7 @@ func (pc *conn) updateInterestAndRequest() error {
 			pc.mu.Unlock()
 			continue
 		}
-		pc.inflight[p] = struct{}{}
+		pc.inflight[p] = time.Now()
 		pc.mu.Unlock()
 		err := pc.send(&wire.Message{
 			Type:   wire.MsgRequest,

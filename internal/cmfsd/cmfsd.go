@@ -54,6 +54,10 @@ type Model struct {
 	// current subtorrent (1−ρ goes to its virtual seed). ρ = 1 disables
 	// collaboration; the paper shows the system then performs as MFCD.
 	Rho float64
+	// Theta is the downloader abort rate θ ≥ 0: every downloader group
+	// x^{i,j} additionally drains at θ·x^{i,j} (peers give up mid-
+	// sequence and leave without seeding). θ = 0 is the paper's Eq. (5).
+	Theta float64
 }
 
 // New validates and returns a CMFSD model.
@@ -156,7 +160,11 @@ func (m *Model) RHS(_ float64, s, dst []float64) {
 			if j > 1 {
 				in = flux(i, j-1)
 			}
-			dst[m.XIndex(i, j)] = in - out
+			x := s[m.XIndex(i, j)]
+			if x < 0 {
+				x = 0
+			}
+			dst[m.XIndex(i, j)] = in - out - m.Theta*x
 		}
 		y := s[m.YIndex(i)]
 		if y < 0 {
@@ -240,7 +248,14 @@ func (m *Model) MetricsFromState(ss []float64) (*metrics.SchemeResult, error) {
 				total += ss[m.XIndex(i, j)]
 			}
 			pc.DownloadTime = total / rate
-			pc.OnlineTime = pc.DownloadTime + 1/m.Gamma
+			if m.Theta > 0 {
+				// With aborts only a fraction of arrivals become seeds;
+				// Little's law on y^i charges exactly that fraction with
+				// the 1/γ seeding spell.
+				pc.OnlineTime = pc.DownloadTime + ss[m.YIndex(i)]/rate
+			} else {
+				pc.OnlineTime = pc.DownloadTime + 1/m.Gamma
+			}
 		} else {
 			pc.DownloadTime = math.NaN()
 			pc.OnlineTime = math.NaN()

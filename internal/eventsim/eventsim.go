@@ -22,6 +22,7 @@ import (
 
 	"mfdl/internal/adapt"
 	"mfdl/internal/correlation"
+	"mfdl/internal/faults"
 	"mfdl/internal/fluid"
 	"mfdl/internal/rng"
 	"mfdl/internal/stats"
@@ -94,6 +95,13 @@ type Config struct {
 	// classes (Section 2's C_i(μ_i, c_i) framework); empty means every
 	// peer uploads at Params.Mu with equal download weight.
 	Bandwidth []BandwidthClass
+	// Faults injects deterministic churn: downloader aborts at rate
+	// AbortRate (the fluid θ), virtual-seed quits at SeedQuitRate
+	// (CMFSD), and slow-peer throttling. Fault draws come from dedicated
+	// per-peer streams keyed by Faults.Seed mixed with Seed, so the main
+	// RNG consumes exactly the same values as a faults-off run: disabling
+	// faults reproduces the pre-fault trajectories bit for bit.
+	Faults faults.Config
 }
 
 // BandwidthClass is one heterogeneous peer class.
@@ -150,6 +158,9 @@ func (c Config) Validate() error {
 	if c.SampleEvery < 0 {
 		return errors.New("eventsim: SampleEvery must be non-negative")
 	}
+	if err := c.Faults.Validate(); err != nil {
+		return err
+	}
 	if len(c.Bandwidth) > 0 {
 		sum := 0.0
 		for _, b := range c.Bandwidth {
@@ -168,7 +179,9 @@ func (c Config) Validate() error {
 	return nil
 }
 
-// ClassStats aggregates completed users of one class.
+// ClassStats aggregates departed users of one class. With fault injection
+// the time summaries include aborted users' partial times (Little's law
+// with churn); Completed counts only full completions.
 type ClassStats struct {
 	Class        int
 	Completed    int
@@ -192,6 +205,13 @@ type Result struct {
 	// ArrivedUsers and CompletedUsers count users arriving after warmup
 	// (completed = departed before the horizon).
 	ArrivedUsers, CompletedUsers int
+	// AbortedUsers counts counted users removed by an injected abort.
+	// Aborted users contribute their (partial) online and download times
+	// to the averages — Little's law with churn charges aborters' time in
+	// system, exactly as the fluid θ·x term does — but never to Completed.
+	AbortedUsers int
+	// SeedQuits counts injected virtual-seed departures (CMFSD).
+	SeedQuits int
 	// AvgOnlinePerFile is Σ online time / Σ files requested over counted
 	// completed users (the paper's metric).
 	AvgOnlinePerFile float64
@@ -230,6 +250,7 @@ type leg struct {
 }
 
 type peer struct {
+	id        uint64
 	class     int
 	arrivalAt float64
 	legs      []leg
@@ -239,6 +260,14 @@ type peer struct {
 	ctrl      *adapt.Controller
 	cheater   bool
 	counted   bool // arrived after warmup: include in statistics
+
+	// Fault state: remaining downloading time until an injected abort,
+	// remaining virtual-seeding time until an injected quit (both +Inf
+	// when faults are off), and the outcome flags.
+	abortBudget  float64
+	vsQuitBudget float64
+	vsQuit       bool
+	aborted      bool
 
 	// Bandwidth class (index into Config.Bandwidth, -1 when homogeneous).
 	bwClass int
@@ -275,10 +304,18 @@ func Run(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The fault plan mixes the sim seed into the chaos seed so replicas
+	// (distinct sim seeds) draw decorrelated faults while each (seed,
+	// chaos-seed) pair stays fully deterministic.
+	plan, err := faults.NewPlan(cfg.Faults.Mixed(cfg.Seed), nil)
+	if err != nil {
+		return nil, err
+	}
 	s := &sim{
 		cfg:  cfg,
 		corr: corr,
 		rng:  rng.New(cfg.Seed),
+		plan: plan,
 		res: &Result{
 			Config:  cfg,
 			Classes: make([]ClassStats, cfg.K),
@@ -296,11 +333,13 @@ func Run(cfg Config) (*Result, error) {
 }
 
 type sim struct {
-	cfg   Config
-	corr  *correlation.Model
-	rng   *rng.Source
-	peers []*peer
-	res   *Result
+	cfg    Config
+	corr   *correlation.Model
+	rng    *rng.Source
+	plan   *faults.Plan // nil when faults are disabled
+	nextID uint64
+	peers  []*peer
+	res    *Result
 
 	now        float64
 	totalRate  float64
@@ -344,15 +383,19 @@ func (s *sim) newPeer() *peer {
 	class := s.classSample()
 	files := s.fileSubset(class)
 	p := &peer{
-		class:     class,
-		arrivalAt: s.now,
-		legs:      make([]leg, class),
-		counted:   s.now >= s.cfg.Warmup,
-		rho:       s.cfg.Rho,
-		bwClass:   -1,
-		mu:        s.cfg.Mu,
-		weight:    1,
+		id:           s.nextID,
+		class:        class,
+		arrivalAt:    s.now,
+		legs:         make([]leg, class),
+		counted:      s.now >= s.cfg.Warmup,
+		rho:          s.cfg.Rho,
+		bwClass:      -1,
+		mu:           s.cfg.Mu,
+		weight:       1,
+		abortBudget:  math.Inf(1),
+		vsQuitBudget: math.Inf(1),
 	}
+	s.nextID++
 	if len(s.cfg.Bandwidth) > 0 {
 		u := s.rng.Float64()
 		acc := 0.0
@@ -364,6 +407,18 @@ func (s *sim) newPeer() *peer {
 				p.weight = b.Weight
 				break
 			}
+		}
+	}
+	if s.plan != nil {
+		// All fault draws come from per-peer streams keyed by id, so the
+		// main RNG above is untouched relative to a faults-off run.
+		p.abortBudget = s.plan.AbortAfter(p.id)
+		if s.cfg.Scheme == CMFSD && p.class > 1 {
+			p.vsQuitBudget = s.plan.SeedQuitAfter(p.id)
+		}
+		if f := s.plan.UploadFactor(p.id); f < 1 {
+			p.mu *= f
+			s.plan.NoteSlowPeer()
 		}
 	}
 	for i, f := range files {
@@ -410,7 +465,7 @@ func (s *sim) tftUpload(p *peer) float64 {
 // virtualUpload returns the CMFSD virtual-seed bandwidth of a downloading
 // peer (zero for other schemes and for peers with nothing finished).
 func (s *sim) virtualUpload(p *peer) float64 {
-	if s.cfg.Scheme != CMFSD || p.class == 1 || p.finished == 0 || p.seeding {
+	if s.cfg.Scheme != CMFSD || p.class == 1 || p.finished == 0 || p.seeding || p.vsQuit {
 		return 0
 	}
 	return (1 - p.rho) * p.mu
@@ -563,10 +618,12 @@ func (s *sim) run() {
 				}
 				continue
 			}
+			anyDl := false
 			for i := range p.legs {
 				l := &p.legs[i]
 				switch l.state {
 				case legDownloading:
+					anyDl = true
 					if l.rate > 0 {
 						tc := s.now + l.remaining/l.rate
 						if tc < tNext {
@@ -576,6 +633,22 @@ func (s *sim) run() {
 				case legSeeding:
 					if l.seedDepartAt < tNext {
 						tNext, kind, actor, actorLeg = l.seedDepartAt, evLegDepart, p, i
+					}
+				}
+			}
+			if s.plan != nil {
+				// Abort and virtual-seed-quit budgets tick only while the
+				// matching activity is in progress, so the injected
+				// lifetimes are exponential in activity time — the same
+				// clock the fluid θ·x term runs on.
+				if anyDl {
+					if ta := s.now + p.abortBudget; ta < tNext {
+						tNext, kind, actor = ta, evPeerAbort, p
+					}
+				}
+				if s.virtualUpload(p) > 0 {
+					if tq := s.now + p.vsQuitBudget; tq < tNext {
+						tNext, kind, actor = tq, evVsQuit, p
 					}
 				}
 			}
@@ -606,6 +679,14 @@ func (s *sim) run() {
 			s.afterLegDeparture(actor, actorLeg)
 		case evPeerDepart:
 			s.departPeer(actor)
+		case evPeerAbort:
+			actor.aborted = true
+			s.plan.NoteAbort()
+			s.departPeer(actor)
+		case evVsQuit:
+			actor.vsQuit = true
+			s.res.SeedQuits++
+			s.plan.NoteSeedQuit()
 		case evAdapt:
 			s.adaptTick()
 			nextAdapt = s.now + s.cfg.Adapt.Period
@@ -632,6 +713,8 @@ const (
 	evCompletion
 	evLegDepart
 	evPeerDepart
+	evPeerAbort
+	evVsQuit
 	evAdapt
 	evSample
 )
@@ -662,7 +745,11 @@ func (s *sim) advance(tNext float64) {
 			}
 			if anyDl {
 				p.dlAccum += dt
-				p.virtUp += s.virtualUpload(p) * dt
+				p.abortBudget -= dt
+				if vu := s.virtualUpload(p); vu > 0 {
+					p.virtUp += vu * dt
+					p.vsQuitBudget -= dt
+				}
 				p.virtDown += p.virtDownRate * dt
 			}
 		}
@@ -738,19 +825,40 @@ func (s *sim) departPeer(dead *peer) {
 	online := s.now - dead.arrivalAt
 	download := dead.dlAccum
 	cs := &s.res.Classes[dead.class-1]
-	cs.Completed++
+	if dead.aborted {
+		s.res.AbortedUsers++
+	} else {
+		cs.Completed++
+		s.res.CompletedUsers++
+	}
 	cs.OnlineTime.Add(online)
 	cs.DownloadTime.Add(download)
 	if dead.bwClass >= 0 && dead.bwClass < len(s.res.Bandwidth) {
 		bs := &s.res.Bandwidth[dead.bwClass]
-		bs.Completed++
+		if !dead.aborted {
+			bs.Completed++
+		}
 		bs.OnlineTime.Add(online)
 		bs.DownloadTime.Add(download)
 	}
-	s.res.CompletedUsers++
 	s.sumOnline += online
 	s.sumDownload += download
-	s.sumFiles += dead.class
+	// Per-file averages divide by torrent entries, matching the fluid
+	// model's x/λ Little's-law accounting: an aborted sequential user
+	// charges only the files it actually started — torrents never entered
+	// contribute neither time nor a file. Completed users (and aborted
+	// concurrent ones, whose legs all start at arrival) charge the full
+	// class size.
+	files := dead.class
+	if dead.aborted {
+		files = 0
+		for i := range dead.legs {
+			if dead.legs[i].state != legWaiting {
+				files++
+			}
+		}
+	}
+	s.sumFiles += files
 	if s.cfg.Scheme == CMFSD && dead.class > 1 {
 		s.res.FinalRho.Add(dead.rho)
 	}

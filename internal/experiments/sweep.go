@@ -16,7 +16,7 @@ import (
 
 // SweepDims lists the dimension names Sweep understands: every swept axis
 // maps onto one knob of the server–torrent system.
-var SweepDims = []string{"p", "rho", "k", "mu", "gamma", "eta", "lambda0"}
+var SweepDims = []string{"p", "rho", "k", "mu", "gamma", "eta", "lambda0", "theta"}
 
 // SweepSpec describes a multi-dimensional parameter study of one scheme:
 // a base operating point plus an N-dimensional grid of overrides. Cells
@@ -31,18 +31,29 @@ type SweepSpec struct {
 	P float64
 	// Rho is the base CMFSD allocation ratio.
 	Rho float64
+	// Theta is the base downloader abort rate θ (0 keeps the paper's
+	// closed forms).
+	Theta float64
 	// Scheme is the evaluated scheme.
 	Scheme scheme.Scheme
 	// Grid holds the swept dimensions; names must come from SweepDims.
 	Grid runner.Grid
 	// Workers bounds the pool (<= 0 means all cores).
 	Workers int
+	// Retries is how many times a panicking cell is re-attempted before
+	// failing the sweep (see runner.Options.Retries).
+	Retries int
 	// CacheDir, when non-empty, backs the solve cache with a persistent
 	// cross-process store in that directory: cells already solved by any
 	// previous run (or process) are decoded instead of re-solved, and
 	// fresh solves are persisted for the next run. Results are
 	// byte-identical with or without it.
 	CacheDir string
+	// CheckpointDir, when non-empty, persists each completed cell to that
+	// directory and replays persisted cells on a re-run: a killed sweep
+	// resumed with the identical spec emits a byte-identical final table.
+	// The checkpoints of a sweep that completes are cleared.
+	CheckpointDir string
 	// Hooks observe per-cell progress.
 	Hooks runner.Hooks
 	// Obs, when non-nil, instruments the sweep: the runner pool's cell
@@ -86,6 +97,8 @@ func applyDim(key *runner.Key, name string, v float64) error {
 		key.Params.Eta = v
 	case "lambda0":
 		key.Lambda0 = v
+	case "theta":
+		key.Theta = v
 	default:
 		return fmt.Errorf("experiments: unknown sweep dimension %q (have %s)",
 			name, strings.Join(SweepDims, ", "))
@@ -103,6 +116,7 @@ func Sweep(ctx context.Context, spec SweepSpec) (*SweepResult, error) {
 	base := runner.Key{
 		Scheme: spec.Scheme, Params: spec.Config.Params,
 		K: spec.Config.K, P: spec.P, Lambda0: spec.Config.Lambda0, Rho: spec.Rho,
+		Theta: spec.Theta,
 	}
 	// Reject unknown dimensions before spinning up the pool.
 	for _, d := range spec.Grid.Dims() {
@@ -120,6 +134,15 @@ func Sweep(ctx context.Context, spec SweepSpec) (*SweepResult, error) {
 		cache = runner.NewDiskCache(disk)
 	}
 	cache.WithObs(spec.Obs)
+	var ckpt *runner.Checkpoint
+	if spec.CheckpointDir != "" {
+		store, err := diskcache.OpenCheckpoint(spec.CheckpointDir)
+		if err != nil {
+			return nil, err
+		}
+		store.WithObs(spec.Obs)
+		ckpt = runner.NewCheckpoint(store, sweepRunKey(base, spec.Grid))
+	}
 	cells, err := runner.Run(ctx, spec.Grid,
 		func(_ context.Context, pt runner.Point, _ *rng.Source) (SweepCell, error) {
 			key := base
@@ -138,11 +161,38 @@ func Sweep(ctx context.Context, spec SweepSpec) (*SweepResult, error) {
 				AvgOnline:   res.AvgOnlinePerFile(),
 				AvgDownload: res.AvgDownloadPerFile(),
 			}, nil
-		}, runner.Options{Workers: spec.Workers, Hooks: spec.Hooks, Obs: spec.Obs})
+		}, runner.Options{
+			Workers: spec.Workers, Hooks: spec.Hooks, Obs: spec.Obs,
+			Retries: spec.Retries, Checkpoint: ckpt,
+		})
 	if err != nil {
 		return nil, err
 	}
+	// The sweep completed: its checkpoints have served their purpose.
+	_ = ckpt.Clear()
 	return &SweepResult{Spec: spec, Cells: cells, Cache: cache.Stats()}, nil
+}
+
+// sweepRunKey renders everything that determines the sweep's cell values —
+// the base solve key plus the exact grid — as the checkpoint run key, so a
+// resumed run can only ever replay cells of the identical study. Values
+// are encoded as IEEE-754 bits: two grids share a key iff they solve
+// bit-identically.
+func sweepRunKey(base runner.Key, g runner.Grid) string {
+	var sb strings.Builder
+	sb.WriteString("sweep ")
+	sb.WriteString(base.Fingerprint())
+	for _, d := range g.Dims() {
+		fmt.Fprintf(&sb, " %s=[", d.Name)
+		for i, v := range d.Values {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			fmt.Fprintf(&sb, "%016x", math.Float64bits(v))
+		}
+		sb.WriteByte(']')
+	}
+	return sb.String()
 }
 
 // Table renders the sweep with one row per cell: the swept values followed
@@ -154,11 +204,14 @@ func (r *SweepResult) Table() *table.Table {
 		names[i] = d.Name
 	}
 	cols := append(append([]string{}, names...), "avg online/file", "avg download/file")
-	tb := table.New(
-		fmt.Sprintf("Sweep of %s for %s (K=%d, p=%g, ρ=%g, μ=%g, η=%g, γ=%g)",
-			strings.Join(names, ","), r.Spec.Scheme, r.Spec.Config.K, r.Spec.P, r.Spec.Rho,
-			r.Spec.Config.Mu, r.Spec.Config.Eta, r.Spec.Config.Gamma),
-		cols...)
+	title := fmt.Sprintf("Sweep of %s for %s (K=%d, p=%g, ρ=%g, μ=%g, η=%g, γ=%g",
+		strings.Join(names, ","), r.Spec.Scheme, r.Spec.Config.K, r.Spec.P, r.Spec.Rho,
+		r.Spec.Config.Mu, r.Spec.Config.Eta, r.Spec.Config.Gamma)
+	if r.Spec.Theta != 0 {
+		title += fmt.Sprintf(", θ=%g", r.Spec.Theta)
+	}
+	title += ")"
+	tb := table.New(title, cols...)
 	for _, c := range r.Cells {
 		cells := make([]string, 0, len(cols))
 		for _, v := range c.Values {

@@ -86,6 +86,22 @@ func (m *SingleTorrent) InitialState() []float64 {
 	return []float64{m.Lambda, m.Lambda / m.Gamma * 0.1}
 }
 
+// SteadyStateNumeric relaxes the model to its fixed point for the general
+// case (θ > 0 or a finite download bandwidth c) where no closed form
+// exists. The RHS is homogeneous of degree 1 in (λ, x, y), so the
+// per-peer times x/λ and (x+y)/λ are λ-invariant; callers that only need
+// times can solve at λ = 1 for the best numerical conditioning.
+func (m *SingleTorrent) SteadyStateNumeric(opt SteadyStateOptions) (x, y float64, err error) {
+	if err := m.Validate(); err != nil {
+		return 0, 0, err
+	}
+	ss, err := SteadyStateHybrid(m, opt)
+	if err != nil {
+		return 0, 0, err
+	}
+	return ss[0], ss[1], nil
+}
+
 // ErrNotUploadConstrained is returned by the closed forms when γ <= μ, where
 // the paper's expressions turn negative (seeds then accumulate and the
 // download time is governed by the seed residence time instead).

@@ -20,6 +20,7 @@ package mtcd
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"mfdl/internal/correlation"
 	"mfdl/internal/fluid"
@@ -34,6 +35,11 @@ const Scheme = "MTCD"
 type Model struct {
 	fluid.Params
 	Corr *correlation.Model
+	// Theta is the downloader abort rate θ ≥ 0 (Qiu–Srikant churn).
+	// θ = 0 is the paper's assumption and keeps the closed form Eq. (2);
+	// θ > 0 switches Evaluate to numeric relaxation of Eq. (1) with an
+	// abort term −θ·x in every downloader class.
+	Theta float64
 }
 
 // New validates and returns an MTCD model.
@@ -78,8 +84,12 @@ func (m *Model) SharedFactor() (float64, error) {
 	return a, nil
 }
 
-// Evaluate returns the steady-state per-class metrics from Eq. (2).
+// Evaluate returns the steady-state per-class metrics: the closed form
+// Eq. (2) for θ = 0, numeric relaxation with the abort term for θ > 0.
 func (m *Model) Evaluate() (*metrics.SchemeResult, error) {
+	if m.Theta > 0 {
+		return m.evaluateTheta()
+	}
 	a, err := m.SharedFactor()
 	if err != nil {
 		return nil, err
@@ -98,6 +108,58 @@ func (m *Model) Evaluate() (*metrics.SchemeResult, error) {
 		return nil, err
 	}
 	return res, nil
+}
+
+// evaluateTheta handles θ > 0: it relaxes Eq. (1) with the −θ·x abort
+// term to its fixed point and converts populations to times via Little's
+// law. A class-i user's i peers run concurrently, so its wall-clock
+// download time equals one peer's residence x/λ, and the seed population
+// adds y/λ (which equals the completion fraction times 1/γ: aborters
+// never seed).
+func (m *Model) evaluateTheta() (*metrics.SchemeResult, error) {
+	sum := 0.0
+	for l := 1; l <= m.Corr.K; l++ {
+		sum += m.Corr.TorrentClassRate(l)
+	}
+	res := &metrics.SchemeResult{Scheme: Scheme}
+	if sum <= 0 {
+		// p → 0 limit: each torrent degenerates to a Qiu–Srikant single
+		// torrent with aborts. Its RHS is homogeneous of degree 1 in
+		// (λ, x, y), so per-file times are λ-invariant; solve at λ = 1.
+		st := &fluid.SingleTorrent{Params: m.Params, Lambda: 1, Theta: m.Theta}
+		x, y, err := st.SteadyStateNumeric(fluid.SteadyStateOptions{})
+		if err != nil {
+			return nil, fmt.Errorf("mtcd: θ>0 single-torrent limit: %w", err)
+		}
+		for i := 1; i <= m.Corr.K; i++ {
+			fi := float64(i)
+			res.Classes = append(res.Classes, metrics.PerClass{
+				Class: i, EntryRate: m.Corr.UserRate(i),
+				DownloadTime: fi * x,
+				OnlineTime:   fi*x + y,
+			})
+		}
+		return res, res.Validate()
+	}
+	ss, err := fluid.SteadyStateHybrid(m.NewODE(), ode.SteadyStateOptions{})
+	if err != nil {
+		return nil, fmt.Errorf("mtcd: θ>0 relaxation: %w", err)
+	}
+	k := m.Corr.K
+	x, y := ss[:k], ss[k:]
+	for i := 1; i <= k; i++ {
+		rate := m.Corr.TorrentClassRate(i)
+		pc := metrics.PerClass{Class: i, EntryRate: m.Corr.UserRate(i)}
+		if rate > 0 {
+			pc.DownloadTime = x[i-1] / rate
+			pc.OnlineTime = (x[i-1] + y[i-1]) / rate
+		} else {
+			pc.DownloadTime = math.NaN()
+			pc.OnlineTime = math.NaN()
+		}
+		res.Classes = append(res.Classes, pc)
+	}
+	return res, res.Validate()
 }
 
 // SteadyStatePopulations returns the closed-form per-class downloader and
@@ -164,7 +226,7 @@ func (o *ODE) RHS(_ float64, s, dst []float64) {
 			fromSeeds = (x / float64(i)) / shareDen * seedService
 		}
 		served := fromPeers + fromSeeds
-		dst[i-1] = o.m.Corr.TorrentClassRate(i) - served
+		dst[i-1] = o.m.Corr.TorrentClassRate(i) - o.m.Theta*x - served
 		dst[k+i-1] = served - gamma*y
 	}
 }

@@ -22,6 +22,10 @@ const Scheme = "MTSD"
 type Model struct {
 	fluid.Params
 	Corr *correlation.Model
+	// Theta is the downloader abort rate θ ≥ 0. θ = 0 keeps the paper's
+	// closed form; θ > 0 solves the single-torrent model numerically with
+	// the abort term.
+	Theta float64
 }
 
 // New validates and returns an MTSD model.
@@ -50,9 +54,26 @@ func (m *Model) SingleDownloadTime() (float64, error) {
 // has the same per-file times; the correlation model only weights the
 // average.
 func (m *Model) Evaluate() (*metrics.SchemeResult, error) {
-	t, err := m.SingleDownloadTime()
-	if err != nil {
-		return nil, err
+	t, seedT := 0.0, 0.0
+	if m.Theta > 0 {
+		// With aborts the torrent is the Qiu–Srikant model with −θ·x.
+		// Its RHS is homogeneous of degree 1 in (λ, x, y), so per-file
+		// times x/λ and seed residence y/λ are λ-invariant; solve at
+		// λ = 1. y/λ is the completion fraction times 1/γ — aborters
+		// never seed, so the per-file online time shrinks accordingly.
+		st := &fluid.SingleTorrent{Params: m.Params, Lambda: 1, Theta: m.Theta}
+		x, y, err := st.SteadyStateNumeric(fluid.SteadyStateOptions{})
+		if err != nil {
+			return nil, fmt.Errorf("mtsd: θ>0 relaxation: %w", err)
+		}
+		t, seedT = x, y
+	} else {
+		var err error
+		t, err = m.SingleDownloadTime()
+		if err != nil {
+			return nil, err
+		}
+		seedT = 1 / m.Gamma
 	}
 	res := &metrics.SchemeResult{Scheme: Scheme}
 	for i := 1; i <= m.Corr.K; i++ {
@@ -61,7 +82,7 @@ func (m *Model) Evaluate() (*metrics.SchemeResult, error) {
 			Class:        i,
 			EntryRate:    m.Corr.UserRate(i),
 			DownloadTime: fi * t,
-			OnlineTime:   fi * (t + 1/m.Gamma),
+			OnlineTime:   fi * (t + seedT),
 		})
 	}
 	if err := res.Validate(); err != nil {

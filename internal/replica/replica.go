@@ -70,6 +70,10 @@ const (
 	// Completed and Arrived are post-warmup user counts (Counts keys).
 	Completed = "completed"
 	Arrived   = "arrived"
+	// Aborted and SeedQuits count fault-injected churn events (Counts
+	// keys): users who left mid-download and virtual seeds that quit.
+	Aborted   = "aborted"
+	SeedQuits = "seed_quits"
 )
 
 // ClassKey names a per-class metric, e.g. ClassKey(3, OnlinePerFile).

@@ -28,6 +28,8 @@ type Key struct {
 	// to 0 so that sweeping ρ under them costs one solve, not one per
 	// cell.
 	Rho float64
+	// Theta is the downloader abort rate θ; every scheme honors it.
+	Theta float64
 }
 
 // normalize collapses key components the scheme does not depend on.
@@ -50,10 +52,10 @@ const solveTolerance = 1e-10
 func (k Key) Fingerprint() string {
 	k = k.normalize()
 	b := math.Float64bits
-	return fmt.Sprintf("tol=%g scheme=%s k=%d mu=%016x eta=%016x gamma=%016x p=%016x lambda0=%016x rho=%016x",
+	return fmt.Sprintf("tol=%g scheme=%s k=%d mu=%016x eta=%016x gamma=%016x p=%016x lambda0=%016x rho=%016x theta=%016x",
 		solveTolerance, k.Scheme, k.K,
 		b(k.Params.Mu), b(k.Params.Eta), b(k.Params.Gamma),
-		b(k.P), b(k.Lambda0), b(k.Rho))
+		b(k.P), b(k.Lambda0), b(k.Rho), b(k.Theta))
 }
 
 // CacheStats aggregates the counters of both cache tiers.
@@ -169,7 +171,7 @@ func (c *Cache) Evaluate(k Key) (*metrics.SchemeResult, error) {
 			e.err = err
 			return
 		}
-		e.res, e.err = scheme.Evaluate(k.Scheme, k.Params, corr, scheme.Options{Rho: k.Rho})
+		e.res, e.err = scheme.Evaluate(k.Scheme, k.Params, corr, scheme.Options{Rho: k.Rho, Theta: k.Theta})
 		if c.solveSeconds != nil {
 			c.solveSeconds.Since(solveStart)
 		}

@@ -1,0 +1,104 @@
+package runner
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"mfdl/internal/runner/diskcache"
+)
+
+// CellPanicError is the failure Run reports for a cell whose job
+// panicked: the panic is recovered on the worker, so a crashing cell
+// fails that cell (and, through the usual first-error rule, the run's
+// error value) instead of killing the whole process.
+type CellPanicError struct {
+	// Cell is the panicking cell's label.
+	Cell string
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the goroutine stack captured at recovery.
+	Stack []byte
+}
+
+func (e *CellPanicError) Error() string {
+	return fmt.Sprintf("runner: cell %s panicked: %v", e.Cell, e.Value)
+}
+
+// Checkpoint binds a diskcache.CheckpointStore to one run identity so Run
+// can persist each completed cell and replay persisted cells on a re-run.
+// The run key must capture everything that determines the cell values —
+// parameters, grid shape, solver revision — exactly as a cache key would;
+// two Runs with the same key must compute bit-identical cells.
+//
+// Payloads cross the disk as gob, which round-trips float64 bit patterns
+// (including NaN) exactly, so a resumed run emits byte-identical output.
+type Checkpoint struct {
+	store *diskcache.CheckpointStore
+	key   string
+}
+
+// NewCheckpoint binds store to runKey. A nil store yields a nil
+// checkpoint (checkpointing disabled).
+func NewCheckpoint(store *diskcache.CheckpointStore, runKey string) *Checkpoint {
+	if store == nil {
+		return nil
+	}
+	return &Checkpoint{store: store, key: runKey}
+}
+
+// Key returns the run key the checkpoint is bound to.
+func (c *Checkpoint) Key() string {
+	if c == nil {
+		return ""
+	}
+	return c.key
+}
+
+// Len returns how many cells are currently checkpointed for this run.
+func (c *Checkpoint) Len() (int, error) {
+	if c == nil {
+		return 0, nil
+	}
+	return c.store.Len(c.key)
+}
+
+// Clear drops the run's checkpoints; call it once the run has fully
+// completed and its results are delivered.
+func (c *Checkpoint) Clear() error {
+	if c == nil {
+		return nil
+	}
+	return c.store.Clear(c.key)
+}
+
+// load decodes cell's checkpointed result into v (a pointer), reporting
+// whether a valid checkpoint existed. Undecodable payloads read as
+// misses, so a stale or foreign entry re-runs the cell instead of
+// failing the run.
+func (c *Checkpoint) load(cell int, v any) bool {
+	if c == nil {
+		return false
+	}
+	payload, ok := c.store.Get(c.key, cell)
+	if !ok {
+		return false
+	}
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(v); err != nil {
+		return false
+	}
+	return true
+}
+
+// save persists cell's result best-effort: a full or read-only disk costs
+// the resume capability, never the run.
+func (c *Checkpoint) save(cell int, v any) {
+	if c == nil {
+		return
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return
+	}
+	_ = c.store.Put(c.key, cell, buf.Bytes())
+}

@@ -1,0 +1,204 @@
+package diskcache
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"mfdl/internal/obs"
+)
+
+// CheckpointSchemaVersion is recorded in every checkpoint entry and
+// checked on read, independently of the solve cache's SchemaVersion.
+const CheckpointSchemaVersion = 1
+
+// checkpointEntry is the on-disk envelope of one completed cell. The
+// payload is opaque to this package (the runner encodes it with gob, which
+// unlike JSON round-trips NaN and ±Inf bit-exactly); the envelope carries
+// the identity needed to never replay a cell into the wrong run.
+type checkpointEntry struct {
+	Schema int `json:"schema"`
+	// Key is the full (unhashed) run key: everything that determines the
+	// run's cell values. A directory-name hash collision can therefore
+	// never resume from a different run's cells.
+	Key string `json:"key"`
+	// Cell is the linear cell index the payload belongs to.
+	Cell int `json:"cell"`
+	// Payload is the caller-encoded cell result.
+	Payload []byte `json:"payload"`
+}
+
+// CheckpointStore persists per-cell results of interrupted runs: one
+// subdirectory per run key, one file per completed cell. It follows the
+// same discipline as Store — atomic temp-file + rename writes, and reads
+// that treat truncated, garbled, foreign or stale entries as misses and
+// evict them — so a run killed at any instant resumes cleanly.
+//
+// Safe for concurrent use by any number of goroutines and processes.
+type CheckpointStore struct {
+	dir string
+
+	mu    sync.Mutex
+	stats Stats
+
+	obsHits    *obs.Counter
+	obsMisses  *obs.Counter
+	obsStores  *obs.Counter
+	obsCorrupt *obs.Counter
+	obsEvicted *obs.Counter
+}
+
+// OpenCheckpoint ensures dir exists and returns a checkpoint store over
+// it. The directory may be shared with (or distinct from) a solve-cache
+// Store; checkpoints live in per-run subdirectories and never collide
+// with cache entries.
+func OpenCheckpoint(dir string) (*CheckpointStore, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("diskcache: empty checkpoint directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("diskcache: %w", err)
+	}
+	return &CheckpointStore{dir: dir}, nil
+}
+
+// Dir returns the backing directory.
+func (s *CheckpointStore) Dir() string { return s.dir }
+
+// WithObs routes the store's counters through the registry as
+// checkpoint_hits_total, checkpoint_misses_total, checkpoint_stores_total,
+// checkpoint_corrupt_total and checkpoint_evicted_total. A nil registry
+// is a no-op. Returns the store for chaining.
+func (s *CheckpointStore) WithObs(reg *obs.Registry) *CheckpointStore {
+	s.obsHits = reg.Counter("checkpoint_hits_total")
+	s.obsMisses = reg.Counter("checkpoint_misses_total")
+	s.obsStores = reg.Counter("checkpoint_stores_total")
+	s.obsCorrupt = reg.Counter("checkpoint_corrupt_total")
+	s.obsEvicted = reg.Counter("checkpoint_evicted_total")
+	return s
+}
+
+// runDir maps a run key to its per-run subdirectory.
+func (s *CheckpointStore) runDir(runKey string) string {
+	sum := sha256.Sum256([]byte(runKey))
+	return filepath.Join(s.dir, "run-"+hex.EncodeToString(sum[:]))
+}
+
+// cellPath maps (run key, cell) to the entry file.
+func (s *CheckpointStore) cellPath(runKey string, cell int) string {
+	return filepath.Join(s.runDir(runKey), fmt.Sprintf("cell-%d.json", cell))
+}
+
+// Get returns the payload checkpointed for (runKey, cell), or false on
+// any kind of miss. Unreadable or stale entries are evicted.
+func (s *CheckpointStore) Get(runKey string, cell int) ([]byte, bool) {
+	path := s.cellPath(runKey, cell)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		s.count(func(st *Stats) { st.Misses++ })
+		s.obsMisses.Inc()
+		return nil, false
+	}
+	var e checkpointEntry
+	if err := json.Unmarshal(data, &e); err != nil || e.Payload == nil {
+		s.evict(path)
+		s.count(func(st *Stats) { st.Misses++; st.Corrupt++ })
+		s.obsMisses.Inc()
+		s.obsCorrupt.Inc()
+		return nil, false
+	}
+	if e.Schema != CheckpointSchemaVersion || e.Key != runKey || e.Cell != cell {
+		s.evict(path)
+		s.count(func(st *Stats) { st.Misses++ })
+		s.obsMisses.Inc()
+		return nil, false
+	}
+	s.count(func(st *Stats) { st.Hits++ })
+	s.obsHits.Inc()
+	return e.Payload, true
+}
+
+// Put checkpoints one cell's payload, atomically replacing any previous
+// entry for the same (runKey, cell).
+func (s *CheckpointStore) Put(runKey string, cell int, payload []byte) error {
+	if payload == nil {
+		return fmt.Errorf("diskcache: nil checkpoint payload")
+	}
+	data, err := json.Marshal(checkpointEntry{
+		Schema: CheckpointSchemaVersion, Key: runKey, Cell: cell, Payload: payload,
+	})
+	if err != nil {
+		return fmt.Errorf("diskcache: %w", err)
+	}
+	dir := s.runDir(runKey)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("diskcache: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, "put-*.tmp")
+	if err != nil {
+		return fmt.Errorf("diskcache: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("diskcache: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("diskcache: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), s.cellPath(runKey, cell)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("diskcache: %w", err)
+	}
+	s.count(func(st *Stats) { st.Stores++ })
+	s.obsStores.Inc()
+	return nil
+}
+
+// Len returns the number of cells checkpointed under runKey.
+func (s *CheckpointStore) Len(runKey string) (int, error) {
+	names, err := filepath.Glob(filepath.Join(s.runDir(runKey), "cell-*.json"))
+	if err != nil {
+		return 0, err
+	}
+	return len(names), nil
+}
+
+// Clear removes every checkpoint of the run — called after a run
+// completes so finished runs leave nothing behind.
+func (s *CheckpointStore) Clear(runKey string) error {
+	dir := s.runDir(runKey)
+	if !strings.HasPrefix(filepath.Base(dir), "run-") {
+		return fmt.Errorf("diskcache: refusing to clear %q", dir)
+	}
+	if err := os.RemoveAll(dir); err != nil {
+		return fmt.Errorf("diskcache: %w", err)
+	}
+	return nil
+}
+
+// Stats returns a snapshot of the counters.
+func (s *CheckpointStore) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+func (s *CheckpointStore) count(f func(*Stats)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f(&s.stats)
+}
+
+func (s *CheckpointStore) evict(path string) {
+	if os.Remove(path) == nil {
+		s.count(func(st *Stats) { st.Evicted++ })
+		s.obsEvicted.Inc()
+	}
+}

@@ -1,0 +1,176 @@
+package diskcache
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func openCheckpoint(t *testing.T) *CheckpointStore {
+	t.Helper()
+	s, err := OpenCheckpoint(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	s := openCheckpoint(t)
+	const key = "run key with spaces and θ=0.1"
+	if err := s.Put(key, 7, []byte("payload-7")); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get(key, 7)
+	if !ok || !bytes.Equal(got, []byte("payload-7")) {
+		t.Fatalf("Get = %q, %v", got, ok)
+	}
+	if _, ok := s.Get(key, 8); ok {
+		t.Fatal("hit for a cell never stored")
+	}
+	if n, err := s.Len(key); err != nil || n != 1 {
+		t.Fatalf("Len = %d, %v", n, err)
+	}
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Stores != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestCheckpointCorruptEntryEvicted(t *testing.T) {
+	s := openCheckpoint(t)
+	const key = "corrupt-run"
+	if err := s.Put(key, 0, []byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	path := s.cellPath(key, 0)
+	if err := os.WriteFile(path, []byte("{truncated"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(key, 0); ok {
+		t.Fatal("corrupt entry read as a hit")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("corrupt entry not evicted")
+	}
+	st := s.Stats()
+	if st.Corrupt != 1 || st.Evicted != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestCheckpointSchemaMismatchIsMiss(t *testing.T) {
+	s := openCheckpoint(t)
+	const key = "schema-run"
+	if err := s.Put(key, 0, []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	path := s.cellPath(key, 0)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var e checkpointEntry
+	if err := json.Unmarshal(data, &e); err != nil {
+		t.Fatal(err)
+	}
+	e.Schema = CheckpointSchemaVersion + 1
+	out, _ := json.Marshal(e)
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(key, 0); ok {
+		t.Fatal("future-schema entry read as a hit")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("stale entry not evicted")
+	}
+}
+
+// TestCheckpointKeyCollisionSafe: even if two run keys landed in the same
+// directory, the full-key echo inside the entry refuses the foreign cell.
+func TestCheckpointKeyCollisionSafe(t *testing.T) {
+	s := openCheckpoint(t)
+	if err := s.Put("run A", 0, []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a directory-hash collision by copying A's entry into B's
+	// run directory.
+	src, err := os.ReadFile(s.cellPath("run A", 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(s.runDir("run B"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(s.cellPath("run B", 0), src, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get("run B", 0); ok {
+		t.Fatal("foreign run's cell read as a hit")
+	}
+	if got, ok := s.Get("run A", 0); !ok || !bytes.Equal(got, []byte("a")) {
+		t.Fatal("original entry damaged")
+	}
+}
+
+func TestCheckpointClearIsScoped(t *testing.T) {
+	s := openCheckpoint(t)
+	if err := s.Put("run A", 0, []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("run B", 0, []byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Clear("run A"); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := s.Len("run A"); n != 0 {
+		t.Fatalf("run A kept %d cells", n)
+	}
+	if got, ok := s.Get("run B", 0); !ok || !bytes.Equal(got, []byte("b")) {
+		t.Fatal("Clear removed another run's cells")
+	}
+}
+
+func TestCheckpointPutOverwrites(t *testing.T) {
+	s := openCheckpoint(t)
+	const key = "overwrite-run"
+	if err := s.Put(key, 3, []byte("old")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(key, 3, []byte("new")); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get(key, 3)
+	if !ok || !bytes.Equal(got, []byte("new")) {
+		t.Fatalf("Get = %q, %v", got, ok)
+	}
+	if n, _ := s.Len(key); n != 1 {
+		t.Fatalf("Len = %d after overwrite", n)
+	}
+}
+
+func TestCheckpointRejectsNilPayload(t *testing.T) {
+	s := openCheckpoint(t)
+	if err := s.Put("run", 0, nil); err == nil {
+		t.Fatal("nil payload accepted")
+	}
+}
+
+func TestCheckpointPutLeavesNoTempFiles(t *testing.T) {
+	s := openCheckpoint(t)
+	const key = "tmp-run"
+	if err := s.Put(key, 0, []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	stray, err := filepath.Glob(filepath.Join(s.runDir(key), "put-*.tmp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stray) != 0 {
+		t.Fatalf("stray temp files: %v", stray)
+	}
+}

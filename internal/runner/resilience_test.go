@@ -1,0 +1,260 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"mfdl/internal/obs"
+	"mfdl/internal/rng"
+	"mfdl/internal/runner/diskcache"
+)
+
+// cleanJob is a deterministic job whose result depends on both the cell
+// value and the cell's stream, so any retry or resume bug that replays a
+// wrong stream shows up in the bits.
+func cleanJob(_ context.Context, p Point, src *rng.Source) (float64, error) {
+	v, _ := p.Value("i")
+	return v + src.Float64(), nil
+}
+
+func indexedGrid(t *testing.T, n int) Grid {
+	t.Helper()
+	g, err := Indexed("i", n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestRunPanicBecomesCellError(t *testing.T) {
+	g := indexedGrid(t, 8)
+	_, err := Run(context.Background(), g,
+		func(ctx context.Context, p Point, src *rng.Source) (float64, error) {
+			if p.Index == 3 {
+				panic("boom")
+			}
+			return cleanJob(ctx, p, src)
+		}, Options{Workers: 4, Seed: 1})
+	if err == nil {
+		t.Fatal("panicking cell did not fail the run")
+	}
+	var pe *CellPanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error is not a CellPanicError: %v", err)
+	}
+	if pe.Value != "boom" || !strings.Contains(pe.Cell, "i=3") {
+		t.Fatalf("wrong panic payload: cell %q value %v", pe.Cell, pe.Value)
+	}
+	if len(pe.Stack) == 0 {
+		t.Fatal("no stack captured")
+	}
+}
+
+func TestRunRetriesTransientPanic(t *testing.T) {
+	g := indexedGrid(t, 8)
+	want, err := Run(context.Background(), g, cleanJob, Options{Workers: 3, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var attempts atomic.Int64
+	ob := obs.New()
+	got, err := Run(context.Background(), g,
+		func(ctx context.Context, p Point, src *rng.Source) (float64, error) {
+			if p.Index == 5 && attempts.Add(1) == 1 {
+				panic("transient")
+			}
+			return cleanJob(ctx, p, src)
+		}, Options{Workers: 3, Seed: 7, Retries: 2, Obs: ob})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each attempt runs on a fresh copy of the cell's stream, so the
+	// retried run must be bit-identical to the clean one.
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("retried run diverged:\n got %v\nwant %v", got, want)
+	}
+	if n := ob.Counter("runner_cell_retries_total").Value(); n != 1 {
+		t.Fatalf("retries counter = %d, want 1", n)
+	}
+}
+
+func TestRunRetriesAreBounded(t *testing.T) {
+	g := indexedGrid(t, 1)
+	var attempts atomic.Int64
+	_, err := Run(context.Background(), g,
+		func(context.Context, Point, *rng.Source) (int, error) {
+			attempts.Add(1)
+			panic("always")
+		}, Options{Workers: 1, Retries: 2})
+	var pe *CellPanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("want CellPanicError, got %v", err)
+	}
+	if n := attempts.Load(); n != 3 { // 1 try + 2 retries
+		t.Fatalf("attempts = %d, want 3", n)
+	}
+}
+
+func TestRunDoesNotRetryPlainErrors(t *testing.T) {
+	g := indexedGrid(t, 1)
+	var attempts atomic.Int64
+	_, err := Run(context.Background(), g,
+		func(context.Context, Point, *rng.Source) (int, error) {
+			attempts.Add(1)
+			return 0, errors.New("deterministic failure")
+		}, Options{Workers: 1, Retries: 5})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if n := attempts.Load(); n != 1 {
+		t.Fatalf("plain error was retried: attempts = %d", n)
+	}
+}
+
+// TestRunCheckpointResume is the crash-safety contract: a run killed
+// mid-grid resumes from the checkpointed cells and produces results
+// bit-identical to an uninterrupted run, without re-running the cells
+// that had completed.
+func TestRunCheckpointResume(t *testing.T) {
+	g := indexedGrid(t, 10)
+	want, err := Run(context.Background(), g, cleanJob, Options{Workers: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	store, err := diskcache.OpenCheckpoint(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const runKey = "resilience-test seed=3 n=10"
+
+	// First run "crashes": cell 6 fails after cells 0..5 completed and
+	// were flushed (Workers=1 makes the completed prefix deterministic).
+	_, err = Run(context.Background(), g,
+		func(ctx context.Context, p Point, src *rng.Source) (float64, error) {
+			if p.Index == 6 {
+				return 0, errors.New("simulated crash")
+			}
+			return cleanJob(ctx, p, src)
+		}, Options{Workers: 1, Seed: 3, Checkpoint: NewCheckpoint(store, runKey)})
+	if err == nil {
+		t.Fatal("crashing run reported success")
+	}
+	ck := NewCheckpoint(store, runKey)
+	if n, err := ck.Len(); err != nil || n != 6 {
+		t.Fatalf("checkpointed cells = %d (%v), want 6", n, err)
+	}
+
+	// Resume: the persisted cells replay, the rest compute fresh.
+	var ran atomic.Int64
+	ob := obs.New()
+	got, err := Run(context.Background(), g,
+		func(ctx context.Context, p Point, src *rng.Source) (float64, error) {
+			ran.Add(1)
+			return cleanJob(ctx, p, src)
+		}, Options{Workers: 4, Seed: 3, Checkpoint: ck, Obs: ob})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("resumed run diverged:\n got %v\nwant %v", got, want)
+	}
+	if n := ran.Load(); n != 4 {
+		t.Fatalf("resume re-ran %d cells, want 4", n)
+	}
+	if n := ob.Counter("runner_cells_resumed_total").Value(); n != 6 {
+		t.Fatalf("resumed counter = %d, want 6", n)
+	}
+	if err := ck.Clear(); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := ck.Len(); n != 0 {
+		t.Fatalf("Clear left %d cells", n)
+	}
+}
+
+// TestRunCheckpointIgnoresForeignRun: a different run key never replays
+// another run's cells, even over the same store.
+func TestRunCheckpointIgnoresForeignRun(t *testing.T) {
+	g := indexedGrid(t, 4)
+	store, err := diskcache.OpenCheckpoint(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(context.Background(), g, cleanJob,
+		Options{Workers: 2, Seed: 1, Checkpoint: NewCheckpoint(store, "run A")}); err != nil {
+		t.Fatal(err)
+	}
+	var ran atomic.Int64
+	if _, err := Run(context.Background(), g,
+		func(ctx context.Context, p Point, src *rng.Source) (float64, error) {
+			ran.Add(1)
+			return cleanJob(ctx, p, src)
+		}, Options{Workers: 2, Seed: 1, Checkpoint: NewCheckpoint(store, "run B")}); err != nil {
+		t.Fatal(err)
+	}
+	if n := ran.Load(); n != 4 {
+		t.Fatalf("foreign checkpoints were replayed: ran %d cells, want 4", n)
+	}
+}
+
+func TestCheckpointNilIsDisabled(t *testing.T) {
+	ck := NewCheckpoint(nil, "anything")
+	if ck != nil {
+		t.Fatal("nil store must yield a nil checkpoint")
+	}
+	if ck.Key() != "" {
+		t.Fatal("nil checkpoint key")
+	}
+	if n, err := ck.Len(); err != nil || n != 0 {
+		t.Fatalf("nil checkpoint Len = %d, %v", n, err)
+	}
+	if err := ck.Clear(); err != nil {
+		t.Fatal(err)
+	}
+	var v float64
+	if ck.load(0, &v) {
+		t.Fatal("nil checkpoint reported a hit")
+	}
+	ck.save(0, 1.0) // must not panic
+	g := indexedGrid(t, 3)
+	if _, err := Run(context.Background(), g, cleanJob, Options{Workers: 2, Checkpoint: ck}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckpointUndecodablePayloadIsMiss(t *testing.T) {
+	store, err := diskcache.OpenCheckpoint(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const key = "gob-mismatch"
+	if err := store.Put(key, 0, []byte("not gob at all")); err != nil {
+		t.Fatal(err)
+	}
+	ck := NewCheckpoint(store, key)
+	var v float64
+	if ck.load(0, &v) {
+		t.Fatal("undecodable payload read as a hit")
+	}
+}
+
+func ExampleNewCheckpoint() {
+	dir, _ := os.MkdirTemp("", "ckpt")
+	defer os.RemoveAll(dir)
+	store, _ := diskcache.OpenCheckpoint(dir)
+	g, _ := Indexed("i", 3)
+	out, _ := Run(context.Background(), g,
+		func(_ context.Context, p Point, _ *rng.Source) (float64, error) {
+			v, _ := p.Value("i")
+			return v * v, nil
+		}, Options{Checkpoint: NewCheckpoint(store, "example-run v1")})
+	fmt.Println(out)
+	// Output: [0 1 4]
+}

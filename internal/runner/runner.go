@@ -29,6 +29,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -189,6 +190,17 @@ type Options struct {
 	// split. Two Runs with the same seed and grid hand every cell the same
 	// stream regardless of worker count.
 	Seed uint64
+	// Retries is how many times a panicking cell is re-attempted before
+	// its CellPanicError is recorded (0 = no retries). Only panics are
+	// retried — a job error is taken at face value. Every attempt runs on
+	// a fresh copy of the cell's stream, so a cell that succeeds on any
+	// attempt produces exactly the bits a first-attempt success would.
+	Retries int
+	// Checkpoint, when non-nil, persists each completed cell through the
+	// disk tier and replays already-persisted cells instead of re-running
+	// them, so a killed run resumes to byte-identical results. See
+	// NewCheckpoint.
+	Checkpoint *Checkpoint
 	// Hooks observe progress.
 	Hooks Hooks
 	// Obs, when non-nil, receives the run's metrics: runner_cells /
@@ -242,6 +254,8 @@ func Run[T any](ctx context.Context, g Grid, job func(ctx context.Context, p Poi
 		queueWait   = ob.Gauge("runner_queue_wait_seconds")
 		completedC  = ob.Counter("runner_cells_completed_total")
 		failedC     = ob.Counter("runner_cells_failed_total")
+		retriedC    = ob.Counter("runner_cell_retries_total")
+		resumedC    = ob.Counter("runner_cells_resumed_total")
 		tracing     = ob.Tracing()
 	)
 	if ob != nil {
@@ -307,6 +321,14 @@ func Run[T any](ctx context.Context, g Grid, job func(ctx context.Context, p Poi
 					return
 				}
 				p := g.Point(i)
+				// A previously checkpointed cell is replayed, not re-run:
+				// gob round-trips the floats bit-exactly, so the resumed
+				// run's output is byte-identical to an uninterrupted one.
+				if opts.Checkpoint.load(i, &out[i]) {
+					resumedC.Inc()
+					finish(p, 0, nil)
+					continue
+				}
 				var (
 					cellStart time.Time
 					sp        obs.Span
@@ -318,7 +340,22 @@ func Run[T any](ctx context.Context, g Grid, job func(ctx context.Context, p Poi
 						sp = ob.StartSpan("cell", obs.L("cell", p.Label()))
 					}
 				}
-				v, err := job(runCtx, p, srcs[i])
+				// Panic isolation with bounded retries: each attempt gets a
+				// fresh copy of the cell's stream, so which attempt succeeds
+				// is unobservable in the results.
+				var (
+					v   T
+					err error
+				)
+				for attempt := 0; ; attempt++ {
+					src := *srcs[i]
+					v, err = runCell(runCtx, job, p, &src)
+					var pe *CellPanicError
+					if err == nil || !errors.As(err, &pe) || attempt >= opts.Retries {
+						break
+					}
+					retriedC.Inc()
+				}
 				var dur time.Duration
 				if ob != nil {
 					dur = time.Since(cellStart)
@@ -330,6 +367,7 @@ func Run[T any](ctx context.Context, g Grid, job func(ctx context.Context, p Poi
 					continue
 				}
 				out[i] = v
+				opts.Checkpoint.save(i, v)
 				finish(p, dur, nil)
 			}
 		}()
@@ -352,4 +390,15 @@ func Run[T any](ctx context.Context, g Grid, job func(ctx context.Context, p Poi
 		return nil, firstErr
 	}
 	return out, nil
+}
+
+// runCell executes one job attempt with panic isolation: a panic in the
+// job becomes a CellPanicError instead of crashing the pool.
+func runCell[T any](ctx context.Context, job func(ctx context.Context, p Point, src *rng.Source) (T, error), p Point, src *rng.Source) (v T, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &CellPanicError{Cell: p.Label(), Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return job(ctx, p, src)
 }

@@ -15,6 +15,7 @@ package scheme
 
 import (
 	"fmt"
+	"math"
 
 	"mfdl/internal/cmfsd"
 	"mfdl/internal/correlation"
@@ -59,6 +60,10 @@ type Options struct {
 	// Rho is the CMFSD bandwidth allocation ratio ρ ∈ [0, 1]; the other
 	// schemes ignore it.
 	Rho float64
+	// Theta is the downloader abort rate θ ≥ 0 (Qiu–Srikant churn). All
+	// four schemes honor it: θ = 0 keeps the paper's closed forms, θ > 0
+	// switches each model to its numeric abort-aware steady state.
+	Theta float64
 }
 
 // Model is the common evaluation surface of the four schemes: a
@@ -74,20 +79,49 @@ type Model interface {
 type mfcdModel struct {
 	params fluid.Params
 	corr   *correlation.Model
+	theta  float64
 }
 
 func (m mfcdModel) Evaluate() (*metrics.SchemeResult, error) {
-	return cmfsd.EvaluateMFCD(m.params, m.corr)
+	if m.theta == 0 {
+		return cmfsd.EvaluateMFCD(m.params, m.corr)
+	}
+	// MFCD ≡ MTCD in the fluid model; the equivalence carries the abort
+	// term along, so the θ > 0 path relabels the MTCD result too.
+	mt, err := mtcd.New(m.params, m.corr)
+	if err != nil {
+		return nil, err
+	}
+	mt.Theta = m.theta
+	res, err := mt.Evaluate()
+	if err != nil {
+		return nil, err
+	}
+	res.Scheme = cmfsd.MFCDScheme
+	return res, nil
 }
 
 // New constructs the model for the named scheme. It is the single dispatch
 // point over the per-package constructors.
 func New(s Scheme, params fluid.Params, corr *correlation.Model, opts Options) (Model, error) {
+	if opts.Theta < 0 || math.IsNaN(opts.Theta) || math.IsInf(opts.Theta, 0) {
+		return nil, fmt.Errorf("scheme: θ = %v must be a finite rate >= 0", opts.Theta)
+	}
 	switch s {
 	case MTCD:
-		return mtcd.New(params, corr)
+		m, err := mtcd.New(params, corr)
+		if err != nil {
+			return nil, err
+		}
+		m.Theta = opts.Theta
+		return m, nil
 	case MTSD:
-		return mtsd.New(params, corr)
+		m, err := mtsd.New(params, corr)
+		if err != nil {
+			return nil, err
+		}
+		m.Theta = opts.Theta
+		return m, nil
 	case MFCD:
 		if err := params.Validate(); err != nil {
 			return nil, err
@@ -95,9 +129,14 @@ func New(s Scheme, params fluid.Params, corr *correlation.Model, opts Options) (
 		if err := corr.Validate(); err != nil {
 			return nil, err
 		}
-		return mfcdModel{params: params, corr: corr}, nil
+		return mfcdModel{params: params, corr: corr, theta: opts.Theta}, nil
 	case CMFSD:
-		return cmfsd.New(params, corr, opts.Rho)
+		m, err := cmfsd.New(params, corr, opts.Rho)
+		if err != nil {
+			return nil, err
+		}
+		m.Theta = opts.Theta
+		return m, nil
 	default:
 		return nil, fmt.Errorf("scheme: unknown scheme %q", s)
 	}

@@ -39,6 +39,8 @@ func (r *Result) Sample() replica.Sample {
 		Counts: map[string]float64{
 			replica.Completed: float64(r.CompletedUsers),
 			replica.Arrived:   float64(r.ArrivedUsers),
+			replica.Aborted:   float64(r.AbortedUsers),
+			replica.SeedQuits: float64(r.SeedQuits),
 			"chunks":          float64(r.ChunksTransferred),
 		},
 		Summaries: map[string]stats.Summary{

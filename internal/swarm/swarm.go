@@ -37,6 +37,7 @@ import (
 
 	"mfdl/internal/adapt"
 	"mfdl/internal/correlation"
+	"mfdl/internal/faults"
 	"mfdl/internal/rng"
 	"mfdl/internal/stats"
 	"mfdl/internal/trace"
@@ -121,6 +122,12 @@ type Config struct {
 	// SampleEvery, when positive, records downloader and seed population
 	// series into Result.Trace every that many rounds.
 	SampleEvery int
+	// Faults injects deterministic churn: downloader aborts (rate per
+	// downloading round), virtual-seed quits (CMFSD), slow-peer
+	// throttling, and chunk-delivery loss. Fault draws come from
+	// dedicated streams keyed by Faults.Seed mixed with Seed, so a
+	// faults-off run is bit-identical to the pre-fault simulator.
+	Faults faults.Config
 }
 
 // Validate checks the configuration.
@@ -178,6 +185,9 @@ func (c Config) Validate() error {
 	if c.SampleEvery < 0 {
 		return errors.New("swarm: SampleEvery must be non-negative")
 	}
+	if err := c.Faults.Validate(); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -225,6 +235,14 @@ type Result struct {
 	FinalRho stats.Summary
 	// ChunksTransferred counts every chunk delivery (excluding origin).
 	ChunksTransferred int
+	// AbortedUsers counts counted users removed by an injected abort;
+	// their partial online/download rounds stay in the averages but not
+	// in Completed.
+	AbortedUsers int
+	// SeedQuits counts injected virtual-seed departures (CMFSD).
+	SeedQuits int
+	// ChunksLost counts scheduled deliveries dropped by injected loss.
+	ChunksLost int
 	// Trace holds "downloaders" and "seeds" series when
 	// Config.SampleEvery > 0, else nil.
 	Trace *trace.Recorder
@@ -261,6 +279,16 @@ type peer struct {
 	downloadRounds int
 	seedLeft       int
 	fileSeedLeft   int // MTSD: rounds left in the current per-file pause
+
+	// Fault state: downloading rounds left until an injected abort and
+	// virtual-seeding rounds left until an injected quit (0 = never),
+	// the slow-peer upload factor (0 or 1 = full speed), and the
+	// outcome flags.
+	abortLeft    int
+	vsQuitLeft   int
+	vsQuit       bool
+	aborted      bool
+	uploadFactor float64
 
 	virtUp, virtDown int // chunks via virtual seeding this adapt window
 	adaptAge         int
@@ -314,13 +342,15 @@ func (s *sim) fileFinished(p *peer, f int) bool {
 }
 
 type sim struct {
-	cfg    Config
-	corr   *correlation.Model
-	rng    *rng.Source
-	peers  []*peer
-	origin *peer
-	nextID int
-	round  int
+	cfg     Config
+	corr    *correlation.Model
+	rng     *rng.Source
+	plan    *faults.Plan // nil when faults are disabled
+	lossSrc *rng.Source  // dedicated stream for delivery-loss draws
+	peers   []*peer
+	origin  *peer
+	nextID  int
+	round   int
 
 	chunkCount []int // global availability per chunk (including origin)
 
@@ -346,11 +376,21 @@ func Run(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Mixing the sim seed into the chaos seed decorrelates replicas while
+	// keeping each (seed, chaos-seed) pair fully deterministic.
+	plan, err := faults.NewPlan(cfg.Faults.Mixed(cfg.Seed), nil)
+	if err != nil {
+		return nil, err
+	}
 	s := &sim{
 		cfg:  cfg,
 		corr: corr,
 		rng:  rng.New(cfg.Seed),
+		plan: plan,
 		res:  &Result{Config: cfg, Classes: make([]ClassStats, cfg.K)},
+	}
+	if plan != nil && plan.LossProb() > 0 {
+		s.lossSrc = plan.LossStream(0)
 	}
 	for i := range s.res.Classes {
 		s.res.Classes[i].Class = i + 1
@@ -424,6 +464,23 @@ func (s *sim) arrive() {
 			recvNow:   map[int]int{},
 		}
 		s.nextID++
+		if s.plan != nil {
+			// Per-peer draws keyed by id: the main RNG sees exactly the
+			// faults-off sequence.
+			id := uint64(p.id)
+			if a := s.plan.AbortAfter(id); a < math.MaxInt32 {
+				p.abortLeft = 1 + int(a)
+			}
+			if s.cfg.Scheme == CMFSD && p.class > 1 {
+				if q := s.plan.SeedQuitAfter(id); q < math.MaxInt32 {
+					p.vsQuitLeft = 1 + int(q)
+				}
+			}
+			if f := s.plan.UploadFactor(id); f < 1 {
+				p.uploadFactor = f
+				s.plan.NoteSlowPeer()
+			}
+		}
 		if s.cfg.Scheme == CMFSD {
 			if s.rng.Bernoulli(s.cfg.CheaterFraction) {
 				p.cheater = true
@@ -462,6 +519,10 @@ func (s *sim) uploadBudgets(p *peer) (tft, virtual int) {
 	if p == s.origin {
 		return 0, s.cfg.OriginUpload
 	}
+	if p.uploadFactor > 0 && p.uploadFactor < 1 {
+		// Injected slow-peer throttling.
+		u = int(math.Round(p.uploadFactor * float64(u)))
+	}
 	if p.state == stateSeeding {
 		return 0, u
 	}
@@ -470,6 +531,11 @@ func (s *sim) uploadBudgets(p *peer) (tft, virtual int) {
 		return 0, u
 	}
 	if s.cfg.Scheme == CMFSD && p.class > 1 && p.finished >= 1 {
+		if p.vsQuit {
+			// An injected virtual-seed quit: the peer turns selfish and
+			// spends its whole upload on tit-for-tat.
+			return u, 0
+		}
 		v := int(math.Round((1 - p.rho) * float64(u)))
 		return u - v, v
 	}
@@ -531,6 +597,12 @@ func (s *sim) step() {
 		if tr.to.have[tr.chunk] {
 			continue
 		}
+		if s.lossSrc != nil && s.lossSrc.Bernoulli(s.plan.LossProb()) {
+			// Injected delivery loss: the chunk is sent but never lands.
+			s.res.ChunksLost++
+			s.plan.NoteLoss()
+			continue
+		}
 		tr.to.have[tr.chunk] = true
 		tr.to.haveCount[tr.chunk/s.cfg.ChunksPerFile]++
 		s.chunkCount[tr.chunk]++
@@ -557,6 +629,28 @@ func (s *sim) step() {
 			} else {
 				p.downloadRounds++
 				s.checkCompletion(p)
+			}
+		}
+		if p.state == stateDownloading && s.plan != nil {
+			// Injected churn ticks on downloading rounds only, mirroring
+			// the fluid θ·x clock. The virtual-seed-quit clock ticks while
+			// the peer actually virtual-seeds.
+			if !p.vsQuit && p.vsQuitLeft > 0 && p.class > 1 && p.finished >= 1 {
+				p.vsQuitLeft--
+				if p.vsQuitLeft == 0 {
+					p.vsQuit = true
+					s.res.SeedQuits++
+					s.plan.NoteSeedQuit()
+				}
+			}
+			if p.abortLeft > 0 {
+				p.abortLeft--
+				if p.abortLeft == 0 {
+					p.aborted = true
+					s.plan.NoteAbort()
+					s.depart(p)
+					continue
+				}
 			}
 		}
 		if p.state == stateSeeding {
@@ -647,13 +741,28 @@ func (s *sim) depart(dead *peer) {
 	}
 	online := float64(s.round - dead.arrival + 1)
 	cs := &s.res.Classes[dead.class-1]
-	cs.Completed++
+	if dead.aborted {
+		s.res.AbortedUsers++
+	} else {
+		cs.Completed++
+		s.res.CompletedUsers++
+	}
 	cs.OnlineRounds.Add(online)
 	cs.DownloadRounds.Add(float64(dead.downloadRounds))
-	s.res.CompletedUsers++
 	s.sumOnline += online
 	s.sumDl += float64(dead.downloadRounds)
-	s.sumFiles += dead.class
+	// Per-file averages divide by files actually started (the fluid
+	// model's per-torrent-entry accounting): an aborted sequential
+	// downloader never charges the files past its cursor. MFCD starts
+	// every file at arrival, and completed users started them all.
+	files := dead.class
+	if dead.aborted && s.cfg.Scheme != MFCD {
+		files = dead.cursor + 1
+		if files > dead.class {
+			files = dead.class
+		}
+	}
+	s.sumFiles += files
 	if s.cfg.Scheme == CMFSD && dead.class > 1 && !dead.cheater {
 		s.res.FinalRho.Add(dead.rho)
 	}
