@@ -26,11 +26,18 @@ tier2:
 	go test -race -count=1 -run 'Panic|Retr|Checkpoint' ./internal/runner/ ./internal/runner/diskcache/
 	go test -race -count=1 -run 'ChurnSweepDeterministic' ./internal/experiments/
 	go test -race -count=1 -run 'Disconnect|Watchdog|AnnounceWithRetry|Reconnect' ./internal/client/
+	go test -race -count=1 -run 'TestStepAllocs' ./internal/swarm/ ./internal/eventsim/
 
 # bench regenerates every paper artifact under timing, including the
-# serial-vs-parallel sweep comparison.
+# serial-vs-parallel sweep comparison, then remeasures the simulator step
+# benchmarks and refreshes the "current" section of BENCH_PR6.json (the
+# first point of the ROADMAP's performance trajectory; the committed
+# "baseline" section — the pre-refactor numbers — is preserved).
 bench:
 	go test -bench=. -benchtime=1x .
+	go test -run '^$$' -bench 'BenchmarkSwarmStep|BenchmarkEventsimStep' -benchtime 20x \
+		./internal/swarm/ ./internal/eventsim/ | \
+		go run ./cmd/benchjson -o BENCH_PR6.json -label "struct-of-arrays hot paths, indexed event timers"
 
 # profile runs a small instrumented sweep with every observability sink
 # attached: a JSON metrics snapshot and a Chrome trace land in ./prof/,

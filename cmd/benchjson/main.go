@@ -1,0 +1,130 @@
+// Command benchjson converts `go test -bench` output on stdin into the
+// repository's benchmark-trajectory JSON (BENCH_PR<N>.json, see ROADMAP.md
+// and the README's benchmark workflow). It parses the standard benchmark
+// result lines — including custom metrics like peers/sec — and writes one
+// JSON document with a "current" section holding the fresh numbers.
+//
+// If the output file already exists, its "baseline" section is preserved:
+// the baseline is the pre-refactor measurement a PR's speedup claim is
+// judged against, and regenerating the current numbers must not erase it.
+//
+// Usage:
+//
+//	go test -run '^$' -bench 'Step' -benchtime 20x ./internal/swarm/ |
+//	    benchjson -o BENCH_PR6.json -label "SoA hot paths"
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Entry is one benchmark result line.
+type Entry struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	PeersPerSec float64 `json:"peers_per_sec,omitempty"`
+}
+
+// Section is one labeled measurement set.
+type Section struct {
+	Label   string  `json:"label"`
+	Entries []Entry `json:"entries"`
+}
+
+// Doc is the on-disk BENCH_PR<N>.json shape.
+type Doc struct {
+	// Baseline is the pre-change measurement the PR is judged against;
+	// preserved across regenerations once recorded.
+	Baseline *Section `json:"baseline,omitempty"`
+	// Current is the measurement of the checked-out tree.
+	Current Section `json:"current"`
+}
+
+// benchLine matches `BenchmarkName-P  N  value unit  value unit ...`.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.*)$`)
+
+func parse(lines *bufio.Scanner) ([]Entry, error) {
+	var out []Entry
+	for lines.Scan() {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(lines.Text()))
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchjson: bad iteration count in %q: %w", lines.Text(), err)
+		}
+		e := Entry{Name: strings.TrimPrefix(m[1], "Benchmark"), Iterations: iters}
+		fields := strings.Fields(m[3])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchjson: bad value in %q: %w", lines.Text(), err)
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				e.NsPerOp = v
+			case "B/op":
+				e.BytesPerOp = v
+			case "allocs/op":
+				e.AllocsPerOp = v
+			case "peers/sec":
+				e.PeersPerSec = v
+			}
+		}
+		out = append(out, e)
+	}
+	return out, lines.Err()
+}
+
+func run(out, label string) error {
+	entries, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		return err
+	}
+	if len(entries) == 0 {
+		return fmt.Errorf("benchjson: no benchmark lines on stdin")
+	}
+	doc := Doc{Current: Section{Label: label, Entries: entries}}
+	if prev, err := os.ReadFile(out); err == nil {
+		var old Doc
+		if err := json.Unmarshal(prev, &old); err != nil {
+			return fmt.Errorf("benchjson: existing %s is not trajectory JSON: %w", out, err)
+		}
+		doc.Baseline = old.Baseline
+	}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(out, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d entries to %s\n", len(entries), out)
+	return nil
+}
+
+func main() {
+	out := flag.String("o", "", "output JSON file (required)")
+	label := flag.String("label", "working tree", "label for the current measurement set")
+	flag.Parse()
+	if *out == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*out, *label); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

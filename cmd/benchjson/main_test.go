@@ -1,0 +1,42 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+func TestParse(t *testing.T) {
+	out := `goos: linux
+goarch: amd64
+pkg: mfdl/internal/swarm
+BenchmarkSwarmStep/n=1000-8         	      20	   1054588 ns/op	    948238 peers/sec	   11030 B/op	     153 allocs/op
+BenchmarkSwarmStep/n=10000-8        	      20	  11726369 ns/op	    852779 peers/sec	  106588 B/op	    1367 allocs/op
+BenchmarkEventsimStep/CMFSD/n=1000-8	     200	      7790 ns/op	 128368634 peers/sec	       0 B/op	       0 allocs/op
+PASS
+ok  	mfdl/internal/swarm	2.5s
+`
+	entries, err := parse(bufio.NewScanner(strings.NewReader(out)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 {
+		t.Fatalf("parsed %d entries, want 3", len(entries))
+	}
+	first := entries[0]
+	if first.Name != "SwarmStep/n=1000" || first.Iterations != 20 ||
+		first.NsPerOp != 1054588 || first.PeersPerSec != 948238 ||
+		first.BytesPerOp != 11030 || first.AllocsPerOp != 153 {
+		t.Errorf("first entry parsed wrong: %+v", first)
+	}
+	if entries[2].Name != "EventsimStep/CMFSD/n=1000" || entries[2].AllocsPerOp != 0 {
+		t.Errorf("third entry parsed wrong: %+v", entries[2])
+	}
+}
+
+func TestParseRejectsGarbageValues(t *testing.T) {
+	_, err := parse(bufio.NewScanner(strings.NewReader("BenchmarkX-8 10 nan!! ns/op\n")))
+	if err == nil {
+		t.Fatal("parse accepted an unparseable value")
+	}
+}

@@ -36,6 +36,8 @@ import (
 	"mfdl/internal/fluid"
 	"mfdl/internal/obs"
 	"mfdl/internal/replica"
+	"mfdl/internal/scheme"
+	"mfdl/internal/sim"
 	"mfdl/internal/swarm"
 	"mfdl/internal/table"
 )
@@ -62,7 +64,7 @@ func run(args []string) error {
 		lambda0  = fs.Float64("lambda0", 1, "visiting rate λ₀")
 		p        = fs.Float64("p", 0.9, "file correlation p")
 		rho      = fs.Float64("rho", 0, "CMFSD allocation ratio ρ")
-		scheme   = fs.String("scheme", "CMFSD", "scheme for 'run': MTCD, MTSD, MFCD, CMFSD")
+		schemeFl = fs.String("scheme", "CMFSD", "scheme for 'run': MTCD, MTSD, MFCD, CMFSD")
 		horizon  = fs.Float64("horizon", 4000, "simulated time (rounds for 'swarm')")
 		warmup   = fs.Float64("warmup", 800, "warmup time excluded from statistics")
 		seed     = fs.Uint64("seed", 1, "RNG seed (base of the replica seed derivation)")
@@ -199,26 +201,20 @@ func run(args []string) error {
 			}
 			return emit(res.Table())
 		case "run":
-			var sc eventsim.Scheme
-			switch *scheme {
-			case "MTCD":
-				sc = eventsim.MTCD
-			case "MTSD":
-				sc = eventsim.MTSD
-			case "MFCD":
-				sc = eventsim.MFCD
-			case "CMFSD":
-				sc = eventsim.CMFSD
-			default:
-				return fmt.Errorf("unknown scheme %q", *scheme)
+			sc, err := scheme.ParseSim(*schemeFl)
+			if err != nil {
+				return fmt.Errorf("unknown scheme %q", *schemeFl)
 			}
-			cfg := eventsim.Config{
+			rsim, err := sim.New(sc, sim.Config{Flow: &eventsim.Config{
 				Params: params, K: *k, Lambda0: *lambda0, P: *p,
-				Scheme: sc, Rho: *rho,
+				Rho:     *rho,
 				Horizon: *horizon, Warmup: *warmup,
+			}})
+			if err != nil {
+				return err
 			}
 			aggs, err := replica.Run(ctx, 1, func(int) replica.Sim {
-				return eventsim.Sim{Config: cfg}
+				return rsim
 			}, replica.Options{Replicas: *replicas, Workers: *workers, Seed: *seed, Obs: ob})
 			if err != nil {
 				return err
@@ -226,10 +222,10 @@ func run(args []string) error {
 			agg := aggs[0]
 			rep := *replicas > 1
 			title := fmt.Sprintf("%s flow-level run (p=%.2f, ρ=%.2f, horizon=%g)",
-				*scheme, *p, *rho, *horizon)
+				sc, *p, *rho, *horizon)
 			if rep {
 				title = fmt.Sprintf("%s flow-level run (p=%.2f, ρ=%.2f, horizon=%g, R=%d)",
-					*scheme, *p, *rho, *horizon, *replicas)
+					sc, *p, *rho, *horizon, *replicas)
 			}
 			cols := []string{"metric", "value"}
 			if rep {

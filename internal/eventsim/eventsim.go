@@ -25,39 +25,30 @@ import (
 	"mfdl/internal/faults"
 	"mfdl/internal/fluid"
 	"mfdl/internal/rng"
+	"mfdl/internal/scheme"
 	"mfdl/internal/stats"
 	"mfdl/internal/trace"
 )
 
-// Scheme selects the downloading scheme to simulate.
-type Scheme int
+// Scheme selects the downloading scheme to simulate. It aliases the
+// shared scheme.SimScheme identifier (this package's original numbering),
+// so values flow between the CLIs, internal/sim and both simulators
+// without translation.
+type Scheme = scheme.SimScheme
 
 // The four schemes of the paper.
+//
+// Deprecated: these local names are aliases kept so existing callers
+// compile unchanged; new code should use the scheme.Sim* constants.
 const (
-	MTCD Scheme = iota
-	MTSD
-	MFCD
-	CMFSD
+	MTCD  = scheme.SimMTCD
+	MTSD  = scheme.SimMTSD
+	MFCD  = scheme.SimMFCD
+	CMFSD = scheme.SimCMFSD
 )
 
-// String implements fmt.Stringer.
-func (s Scheme) String() string {
-	switch s {
-	case MTCD:
-		return "MTCD"
-	case MTSD:
-		return "MTSD"
-	case MFCD:
-		return "MFCD"
-	case CMFSD:
-		return "CMFSD"
-	default:
-		return fmt.Sprintf("Scheme(%d)", int(s))
-	}
-}
-
 // concurrent reports whether legs run simultaneously with split bandwidth.
-func (s Scheme) concurrent() bool { return s == MTCD || s == MFCD }
+func concurrent(s Scheme) bool { return s == MTCD || s == MFCD }
 
 // Config parameterizes one simulation run.
 type Config struct {
@@ -280,6 +271,12 @@ type peer struct {
 	virtDownRate     float64 // current virtual-seed receive rate
 	seeding          bool    // CMFSD real-seed phase
 	seedDepartAt     float64
+
+	// pos is the peer's index in s.peers, maintained across swap-removes;
+	// heapIdx[sub] is the heap slot of the peer's pending seed timer for
+	// sub (leg index, or 0 for the CMFSD peer timer), -1 when none.
+	pos     int32
+	heapIdx []int32
 }
 
 // downloadingLeg returns the active downloading leg index, or -1.
@@ -350,6 +347,23 @@ type sim struct {
 
 	sumOnline, sumDownload float64
 	sumFiles               int
+
+	// Event-loop state (owned by init/stepOnce).
+	lambdaTot   float64
+	nextArrival float64
+	nextAdapt   float64
+	nextSample  float64
+
+	// timers holds the pending seed-departure events (the only absolute,
+	// rate-independent times); everything rate-coupled is recomputed per
+	// event in stepOnce's fused pass.
+	timers timerHeap
+	// dlCount / seedCount incrementally track the leg populations the
+	// former populations() scan counted (integers, so incremental
+	// maintenance is exact).
+	dlCount, seedCount int
+	// Per-event scratch for the multi-torrent rate pass.
+	seedCapBuf, weightSumBuf []float64
 }
 
 // classSample draws a user class ∝ λ_i.
@@ -387,6 +401,7 @@ func (s *sim) newPeer() *peer {
 		class:        class,
 		arrivalAt:    s.now,
 		legs:         make([]leg, class),
+		heapIdx:      make([]int32, class),
 		counted:      s.now >= s.cfg.Warmup,
 		rho:          s.cfg.Rho,
 		bwClass:      -1,
@@ -394,6 +409,9 @@ func (s *sim) newPeer() *peer {
 		weight:       1,
 		abortBudget:  math.Inf(1),
 		vsQuitBudget: math.Inf(1),
+	}
+	for i := range p.heapIdx {
+		p.heapIdx[i] = -1
 	}
 	s.nextID++
 	if len(s.cfg.Bandwidth) > 0 {
@@ -424,7 +442,7 @@ func (s *sim) newPeer() *peer {
 	for i, f := range files {
 		p.legs[i] = leg{torrent: f, state: legWaiting, remaining: 1}
 	}
-	if s.cfg.Scheme.concurrent() {
+	if concurrent(s.cfg.Scheme) {
 		for i := range p.legs {
 			p.legs[i].state = legDownloading
 		}
@@ -444,6 +462,21 @@ func (s *sim) newPeer() *peer {
 		}
 	}
 	return p
+}
+
+// admit adds a materialized peer to the swarm, maintaining the peer's
+// position index and the incremental leg-population counters.
+func (s *sim) admit(p *peer) {
+	if p.counted {
+		s.res.ArrivedUsers++
+	}
+	p.pos = int32(len(s.peers))
+	s.peers = append(s.peers, p)
+	if concurrent(s.cfg.Scheme) {
+		s.dlCount += p.class
+	} else {
+		s.dlCount++
+	}
 }
 
 // tftUpload returns the upload bandwidth a downloading peer devotes to
@@ -476,86 +509,24 @@ func (s *sim) virtualUpload(p *peer) float64 {
 // across its legs under the concurrent schemes.
 func (s *sim) legWeight(p *peer) float64 {
 	w := p.weight
-	if s.cfg.Scheme.concurrent() {
+	if concurrent(s.cfg.Scheme) {
 		w /= float64(p.class)
 	}
 	return w
 }
 
-// recomputeRates assembles every downloading leg's service rate from the
-// two fluid-model sources (tit-for-tat η·ownUpload; seed-like capacity
-// split by download weight) and refreshes each peer's virtual-seed receive
-// rate for the Adapt Δ accounting.
-func (s *sim) recomputeRates() {
-	k := s.cfg.K
-	eta := s.cfg.Eta
-	if s.cfg.Scheme == CMFSD {
-		// Pooled seed-like service: virtual seeds plus real seeds,
-		// split over all downloaders by weight (Eq. 5's S term; equal
-		// weights make it per capita).
-		virtPool, realPool, weightSum := 0.0, 0.0, 0.0
-		for _, p := range s.peers {
-			if p.seeding {
-				realPool += p.mu
-				continue
-			}
-			if li := p.downloadingLeg(); li >= 0 {
-				weightSum += p.weight
-				virtPool += s.virtualUpload(p)
-			}
-		}
-		for _, p := range s.peers {
-			p.virtDownRate = 0
-			if p.seeding {
-				continue
-			}
-			if li := p.downloadingLeg(); li >= 0 {
-				share := 0.0
-				if weightSum > 0 {
-					share = p.weight / weightSum
-				}
-				p.legs[li].rate = eta*s.tftUpload(p) + share*(virtPool+realPool)
-				p.virtDownRate = share * virtPool
-			}
-		}
-		return
-	}
-	// Per-torrent accounting for the multi-torrent schemes.
-	seedCap := make([]float64, k)
-	weightSum := make([]float64, k)
-	for _, p := range s.peers {
-		p.virtDownRate = 0
-		for i := range p.legs {
-			l := &p.legs[i]
-			switch l.state {
-			case legSeeding:
-				if s.cfg.Scheme == MTSD {
-					seedCap[l.torrent] += p.mu
-				} else {
-					seedCap[l.torrent] += p.mu / float64(p.class)
-				}
-			case legDownloading:
-				weightSum[l.torrent] += s.legWeight(p)
-			}
-		}
-	}
-	for _, p := range s.peers {
-		for i := range p.legs {
-			l := &p.legs[i]
-			if l.state != legDownloading {
-				continue
-			}
-			r := eta * s.tftUpload(p)
-			if weightSum[l.torrent] > 0 {
-				r += s.legWeight(p) / weightSum[l.torrent] * seedCap[l.torrent]
-			}
-			l.rate = r
-		}
-	}
-}
+// The per-event rate pass in stepOnce assembles every downloading leg's
+// service rate from the two fluid-model sources (tit-for-tat η·ownUpload;
+// seed-like capacity split by download weight) and refreshes each peer's
+// virtual-seed receive rate for the Adapt Δ accounting. Rates are
+// recomputed from scratch every event in a fixed summation order: the
+// fluid coupling makes every rate depend on the whole population, and the
+// goldens pin the exact floating-point operation order.
 
 // populations counts downloading and seeding legs (a CMFSD real seed counts
-// as one seeding leg).
+// as one seeding leg) by scanning. The event loop uses the incrementally
+// maintained dlCount/seedCount instead; this scan remains as the oracle the
+// consistency tests compare the counters against.
 func (s *sim) populations() (dl, seeds int) {
 	for _, p := range s.peers {
 		if p.seeding {
@@ -578,128 +549,234 @@ const never = math.MaxFloat64
 
 // run is the main event loop.
 func (s *sim) run() {
-	lambdaTot := s.corr.TotalUserRate()
-	if lambdaTot <= 0 {
+	if !s.init() {
 		return
 	}
-	for i := 0; i < s.cfg.FlashCrowd; i++ {
-		p := s.newPeer()
-		if p.counted {
-			s.res.ArrivedUsers++
-		}
-		s.peers = append(s.peers, p)
+	for s.stepOnce() {
 	}
-	nextSample := never
+}
+
+// init seeds the flash crowd and arms the recurring timers. It reports
+// whether the event loop should run at all.
+func (s *sim) init() bool {
+	s.lambdaTot = s.corr.TotalUserRate()
+	if s.lambdaTot <= 0 {
+		return false
+	}
+	for i := 0; i < s.cfg.FlashCrowd; i++ {
+		s.admit(s.newPeer())
+	}
+	s.nextSample = never
 	if s.cfg.SampleEvery > 0 {
 		s.res.Trace = trace.NewRecorder()
 		s.samplePopulations()
-		nextSample = s.cfg.SampleEvery
+		s.nextSample = s.cfg.SampleEvery
 	}
-	nextArrival := s.rng.Exp(lambdaTot)
-	nextAdapt := never
+	s.nextArrival = s.rng.Exp(s.lambdaTot)
+	s.nextAdapt = never
 	if s.cfg.Scheme == CMFSD && s.cfg.Adapt != nil {
-		nextAdapt = s.cfg.Adapt.Period
+		s.nextAdapt = s.cfg.Adapt.Period
 	}
-	for {
-		s.recomputeRates()
+	return true
+}
 
-		// Candidate event times.
-		tNext := s.cfg.Horizon
-		kind := evHorizon
-		var actor *peer
-		var actorLeg int
-		if nextArrival < tNext {
-			tNext, kind = nextArrival, evArrival
-		}
+// stepOnce processes one event: a fused pass recomputes rates and scans
+// the rate-coupled candidates (completions, abort and quit budgets), the
+// timer heap supplies the earliest seed departure, then the clock advances
+// and the winning event applies. It returns false once the horizon is
+// reached.
+//
+// Candidate selection replicates the former linear scan's tie-breaking
+// exactly: that scan kept the first candidate at a strictly smaller time,
+// i.e. the lexicographic minimum of (time, scan position), where scan
+// position is (source group, peer index, sub-candidate index within the
+// peer). The heap orders its entries by the same key, and the strict <
+// comparisons below reproduce the group order horizon < arrival < peer
+// candidates < adapt < sample.
+func (s *sim) stepOnce() bool {
+	tNext := s.cfg.Horizon
+	kind := evHorizon
+	var actor *peer
+	var actorLeg int
+	// Scan position of the current best when it is a peer candidate;
+	// (-1, -1) otherwise, so a seed timer never wins a tie against an
+	// earlier source group.
+	curPos, curSub := int32(-1), int32(-1)
+	if s.nextArrival < tNext {
+		tNext, kind = s.nextArrival, evArrival
+	}
+
+	eta := s.cfg.Eta
+	if s.cfg.Scheme == CMFSD {
+		// Pooled seed-like service: virtual seeds plus real seeds,
+		// split over all downloaders by weight (Eq. 5's S term; equal
+		// weights make it per capita).
+		virtPool, realPool, weightSum := 0.0, 0.0, 0.0
 		for _, p := range s.peers {
 			if p.seeding {
-				if p.seedDepartAt < tNext {
-					tNext, kind, actor = p.seedDepartAt, evPeerDepart, p
-				}
+				realPool += p.mu
 				continue
 			}
-			anyDl := false
-			for i := range p.legs {
-				l := &p.legs[i]
-				switch l.state {
-				case legDownloading:
-					anyDl = true
-					if l.rate > 0 {
-						tc := s.now + l.remaining/l.rate
-						if tc < tNext {
-							tNext, kind, actor, actorLeg = tc, evCompletion, p, i
-						}
-					}
-				case legSeeding:
-					if l.seedDepartAt < tNext {
-						tNext, kind, actor, actorLeg = l.seedDepartAt, evLegDepart, p, i
-					}
+			if li := p.downloadingLeg(); li >= 0 {
+				weightSum += p.weight
+				virtPool += s.virtualUpload(p)
+			}
+		}
+		for pos, p := range s.peers {
+			p.virtDownRate = 0
+			if p.seeding {
+				continue // departure timer lives in the heap
+			}
+			li := p.downloadingLeg()
+			if li < 0 {
+				continue
+			}
+			share := 0.0
+			if weightSum > 0 {
+				share = p.weight / weightSum
+			}
+			l := &p.legs[li]
+			l.rate = eta*s.tftUpload(p) + share*(virtPool+realPool)
+			p.virtDownRate = share * virtPool
+			if l.rate > 0 {
+				if tc := s.now + l.remaining/l.rate; tc < tNext {
+					tNext, kind, actor, actorLeg = tc, evCompletion, p, li
+					curPos, curSub = int32(pos), int32(li)
 				}
 			}
 			if s.plan != nil {
-				// Abort and virtual-seed-quit budgets tick only while the
-				// matching activity is in progress, so the injected
+				// Abort and virtual-seed-quit budgets tick only while
+				// the matching activity is in progress, so the injected
 				// lifetimes are exponential in activity time — the same
 				// clock the fluid θ·x term runs on.
-				if anyDl {
-					if ta := s.now + p.abortBudget; ta < tNext {
-						tNext, kind, actor = ta, evPeerAbort, p
-					}
+				if ta := s.now + p.abortBudget; ta < tNext {
+					tNext, kind, actor = ta, evPeerAbort, p
+					curPos, curSub = int32(pos), int32(len(p.legs))
 				}
 				if s.virtualUpload(p) > 0 {
 					if tq := s.now + p.vsQuitBudget; tq < tNext {
 						tNext, kind, actor = tq, evVsQuit, p
+						curPos, curSub = int32(pos), int32(len(p.legs))+1
 					}
 				}
 			}
 		}
-		if nextAdapt < tNext {
-			tNext, kind = nextAdapt, evAdapt
+	} else {
+		// Per-torrent accounting for the multi-torrent schemes, into
+		// reusable scratch (the former per-event allocations).
+		k := s.cfg.K
+		if cap(s.seedCapBuf) < k {
+			s.seedCapBuf = make([]float64, k)
+			s.weightSumBuf = make([]float64, k)
 		}
-		if nextSample < tNext {
-			tNext, kind = nextSample, evSample
+		seedCap := s.seedCapBuf[:k]
+		weightSum := s.weightSumBuf[:k]
+		for i := range seedCap {
+			seedCap[i] = 0
+			weightSum[i] = 0
 		}
-
-		s.advance(tNext)
-
-		switch kind {
-		case evHorizon:
-			return
-		case evArrival:
-			p := s.newPeer()
-			if p.counted {
-				s.res.ArrivedUsers++
+		for _, p := range s.peers {
+			p.virtDownRate = 0
+			for i := range p.legs {
+				l := &p.legs[i]
+				switch l.state {
+				case legSeeding:
+					if s.cfg.Scheme == MTSD {
+						seedCap[l.torrent] += p.mu
+					} else {
+						seedCap[l.torrent] += p.mu / float64(p.class)
+					}
+				case legDownloading:
+					weightSum[l.torrent] += s.legWeight(p)
+				}
 			}
-			s.peers = append(s.peers, p)
-			nextArrival = s.now + s.rng.Exp(lambdaTot)
-		case evCompletion:
-			s.completeLeg(actor, actorLeg)
-		case evLegDepart:
-			actor.legs[actorLeg].state = legDone
-			s.afterLegDeparture(actor, actorLeg)
-		case evPeerDepart:
-			s.departPeer(actor)
-		case evPeerAbort:
-			actor.aborted = true
-			s.plan.NoteAbort()
-			s.departPeer(actor)
-		case evVsQuit:
-			actor.vsQuit = true
-			s.res.SeedQuits++
-			s.plan.NoteSeedQuit()
-		case evAdapt:
-			s.adaptTick()
-			nextAdapt = s.now + s.cfg.Adapt.Period
-		case evSample:
-			s.samplePopulations()
-			nextSample = s.now + s.cfg.SampleEvery
+		}
+		for pos, p := range s.peers {
+			anyDl := false
+			for i := range p.legs {
+				l := &p.legs[i]
+				if l.state != legDownloading {
+					continue // seeding-leg timers live in the heap
+				}
+				anyDl = true
+				r := eta * s.tftUpload(p)
+				if weightSum[l.torrent] > 0 {
+					r += s.legWeight(p) / weightSum[l.torrent] * seedCap[l.torrent]
+				}
+				l.rate = r
+				if r > 0 {
+					if tc := s.now + l.remaining/r; tc < tNext {
+						tNext, kind, actor, actorLeg = tc, evCompletion, p, i
+						curPos, curSub = int32(pos), int32(i)
+					}
+				}
+			}
+			if s.plan != nil && anyDl {
+				if ta := s.now + p.abortBudget; ta < tNext {
+					tNext, kind, actor = ta, evPeerAbort, p
+					curPos, curSub = int32(pos), int32(len(p.legs))
+				}
+			}
 		}
 	}
+
+	if h, ok := s.timers.min(); ok {
+		if h.at < tNext ||
+			(h.at == tNext && (h.p.pos < curPos || (h.p.pos == curPos && h.sub < curSub))) {
+			tNext, actor = h.at, h.p
+			if s.cfg.Scheme == CMFSD {
+				kind = evPeerDepart
+			} else {
+				kind, actorLeg = evLegDepart, int(h.sub)
+			}
+		}
+	}
+	if s.nextAdapt < tNext {
+		tNext, kind = s.nextAdapt, evAdapt
+	}
+	if s.nextSample < tNext {
+		tNext, kind = s.nextSample, evSample
+	}
+
+	s.advance(tNext)
+
+	switch kind {
+	case evHorizon:
+		return false
+	case evArrival:
+		s.admit(s.newPeer())
+		s.nextArrival = s.now + s.rng.Exp(s.lambdaTot)
+	case evCompletion:
+		s.completeLeg(actor, actorLeg)
+	case evLegDepart:
+		s.timers.pop()
+		actor.legs[actorLeg].state = legDone
+		s.seedCount--
+		s.afterLegDeparture(actor, actorLeg)
+	case evPeerDepart:
+		s.timers.pop()
+		s.departPeer(actor)
+	case evPeerAbort:
+		actor.aborted = true
+		s.plan.NoteAbort()
+		s.departPeer(actor)
+	case evVsQuit:
+		actor.vsQuit = true
+		s.res.SeedQuits++
+		s.plan.NoteSeedQuit()
+	case evAdapt:
+		s.adaptTick()
+		s.nextAdapt = s.now + s.cfg.Adapt.Period
+	case evSample:
+		s.samplePopulations()
+		s.nextSample = s.now + s.cfg.SampleEvery
+	}
+	return true
 }
 
 // samplePopulations records the current leg populations into the trace.
 func (s *sim) samplePopulations() {
-	dl, seeds := s.populations()
+	dl, seeds := s.dlCount, s.seedCount
 	// Errors are impossible here: the clock is monotone.
 	_ = s.res.Trace.Record("downloaders", s.now, float64(dl))
 	_ = s.res.Trace.Record("seeds", s.now, float64(seeds))
@@ -756,7 +833,7 @@ func (s *sim) advance(tNext float64) {
 	}
 	if tNext >= s.cfg.Warmup {
 		obsAt := math.Max(s.now, s.cfg.Warmup)
-		dl, seeds := s.populations()
+		dl, seeds := s.dlCount, s.seedCount
 		if !s.statsBegan {
 			s.statsBegan = true
 		}
@@ -776,19 +853,29 @@ func (s *sim) completeLeg(p *peer, li int) {
 	case MTCD, MFCD:
 		l.state = legSeeding
 		l.seedDepartAt = s.now + s.rng.Exp(s.cfg.Gamma)
+		s.dlCount--
+		s.seedCount++
+		s.timers.push(l.seedDepartAt, p, int32(li))
 	case MTSD:
 		l.state = legSeeding
 		l.seedDepartAt = s.now + s.rng.Exp(s.cfg.Gamma)
+		s.dlCount--
+		s.seedCount++
+		s.timers.push(l.seedDepartAt, p, int32(li))
 		// The next file starts only after this seeding phase
 		// (sequential: download, seed, move on).
 	case CMFSD:
 		l.state = legDone
+		s.dlCount--
 		if p.finished == p.class {
 			p.seeding = true
 			p.seedDepartAt = s.now + s.rng.Exp(s.cfg.Gamma)
+			s.seedCount++
+			s.timers.push(p.seedDepartAt, p, 0)
 		} else {
 			p.cursor++
 			p.legs[p.cursor].state = legDownloading
+			s.dlCount++
 		}
 	}
 }
@@ -799,6 +886,7 @@ func (s *sim) afterLegDeparture(p *peer, li int) {
 		if li == p.cursor && p.cursor+1 < len(p.legs) {
 			p.cursor++
 			p.legs[p.cursor].state = legDownloading
+			s.dlCount++
 			return
 		}
 	}
@@ -812,12 +900,32 @@ func (s *sim) afterLegDeparture(p *peer, li int) {
 
 // departPeer removes the peer and records its statistics.
 func (s *sim) departPeer(dead *peer) {
-	for i, p := range s.peers {
-		if p == dead {
-			s.peers[i] = s.peers[len(s.peers)-1]
-			s.peers = s.peers[:len(s.peers)-1]
-			break
+	// Population counters and pending seed timers for whatever the peer
+	// leaves behind (an abort can retire seeding legs mid-flight; a fired
+	// departure timer was already popped, so remove is a no-op for it).
+	if dead.seeding {
+		s.seedCount--
+		s.timers.remove(dead, 0)
+	}
+	for i := range dead.legs {
+		switch dead.legs[i].state {
+		case legDownloading:
+			s.dlCount--
+		case legSeeding:
+			s.seedCount--
+			s.timers.remove(dead, int32(i))
 		}
+	}
+	// Swap-remove from the peer list; the moved peer's position key
+	// decreased, so its pending timers re-sift in the heap.
+	i := int(dead.pos)
+	last := len(s.peers) - 1
+	moved := s.peers[last]
+	s.peers[i] = moved
+	s.peers = s.peers[:last]
+	if moved != dead {
+		moved.pos = int32(i)
+		s.timers.fixPos(moved)
 	}
 	if !dead.counted {
 		return

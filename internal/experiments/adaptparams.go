@@ -7,6 +7,7 @@ import (
 	"mfdl/internal/adapt"
 	"mfdl/internal/eventsim"
 	"mfdl/internal/replica"
+	"mfdl/internal/sim"
 	"mfdl/internal/table"
 )
 
@@ -75,14 +76,21 @@ func AdaptParams(ctx context.Context, set SimSettings, p, cheaterFraction float6
 	if len(specs) == 0 {
 		return res, nil
 	}
-	aggs, err := replica.Run(ctx, len(specs), func(cell int) replica.Sim {
-		sp := specs[cell]
+	sims := make([]replica.Sim, len(specs))
+	for i, sp := range specs {
 		ac := sp.ac
-		return eventsim.Sim{Config: eventsim.Config{
+		s, err := sim.New(eventsim.CMFSD, sim.Config{Flow: &eventsim.Config{
 			Params: set.Params, K: set.K, Lambda0: set.Lambda0, P: p,
-			Scheme: eventsim.CMFSD, Adapt: &ac, CheaterFraction: sp.cheat,
+			Adapt: &ac, CheaterFraction: sp.cheat,
 			Horizon: set.Horizon, Warmup: set.Warmup,
-		}}
+		}})
+		if err != nil {
+			return nil, err
+		}
+		sims[i] = s
+	}
+	aggs, err := replica.Run(ctx, len(specs), func(cell int) replica.Sim {
+		return sims[cell]
 	}, set.options())
 	if err != nil {
 		return nil, err

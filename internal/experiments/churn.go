@@ -10,6 +10,7 @@ import (
 	"mfdl/internal/replica"
 	"mfdl/internal/runner"
 	"mfdl/internal/scheme"
+	"mfdl/internal/sim"
 	"mfdl/internal/stats"
 	"mfdl/internal/table"
 )
@@ -137,8 +138,8 @@ func ChurnSweep(ctx context.Context, set SimSettings, p float64, chaosSeed uint6
 	if len(specs) == 0 {
 		return res, nil
 	}
-	aggs, err := replica.Run(ctx, len(specs), func(cell int) replica.Sim {
-		sp := specs[cell]
+	sims := make([]replica.Sim, len(specs))
+	for i, sp := range specs {
 		fc := faults.Config{Seed: chaosSeed}
 		if sp.quitAxis {
 			fc.SeedQuitRate = sp.quitRate
@@ -147,13 +148,20 @@ func ChurnSweep(ctx context.Context, set SimSettings, p float64, chaosSeed uint6
 		}
 		sc := eventsim.Config{
 			Params: set.Params, K: set.K, Lambda0: set.Lambda0, P: p,
-			Scheme: sp.simScheme, Horizon: set.Horizon, Warmup: set.Warmup,
+			Horizon: set.Horizon, Warmup: set.Warmup,
 			Faults: fc,
 		}
 		if !math.IsNaN(sp.rho) {
 			sc.Rho = sp.rho
 		}
-		return eventsim.Sim{Config: sc}
+		s, err := sim.New(sp.simScheme, sim.Config{Flow: &sc})
+		if err != nil {
+			return nil, err
+		}
+		sims[i] = s
+	}
+	aggs, err := replica.Run(ctx, len(specs), func(cell int) replica.Sim {
+		return sims[cell]
 	}, set.options())
 	if err != nil {
 		return nil, err
@@ -161,14 +169,14 @@ func ChurnSweep(ctx context.Context, set SimSettings, p float64, chaosSeed uint6
 	var aborts, quits uint64
 	for i, agg := range aggs {
 		sp := specs[i]
-		sim := agg.Mean(replica.DownloadPerFile)
+		simulated := agg.Mean(replica.DownloadPerFile)
 		aborts += uint64(agg.Count(replica.Aborted))
 		quits += uint64(agg.Count(replica.SeedQuits))
 		if sp.quitAxis {
 			res.QuitRows = append(res.QuitRows, SeedQuitRow{
 				QuitRate:  sp.quitRate,
 				Ideal:     sp.fluid,
-				Simulated: sim,
+				Simulated: simulated,
 				SimCI95:   agg.CI95(replica.DownloadPerFile),
 				Completed: int(agg.Count(replica.Completed)),
 				SeedQuits: int(agg.Count(replica.SeedQuits)),
@@ -178,9 +186,9 @@ func ChurnSweep(ctx context.Context, set SimSettings, p float64, chaosSeed uint6
 		res.Rows = append(res.Rows, ChurnRow{
 			Scheme: sp.scheme, Theta: sp.theta, Rho: sp.rho,
 			Fluid:     sp.fluid,
-			Simulated: sim,
+			Simulated: simulated,
 			SimCI95:   agg.CI95(replica.DownloadPerFile),
-			RelErr:    stats.RelErr(sim, sp.fluid, 1),
+			RelErr:    stats.RelErr(simulated, sp.fluid, 1),
 			Completed: int(agg.Count(replica.Completed)),
 			Aborted:   int(agg.Count(replica.Aborted)),
 		})

@@ -7,6 +7,7 @@ import (
 	"mfdl/internal/eventsim"
 	"mfdl/internal/fluid"
 	"mfdl/internal/replica"
+	"mfdl/internal/sim"
 	"mfdl/internal/stats"
 	"mfdl/internal/table"
 )
@@ -63,17 +64,20 @@ func Hetero(ctx context.Context, set SimSettings, lambda0 float64, classes []Het
 	if err != nil {
 		return nil, err
 	}
+	hsim, err := sim.New(eventsim.MTSD, sim.Config{Flow: &eventsim.Config{
+		Params:    set.Params,
+		K:         1,
+		Lambda0:   lambda0,
+		P:         1,
+		Horizon:   set.Horizon,
+		Warmup:    set.Warmup,
+		Bandwidth: bw,
+	}})
+	if err != nil {
+		return nil, err
+	}
 	aggs, err := replica.Run(ctx, 1, func(int) replica.Sim {
-		return eventsim.Sim{Config: eventsim.Config{
-			Params:    set.Params,
-			K:         1,
-			Lambda0:   lambda0,
-			P:         1,
-			Scheme:    eventsim.MTSD,
-			Horizon:   set.Horizon,
-			Warmup:    set.Warmup,
-			Bandwidth: bw,
-		}}
+		return hsim
 	}, set.options())
 	if err != nil {
 		return nil, err

@@ -12,6 +12,7 @@ import (
 	"mfdl/internal/replica"
 	"mfdl/internal/runner"
 	"mfdl/internal/scheme"
+	"mfdl/internal/sim"
 	"mfdl/internal/stats"
 	"mfdl/internal/swarm"
 	"mfdl/internal/table"
@@ -151,29 +152,36 @@ func SimValidate(ctx context.Context, set SimSettings, ps []float64) (*SimValida
 	if len(specs) == 0 {
 		return res, nil
 	}
-	aggs, err := replica.Run(ctx, len(specs), func(cell int) replica.Sim {
-		sp := specs[cell]
+	sims := make([]replica.Sim, len(specs))
+	for i, sp := range specs {
 		sc := eventsim.Config{
 			Params: set.Params, K: set.K, Lambda0: set.Lambda0, P: sp.p,
-			Scheme: sp.simScheme, Horizon: set.Horizon, Warmup: set.Warmup,
+			Horizon: set.Horizon, Warmup: set.Warmup,
 		}
 		if !math.IsNaN(sp.rho) {
 			sc.Rho = sp.rho
 		}
-		return eventsim.Sim{Config: sc}
+		s, err := sim.New(sp.simScheme, sim.Config{Flow: &sc})
+		if err != nil {
+			return nil, err
+		}
+		sims[i] = s
+	}
+	aggs, err := replica.Run(ctx, len(specs), func(cell int) replica.Sim {
+		return sims[cell]
 	}, set.options())
 	if err != nil {
 		return nil, err
 	}
 	for i, agg := range aggs {
 		sp := specs[i]
-		sim := agg.Mean(replica.OnlinePerFile)
+		simulated := agg.Mean(replica.OnlinePerFile)
 		res.Rows = append(res.Rows, SimValidateRow{
 			Scheme: sp.scheme, P: sp.p, Rho: sp.rho,
 			Fluid:     sp.fluid,
-			Simulated: sim,
+			Simulated: simulated,
 			SimCI95:   agg.CI95(replica.OnlinePerFile),
-			RelErr:    stats.RelErr(sim, sp.fluid, 1),
+			RelErr:    stats.RelErr(simulated, sp.fluid, 1),
 			Completed: int(agg.Count(replica.Completed)),
 		})
 	}
@@ -235,12 +243,20 @@ func AdaptSweep(ctx context.Context, set SimSettings, p float64, ac adapt.Config
 	if len(cheaterFractions) == 0 {
 		return res, nil
 	}
-	aggs, err := replica.Run(ctx, len(cheaterFractions), func(cell int) replica.Sim {
-		return eventsim.Sim{Config: eventsim.Config{
+	sims := make([]replica.Sim, len(cheaterFractions))
+	for i, frac := range cheaterFractions {
+		s, err := sim.New(eventsim.CMFSD, sim.Config{Flow: &eventsim.Config{
 			Params: set.Params, K: set.K, Lambda0: set.Lambda0, P: p,
-			Scheme: eventsim.CMFSD, Adapt: &ac, CheaterFraction: cheaterFractions[cell],
+			Adapt: &ac, CheaterFraction: frac,
 			Horizon: set.Horizon, Warmup: set.Warmup,
-		}}
+		}})
+		if err != nil {
+			return nil, err
+		}
+		sims[i] = s
+	}
+	aggs, err := replica.Run(ctx, len(cheaterFractions), func(cell int) replica.Sim {
+		return sims[cell]
 	}, set.options())
 	if err != nil {
 		return nil, err
@@ -325,14 +341,20 @@ func SwarmCompare(ctx context.Context, base swarm.Config, rhos []float64, replic
 	for _, rho := range rhos {
 		specs = append(specs, rowSpec{swarm.CMFSD, rho})
 	}
-	aggs, err := replica.Run(ctx, len(specs), func(cell int) replica.Sim {
-		sp := specs[cell]
+	sims := make([]replica.Sim, len(specs))
+	for i, sp := range specs {
 		c := base
-		c.Scheme = sp.scheme
 		if !math.IsNaN(sp.rho) {
 			c.Rho = sp.rho
 		}
-		return swarm.Sim{Config: c}
+		s, err := sim.New(sp.scheme, sim.Config{Chunk: &c})
+		if err != nil {
+			return nil, err
+		}
+		sims[i] = s
+	}
+	aggs, err := replica.Run(ctx, len(specs), func(cell int) replica.Sim {
+		return sims[cell]
 	}, replica.Options{Replicas: replicas, Seed: base.Seed, Obs: ob})
 	if err != nil {
 		return nil, err

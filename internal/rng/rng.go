@@ -122,6 +122,26 @@ func (s *Source) Perm(n int) []int {
 	return p
 }
 
+// PermInto fills dst with a pseudo-random permutation of [0, n) and
+// returns it, growing dst only when its capacity is below n. The draw
+// sequence is identical to Perm's, so the two are interchangeable in
+// deterministic simulations; PermInto exists for hot paths that must not
+// allocate per call.
+func (s *Source) PermInto(dst []int, n int) []int {
+	if cap(dst) < n {
+		dst = make([]int, n)
+	}
+	dst = dst[:n]
+	for i := range dst {
+		dst[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		dst[i], dst[j] = dst[j], dst[i]
+	}
+	return dst
+}
+
 // Shuffle pseudo-randomizes the order of n elements using swap.
 func (s *Source) Shuffle(n int, swap func(i, j int)) {
 	for i := n - 1; i > 0; i-- {

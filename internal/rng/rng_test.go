@@ -300,3 +300,36 @@ func BenchmarkExp(b *testing.B) {
 		_ = s.Exp(0.05)
 	}
 }
+
+func TestPermIntoMatchesPerm(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 64, 1000} {
+		a := New(42)
+		b := New(42)
+		var buf []int
+		for round := 0; round < 3; round++ {
+			want := a.Perm(n)
+			buf = b.PermInto(buf, n)
+			if len(buf) != len(want) {
+				t.Fatalf("n=%d round=%d: length %d, want %d", n, round, len(buf), len(want))
+			}
+			for i := range want {
+				if buf[i] != want[i] {
+					t.Fatalf("n=%d round=%d: PermInto[%d] = %d, Perm[%d] = %d", n, round, i, buf[i], i, want[i])
+				}
+			}
+		}
+		// The two sources must remain in lockstep: identical draw counts.
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("n=%d: draw sequences diverged after permutations", n)
+		}
+	}
+}
+
+func TestPermIntoReusesBuffer(t *testing.T) {
+	s := New(7)
+	buf := make([]int, 0, 50)
+	got := s.PermInto(buf, 50)
+	if &got[0] != &buf[:1][0] {
+		t.Fatal("PermInto allocated despite sufficient capacity")
+	}
+}

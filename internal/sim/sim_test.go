@@ -1,0 +1,172 @@
+package sim
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"mfdl/internal/eventsim"
+	"mfdl/internal/fluid"
+	"mfdl/internal/replica"
+	"mfdl/internal/scheme"
+	"mfdl/internal/swarm"
+)
+
+// The simulators' scheme enums must stay aliases of the shared identifier:
+// a constant from either package is the same value as the scheme.Sim* one.
+func TestSchemeAliases(t *testing.T) {
+	cases := []struct {
+		got  scheme.SimScheme
+		want scheme.SimScheme
+	}{
+		{eventsim.MTCD, scheme.SimMTCD},
+		{eventsim.MTSD, scheme.SimMTSD},
+		{eventsim.MFCD, scheme.SimMFCD},
+		{eventsim.CMFSD, scheme.SimCMFSD},
+		{swarm.MFCD, scheme.SimMFCD},
+		{swarm.CMFSD, scheme.SimCMFSD},
+		{swarm.MTSD, scheme.SimMTSD},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("alias %v != shared %v", c.got, c.want)
+		}
+	}
+}
+
+func flowConfig() *eventsim.Config {
+	return &eventsim.Config{
+		Params:  fluid.Params{Mu: 0.2, Eta: 0.5, Gamma: 0.5},
+		K:       4,
+		Lambda0: 1,
+		P:       1,
+		Horizon: 300,
+		Warmup:  50,
+		Seed:    1,
+	}
+}
+
+func chunkConfig() *swarm.Config {
+	cfg := swarm.DefaultConfig
+	cfg.Horizon = 120
+	cfg.Warmup = 20
+	return &cfg
+}
+
+func TestConfigValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		want string // substring of the error; "" means valid
+	}{
+		{"neither", Config{}, "sim: one of Chunk or Flow"},
+		{"both", Config{Chunk: chunkConfig(), Flow: flowConfig()}, "sim: Chunk and Flow"},
+		{"flow ok", Config{Flow: flowConfig()}, ""},
+		{"chunk ok", Config{Chunk: chunkConfig()}, ""},
+	}
+	// Invalid underlying configs keep their package prefixes.
+	badFlow := flowConfig()
+	badFlow.K = 0
+	cases = append(cases, struct {
+		name string
+		cfg  Config
+		want string
+	}{"flow invalid", Config{Flow: badFlow}, "eventsim: "})
+	badChunk := chunkConfig()
+	badChunk.K = 0
+	cases = append(cases, struct {
+		name string
+		cfg  Config
+		want string
+	}{"chunk invalid", Config{Chunk: badChunk}, "swarm: "})
+	for _, c := range cases {
+		err := c.cfg.Validate()
+		if c.want == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", c.name, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %v, want substring %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestNewErrors(t *testing.T) {
+	if _, err := New(scheme.SimCMFSD, Config{}); err == nil {
+		t.Error("New accepted an empty Config")
+	}
+	if _, err := New(scheme.SimCMFSD, Config{Chunk: chunkConfig(), Flow: flowConfig()}); err == nil {
+		t.Error("New accepted both simulators")
+	}
+	if _, err := New(scheme.SimMTCD, Config{Chunk: chunkConfig()}); err == nil ||
+		!strings.Contains(err.Error(), "no chunk-level simulator") {
+		t.Errorf("New(MTCD, Chunk) error = %v, want chunk-level rejection", err)
+	}
+	bad := flowConfig()
+	bad.Lambda0 = 0
+	if _, err := New(scheme.SimMTCD, Config{Flow: bad}); err == nil ||
+		!strings.HasPrefix(err.Error(), "eventsim: ") {
+		t.Errorf("invalid flow config error = %v, want eventsim prefix", err)
+	}
+}
+
+// TestNewMatchesDirectConstruction checks that the unified constructor is a
+// pure repackaging: the sample it produces is identical to wiring the
+// simulator's own Sim wrapper by hand, and the caller's config is left
+// untouched.
+func TestNewMatchesDirectConstruction(t *testing.T) {
+	rep := replica.Rep{Cell: 0, Replica: 0, Seed: 7}
+
+	flow := flowConfig()
+	flow.Scheme = eventsim.MTSD // overwritten by New
+	s, err := New(scheme.SimCMFSD, Config{Flow: flow})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flow.Scheme != eventsim.MTSD {
+		t.Fatalf("New mutated the caller's config: Scheme = %v", flow.Scheme)
+	}
+	direct := *flowConfig()
+	direct.Scheme = eventsim.CMFSD
+	got, err := s.Simulate(context.Background(), rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := eventsim.Sim{Config: direct}.Simulate(context.Background(), rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for key, v := range want.Values {
+		if got.Values[key] != v {
+			t.Errorf("flow value %q: %v != %v", key, got.Values[key], v)
+		}
+	}
+	for key, v := range want.Counts {
+		if got.Counts[key] != v {
+			t.Errorf("flow count %q: %v != %v", key, got.Counts[key], v)
+		}
+	}
+
+	chunk := chunkConfig()
+	cs, err := New(scheme.SimMTSD, Config{Chunk: chunk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	directChunk := *chunkConfig()
+	directChunk.Scheme = swarm.MTSD
+	gotC, err := cs.Simulate(context.Background(), rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantC, err := swarm.Sim{Config: directChunk}.Simulate(context.Background(), rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for key, v := range wantC.Values {
+		if gotC.Values[key] != v {
+			t.Errorf("chunk value %q: %v != %v", key, gotC.Values[key], v)
+		}
+	}
+}

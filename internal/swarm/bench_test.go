@@ -1,0 +1,126 @@
+package swarm
+
+import (
+	"testing"
+
+	"mfdl/internal/correlation"
+	"mfdl/internal/rng"
+)
+
+// benchConfig is the fixed operating point of BenchmarkSwarmStep: the
+// default scheme mix at CMFSD with moderate chunk counts. Population size
+// is controlled by the benchmark, not by the arrival rate.
+func benchConfig() Config {
+	cfg := DefaultConfig
+	cfg.Scheme = CMFSD
+	cfg.Rho = 0.3
+	cfg.Horizon = 1 << 30
+	cfg.Warmup = 0
+	return cfg
+}
+
+// newBenchSwarm builds a sim without running it (mirrors Run's setup).
+func newBenchSwarm(b testing.TB, cfg Config) *sim {
+	b.Helper()
+	if cfg.OriginUpload == 0 {
+		cfg.OriginUpload = cfg.UploadPerRound
+	}
+	corr, err := correlation.New(cfg.K, cfg.P, cfg.Lambda0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := &sim{
+		cfg:  cfg,
+		corr: corr,
+		rng:  rng.New(cfg.Seed),
+		res:  &Result{Config: cfg, Classes: make([]ClassStats, cfg.K)},
+	}
+	for i := range s.res.Classes {
+		s.res.Classes[i].Class = i + 1
+	}
+	s.setup()
+	return s
+}
+
+// injectBench adds n synthetic peers. It mirrors addPeer's wiring but
+// samples neighbors with bounded draws instead of a full permutation, so
+// building a 10^5-peer swarm stays O(n·MaxNeighbors) — the production
+// draw sequence does not matter for a benchmark population.
+func injectBench(s *sim, n int) {
+	t := s.t
+	for i := 0; i < n; i++ {
+		class := s.sampleClass()
+		s.permBuf = s.rng.PermInto(s.permBuf, s.cfg.K)
+		slot := t.alloc()
+		t.id[slot] = s.nextID
+		s.nextID++
+		t.class[slot] = int32(class)
+		fl := t.files[slot]
+		for _, f := range s.permBuf[:class] {
+			fl = append(fl, int32(f))
+		}
+		t.files[slot] = fl
+		t.arrival[slot] = s.round
+		t.counted[slot] = true
+		t.rho[slot] = s.cfg.Rho
+		want := s.cfg.MaxNeighbors
+		if want > len(s.order) {
+			want = len(s.order)
+		}
+		for j := 0; j < want; j++ {
+			q := s.order[s.rng.Intn(len(s.order))]
+			dup := false
+			for _, r := range t.neighbors[slot] {
+				if r == q {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				continue
+			}
+			t.neighbors[slot] = append(t.neighbors[slot], q)
+			t.neighbors[q] = append(t.neighbors[q], slot)
+		}
+		t.neighbors[slot] = append(t.neighbors[slot], s.origin)
+		s.order = append(s.order, slot)
+	}
+}
+
+// benchmarkSwarmStep measures one rechoke round at a population held near
+// n peers: departures are topped up with fresh synthetic arrivals, so the
+// steady-state cost of peer creation (pooled post-refactor) is part of the
+// measured loop.
+func benchmarkSwarmStep(b *testing.B, n int) {
+	s := newBenchSwarm(b, benchConfig())
+	injectBench(s, n)
+	// Let populations, chunk distribution and TFT history settle.
+	for i := 0; i < 5; i++ {
+		s.step()
+		s.round++
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(s.order) < n {
+			injectBench(s, n-len(s.order))
+		}
+		s.step()
+		s.round++
+	}
+	b.StopTimer()
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(n)*float64(b.N)/secs, "peers/sec")
+	}
+}
+
+func BenchmarkSwarmStep(b *testing.B) {
+	b.Run("n=1000", func(b *testing.B) { benchmarkSwarmStep(b, 1_000) })
+	b.Run("n=10000", func(b *testing.B) { benchmarkSwarmStep(b, 10_000) })
+	b.Run("n=100000", func(b *testing.B) {
+		if testing.Short() {
+			b.Skip("short mode")
+		}
+		benchmarkSwarmStep(b, 100_000)
+	})
+}

@@ -1,0 +1,39 @@
+package swarm
+
+import "sort"
+
+// rankEntry is one candidate of the tit-for-tat unchoke ranking.
+type rankEntry struct {
+	slot int32
+	key  int32 // chunks received from the candidate last round
+	id   int64 // unique id: deterministic ascending tiebreak
+}
+
+// ranker sorts unchoke candidates by (received desc, id asc). It lives on
+// the sim and reuses its entry buffer, so ranking allocates nothing — the
+// former sort.Slice closure allocated per call. The comparator is a
+// strict total order (ids are unique), so any sorting algorithm produces
+// the byte-identical ranking the goldens pin.
+//
+// The ranking is a full sort, not a top-(Slots−1) partial sort, on
+// purpose: the tail beyond the unchoke slots is the optimistic-unchoke
+// candidate pool, and the RNG index drawn against it only reproduces the
+// pre-SoA engine if the tail order matches the fully sorted order (see
+// the determinism contract in DESIGN.md).
+type ranker struct {
+	e []rankEntry
+}
+
+func (r *ranker) Len() int { return len(r.e) }
+
+func (r *ranker) Less(i, j int) bool {
+	if r.e[i].key != r.e[j].key {
+		return r.e[i].key > r.e[j].key
+	}
+	return r.e[i].id < r.e[j].id
+}
+
+func (r *ranker) Swap(i, j int) { r.e[i], r.e[j] = r.e[j], r.e[i] }
+
+// sortRanked sorts the filled entries.
+func (r *ranker) sortRanked() { sort.Sort(r) }

@@ -27,52 +27,50 @@
 // knows a bounded random neighbor set plus the origin seed; an origin seed
 // (the publisher) holds all chunks permanently, which is how real torrents
 // bootstrap.
+//
+// Peer state lives in a struct-of-arrays table (soa.go) so a steady-state
+// round allocates nothing; the layout and the determinism contract the
+// refactor preserves are documented in DESIGN.md.
 package swarm
 
 import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
+	"math/bits"
 
 	"mfdl/internal/adapt"
 	"mfdl/internal/correlation"
 	"mfdl/internal/faults"
 	"mfdl/internal/rng"
+	"mfdl/internal/scheme"
 	"mfdl/internal/stats"
 	"mfdl/internal/trace"
 )
 
-// Scheme selects the downloading scheme.
-type Scheme int
+// Scheme selects the downloading scheme. It aliases the shared
+// scheme.SimScheme identifier, so one scheme value addresses both
+// simulators. The chunk-level swarm supports MFCD, CMFSD and MTSD;
+// Validate rejects MTCD, which is flow-level only (in a single shared
+// swarm it is chunk-for-chunk identical to MFCD).
+type Scheme = scheme.SimScheme
 
 // The chunk-level schemes.
+//
+// Deprecated: these local names are aliases kept so existing callers
+// compile unchanged; new code should use the scheme.Sim* constants.
 const (
 	// MFCD wants every chunk of every requested file at once.
-	MFCD Scheme = iota
+	MFCD = scheme.SimMFCD
 	// CMFSD downloads files sequentially and partial-seeds finished ones
 	// while downloading.
-	CMFSD
+	CMFSD = scheme.SimCMFSD
 	// MTSD downloads files sequentially with a dedicated seeding pause
 	// of mean 1/γ rounds after each file — the multi-torrent sequential
 	// behaviour embedded in one swarm (a peer in an MTSD pause is
 	// indistinguishable from a per-file seed).
-	MTSD
+	MTSD = scheme.SimMTSD
 )
-
-// String implements fmt.Stringer.
-func (s Scheme) String() string {
-	switch s {
-	case MFCD:
-		return "MFCD"
-	case CMFSD:
-		return "CMFSD"
-	case MTSD:
-		return "MTSD"
-	default:
-		return fmt.Sprintf("Scheme(%d)", int(s))
-	}
-}
 
 // Config parameterizes one swarm simulation.
 type Config struct {
@@ -144,7 +142,11 @@ func (c Config) Validate() error {
 	if c.P <= 0 || c.P > 1 {
 		return fmt.Errorf("swarm: p = %v outside (0,1]", c.P)
 	}
-	if c.Scheme < MFCD || c.Scheme > MTSD {
+	switch c.Scheme {
+	case MFCD, CMFSD, MTSD:
+	default:
+		// MTCD in particular: one swarm per torrent makes it flow-level
+		// only (internal/eventsim); in a shared swarm it would be MFCD.
 		return fmt.Errorf("swarm: unknown scheme %d", int(c.Scheme))
 	}
 	if c.Rho < 0 || c.Rho > 1 {
@@ -255,90 +257,85 @@ const (
 	stateSeeding
 )
 
-type peer struct {
-	id        int
-	class     int
-	files     []int // requested files in download order
-	have      []bool
-	haveCount []int // per file
-	state     peerState
-	cursor    int // current file index (CMFSD)
-	finished  int
-	arrival   int
-	counted   bool
-	cheater   bool
-	rho       float64
-	ctrl      *adapt.Controller
-
-	neighbors []*peer
-	received  map[int]int // peer id -> chunks received last round (TFT)
-	recvNow   map[int]int // accumulating this round
-	optPeer   *peer
-	optAge    int
-
-	downloadRounds int
-	seedLeft       int
-	fileSeedLeft   int // MTSD: rounds left in the current per-file pause
-
-	// Fault state: downloading rounds left until an injected abort and
-	// virtual-seeding rounds left until an injected quit (0 = never),
-	// the slow-peer upload factor (0 or 1 = full speed), and the
-	// outcome flags.
-	abortLeft    int
-	vsQuitLeft   int
-	vsQuit       bool
-	aborted      bool
-	uploadFactor float64
-
-	virtUp, virtDown int // chunks via virtual seeding this adapt window
-	adaptAge         int
-}
-
-// wantsFile reports whether the peer currently wants chunks of file f.
-func (s *sim) wantsFile(p *peer, f int) bool {
-	if p.state != stateDownloading {
+// wantsFile reports whether slot p currently wants chunks of file f.
+func (s *sim) wantsFile(p int32, f int) bool {
+	t := s.t
+	if t.state[p] != stateDownloading {
 		return false
 	}
-	if p.haveCount[f] == s.cfg.ChunksPerFile {
+	if t.haveCountOf(p)[f] == int32(s.cfg.ChunksPerFile) {
 		return false
 	}
 	switch s.cfg.Scheme {
 	case MFCD:
-		for _, rf := range p.files {
-			if rf == f {
+		for _, rf := range t.files[p] {
+			if int(rf) == f {
 				return true
 			}
 		}
 		return false
 	default: // CMFSD/MTSD: only the current file, and not during a pause
-		if p.fileSeedLeft > 0 {
+		if t.fileSeedLeft[p] > 0 {
 			return false
 		}
-		return p.cursor < len(p.files) && p.files[p.cursor] == f
+		cur := int(t.cursor[p])
+		return cur < len(t.files[p]) && int(t.files[p][cur]) == f
 	}
 }
 
 // interested reports whether q could use any chunk p is offering from file
 // set judged at file granularity (cheap over-approximation; a useless
 // unchoke just transfers nothing).
-func (s *sim) interested(q, p *peer, virtualOnly bool) bool {
-	for f := 0; f < s.cfg.K; f++ {
-		if !s.wantsFile(q, f) {
-			continue
-		}
-		if virtualOnly && !s.fileFinished(p, f) {
-			continue
-		}
-		if p.haveCount[f] > 0 && q.haveCount[f] < s.cfg.ChunksPerFile {
-			return true
-		}
+//
+// This is the hottest predicate in the simulator (every unchoke decision
+// scans it across the neighbor set), so it inlines wantsFile: sequential
+// schemes can only want the cursor file, and for MFCD the existence check
+// is order-independent, so scanning q's requested files instead of all K
+// returns the same boolean with fewer haveCount probes.
+func (s *sim) interested(q, p int32, virtualOnly bool) bool {
+	t := s.t
+	if t.state[q] != stateDownloading {
+		return false
 	}
-	return false
+	pc := t.haveCountOf(p)
+	qc := t.haveCountOf(q)
+	cpf := int32(s.cfg.ChunksPerFile)
+	if s.cfg.Scheme == MFCD {
+		for _, rf := range t.files[q] {
+			f := int(rf)
+			if qc[f] == cpf {
+				continue
+			}
+			if virtualOnly && pc[f] != cpf {
+				continue
+			}
+			if pc[f] > 0 {
+				return true
+			}
+		}
+		return false
+	}
+	// CMFSD/MTSD: q wants only its current file, and none mid-pause.
+	if t.fileSeedLeft[q] > 0 {
+		return false
+	}
+	cur := int(t.cursor[q])
+	if cur >= len(t.files[q]) {
+		return false
+	}
+	f := int(t.files[q][cur])
+	if qc[f] == cpf {
+		return false
+	}
+	if virtualOnly && pc[f] != cpf {
+		return false
+	}
+	return pc[f] > 0
 }
 
-// fileFinished reports whether p holds all chunks of file f.
-func (s *sim) fileFinished(p *peer, f int) bool {
-	return p.haveCount[f] == s.cfg.ChunksPerFile
+// fileFinished reports whether slot p holds all chunks of file f.
+func (s *sim) fileFinished(p int32, f int) bool {
+	return s.t.haveCountOf(p)[f] == int32(s.cfg.ChunksPerFile)
 }
 
 type sim struct {
@@ -347,12 +344,23 @@ type sim struct {
 	rng     *rng.Source
 	plan    *faults.Plan // nil when faults are disabled
 	lossSrc *rng.Source  // dedicated stream for delivery-loss draws
-	peers   []*peer
-	origin  *peer
-	nextID  int
+	t       *peerTable
+	order   []int32 // live slots in arrival order (the former peer list)
+	origin  int32
+	nextID  int64
 	round   int
 
-	chunkCount []int // global availability per chunk (including origin)
+	chunkCount []int32 // global availability per chunk (including origin)
+
+	// Round scratch, reused every round so a steady-state step allocates
+	// nothing (ownership rules in DESIGN.md).
+	planned       []transfer
+	schedTouched  []int32 // slots whose sched bitset needs clearing
+	interestedBuf []int32
+	targetsBuf    []int32
+	poolBuf       []int32
+	permBuf       []int
+	rank          ranker
 
 	res       *Result
 	dlPop     stats.TimeWeighted
@@ -407,23 +415,20 @@ func (s *sim) totalChunks() int { return s.cfg.K * s.cfg.ChunksPerFile }
 
 func (s *sim) setup() {
 	n := s.totalChunks()
-	s.chunkCount = make([]int, n)
-	origin := &peer{
-		id:        0,
-		class:     0,
-		have:      make([]bool, n),
-		haveCount: make([]int, s.cfg.K),
-		state:     stateSeeding,
-		seedLeft:  math.MaxInt32,
-		received:  map[int]int{},
-		recvNow:   map[int]int{},
+	s.chunkCount = make([]int32, n)
+	s.t = newPeerTable(s.cfg.K, n)
+	origin := s.t.alloc()
+	s.t.id[origin] = 0
+	s.t.state[origin] = stateSeeding
+	s.t.seedLeft[origin] = math.MaxInt32
+	hv := s.t.haveOf(origin)
+	for c := 0; c < n; c++ {
+		hv[c>>6] |= 1 << (uint(c) & 63)
+		s.chunkCount[c]++
 	}
-	for i := range origin.have {
-		origin.have[i] = true
-		s.chunkCount[i]++
-	}
+	hc := s.t.haveCountOf(origin)
 	for f := 0; f < s.cfg.K; f++ {
-		origin.haveCount[f] = s.cfg.ChunksPerFile
+		hc[f] = int32(s.cfg.ChunksPerFile)
 	}
 	s.origin = origin
 	s.nextID = 1
@@ -449,94 +454,103 @@ func (s *sim) sampleClass() int {
 func (s *sim) arrive() {
 	n := s.rng.Poisson(s.totalRate)
 	for i := 0; i < n; i++ {
-		class := s.sampleClass()
-		files := s.rng.Perm(s.cfg.K)[:class]
-		p := &peer{
-			id:        s.nextID,
-			class:     class,
-			files:     files,
-			have:      make([]bool, s.totalChunks()),
-			haveCount: make([]int, s.cfg.K),
-			arrival:   s.round,
-			counted:   s.round >= s.cfg.Warmup,
-			rho:       s.cfg.Rho,
-			received:  map[int]int{},
-			recvNow:   map[int]int{},
-		}
-		s.nextID++
-		if s.plan != nil {
-			// Per-peer draws keyed by id: the main RNG sees exactly the
-			// faults-off sequence.
-			id := uint64(p.id)
-			if a := s.plan.AbortAfter(id); a < math.MaxInt32 {
-				p.abortLeft = 1 + int(a)
-			}
-			if s.cfg.Scheme == CMFSD && p.class > 1 {
-				if q := s.plan.SeedQuitAfter(id); q < math.MaxInt32 {
-					p.vsQuitLeft = 1 + int(q)
-				}
-			}
-			if f := s.plan.UploadFactor(id); f < 1 {
-				p.uploadFactor = f
-				s.plan.NoteSlowPeer()
-			}
-		}
-		if s.cfg.Scheme == CMFSD {
-			if s.rng.Bernoulli(s.cfg.CheaterFraction) {
-				p.cheater = true
-				p.rho = 1
-			} else if s.cfg.Adapt != nil {
-				if ctrl, err := adapt.NewController(*s.cfg.Adapt); err == nil {
-					p.ctrl = ctrl
-					p.rho = ctrl.Rho()
-				}
-			}
-		}
-		// Neighbor set: a bounded random sample of current peers, plus
-		// the origin seed. Links are symmetric.
-		cand := s.peers
-		want := s.cfg.MaxNeighbors
-		if want > len(cand) {
-			want = len(cand)
-		}
-		for _, idx := range s.rng.Perm(len(cand))[:want] {
-			q := cand[idx]
-			p.neighbors = append(p.neighbors, q)
-			q.neighbors = append(q.neighbors, p)
-		}
-		p.neighbors = append(p.neighbors, s.origin)
-		if p.counted {
-			s.res.ArrivedUsers++
-		}
-		s.peers = append(s.peers, p)
+		s.addPeer()
 	}
 }
 
-// uploadBudgets returns the TFT and virtual-seed chunk budgets of p this
-// round.
-func (s *sim) uploadBudgets(p *peer) (tft, virtual int) {
+// addPeer admits one new downloader: class and file draws, fault plan
+// lookups, and a bounded random symmetric neighbor sample. The RNG draw
+// sequence is identical to the pre-SoA engine's (see DESIGN.md).
+func (s *sim) addPeer() {
+	t := s.t
+	class := s.sampleClass()
+	s.permBuf = s.rng.PermInto(s.permBuf, s.cfg.K)
+	slot := t.alloc()
+	t.id[slot] = s.nextID
+	s.nextID++
+	t.class[slot] = int32(class)
+	fl := t.files[slot]
+	for _, f := range s.permBuf[:class] {
+		fl = append(fl, int32(f))
+	}
+	t.files[slot] = fl
+	t.arrival[slot] = s.round
+	t.counted[slot] = s.round >= s.cfg.Warmup
+	t.rho[slot] = s.cfg.Rho
+	if s.plan != nil {
+		// Per-peer draws keyed by id: the main RNG sees exactly the
+		// faults-off sequence.
+		id := uint64(t.id[slot])
+		if a := s.plan.AbortAfter(id); a < math.MaxInt32 {
+			t.abortLeft[slot] = 1 + int(a)
+		}
+		if s.cfg.Scheme == CMFSD && class > 1 {
+			if q := s.plan.SeedQuitAfter(id); q < math.MaxInt32 {
+				t.vsQuitLeft[slot] = 1 + int(q)
+			}
+		}
+		if f := s.plan.UploadFactor(id); f < 1 {
+			t.uploadFactor[slot] = f
+			s.plan.NoteSlowPeer()
+		}
+	}
+	if s.cfg.Scheme == CMFSD {
+		if s.rng.Bernoulli(s.cfg.CheaterFraction) {
+			t.cheater[slot] = true
+			t.rho[slot] = 1
+		} else if s.cfg.Adapt != nil {
+			if ctrl, err := adapt.NewController(*s.cfg.Adapt); err == nil {
+				t.ctrl[slot] = ctrl
+				t.rho[slot] = ctrl.Rho()
+			}
+		}
+	}
+	// Neighbor set: a bounded random sample of current peers, plus the
+	// origin seed. Links are symmetric.
+	cand := len(s.order)
+	want := s.cfg.MaxNeighbors
+	if want > cand {
+		want = cand
+	}
+	s.permBuf = s.rng.PermInto(s.permBuf, cand)
+	for _, idx := range s.permBuf[:want] {
+		q := s.order[idx]
+		t.neighbors[slot] = append(t.neighbors[slot], q)
+		t.neighbors[q] = append(t.neighbors[q], slot)
+	}
+	t.neighbors[slot] = append(t.neighbors[slot], s.origin)
+	if t.counted[slot] {
+		s.res.ArrivedUsers++
+	}
+	s.order = append(s.order, slot)
+}
+
+// uploadBudgets returns the TFT and virtual-seed chunk budgets of slot p
+// this round.
+func (s *sim) uploadBudgets(p int32) (tft, virtual int) {
+	t := s.t
 	u := s.cfg.UploadPerRound
 	if p == s.origin {
 		return 0, s.cfg.OriginUpload
 	}
-	if p.uploadFactor > 0 && p.uploadFactor < 1 {
+	if f := t.uploadFactor[p]; f > 0 && f < 1 {
 		// Injected slow-peer throttling.
-		u = int(math.Round(p.uploadFactor * float64(u)))
+		u = int(math.Round(f * float64(u)))
 	}
-	if p.state == stateSeeding {
+	if t.state[p] == stateSeeding {
 		return 0, u
 	}
-	if s.cfg.Scheme == MTSD && p.fileSeedLeft > 0 {
+	if s.cfg.Scheme == MTSD && t.fileSeedLeft[p] > 0 {
 		// Per-file seeding pause: the whole upload serves finished files.
 		return 0, u
 	}
-	if s.cfg.Scheme == CMFSD && p.class > 1 && p.finished >= 1 {
-		if p.vsQuit {
+	if s.cfg.Scheme == CMFSD && t.class[p] > 1 && t.finished[p] >= 1 {
+		if t.vsQuit[p] {
 			// An injected virtual-seed quit: the peer turns selfish and
 			// spends its whole upload on tit-for-tat.
 			return u, 0
 		}
-		v := int(math.Round((1 - p.rho) * float64(u)))
+		v := int(math.Round((1 - t.rho[p]) * float64(u)))
 		return u - v, v
 	}
 	return u, 0
@@ -544,21 +558,22 @@ func (s *sim) uploadBudgets(p *peer) (tft, virtual int) {
 
 // transfer is one scheduled chunk delivery, applied at the end of the round.
 type transfer struct {
-	to      *peer
-	from    *peer
-	chunk   int
+	to      int32
+	from    int32
+	chunk   int32
 	virtual bool
 }
 
 // step simulates one rechoke round.
 func (s *sim) step() {
 	s.arrive()
+	t := s.t
 
 	// Record populations at the start of the round.
 	if s.round >= s.cfg.Warmup || (s.cfg.SampleEvery > 0 && s.round%s.cfg.SampleEvery == 0) {
 		dl, sd := 0, 0
-		for _, p := range s.peers {
-			if p.state == stateDownloading {
+		for _, p := range s.order {
+			if t.state[p] == stateDownloading {
 				dl++
 			} else {
 				sd++
@@ -577,24 +592,29 @@ func (s *sim) step() {
 		}
 	}
 
-	// Plan all transfers with the pre-round state, then apply.
-	var planned []transfer
-	incoming := map[int]map[int]bool{} // receiver id -> chunk set scheduled
-	uploaders := append([]*peer{s.origin}, s.peers...)
-	for _, p := range uploaders {
+	// Plan all transfers with the pre-round state, then apply. The origin
+	// uploads first, then every live peer in arrival order — the same
+	// uploader order the former append([]*peer{origin}, peers...) built,
+	// without rebuilding a slice.
+	s.planned = s.planned[:0]
+	for i := -1; i < len(s.order); i++ {
+		p := s.origin
+		if i >= 0 {
+			p = s.order[i]
+		}
 		tftBudget, virtBudget := s.uploadBudgets(p)
 		if tftBudget > 0 {
 			targets := s.tftUnchoke(p)
-			planned = s.serve(planned, incoming, p, targets, tftBudget, false, s.cfg.TFTEfficiency)
+			s.serve(p, targets, tftBudget, false, s.cfg.TFTEfficiency)
 		}
 		if virtBudget > 0 {
-			isVirtual := p != s.origin && p.state == stateDownloading
+			isVirtual := p != s.origin && t.state[p] == stateDownloading
 			targets := s.altruisticUnchoke(p, isVirtual)
-			planned = s.serve(planned, incoming, p, targets, virtBudget, isVirtual, 1)
+			s.serve(p, targets, virtBudget, isVirtual, 1)
 		}
 	}
-	for _, tr := range planned {
-		if tr.to.have[tr.chunk] {
+	for _, tr := range s.planned {
+		if t.hasChunk(tr.to, tr.chunk) {
 			continue
 		}
 		if s.lossSrc != nil && s.lossSrc.Bernoulli(s.plan.LossProb()) {
@@ -603,223 +623,252 @@ func (s *sim) step() {
 			s.plan.NoteLoss()
 			continue
 		}
-		tr.to.have[tr.chunk] = true
-		tr.to.haveCount[tr.chunk/s.cfg.ChunksPerFile]++
+		t.setChunk(tr.to, tr.chunk)
+		t.haveCountOf(tr.to)[int(tr.chunk)/s.cfg.ChunksPerFile]++
 		s.chunkCount[tr.chunk]++
-		tr.to.recvNow[tr.from.id] += 1
+		t.recvNowAdd(tr.to, t.id[tr.from])
 		s.res.ChunksTransferred++
 		if tr.virtual {
-			tr.from.virtUp++
-			tr.to.virtDown++
+			t.virtUp[tr.from]++
+			t.virtDown[tr.to]++
 		}
 	}
+	for _, p := range s.schedTouched {
+		t.clearSched(p)
+	}
+	s.schedTouched = s.schedTouched[:0]
 
 	// Post-transfer bookkeeping: completions, seeding transitions,
-	// departures, TFT history rotation, Adapt.
-	var alive []*peer
-	for _, p := range s.peers {
-		p.received, p.recvNow = p.recvNow, map[int]int{}
-		if p.state == stateDownloading {
-			if p.fileSeedLeft > 0 {
+	// departures, TFT history rotation, Adapt. The live list is filtered
+	// in place; departed slots return to the table's free list.
+	w := 0
+	for _, p := range s.order {
+		t.rotateRecv(p)
+		if t.state[p] == stateDownloading {
+			if t.fileSeedLeft[p] > 0 {
 				// MTSD per-file seeding pause.
-				p.fileSeedLeft--
-				if p.fileSeedLeft == 0 {
-					p.cursor++
+				t.fileSeedLeft[p]--
+				if t.fileSeedLeft[p] == 0 {
+					t.cursor[p]++
 				}
 			} else {
-				p.downloadRounds++
+				t.downloadRounds[p]++
 				s.checkCompletion(p)
 			}
 		}
-		if p.state == stateDownloading && s.plan != nil {
+		if t.state[p] == stateDownloading && s.plan != nil {
 			// Injected churn ticks on downloading rounds only, mirroring
 			// the fluid θ·x clock. The virtual-seed-quit clock ticks while
 			// the peer actually virtual-seeds.
-			if !p.vsQuit && p.vsQuitLeft > 0 && p.class > 1 && p.finished >= 1 {
-				p.vsQuitLeft--
-				if p.vsQuitLeft == 0 {
-					p.vsQuit = true
+			if !t.vsQuit[p] && t.vsQuitLeft[p] > 0 && t.class[p] > 1 && t.finished[p] >= 1 {
+				t.vsQuitLeft[p]--
+				if t.vsQuitLeft[p] == 0 {
+					t.vsQuit[p] = true
 					s.res.SeedQuits++
 					s.plan.NoteSeedQuit()
 				}
 			}
-			if p.abortLeft > 0 {
-				p.abortLeft--
-				if p.abortLeft == 0 {
-					p.aborted = true
+			if t.abortLeft[p] > 0 {
+				t.abortLeft[p]--
+				if t.abortLeft[p] == 0 {
+					t.aborted[p] = true
 					s.plan.NoteAbort()
 					s.depart(p)
+					t.freeSlot(p)
 					continue
 				}
 			}
 		}
-		if p.state == stateSeeding {
-			p.seedLeft--
-			if p.seedLeft <= 0 {
+		if t.state[p] == stateSeeding {
+			t.seedLeft[p]--
+			if t.seedLeft[p] <= 0 {
 				s.depart(p)
+				t.freeSlot(p)
 				continue
 			}
 		}
-		if p.ctrl != nil && p.state == stateDownloading {
-			p.adaptAge++
-			if float64(p.adaptAge) >= p.ctrl.Period() {
-				if p.finished >= 1 && p.class > 1 {
-					delta := float64(p.virtUp-p.virtDown) / float64(p.adaptAge)
-					p.rho = p.ctrl.Observe(delta)
+		if t.ctrl[p] != nil && t.state[p] == stateDownloading {
+			t.adaptAge[p]++
+			if float64(t.adaptAge[p]) >= t.ctrl[p].Period() {
+				if t.finished[p] >= 1 && t.class[p] > 1 {
+					delta := float64(t.virtUp[p]-t.virtDown[p]) / float64(t.adaptAge[p])
+					t.rho[p] = t.ctrl[p].Observe(delta)
 				}
-				p.virtUp, p.virtDown, p.adaptAge = 0, 0, 0
+				t.virtUp[p], t.virtDown[p], t.adaptAge[p] = 0, 0, 0
 			}
 		}
-		alive = append(alive, p)
+		s.order[w] = p
+		w++
 	}
-	s.peers = alive
+	s.order = s.order[:w]
 }
 
 // checkCompletion advances a downloader whose current goal is met.
-func (s *sim) checkCompletion(p *peer) {
+func (s *sim) checkCompletion(p int32) {
+	t := s.t
 	switch s.cfg.Scheme {
 	case MFCD:
-		for _, f := range p.files {
-			if !s.fileFinished(p, f) {
+		for _, f := range t.files[p] {
+			if !s.fileFinished(p, int(f)) {
 				return
 			}
 		}
-		p.finished = len(p.files)
+		t.finished[p] = int32(len(t.files[p]))
 		s.startSeeding(p)
 	case MTSD:
-		if p.fileSeedLeft > 0 {
+		if t.fileSeedLeft[p] > 0 {
 			return // mid-pause; cursor advances when the pause ends
 		}
-		if p.cursor >= len(p.files) || !s.fileFinished(p, p.files[p.cursor]) {
+		cur := int(t.cursor[p])
+		if cur >= len(t.files[p]) || !s.fileFinished(p, int(t.files[p][cur])) {
 			return
 		}
-		p.finished++
-		if p.cursor+1 >= len(p.files) {
+		t.finished[p]++
+		if cur+1 >= len(t.files[p]) {
 			s.startSeeding(p)
 			return
 		}
-		p.fileSeedLeft = 1 + int(s.rng.Exp(s.cfg.Gamma))
+		t.fileSeedLeft[p] = 1 + int(s.rng.Exp(s.cfg.Gamma))
 	default: // CMFSD
-		for p.cursor < len(p.files) && s.fileFinished(p, p.files[p.cursor]) {
-			p.cursor++
-			p.finished++
+		for int(t.cursor[p]) < len(t.files[p]) && s.fileFinished(p, int(t.files[p][t.cursor[p]])) {
+			t.cursor[p]++
+			t.finished[p]++
 		}
-		if p.cursor >= len(p.files) {
+		if int(t.cursor[p]) >= len(t.files[p]) {
 			s.startSeeding(p)
 		}
 	}
 }
 
-func (s *sim) startSeeding(p *peer) {
-	p.state = stateSeeding
+func (s *sim) startSeeding(p int32) {
+	s.t.state[p] = stateSeeding
 	// Geometric residence with mean 1/γ rounds.
-	p.seedLeft = 1 + int(s.rng.Exp(s.cfg.Gamma))
+	s.t.seedLeft[p] = 1 + int(s.rng.Exp(s.cfg.Gamma))
 }
 
-// depart removes a seed from the swarm bookkeeping (the caller drops it
-// from the peer list) and records its statistics.
-func (s *sim) depart(dead *peer) {
-	for c, h := range dead.have {
-		if h {
+// depart removes a peer from the swarm bookkeeping (the caller drops it
+// from the live list and frees its slot) and records its statistics.
+func (s *sim) depart(dead int32) {
+	t := s.t
+	hv := t.haveOf(dead)
+	for w, word := range hv {
+		for word != 0 {
+			c := w<<6 + bits.TrailingZeros64(word)
+			word &= word - 1
 			s.chunkCount[c]--
 		}
 	}
-	// Remove from neighbor lists lazily: links to departed peers are
-	// skipped because they are no longer in s.peers; to keep neighbor
-	// scans cheap we filter here.
-	for _, q := range dead.neighbors {
-		for i, r := range q.neighbors {
+	// Remove the departed peer from its neighbors' lists eagerly, to keep
+	// neighbor scans cheap.
+	for _, q := range t.neighbors[dead] {
+		nb := t.neighbors[q]
+		for i, r := range nb {
 			if r == dead {
-				q.neighbors[i] = q.neighbors[len(q.neighbors)-1]
-				q.neighbors = q.neighbors[:len(q.neighbors)-1]
+				nb[i] = nb[len(nb)-1]
+				t.neighbors[q] = nb[:len(nb)-1]
 				break
 			}
 		}
 	}
-	if !dead.counted {
+	if !t.counted[dead] {
 		return
 	}
-	online := float64(s.round - dead.arrival + 1)
-	cs := &s.res.Classes[dead.class-1]
-	if dead.aborted {
+	online := float64(s.round - t.arrival[dead] + 1)
+	cs := &s.res.Classes[t.class[dead]-1]
+	if t.aborted[dead] {
 		s.res.AbortedUsers++
 	} else {
 		cs.Completed++
 		s.res.CompletedUsers++
 	}
 	cs.OnlineRounds.Add(online)
-	cs.DownloadRounds.Add(float64(dead.downloadRounds))
+	cs.DownloadRounds.Add(float64(t.downloadRounds[dead]))
 	s.sumOnline += online
-	s.sumDl += float64(dead.downloadRounds)
+	s.sumDl += float64(t.downloadRounds[dead])
 	// Per-file averages divide by files actually started (the fluid
 	// model's per-torrent-entry accounting): an aborted sequential
 	// downloader never charges the files past its cursor. MFCD starts
 	// every file at arrival, and completed users started them all.
-	files := dead.class
-	if dead.aborted && s.cfg.Scheme != MFCD {
-		files = dead.cursor + 1
-		if files > dead.class {
-			files = dead.class
+	files := int(t.class[dead])
+	if t.aborted[dead] && s.cfg.Scheme != MFCD {
+		files = int(t.cursor[dead]) + 1
+		if files > int(t.class[dead]) {
+			files = int(t.class[dead])
 		}
 	}
 	s.sumFiles += files
-	if s.cfg.Scheme == CMFSD && dead.class > 1 && !dead.cheater {
-		s.res.FinalRho.Add(dead.rho)
+	if s.cfg.Scheme == CMFSD && t.class[dead] > 1 && !t.cheater[dead] {
+		s.res.FinalRho.Add(t.rho[dead])
 	}
 }
 
 // tftUnchoke returns the peers p unchokes with its tit-for-tat budget: the
 // top Slots−1 contributors among interested neighbors plus one optimistic.
-func (s *sim) tftUnchoke(p *peer) []*peer {
-	var interested []*peer
-	for _, q := range p.neighbors {
-		if q == p || q.state != stateDownloading {
+// The returned slice is round scratch, valid until the next unchoke call.
+func (s *sim) tftUnchoke(p int32) []int32 {
+	t := s.t
+	s.interestedBuf = s.interestedBuf[:0]
+	for _, q := range t.neighbors[p] {
+		if q == p || t.state[q] != stateDownloading {
 			continue
 		}
 		if s.interested(q, p, false) {
-			interested = append(interested, q)
+			s.interestedBuf = append(s.interestedBuf, q)
 		}
 	}
-	if len(interested) == 0 {
+	if len(s.interestedBuf) == 0 {
 		return nil
 	}
-	sort.Slice(interested, func(i, j int) bool {
-		ri := p.received[interested[i].id]
-		rj := p.received[interested[j].id]
-		if ri != rj {
-			return ri > rj
-		}
-		return interested[i].id < interested[j].id
-	})
+	s.rank.e = s.rank.e[:0]
+	for _, q := range s.interestedBuf {
+		s.rank.e = append(s.rank.e, rankEntry{
+			slot: q,
+			key:  t.recvCount(p, t.id[q]),
+			id:   t.id[q],
+		})
+	}
+	s.rank.sortRanked()
+	for i, e := range s.rank.e {
+		s.interestedBuf[i] = e.slot
+	}
 	n := s.cfg.Slots - 1
-	if n > len(interested) {
-		n = len(interested)
+	if n > len(s.interestedBuf) {
+		n = len(s.interestedBuf)
 	}
-	targets := append([]*peer(nil), interested[:n]...)
+	s.targetsBuf = append(s.targetsBuf[:0], s.interestedBuf[:n]...)
 	// Optimistic slot: rotate a random interested peer not already chosen.
-	p.optAge++
-	if p.optPeer == nil || p.optAge >= s.cfg.OptimisticEvery || !s.stillInterested(p, p.optPeer) {
-		p.optPeer = nil
-		p.optAge = 0
-		var pool []*peer
-		for _, q := range interested[n:] {
-			pool = append(pool, q)
-		}
+	// The target is remembered as (slot, generation); a generation mismatch
+	// means the peer departed — exactly when the former *peer pointer
+	// stopped appearing in any neighbor list.
+	t.optAge[p]++
+	if t.optSlot[p] == noSlot || int(t.optAge[p]) >= s.cfg.OptimisticEvery || !s.stillInterested(p, t.optSlot[p], t.optGen[p]) {
+		t.optSlot[p] = noSlot
+		t.optAge[p] = 0
+		pool := s.interestedBuf[n:]
 		if len(pool) > 0 {
-			p.optPeer = pool[s.rng.Intn(len(pool))]
+			q := pool[s.rng.Intn(len(pool))]
+			t.optSlot[p] = q
+			t.optGen[p] = t.gen[q]
 		}
 	}
-	if p.optPeer != nil {
-		targets = append(targets, p.optPeer)
+	if t.optSlot[p] != noSlot {
+		s.targetsBuf = append(s.targetsBuf, t.optSlot[p])
 	}
-	return targets
+	return s.targetsBuf
 }
 
-func (s *sim) stillInterested(p, q *peer) bool {
-	if q.state != stateDownloading {
+// stillInterested reports whether the remembered optimistic target (slot q
+// at generation qGen) is still a downloading neighbor of p that wants
+// something p has.
+func (s *sim) stillInterested(p, q int32, qGen uint32) bool {
+	t := s.t
+	if t.gen[q] != qGen {
+		return false // departed (and possibly recycled)
+	}
+	if t.state[q] != stateDownloading {
 		return false
 	}
-	for _, r := range p.neighbors {
+	for _, r := range t.neighbors[p] {
 		if r == q {
 			return s.interested(q, p, false)
 		}
@@ -828,40 +877,48 @@ func (s *sim) stillInterested(p, q *peer) bool {
 }
 
 // altruisticUnchoke picks random interested peers for a seed (or, with
-// virtualOnly, for a partial seed's finished files).
-func (s *sim) altruisticUnchoke(p *peer, virtualOnly bool) []*peer {
-	var pool []*peer
-	neighbors := p.neighbors
+// virtualOnly, for a partial seed's finished files). The returned slice is
+// round scratch, valid until the next unchoke call.
+func (s *sim) altruisticUnchoke(p int32, virtualOnly bool) []int32 {
+	t := s.t
+	s.poolBuf = s.poolBuf[:0]
+	neighbors := t.neighbors[p]
 	if p == s.origin {
-		neighbors = s.peers
+		neighbors = s.order
 	}
 	for _, q := range neighbors {
-		if q == p || q.state != stateDownloading {
+		if q == p || t.state[q] != stateDownloading {
 			continue
 		}
 		if s.interested(q, p, virtualOnly) {
-			pool = append(pool, q)
+			s.poolBuf = append(s.poolBuf, q)
 		}
 	}
-	if len(pool) == 0 {
+	if len(s.poolBuf) == 0 {
 		return nil
 	}
 	n := s.cfg.Slots
-	if n > len(pool) {
-		n = len(pool)
+	if n > len(s.poolBuf) {
+		n = len(s.poolBuf)
 	}
-	s.rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
-	return pool[:n]
+	// Inline Fisher–Yates, draw-for-draw identical to rng.Shuffle without
+	// the swap closure allocation.
+	for i := len(s.poolBuf) - 1; i > 0; i-- {
+		j := s.rng.Intn(i + 1)
+		s.poolBuf[i], s.poolBuf[j] = s.poolBuf[j], s.poolBuf[i]
+	}
+	return s.poolBuf[:n]
 }
 
 // serve splits budget chunks across targets and schedules rarest-first
 // picks for each. Each chunk lands with the given efficiency; misses model
 // the sharing loss η of downloader-to-downloader exchange and consume the
 // slot's budget without delivering.
-func (s *sim) serve(planned []transfer, incoming map[int]map[int]bool, p *peer, targets []*peer, budget int, virtual bool, efficiency float64) []transfer {
+func (s *sim) serve(p int32, targets []int32, budget int, virtual bool, efficiency float64) {
 	if len(targets) == 0 || budget <= 0 {
-		return planned
+		return
 	}
+	t := s.t
 	base := budget / len(targets)
 	extra := budget % len(targets)
 	for i, q := range targets {
@@ -873,44 +930,62 @@ func (s *sim) serve(planned []transfer, incoming map[int]map[int]bool, p *peer, 
 			if efficiency < 1 && !s.rng.Bernoulli(efficiency) {
 				continue
 			}
-			c := s.pickChunk(q, p, incoming[q.id], virtual)
+			c := s.pickChunk(q, p, virtual)
 			if c < 0 {
 				break
 			}
-			if incoming[q.id] == nil {
-				incoming[q.id] = map[int]bool{}
+			if !t.schedDirty[q] {
+				t.schedDirty[q] = true
+				s.schedTouched = append(s.schedTouched, q)
 			}
-			incoming[q.id][c] = true
-			planned = append(planned, transfer{to: q, from: p, chunk: c, virtual: virtual})
+			t.setSched(q, c)
+			s.planned = append(s.planned, transfer{to: q, from: p, chunk: c, virtual: virtual})
 		}
 	}
-	return planned
 }
 
 // pickChunk selects the rarest chunk q wants that p can offer (restricted
-// to p's finished files when virtual), excluding chunks already scheduled.
-func (s *sim) pickChunk(q, p *peer, scheduled map[int]bool, virtual bool) int {
-	best := -1
-	bestCount := math.MaxInt32
+// to p's finished files when virtual), excluding chunks already scheduled
+// to q this round. Candidates are scanned in ascending chunk order with a
+// strict < on availability, so the first minimum wins — the same pick the
+// former boolean-slice scan made.
+func (s *sim) pickChunk(q, p int32, virtual bool) int32 {
+	t := s.t
+	best := int32(-1)
+	bestCount := int32(math.MaxInt32)
 	cpf := s.cfg.ChunksPerFile
+	pHave := t.haveOf(p)
+	qHave := t.haveOf(q)
+	qSched := t.schedOf(q)
+	pCount := t.haveCountOf(p)
 	for f := 0; f < s.cfg.K; f++ {
 		if !s.wantsFile(q, f) {
 			continue
 		}
-		if virtual && !s.fileFinished(p, f) {
+		if virtual && pCount[f] != int32(cpf) {
 			continue
 		}
-		if p.haveCount[f] == 0 {
+		if pCount[f] == 0 {
 			continue
 		}
-		baseIdx := f * cpf
-		for c := baseIdx; c < baseIdx+cpf; c++ {
-			if q.have[c] || !p.have[c] || scheduled[c] {
-				continue
+		lo := int32(f * cpf)
+		hi := lo + int32(cpf)
+		for w := int(lo) >> 6; w <= int(hi-1)>>6; w++ {
+			cand := pHave[w] &^ qHave[w] &^ qSched[w]
+			base := int32(w << 6)
+			if base < lo {
+				cand &^= 1<<uint(lo-base) - 1
 			}
-			if s.chunkCount[c] < bestCount {
-				bestCount = s.chunkCount[c]
-				best = c
+			if base+64 > hi {
+				cand &= 1<<uint(hi-base) - 1
+			}
+			for cand != 0 {
+				c := base + int32(bits.TrailingZeros64(cand))
+				cand &= cand - 1
+				if s.chunkCount[c] < bestCount {
+					bestCount = s.chunkCount[c]
+					best = c
+				}
 			}
 		}
 	}
