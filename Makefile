@@ -9,7 +9,12 @@
 # runs cover the fault-injection layer: deterministic fault plans, panic
 # isolation with retries, checkpoint/resume, the chaos-golden check
 # (same chaos seed ⇒ identical tables at any worker count), and the
-# client's disconnect/watchdog/announce-retry paths.
+# client's disconnect/watchdog/announce-retry paths. The fabric run
+# covers the distributed sweep layer end to end — coordinator HTTP
+# protocol, lease expiry and work-stealing, duplicate absorption,
+# checkpoint resume, and the distributed-equals-local byte-identity
+# guarantee — with the race detector watching the coordinator's shared
+# lease/cell state.
 
 .PHONY: tier1 tier2 bench profile
 
@@ -27,17 +32,24 @@ tier2:
 	go test -race -count=1 -run 'ChurnSweepDeterministic' ./internal/experiments/
 	go test -race -count=1 -run 'Disconnect|Watchdog|AnnounceWithRetry|Reconnect' ./internal/client/
 	go test -race -count=1 -run 'TestStepAllocs' ./internal/swarm/ ./internal/eventsim/
+	go test -race -count=1 ./internal/fabric/
 
 # bench regenerates every paper artifact under timing, including the
 # serial-vs-parallel sweep comparison, then remeasures the simulator step
 # benchmarks and refreshes the "current" section of BENCH_PR6.json (the
 # first point of the ROADMAP's performance trajectory; the committed
-# "baseline" section — the pre-refactor numbers — is preserved).
+# "baseline" section — the pre-refactor numbers — is preserved). It also
+# measures the distributed sweep fabric's end-to-end throughput —
+# cells/sec through the coordinator HTTP protocol at 1, 4, and 8
+# workers — into BENCH_PR7.json.
 bench:
 	go test -bench=. -benchtime=1x .
 	go test -run '^$$' -bench 'BenchmarkSwarmStep|BenchmarkEventsimStep' -benchtime 20x \
 		./internal/swarm/ ./internal/eventsim/ | \
 		go run ./cmd/benchjson -o BENCH_PR6.json -label "struct-of-arrays hot paths, indexed event timers"
+	go test -run '^$$' -bench 'BenchmarkFabricThroughput' -benchtime 5x \
+		./internal/fabric/ | \
+		go run ./cmd/benchjson -o BENCH_PR7.json -label "distributed sweep fabric throughput"
 
 # profile runs a small instrumented sweep with every observability sink
 # attached: a JSON metrics snapshot and a Chrome trace land in ./prof/,

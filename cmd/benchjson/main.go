@@ -33,6 +33,7 @@ type Entry struct {
 	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
 	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
 	PeersPerSec float64 `json:"peers_per_sec,omitempty"`
+	CellsPerSec float64 `json:"cells_per_sec,omitempty"`
 }
 
 // Section is one labeled measurement set.
@@ -80,6 +81,8 @@ func parse(lines *bufio.Scanner) ([]Entry, error) {
 				e.AllocsPerOp = v
 			case "peers/sec":
 				e.PeersPerSec = v
+			case "cells/sec":
+				e.CellsPerSec = v
 			}
 		}
 		out = append(out, e)

@@ -13,6 +13,7 @@ pkg: mfdl/internal/swarm
 BenchmarkSwarmStep/n=1000-8         	      20	   1054588 ns/op	    948238 peers/sec	   11030 B/op	     153 allocs/op
 BenchmarkSwarmStep/n=10000-8        	      20	  11726369 ns/op	    852779 peers/sec	  106588 B/op	    1367 allocs/op
 BenchmarkEventsimStep/CMFSD/n=1000-8	     200	      7790 ns/op	 128368634 peers/sec	       0 B/op	       0 allocs/op
+BenchmarkFabricThroughput/workers=4-8   	       5	  41253000 ns/op	     388.2 cells/sec
 PASS
 ok  	mfdl/internal/swarm	2.5s
 `
@@ -20,8 +21,8 @@ ok  	mfdl/internal/swarm	2.5s
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(entries) != 3 {
-		t.Fatalf("parsed %d entries, want 3", len(entries))
+	if len(entries) != 4 {
+		t.Fatalf("parsed %d entries, want 4", len(entries))
 	}
 	first := entries[0]
 	if first.Name != "SwarmStep/n=1000" || first.Iterations != 20 ||
@@ -31,6 +32,9 @@ ok  	mfdl/internal/swarm	2.5s
 	}
 	if entries[2].Name != "EventsimStep/CMFSD/n=1000" || entries[2].AllocsPerOp != 0 {
 		t.Errorf("third entry parsed wrong: %+v", entries[2])
+	}
+	if entries[3].Name != "FabricThroughput/workers=4" || entries[3].CellsPerSec != 388.2 {
+		t.Errorf("fabric entry parsed wrong: %+v", entries[3])
 	}
 }
 

@@ -120,9 +120,10 @@ func run(args []string) error {
 	params := fluid.Params{Mu: *mu, Eta: *eta, Gamma: *gamma}
 	set := experiments.SimSettings{
 		Params: params, K: *k, Lambda0: *lambda0,
-		Horizon: *horizon, Warmup: *warmup, Seed: *seed,
-		Replicas: *replicas, Workers: *workers,
-		Obs: ob,
+		Horizon: *horizon, Warmup: *warmup,
+		Options: experiments.Options{
+			Seed: *seed, Replicas: *replicas, Workers: *workers, Obs: ob,
+		},
 	}
 	emit := func(tb *table.Table) error {
 		if err := tb.Write(os.Stdout, *format); err != nil {

@@ -266,10 +266,9 @@ func run(args []string) error {
 				K:       cfg.K,
 				Lambda0: cfg.Lambda0,
 				Horizon: 4000, Warmup: 800,
-				Seed:     *seed,
-				Replicas: *replicas,
-				Workers:  *workers,
-				Obs:      reg,
+				Options: experiments.Options{
+					Seed: *seed, Replicas: *replicas, Workers: *workers, Obs: reg,
+				},
 			}
 			res, err := experiments.SimValidate(ctx, set, []float64{0.5, 0.9})
 			if err != nil {
@@ -294,10 +293,9 @@ func run(args []string) error {
 				K:       cfg.K,
 				Lambda0: cfg.Lambda0,
 				Horizon: 4000, Warmup: 800,
-				Seed:     *seed,
-				Replicas: *replicas,
-				Workers:  *workers,
-				Obs:      reg,
+				Options: experiments.Options{
+					Seed: *seed, Replicas: *replicas, Workers: *workers, Obs: reg,
+				},
 			}
 			res, err := experiments.ChurnSweep(ctx, set, 0.9, *chaos, thetas, quits)
 			if err != nil {

@@ -39,17 +39,19 @@ package main
 import (
 	"context"
 	"fmt"
-	"math"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
-	"strconv"
-	"strings"
+	"runtime"
 	"time"
 
 	"flag"
 
 	"mfdl/internal/experiments"
+	"mfdl/internal/fabric"
 	"mfdl/internal/fluid"
+	"mfdl/internal/gridflag"
 	"mfdl/internal/obs"
 	"mfdl/internal/runner"
 	"mfdl/internal/runner/diskcache"
@@ -66,55 +68,6 @@ func main() {
 // formats lists the table formats the -format flag accepts.
 var formats = map[string]bool{
 	"": true, "ascii": true, "csv": true, "tsv": true, "markdown": true, "md": true,
-}
-
-// parseFloats parses a comma-separated float list and broadcasts a single
-// value to n entries. NaN and ±Inf are rejected: they would silently
-// produce a degenerate grid.
-func parseFloats(flagName, s string, n int) ([]float64, error) {
-	parts := strings.Split(s, ",")
-	out := make([]float64, 0, len(parts))
-	for _, part := range parts {
-		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
-		if err != nil {
-			return nil, fmt.Errorf("-%s: invalid value %q", flagName, part)
-		}
-		if math.IsNaN(v) || math.IsInf(v, 0) {
-			return nil, fmt.Errorf("-%s: value %q is not finite", flagName, part)
-		}
-		out = append(out, v)
-	}
-	return broadcast(flagName, out, n)
-}
-
-// parseInts is parseFloats for integer lists.
-func parseInts(flagName, s string, n int) ([]int, error) {
-	parts := strings.Split(s, ",")
-	out := make([]int, 0, len(parts))
-	for _, part := range parts {
-		v, err := strconv.Atoi(strings.TrimSpace(part))
-		if err != nil {
-			return nil, fmt.Errorf("-%s: invalid value %q", flagName, part)
-		}
-		out = append(out, v)
-	}
-	return broadcast(flagName, out, n)
-}
-
-// broadcast expands a 1-element list to n entries and rejects any other
-// length mismatch.
-func broadcast[T any](flagName string, vals []T, n int) ([]T, error) {
-	if len(vals) == n {
-		return vals, nil
-	}
-	if len(vals) == 1 {
-		out := make([]T, n)
-		for i := range out {
-			out[i] = vals[0]
-		}
-		return out, nil
-	}
-	return nil, fmt.Errorf("-%s: got %d values for %d dimensions", flagName, len(vals), n)
 }
 
 func run(args []string) error {
@@ -143,6 +96,7 @@ func run(args []string) error {
 		pruneAge  = fs.Duration("cache-prune-age", 0, "evict cache entries unused for longer than this before the sweep (0 = off; requires -cache-dir)")
 		pruneSize = fs.Int64("cache-prune-size", 0, "evict least-recently-used cache entries down to this many bytes before the sweep (0 = off; requires -cache-dir)")
 		stats     = fs.Bool("stats", false, "print cache hit rates, disk usage and per-phase wall-clock on stderr")
+		fabricAdr = fs.String("fabric", "", "run the sweep through an in-process fabric coordinator bound to this address (e.g. 127.0.0.1:0) with -workers HTTP workers; output is byte-identical to a local run")
 	)
 	var ofl obs.Flags
 	ofl.Register(fs)
@@ -187,33 +141,7 @@ func run(args []string) error {
 			pst.Removed, pst.Freed, pst.Kept, pst.Remaining)
 	}
 
-	names := strings.Split(*dim, ",")
-	for i, name := range names {
-		names[i] = strings.TrimSpace(name)
-	}
-	froms, err := parseFloats("from", *from, len(names))
-	if err != nil {
-		return err
-	}
-	tos, err := parseFloats("to", *to, len(names))
-	if err != nil {
-		return err
-	}
-	stepsN, err := parseInts("steps", *steps, len(names))
-	if err != nil {
-		return err
-	}
-	dims := make([]runner.Dim, len(names))
-	for i, name := range names {
-		if froms[i] > tos[i] {
-			return fmt.Errorf("dimension %s: -from %g > -to %g", name, froms[i], tos[i])
-		}
-		if stepsN[i] < 1 {
-			return fmt.Errorf("dimension %s: steps must be >= 1, got %d", name, stepsN[i])
-		}
-		dims[i] = runner.Dim{Name: name, Values: runner.Linspace(froms[i], tos[i], stepsN[i])}
-	}
-	grid, err := runner.NewGrid(dims...)
+	grid, err := gridflag.Grid(*dim, *from, *to, *steps)
 	if err != nil {
 		return err
 	}
@@ -236,11 +164,10 @@ func run(args []string) error {
 		P: *p, Rho: *rho, Theta: *theta,
 		Scheme:        sc,
 		Grid:          grid,
-		Workers:       *workers,
+		Options:       experiments.Options{Workers: *workers, Obs: reg},
 		Retries:       *retries,
 		CacheDir:      *cacheDir,
 		CheckpointDir: *ckptDir,
-		Obs:           reg,
 	}
 	if *verbose {
 		// Progress renders from the registry's completed-cell counter:
@@ -270,7 +197,12 @@ func run(args []string) error {
 	defer stop()
 	phase := reg.Gauge // nil-safe; three samples land as sweep_phase_seconds{phase=...}
 	setup := time.Since(start)
-	res, err := experiments.Sweep(ctx, spec)
+	var res *experiments.SweepResult
+	if *fabricAdr != "" {
+		res, err = runFabric(ctx, spec, *fabricAdr, *workers)
+	} else {
+		res, err = experiments.Sweep(ctx, spec)
+	}
 	if err != nil {
 		return err
 	}
@@ -289,6 +221,64 @@ func run(args []string) error {
 		printStats(os.Stderr, reg, *cacheDir)
 	}
 	return finishObs()
+}
+
+// runFabric executes the sweep through the distributed fabric entirely
+// in-process: a coordinator HTTP server bound to addr, plus `workers`
+// (default all cores) HTTP worker loops against it. The cells come back
+// through the coordinator's checkpoint store (spec.CheckpointDir, or a
+// private temp dir), so the final table is byte-identical to a local run —
+// -fabric exists to exercise exactly that equivalence from the shell.
+func runFabric(ctx context.Context, spec experiments.SweepSpec, addr string, workers int) (*experiments.SweepResult, error) {
+	dir := spec.CheckpointDir
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "sweep-fabric-*")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	}
+	store, err := diskcache.OpenCheckpoint(dir)
+	if err != nil {
+		return nil, err
+	}
+	coord, err := fabric.NewCoordinator(spec.JobSpec(), store, fabric.CoordinatorOptions{
+		Obs: spec.Options.Obs,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: coord.Handler()}
+	go srv.Serve(ln)
+	defer srv.Close()
+	fmt.Fprintf(os.Stderr, "sweep: fabric coordinator on http://%s\n", ln.Addr())
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	url := "http://" + ln.Addr().String()
+	errs := make(chan error, workers)
+	for i := 0; i < workers; i++ {
+		go func(i int) {
+			errs <- fabric.Work(ctx, url, fabric.WorkerOptions{
+				Name: fmt.Sprintf("local-%d", i),
+			})
+		}(i)
+	}
+	for i := 0; i < workers; i++ {
+		if err := <-errs; err != nil {
+			return nil, err
+		}
+	}
+	cells, err := coord.Result(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return &experiments.SweepResult{Spec: spec, Cells: cells}, nil
 }
 
 // snapshotDerived folds end-of-run derived values into the registry so

@@ -1,0 +1,245 @@
+// Command sweepd runs a parameter sweep as a distributed job: one
+// coordinator process partitions the grid into cell leases, and any number
+// of worker processes — on this machine or others — pull leases over HTTP,
+// solve cells, and post results back. The final table is byte-identical to
+// `sweep` run locally over the same grid, at any worker count, even across
+// worker crashes: expired leases are re-issued (work stealing) and
+// completed cells persist in the coordinator's checkpoint store, so a
+// restarted coordinator resumes instead of recomputing.
+//
+// Usage — two terminals:
+//
+//	sweepd serve -addr :8700 -dim p,rho -steps 9,10 -scheme CMFSD \
+//	    -checkpoint-dir /tmp/sweepd
+//	sweepd work -join http://localhost:8700 -parallel 4
+//
+// Or a single machine, one process:
+//
+//	sweepd serve -addr 127.0.0.1:0 -local-workers 8 -dim rho -steps 10
+//
+// `serve` accepts the same grid and model flags as `sweep` (-dim, -from,
+// -to, -steps, -scheme, -k, -mu, -eta, -gamma, -lambda0, -p, -rho,
+// -theta), prints the finished table on stdout and exits. With
+// -addr-file the actual listen address (useful with port 0) is written to
+// a file for scripts to pick up. `work` needs only -join; it fetches the
+// job description from the coordinator.
+package main
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"time"
+
+	"flag"
+
+	"mfdl/internal/experiments"
+	"mfdl/internal/fabric"
+	"mfdl/internal/fluid"
+	"mfdl/internal/gridflag"
+	"mfdl/internal/obs"
+	"mfdl/internal/runner/diskcache"
+	"mfdl/internal/scheme"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "sweepd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: sweepd serve|work [flags] (run with -h for details)")
+	}
+	switch args[0] {
+	case "serve":
+		return serve(args[1:])
+	case "work":
+		return work(args[1:])
+	default:
+		return fmt.Errorf("unknown subcommand %q (want serve or work)", args[0])
+	}
+}
+
+// formats lists the table formats the -format flag accepts.
+var formats = map[string]bool{
+	"": true, "ascii": true, "csv": true, "tsv": true, "markdown": true, "md": true,
+}
+
+func serve(args []string) error {
+	fs := flag.NewFlagSet("sweepd serve", flag.ContinueOnError)
+	var (
+		addr       = fs.String("addr", "127.0.0.1:8700", "coordinator listen address (port 0 picks a free port)")
+		addrFile   = fs.String("addr-file", "", "write the actual listen address to this file (for scripts using port 0)")
+		dim        = fs.String("dim", "p", "swept dimensions (comma-separated): p, rho, k, mu, gamma, eta, lambda0, theta")
+		from       = fs.String("from", "0.05", "sweep start, one value or one per dimension")
+		to         = fs.String("to", "1", "sweep end, one value or one per dimension")
+		steps      = fs.String("steps", "10", "sweep intervals, one value or one per dimension")
+		schemeF    = fs.String("scheme", "CMFSD", "scheme: MTCD, MTSD, MFCD, CMFSD")
+		k          = fs.Int("k", 10, "number of files K")
+		mu         = fs.Float64("mu", 0.02, "upload bandwidth μ")
+		eta        = fs.Float64("eta", 0.5, "sharing efficiency η")
+		gamma      = fs.Float64("gamma", 0.05, "seed departure rate γ")
+		lambda0    = fs.Float64("lambda0", 1, "visiting rate λ₀")
+		p          = fs.Float64("p", 0.9, "file correlation p")
+		rho        = fs.Float64("rho", 0, "CMFSD allocation ratio ρ")
+		theta      = fs.Float64("theta", 0, "downloader abort rate θ (0 = paper's churn-free model)")
+		ckptDir    = fs.String("checkpoint-dir", "", "checkpoint store for completed cells; a restarted coordinator resumes from it (empty = private temp dir, no resume)")
+		leaseCells = fs.Int("lease-cells", 8, "cells granted per lease")
+		leaseTTL   = fs.Duration("lease-ttl", 30*time.Second, "lease exclusivity window; a worker silent for longer forfeits its cells")
+		localW     = fs.Int("local-workers", 0, "also run this many in-process workers (0 = rely on `sweepd work` processes)")
+		format     = fs.String("format", "ascii", "output format: ascii, csv, tsv, or markdown")
+		stats      = fs.Bool("stats", false, "print fabric progress counters on stderr")
+	)
+	var ofl obs.Flags
+	ofl.Register(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	sc, err := scheme.Parse(*schemeF)
+	if err != nil {
+		return err
+	}
+	if !formats[*format] {
+		return fmt.Errorf("unknown format %q (want ascii, csv, tsv, or markdown)", *format)
+	}
+	grid, err := gridflag.Grid(*dim, *from, *to, *steps)
+	if err != nil {
+		return err
+	}
+	reg, finishObs, err := ofl.Setup(*stats)
+	if err != nil {
+		return err
+	}
+	spec := experiments.SweepSpec{
+		Config: experiments.Config{
+			Params:  fluid.Params{Mu: *mu, Eta: *eta, Gamma: *gamma},
+			K:       *k,
+			Lambda0: *lambda0,
+		},
+		P: *p, Rho: *rho, Theta: *theta,
+		Scheme:  sc,
+		Grid:    grid,
+		Options: experiments.Options{Obs: reg},
+	}
+	if err := spec.Config.Validate(); err != nil {
+		return err
+	}
+	dir := *ckptDir
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "sweepd-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	}
+	store, err := diskcache.OpenCheckpoint(dir)
+	if err != nil {
+		return err
+	}
+	coord, err := fabric.NewCoordinator(spec.JobSpec(), store, fabric.CoordinatorOptions{
+		LeaseCells: *leaseCells, LeaseTTL: *leaseTTL, Obs: reg,
+	})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(ln.Addr().String()), 0o644); err != nil {
+			return err
+		}
+	}
+	srv := &http.Server{Handler: coord.Handler()}
+	go srv.Serve(ln)
+	defer srv.Close()
+	st := coord.Status()
+	fmt.Fprintf(os.Stderr, "sweepd: serving %d cells (%d resumed) on http://%s\n",
+		st.Total, st.Done, ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	url := "http://" + ln.Addr().String()
+	workerErrs := make(chan error, *localW)
+	for i := 0; i < *localW; i++ {
+		go func(i int) {
+			workerErrs <- fabric.Work(ctx, url, fabric.WorkerOptions{
+				Name: fmt.Sprintf("local-%d", i), Obs: reg,
+			})
+		}(i)
+	}
+	for i := 0; i < *localW; i++ {
+		if err := <-workerErrs; err != nil {
+			return err
+		}
+	}
+	cells, err := coord.Result(ctx)
+	if err != nil {
+		return err
+	}
+	res := &experiments.SweepResult{Spec: spec, Cells: cells}
+	if err := res.Table().Write(os.Stdout, *format); err != nil {
+		return err
+	}
+	if *stats {
+		final := coord.Status()
+		fmt.Fprintf(os.Stderr, "sweepd: %d/%d cells done; leases granted %d, expired %d; completions %d (+%d duplicate, %d resumed)\n",
+			final.Done, final.Total,
+			reg.Counter("fabric_leases_granted_total").Value(),
+			reg.Counter("fabric_leases_expired_total").Value(),
+			reg.Counter("fabric_cells_completed_total").Value(),
+			reg.Counter("fabric_cells_duplicate_total").Value(),
+			reg.Counter("fabric_cells_resumed_total").Value())
+	}
+	return finishObs()
+}
+
+func work(args []string) error {
+	fs := flag.NewFlagSet("sweepd work", flag.ContinueOnError)
+	var (
+		join     = fs.String("join", "", "coordinator URL, e.g. http://host:8700 (required)")
+		parallel = fs.Int("parallel", 1, "cells computed concurrently by this worker")
+		name     = fs.String("name", "", "worker name reported to the coordinator (default worker-<pid>)")
+		stats    = fs.Bool("stats", false, "print this worker's cell count on stderr when done")
+	)
+	var ofl obs.Flags
+	ofl.Register(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	if *join == "" {
+		return fmt.Errorf("-join is required")
+	}
+	reg, finishObs, err := ofl.Setup(*stats)
+	if err != nil {
+		return err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	opts := fabric.WorkerOptions{Name: *name, Parallelism: *parallel, Obs: reg}
+	if opts.Name == "" {
+		opts.Name = fmt.Sprintf("worker-%d", os.Getpid())
+	}
+	if err := fabric.Work(ctx, *join, opts); err != nil {
+		return err
+	}
+	if *stats {
+		fmt.Fprintf(os.Stderr, "sweepd: worker %s computed %d cells\n", opts.Name,
+			reg.Counter("fabric_worker_cells_total", obs.L("worker", opts.Name)).Value())
+	}
+	return finishObs()
+}

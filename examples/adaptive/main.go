@@ -17,6 +17,7 @@ import (
 	"mfdl/internal/adapt"
 	"mfdl/internal/eventsim"
 	"mfdl/internal/fluid"
+	"mfdl/internal/scheme"
 )
 
 func main() {
@@ -41,7 +42,7 @@ func main() {
 			K:               10,
 			Lambda0:         1,
 			P:               0.9,
-			Scheme:          eventsim.CMFSD,
+			Scheme:          scheme.SimCMFSD,
 			Adapt:           &controller,
 			CheaterFraction: cheaters,
 			Horizon:         4000,

@@ -20,6 +20,7 @@ import (
 
 	"mfdl/internal/core"
 	"mfdl/internal/fluid"
+	"mfdl/internal/scheme"
 	"mfdl/internal/swarm"
 )
 
@@ -66,12 +67,12 @@ func main() {
 	base.Warmup = 400
 	for _, setting := range []struct {
 		name   string
-		scheme swarm.Scheme
+		scheme scheme.SimScheme
 		rho    float64
 	}{
-		{"MFCD", swarm.MFCD, 0},
-		{"CMFSD ρ=0.5", swarm.CMFSD, 0.5},
-		{"CMFSD ρ=0", swarm.CMFSD, 0},
+		{"MFCD", scheme.SimMFCD, 0},
+		{"CMFSD ρ=0.5", scheme.SimCMFSD, 0.5},
+		{"CMFSD ρ=0", scheme.SimCMFSD, 0},
 	} {
 		cfg := base
 		cfg.Scheme = setting.scheme

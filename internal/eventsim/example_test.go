@@ -6,6 +6,7 @@ import (
 
 	"mfdl/internal/eventsim"
 	"mfdl/internal/fluid"
+	"mfdl/internal/scheme"
 )
 
 // Simulate MTSD on a 10-file system and compare against the fluid closed
@@ -16,7 +17,7 @@ func ExampleRun() {
 		K:       10,
 		Lambda0: 1,
 		P:       1,
-		Scheme:  eventsim.MTSD,
+		Scheme:  scheme.SimMTSD,
 		Horizon: 4000,
 		Warmup:  800,
 		Seed:    1,

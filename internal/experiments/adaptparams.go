@@ -7,6 +7,7 @@ import (
 	"mfdl/internal/adapt"
 	"mfdl/internal/eventsim"
 	"mfdl/internal/replica"
+	"mfdl/internal/scheme"
 	"mfdl/internal/sim"
 	"mfdl/internal/table"
 )
@@ -79,7 +80,7 @@ func AdaptParams(ctx context.Context, set SimSettings, p, cheaterFraction float6
 	sims := make([]replica.Sim, len(specs))
 	for i, sp := range specs {
 		ac := sp.ac
-		s, err := sim.New(eventsim.CMFSD, sim.Config{Flow: &eventsim.Config{
+		s, err := sim.New(scheme.SimCMFSD, sim.Config{Flow: &eventsim.Config{
 			Params: set.Params, K: set.K, Lambda0: set.Lambda0, P: p,
 			Adapt: &ac, CheaterFraction: sp.cheat,
 			Horizon: set.Horizon, Warmup: set.Warmup,

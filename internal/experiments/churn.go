@@ -62,7 +62,7 @@ type churnSpec struct {
 	theta     float64
 	rho       float64 // NaN for the non-CMFSD schemes
 	fluid     float64
-	simScheme eventsim.Scheme
+	simScheme scheme.SimScheme
 	quitAxis  bool
 	quitRate  float64
 }
@@ -102,11 +102,11 @@ func ChurnSweep(ctx context.Context, set SimSettings, p float64, chaosSeed uint6
 		plan := []struct {
 			scheme    scheme.Scheme
 			rho       float64
-			simScheme eventsim.Scheme
+			simScheme scheme.SimScheme
 		}{
-			{scheme.MTSD, math.NaN(), eventsim.MTSD},
-			{scheme.MTCD, math.NaN(), eventsim.MTCD},
-			{scheme.CMFSD, 0.5, eventsim.CMFSD},
+			{scheme.MTSD, math.NaN(), scheme.SimMTSD},
+			{scheme.MTCD, math.NaN(), scheme.SimMTCD},
+			{scheme.CMFSD, 0.5, scheme.SimCMFSD},
 		}
 		for _, pl := range plan {
 			rho := pl.rho
@@ -130,8 +130,8 @@ func ChurnSweep(ctx context.Context, set SimSettings, p float64, chaosSeed uint6
 		}
 		for _, q := range quitRates {
 			specs = append(specs, churnSpec{
-				scheme: eventsim.CMFSD.String(), rho: 0.5, fluid: ideal,
-				simScheme: eventsim.CMFSD, quitAxis: true, quitRate: q,
+				scheme: scheme.SimCMFSD.String(), rho: 0.5, fluid: ideal,
+				simScheme: scheme.SimCMFSD, quitAxis: true, quitRate: q,
 			})
 		}
 	}
@@ -193,8 +193,8 @@ func ChurnSweep(ctx context.Context, set SimSettings, p float64, chaosSeed uint6
 			Aborted:   int(agg.Count(replica.Aborted)),
 		})
 	}
-	set.Obs.Counter("faults_aborts_total").Add(aborts)
-	set.Obs.Counter("faults_seed_quits_total").Add(quits)
+	set.effObs().Counter("faults_aborts_total").Add(aborts)
+	set.effObs().Counter("faults_seed_quits_total").Add(quits)
 	return res, nil
 }
 

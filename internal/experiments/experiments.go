@@ -38,11 +38,40 @@ import (
 	"mfdl/internal/metrics"
 	"mfdl/internal/mtcd"
 	"mfdl/internal/numeric/rootfind"
+	"mfdl/internal/obs"
 	"mfdl/internal/rng"
 	"mfdl/internal/runner"
 	"mfdl/internal/scheme"
 	"mfdl/internal/table"
 )
+
+// Options is the execution-option surface shared by the whole experiment
+// family. It used to be scattered across Config (cache), SweepSpec
+// (workers, obs) and SimSettings (seed, replicas, workers, obs) with one
+// spelling per struct; those structs now embed Options, and their old
+// fields remain as deprecated pass-throughs — a non-zero deprecated field
+// takes precedence over the embedded one, so existing callers keep their
+// exact behaviour and tables stay byte-identical.
+type Options struct {
+	// Cache, when non-nil, memoizes every steady-state solve — across
+	// figures, across calls and (when the cache carries a disk tier)
+	// across processes. Nil solves directly (or through whatever the
+	// concrete experiment wires, e.g. SweepSpec.CacheDir).
+	Cache *runner.Cache
+	// Obs, when non-nil, instruments the run: the runner pool's cell
+	// metrics, the solve cache's counters, the replica engine's
+	// histograms. Results are byte-identical with or without it.
+	Obs *obs.Registry
+	// Seed is the base seed every cell/replica stream is split from.
+	Seed uint64
+	// Replicas is R, the independently seeded replicas behind every
+	// simulated table row; 0 or 1 reproduces unreplicated tables
+	// byte-for-byte. Fluid solves ignore it (they are deterministic) but
+	// carry it in the job identity.
+	Replicas int
+	// Workers bounds the worker pool; <= 0 means all cores.
+	Workers int
+}
 
 // Config holds the evaluation setting shared by all experiments.
 type Config struct {
@@ -51,12 +80,23 @@ type Config struct {
 	K int
 	// Lambda0 is the web-server visiting rate λ₀.
 	Lambda0 float64
-	// Cache, when non-nil, memoizes every steady-state solve the
-	// experiments perform — across figures, across calls and (when the
-	// cache carries a disk tier) across processes. Nil solves directly.
-	// Copies of a Config share the cache, so overriding a parameter (as
-	// the η ablation does) still pools solves in one place.
+	// Options is the shared execution-option surface; Config consumes its
+	// Cache field.
+	Options
+	// Cache is the pre-Options spelling of Options.Cache.
+	//
+	// Deprecated: set Options.Cache. A non-nil value here still wins, so
+	// existing callers are unaffected.
 	Cache *runner.Cache
+}
+
+// cache returns the effective solve cache: the deprecated field when set,
+// the embedded Options otherwise.
+func (c Config) cache() *runner.Cache {
+	if c.Cache != nil {
+		return c.Cache
+	}
+	return c.Options.Cache
 }
 
 // PaperConfig reproduces the parameters used in every figure of the paper:
@@ -84,8 +124,8 @@ func (c Config) corr(p float64) (*correlation.Model, error) {
 // eval solves one scheme at one operating point, through the shared cache
 // when the Config carries one.
 func (c Config) eval(sc scheme.Scheme, p, rho float64) (*metrics.SchemeResult, error) {
-	if c.Cache != nil {
-		return c.Cache.Evaluate(runner.Key{
+	if cc := c.cache(); cc != nil {
+		return cc.Evaluate(runner.Key{
 			Scheme: sc, Params: c.Params, K: c.K, P: p, Lambda0: c.Lambda0, Rho: rho,
 		})
 	}

@@ -7,6 +7,7 @@ import (
 	"mfdl/internal/eventsim"
 	"mfdl/internal/fluid"
 	"mfdl/internal/replica"
+	"mfdl/internal/scheme"
 	"mfdl/internal/sim"
 	"mfdl/internal/stats"
 	"mfdl/internal/table"
@@ -64,7 +65,7 @@ func Hetero(ctx context.Context, set SimSettings, lambda0 float64, classes []Het
 	if err != nil {
 		return nil, err
 	}
-	hsim, err := sim.New(eventsim.MTSD, sim.Config{Flow: &eventsim.Config{
+	hsim, err := sim.New(scheme.SimMTSD, sim.Config{Flow: &eventsim.Config{
 		Params:    set.Params,
 		K:         1,
 		Lambda0:   lambda0,
@@ -83,7 +84,7 @@ func Hetero(ctx context.Context, set SimSettings, lambda0 float64, classes []Het
 		return nil, err
 	}
 	agg := aggs[0]
-	res := &HeteroResult{Eta: set.Params.Eta, Replicas: set.Replicas}
+	res := &HeteroResult{Eta: set.Params.Eta, Replicas: set.effReplicas()}
 	for i, c := range classes {
 		got := agg.Mean(replica.BandwidthKey(c.Name, replica.DownloadPerFile))
 		res.Rows = append(res.Rows, HeteroRow{

@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"context"
+	"testing"
+
+	"mfdl/internal/runner"
+	"mfdl/internal/scheme"
+)
+
+// The consolidation contract: a spec written with the deprecated
+// per-struct fields and one written with the embedded Options surface
+// must produce byte-identical tables.
+
+func TestSweepOptionsSpellingGolden(t *testing.T) {
+	g, err := runner.NewGrid(runner.Dim{Name: "rho", Values: runner.Linspace(0, 1, 4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldStyle := SweepSpec{
+		Config: PaperConfig, P: 0.9, Scheme: scheme.CMFSD, Grid: g,
+		Workers: 3, // deprecated field
+	}
+	newStyle := SweepSpec{
+		Config: PaperConfig, P: 0.9, Scheme: scheme.CMFSD, Grid: g,
+		Options: Options{Workers: 3},
+	}
+	var tables []string
+	for _, spec := range []SweepSpec{oldStyle, newStyle} {
+		res, err := Sweep(context.Background(), spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tables = append(tables, res.Table().String())
+	}
+	if tables[0] != tables[1] {
+		t.Fatalf("Options spelling changed the sweep table:\n%s\nvs\n%s", tables[0], tables[1])
+	}
+}
+
+func TestSimValidateOptionsSpellingGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation golden comparison")
+	}
+	base := DefaultSimSettings
+	base.Horizon, base.Warmup = 600, 100
+	oldStyle := base
+	oldStyle.Seed, oldStyle.Replicas, oldStyle.Workers = 7, 2, 2 // deprecated fields
+	newStyle := base
+	newStyle.Seed = 0 // DefaultSimSettings seeds the deprecated field; clear it
+	newStyle.Options = Options{Seed: 7, Replicas: 2, Workers: 2}
+	var tables []string
+	for _, set := range []SimSettings{oldStyle, newStyle} {
+		res, err := SimValidate(context.Background(), set, []float64{0.9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tables = append(tables, res.Table().String())
+	}
+	if tables[0] != tables[1] {
+		t.Fatalf("Options spelling changed the simulation table:\n%s\nvs\n%s", tables[0], tables[1])
+	}
+}
+
+// Deprecated fields must win over the embedded Options when both are set —
+// existing callers mutating the old fields keep their meaning even if a
+// future default populates Options.
+func TestDeprecatedFieldsTakePrecedence(t *testing.T) {
+	s := SimSettings{Seed: 5, Options: Options{Seed: 9, Replicas: 3}}
+	if got := s.effSeed(); got != 5 {
+		t.Errorf("effSeed = %d, want the deprecated 5", got)
+	}
+	if got := s.effReplicas(); got != 3 {
+		t.Errorf("effReplicas = %d, want the Options 3", got)
+	}
+	sw := SweepSpec{Workers: 2, Options: Options{Workers: 8}}
+	if got := sw.effWorkers(); got != 2 {
+		t.Errorf("effWorkers = %d, want the deprecated 2", got)
+	}
+}

@@ -27,19 +27,30 @@ type SimSettings struct {
 	Lambda0 float64
 	Horizon float64
 	Warmup  float64
-	Seed    uint64
-	// Replicas is the number of independently seeded simulation replicas
-	// behind every table row (R); 0 or 1 runs a single replica at Seed,
-	// reproducing the unreplicated tables byte-for-byte. With R > 1 every
-	// simulated metric is reported as mean ± 95% CI across replicas, with
-	// seeds derived by the replica engine's scheme (see internal/replica).
+	// Options is the shared execution-option surface: Seed anchors the
+	// replica seed derivation, Replicas is the number of independently
+	// seeded simulation replicas behind every table row (0 or 1 runs a
+	// single replica, reproducing the unreplicated tables byte-for-byte;
+	// R > 1 reports every simulated metric as mean ± 95% CI), Workers
+	// bounds the fan-out pool (0 = all cores; output is byte-identical at
+	// any count), and Obs instruments the replica engine and the runner
+	// pool beneath it (byte-identical with or without).
+	Options
+	// Seed is the pre-Options spelling of Options.Seed.
+	//
+	// Deprecated: set Options.Seed. A non-zero value here still wins.
+	Seed uint64
+	// Replicas is the pre-Options spelling of Options.Replicas.
+	//
+	// Deprecated: set Options.Replicas. A non-zero value here still wins.
 	Replicas int
-	// Workers bounds the replica fan-out pool; 0 means all cores. The
-	// output is byte-identical at any worker count.
+	// Workers is the pre-Options spelling of Options.Workers.
+	//
+	// Deprecated: set Options.Workers. A non-zero value here still wins.
 	Workers int
-	// Obs, when non-nil, instruments the replica engine (simulate/reduce
-	// latency histograms and phase spans) and the runner pool beneath it.
-	// Results are byte-identical with or without it.
+	// Obs is the pre-Options spelling of Options.Obs.
+	//
+	// Deprecated: set Options.Obs. A non-nil value here still wins.
 	Obs *obs.Registry
 }
 
@@ -53,12 +64,46 @@ var DefaultSimSettings = SimSettings{
 	Seed:    1,
 }
 
+// effSeed, effReplicas, effWorkers and effObs merge the deprecated
+// pass-through fields with the embedded Options (deprecated wins when
+// set), so both spellings keep producing byte-identical tables.
+func (s SimSettings) effSeed() uint64 {
+	if s.Seed != 0 {
+		return s.Seed
+	}
+	return s.Options.Seed
+}
+
+func (s SimSettings) effReplicas() int {
+	if s.Replicas != 0 {
+		return s.Replicas
+	}
+	return s.Options.Replicas
+}
+
+func (s SimSettings) effWorkers() int {
+	if s.Workers != 0 {
+		return s.Workers
+	}
+	return s.Options.Workers
+}
+
+func (s SimSettings) effObs() *obs.Registry {
+	if s.Obs != nil {
+		return s.Obs
+	}
+	return s.Options.Obs
+}
+
 // replicated reports whether the settings ask for error bars.
-func (s SimSettings) replicated() bool { return s.Replicas > 1 }
+func (s SimSettings) replicated() bool { return s.effReplicas() > 1 }
 
 // options assembles the replica-engine options for these settings.
 func (s SimSettings) options() replica.Options {
-	return replica.Options{Replicas: s.Replicas, Workers: s.Workers, Seed: s.Seed, Obs: s.Obs}
+	return replica.Options{
+		Replicas: s.effReplicas(), Workers: s.effWorkers(),
+		Seed: s.effSeed(), Obs: s.effObs(),
+	}
 }
 
 // ciCell formats a ± cell with table.Fmt precision.
@@ -94,7 +139,7 @@ type simValidateSpec struct {
 	scheme    string
 	p, rho    float64 // rho is NaN for the non-CMFSD schemes
 	fluid     float64
-	simScheme eventsim.Scheme
+	simScheme scheme.SimScheme
 }
 
 // SimValidate runs the flow-level simulator for every scheme and compares
@@ -124,15 +169,15 @@ func SimValidate(ctx context.Context, set SimSettings, ps []float64) (*SimValida
 		plan := []struct {
 			scheme    scheme.Scheme
 			rho       float64
-			simScheme eventsim.Scheme
+			simScheme scheme.SimScheme
 		}{
-			{scheme.MTSD, math.NaN(), eventsim.MTSD},
-			{scheme.MTCD, math.NaN(), eventsim.MTCD},
+			{scheme.MTSD, math.NaN(), scheme.SimMTSD},
+			{scheme.MTCD, math.NaN(), scheme.SimMTCD},
 			// In the fluid model MFCD coincides with MTCD (Section 3.4).
-			{scheme.MTCD, math.NaN(), eventsim.MFCD},
-			{scheme.CMFSD, 0, eventsim.CMFSD},
-			{scheme.CMFSD, 0.5, eventsim.CMFSD},
-			{scheme.CMFSD, 1, eventsim.CMFSD},
+			{scheme.MTCD, math.NaN(), scheme.SimMFCD},
+			{scheme.CMFSD, 0, scheme.SimCMFSD},
+			{scheme.CMFSD, 0.5, scheme.SimCMFSD},
+			{scheme.CMFSD, 1, scheme.SimCMFSD},
 		}
 		for _, pl := range plan {
 			rho := pl.rho
@@ -245,7 +290,7 @@ func AdaptSweep(ctx context.Context, set SimSettings, p float64, ac adapt.Config
 	}
 	sims := make([]replica.Sim, len(cheaterFractions))
 	for i, frac := range cheaterFractions {
-		s, err := sim.New(eventsim.CMFSD, sim.Config{Flow: &eventsim.Config{
+		s, err := sim.New(scheme.SimCMFSD, sim.Config{Flow: &eventsim.Config{
 			Params: set.Params, K: set.K, Lambda0: set.Lambda0, P: p,
 			Adapt: &ac, CheaterFraction: frac,
 			Horizon: set.Horizon, Warmup: set.Warmup,
@@ -331,15 +376,15 @@ type SwarmCompareResult struct {
 func SwarmCompare(ctx context.Context, base swarm.Config, rhos []float64, replicas int, ob *obs.Registry) (*SwarmCompareResult, error) {
 	res := &SwarmCompareResult{Config: base, Replicas: replicas}
 	type rowSpec struct {
-		scheme swarm.Scheme
+		scheme scheme.SimScheme
 		rho    float64 // NaN for the schemes that ignore ρ
 	}
 	specs := []rowSpec{
-		{swarm.MFCD, math.NaN()},
-		{swarm.MTSD, math.NaN()},
+		{scheme.SimMFCD, math.NaN()},
+		{scheme.SimMTSD, math.NaN()},
 	}
 	for _, rho := range rhos {
-		specs = append(specs, rowSpec{swarm.CMFSD, rho})
+		specs = append(specs, rowSpec{scheme.SimCMFSD, rho})
 	}
 	sims := make([]replica.Sim, len(specs))
 	for i, sp := range specs {

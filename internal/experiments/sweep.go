@@ -3,11 +3,9 @@ package experiments
 import (
 	"context"
 	"fmt"
-	"math"
 	"strings"
 
 	"mfdl/internal/obs"
-	"mfdl/internal/rng"
 	"mfdl/internal/runner"
 	"mfdl/internal/runner/diskcache"
 	"mfdl/internal/scheme"
@@ -15,14 +13,19 @@ import (
 )
 
 // SweepDims lists the dimension names Sweep understands: every swept axis
-// maps onto one knob of the server–torrent system.
-var SweepDims = []string{"p", "rho", "k", "mu", "gamma", "eta", "lambda0", "theta"}
+// maps onto one knob of the server–torrent system. It aliases the runner's
+// job-dimension list — the sweep is just a JobSpec in experiment clothing.
+var SweepDims = runner.KeyDims
 
 // SweepSpec describes a multi-dimensional parameter study of one scheme:
 // a base operating point plus an N-dimensional grid of overrides. Cells
 // are independent steady-state solves, so Sweep fans them out over a
 // worker pool and memoizes solves that coincide (e.g. sweeping ρ under a
 // scheme that ignores it).
+//
+// A SweepSpec lowers to a serializable runner.JobSpec (see JobSpec), so
+// the same study can run locally, resume from checkpoints, or be
+// distributed across fabric workers — all byte-identically.
 type SweepSpec struct {
 	// Config is the base operating point; swept dimensions override its
 	// fields cell by cell.
@@ -38,7 +41,12 @@ type SweepSpec struct {
 	Scheme scheme.Scheme
 	// Grid holds the swept dimensions; names must come from SweepDims.
 	Grid runner.Grid
-	// Workers bounds the pool (<= 0 means all cores).
+	// Options is the shared execution-option surface (workers, obs, seed,
+	// cache). Options.Cache, when set, takes precedence over CacheDir.
+	Options
+	// Workers is the pre-Options spelling of Options.Workers.
+	//
+	// Deprecated: set Options.Workers. A non-zero value here still wins.
 	Workers int
 	// Retries is how many times a panicking cell is re-attempted before
 	// failing the sweep (see runner.Options.Retries).
@@ -56,20 +64,51 @@ type SweepSpec struct {
 	CheckpointDir string
 	// Hooks observe per-cell progress.
 	Hooks runner.Hooks
-	// Obs, when non-nil, instruments the sweep: the runner pool's cell
-	// latency / utilization metrics plus the solve cache's
-	// solvecache_* / diskcache_* counters all land in this registry.
-	// Results are byte-identical with or without it.
+	// Obs is the pre-Options spelling of Options.Obs.
+	//
+	// Deprecated: set Options.Obs. A non-nil value here still wins.
 	Obs *obs.Registry
 }
 
-// SweepCell is the evaluation of one grid cell.
-type SweepCell struct {
-	// Values are the swept dimension values, in grid dimension order.
-	Values []float64
-	// AvgOnline and AvgDownload are the paper's per-file aggregates.
-	AvgOnline, AvgDownload float64
+// effWorkers/effObs merge the deprecated pass-through fields with the
+// embedded Options (deprecated wins when set).
+func (s SweepSpec) effWorkers() int {
+	if s.Workers != 0 {
+		return s.Workers
+	}
+	return s.Options.Workers
 }
+
+func (s SweepSpec) effObs() *obs.Registry {
+	if s.Obs != nil {
+		return s.Obs
+	}
+	return s.Options.Obs
+}
+
+// JobSpec lowers the sweep to its serializable job description — the one
+// type the local runner, the fabric coordinator, its workers and the
+// checkpoint store all speak. Two specs that lower to the same JobSpec
+// fingerprint compute bit-identical tables.
+func (s SweepSpec) JobSpec() runner.JobSpec {
+	return runner.JobSpec{
+		Schema: runner.JobSpecSchemaVersion,
+		Kind:   runner.JobKindFluidSweep,
+		Base: runner.Key{
+			Scheme: s.Scheme, Params: s.Config.Params,
+			K: s.Config.K, P: s.P, Lambda0: s.Config.Lambda0, Rho: s.Rho,
+			Theta: s.Theta,
+		},
+		Dims:     s.Grid.Dims(),
+		Seed:     s.Options.Seed,
+		Replicas: s.Options.Replicas,
+	}
+}
+
+// SweepCell is the evaluation of one grid cell. It is the runner's
+// CellValue — the exact payload that crosses checkpoint files and the
+// fabric wire.
+type SweepCell = runner.CellValue
 
 // SweepResult holds the evaluated grid in row-major cell order.
 type SweepResult struct {
@@ -80,26 +119,10 @@ type SweepResult struct {
 	Cache runner.CacheStats
 }
 
-// applyDim overrides one knob of a solve key.
+// applyDim overrides one knob of a solve key, keeping the experiment
+// package's error vocabulary over the runner's job-dimension table.
 func applyDim(key *runner.Key, name string, v float64) error {
-	switch name {
-	case "p":
-		key.P = v
-	case "rho":
-		key.Rho = v
-	case "k":
-		key.K = int(math.Round(v))
-	case "mu":
-		key.Params.Mu = v
-	case "gamma":
-		key.Params.Gamma = v
-	case "eta":
-		key.Params.Eta = v
-	case "lambda0":
-		key.Lambda0 = v
-	case "theta":
-		key.Theta = v
-	default:
+	if err := runner.SetKeyDim(key, name, v); err != nil {
 		return fmt.Errorf("experiments: unknown sweep dimension %q (have %s)",
 			name, strings.Join(SweepDims, ", "))
 	}
@@ -108,91 +131,52 @@ func applyDim(key *runner.Key, name string, v float64) error {
 
 // Sweep evaluates the scheme over every cell of the grid. Results are
 // deterministic: cell order, values and errors are independent of the
-// worker count.
+// worker count — and of whether the cells were computed locally or by
+// fabric workers against the same JobSpec.
 func Sweep(ctx context.Context, spec SweepSpec) (*SweepResult, error) {
 	if err := spec.Config.Validate(); err != nil {
 		return nil, err
 	}
-	base := runner.Key{
-		Scheme: spec.Scheme, Params: spec.Config.Params,
-		K: spec.Config.K, P: spec.P, Lambda0: spec.Config.Lambda0, Rho: spec.Rho,
-		Theta: spec.Theta,
-	}
+	job := spec.JobSpec()
 	// Reject unknown dimensions before spinning up the pool.
 	for _, d := range spec.Grid.Dims() {
-		probe := base
+		probe := job.Base
 		if err := applyDim(&probe, d.Name, d.Values[0]); err != nil {
 			return nil, err
 		}
 	}
-	cache := runner.NewCache()
-	if spec.CacheDir != "" {
-		disk, err := diskcache.Open(spec.CacheDir)
-		if err != nil {
-			return nil, err
+	cache := spec.Options.Cache
+	if cache == nil {
+		cache = runner.NewCache()
+		if spec.CacheDir != "" {
+			disk, err := diskcache.Open(spec.CacheDir)
+			if err != nil {
+				return nil, err
+			}
+			cache = runner.NewDiskCache(disk)
 		}
-		cache = runner.NewDiskCache(disk)
 	}
-	cache.WithObs(spec.Obs)
+	ob := spec.effObs()
+	cache.WithObs(ob)
 	var ckpt *runner.Checkpoint
 	if spec.CheckpointDir != "" {
 		store, err := diskcache.OpenCheckpoint(spec.CheckpointDir)
 		if err != nil {
 			return nil, err
 		}
-		store.WithObs(spec.Obs)
-		ckpt = runner.NewCheckpoint(store, sweepRunKey(base, spec.Grid))
+		store.WithObs(ob)
+		ckpt = runner.NewCheckpoint(store, job.Fingerprint())
 	}
-	cells, err := runner.Run(ctx, spec.Grid,
-		func(_ context.Context, pt runner.Point, _ *rng.Source) (SweepCell, error) {
-			key := base
-			for _, d := range spec.Grid.Dims() {
-				v, _ := pt.Value(d.Name)
-				if err := applyDim(&key, d.Name, v); err != nil {
-					return SweepCell{}, err
-				}
-			}
-			res, err := cache.Evaluate(key)
-			if err != nil {
-				return SweepCell{}, err
-			}
-			return SweepCell{
-				Values:      pt.Values(),
-				AvgOnline:   res.AvgOnlinePerFile(),
-				AvgDownload: res.AvgDownloadPerFile(),
-			}, nil
-		}, runner.Options{
-			Workers: spec.Workers, Hooks: spec.Hooks, Obs: spec.Obs,
-			Retries: spec.Retries, Checkpoint: ckpt,
-		})
+	cells, err := runner.RunJob(ctx, job, cache, runner.Options{
+		Workers: spec.effWorkers(), Hooks: spec.Hooks, Obs: ob,
+		Retries: spec.Retries, Checkpoint: ckpt,
+	})
 	if err != nil {
 		return nil, err
 	}
 	// The sweep completed: its checkpoints have served their purpose.
 	_ = ckpt.Clear()
 	return &SweepResult{Spec: spec, Cells: cells, Cache: cache.Stats()}, nil
-}
-
-// sweepRunKey renders everything that determines the sweep's cell values —
-// the base solve key plus the exact grid — as the checkpoint run key, so a
-// resumed run can only ever replay cells of the identical study. Values
-// are encoded as IEEE-754 bits: two grids share a key iff they solve
-// bit-identically.
-func sweepRunKey(base runner.Key, g runner.Grid) string {
-	var sb strings.Builder
-	sb.WriteString("sweep ")
-	sb.WriteString(base.Fingerprint())
-	for _, d := range g.Dims() {
-		fmt.Fprintf(&sb, " %s=[", d.Name)
-		for i, v := range d.Values {
-			if i > 0 {
-				sb.WriteByte(',')
-			}
-			fmt.Fprintf(&sb, "%016x", math.Float64bits(v))
-		}
-		sb.WriteByte(']')
-	}
-	return sb.String()
 }
 
 // Table renders the sweep with one row per cell: the swept values followed

@@ -9,6 +9,7 @@ import (
 	"mfdl/internal/eventsim"
 	"mfdl/internal/numeric/ode"
 	"mfdl/internal/replica"
+	"mfdl/internal/scheme"
 	"mfdl/internal/table"
 	"mfdl/internal/trace"
 )
@@ -104,7 +105,7 @@ func Transient(ctx context.Context, set SimSettings, p, rho float64, flash int) 
 	if scale < 1 {
 		scale = 1
 	}
-	rCount := set.Replicas
+	rCount := set.effReplicas()
 	if rCount < 1 {
 		rCount = 1
 	}
@@ -113,7 +114,7 @@ func Transient(ctx context.Context, set SimSettings, p, rho float64, flash int) 
 		return replica.SimFunc(func(_ context.Context, rep replica.Rep) (replica.Sample, error) {
 			sc := eventsim.Config{
 				Params: set.Params, K: set.K, Lambda0: set.Lambda0, P: p,
-				Scheme: eventsim.CMFSD, Rho: rho,
+				Scheme: scheme.SimCMFSD, Rho: rho,
 				Horizon: set.Horizon, Warmup: 0, Seed: rep.Seed,
 				FlashCrowd: flash, SampleEvery: sampleEvery,
 			}

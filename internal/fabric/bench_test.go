@@ -1,0 +1,84 @@
+package fabric
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"mfdl/internal/fluid"
+	"mfdl/internal/runner"
+	"mfdl/internal/runner/diskcache"
+	"mfdl/internal/scheme"
+)
+
+// BenchmarkFabricThroughput measures end-to-end grid throughput through
+// the fabric protocol — coordinator HTTP server, lease grants, cell
+// evaluation, completion posts, result assembly — at several worker
+// counts. The custom cells/sec metric is what `make bench` records in
+// the benchmark-trajectory JSON; ns/op is a full job at that worker
+// count.
+func BenchmarkFabricThroughput(b *testing.B) {
+	spec := runner.JobSpec{
+		Schema: runner.JobSpecSchemaVersion,
+		Kind:   runner.JobKindFluidSweep,
+		Base: runner.Key{
+			Scheme: scheme.MTCD, Params: fluid.PaperParams,
+			K: 5, P: 0.9, Lambda0: 1,
+		},
+		Dims: []runner.Dim{
+			{Name: "p", Values: runner.Linspace(0.05, 0.95, 16)},
+			{Name: "lambda0", Values: []float64{0.5, 1, 2}},
+		},
+		Seed: 11,
+	}
+	if err := spec.Validate(); err != nil {
+		b.Fatal(err)
+	}
+	grid, err := spec.Grid()
+	if err != nil {
+		b.Fatal(err)
+	}
+	cells := grid.Size()
+
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			ctx := context.Background()
+			for i := 0; i < b.N; i++ {
+				store, err := diskcache.OpenCheckpoint(b.TempDir())
+				if err != nil {
+					b.Fatal(err)
+				}
+				// A short lease TTL keeps the workers' empty-queue retry
+				// poll (TTL/4) from dwarfing the compute being measured;
+				// cells finish in well under the TTL, so nothing expires.
+				coord, err := NewCoordinator(spec, store, CoordinatorOptions{
+					LeaseTTL: 250 * time.Millisecond,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				srv := httptest.NewServer(coord.Handler())
+				errs := make(chan error, workers)
+				for w := 0; w < workers; w++ {
+					go func(w int) {
+						errs <- Work(ctx, srv.URL, WorkerOptions{
+							Name: fmt.Sprintf("bench-w%d", w),
+						})
+					}(w)
+				}
+				for w := 0; w < workers; w++ {
+					if err := <-errs; err != nil {
+						b.Fatal(err)
+					}
+				}
+				if _, err := coord.Result(ctx); err != nil {
+					b.Fatal(err)
+				}
+				srv.Close()
+			}
+			b.ReportMetric(float64(cells*b.N)/b.Elapsed().Seconds(), "cells/sec")
+		})
+	}
+}

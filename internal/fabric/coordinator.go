@@ -1,0 +1,420 @@
+// Package fabric distributes one runner.JobSpec across many processes: a
+// coordinator partitions the job's grid into short-lived cell leases, and
+// any number of workers pull leases over HTTP, compute cells, and post the
+// results back. The protocol is deliberately small — four endpoints, JSON
+// bodies, no worker registration — and leans entirely on the job model's
+// determinism guarantees:
+//
+//   - The job travels as runner.JobSpec's canonical JSON; its Fingerprint
+//     is the run identity on the wire and on disk.
+//   - A completed cell travels as the diskcache.Entry envelope — the exact
+//     bytes the coordinator persists, so the checkpoint store doubles as
+//     the wire format and the shared resume state.
+//   - Cell streams are pre-split per cell (runner.CellStream), so a grid
+//     computed by one process or twenty, in any interleaving, is
+//     byte-identical.
+//
+// Leases expire: a worker that dies mid-lease simply stops renewing, and
+// its cells are re-issued to whoever asks next (work stealing). Because
+// completions are idempotent — keyed by (fingerprint, cell), duplicates
+// acknowledged and dropped — a slow worker racing its thief is harmless.
+package fabric
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"mfdl/internal/obs"
+	"mfdl/internal/runner"
+	"mfdl/internal/runner/diskcache"
+)
+
+// Wire paths and headers.
+const (
+	pathJob      = "/v1/job"
+	pathLease    = "/v1/lease"
+	pathComplete = "/v1/complete"
+	pathStatus   = "/v1/status"
+
+	headerWorker      = "X-Fabric-Worker"
+	headerCellSeconds = "X-Fabric-Cell-Seconds"
+)
+
+// CoordinatorOptions tune lease granularity and expiry.
+type CoordinatorOptions struct {
+	// LeaseCells is the maximum cells granted per lease (default 8). A
+	// worker never receives more than it asks for.
+	LeaseCells int
+	// LeaseTTL is how long a lease stays exclusive (default 30s). A lease
+	// older than this is reaped and its unfinished cells re-issued.
+	LeaseTTL time.Duration
+	// Obs, when non-nil, receives the coordinator's counters
+	// (fabric_leases_*, fabric_cells_*) and the per-worker
+	// fabric_cell_seconds latency histograms.
+	Obs *obs.Registry
+	// Clock overrides time.Now for lease-expiry tests.
+	Clock func() time.Time
+}
+
+type cellState uint8
+
+const (
+	cellIdle cellState = iota
+	cellLeased
+	cellDone
+)
+
+type lease struct {
+	id      string
+	worker  string
+	cells   []int
+	expires time.Time
+}
+
+// Coordinator owns the authoritative state of one distributed job: which
+// cells are idle, leased or done. All completed cells live in the
+// checkpoint store under the job's fingerprint, which makes the
+// coordinator itself restartable — reopening the same store resumes with
+// every previously completed cell already marked done.
+type Coordinator struct {
+	spec     runner.JobSpec
+	specJSON []byte
+	fp       string
+	grid     runner.Grid
+	store    *diskcache.CheckpointStore
+	opts     CoordinatorOptions
+
+	mu        sync.Mutex
+	state     []cellState
+	pending   []int // FIFO queue of idle cells
+	leases    map[string]*lease
+	nextLease int
+	done      int
+	doneCh    chan struct{}
+	closed    bool
+
+	obsGranted   *obs.Counter
+	obsExpired   *obs.Counter
+	obsCompleted *obs.Counter
+	obsDuplicate *obs.Counter
+	obsResumed   *obs.Counter
+	obsForeign   *obs.Counter
+}
+
+// NewCoordinator validates the spec and prepares the job for distribution.
+// The store is required: it is both where completions land and what a
+// restarted coordinator resumes from. Cells already checkpointed under the
+// job's fingerprint are marked done immediately (counted as
+// fabric_cells_resumed_total).
+func NewCoordinator(spec runner.JobSpec, store *diskcache.CheckpointStore, opts CoordinatorOptions) (*Coordinator, error) {
+	if store == nil {
+		return nil, fmt.Errorf("fabric: nil checkpoint store")
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	specJSON, err := spec.Canonical()
+	if err != nil {
+		return nil, err
+	}
+	g, err := spec.Grid()
+	if err != nil {
+		return nil, err
+	}
+	if opts.LeaseCells <= 0 {
+		opts.LeaseCells = 8
+	}
+	if opts.LeaseTTL <= 0 {
+		opts.LeaseTTL = 30 * time.Second
+	}
+	if opts.Clock == nil {
+		opts.Clock = time.Now
+	}
+	c := &Coordinator{
+		spec: spec, specJSON: specJSON, fp: spec.Fingerprint(), grid: g,
+		store: store, opts: opts,
+		state:  make([]cellState, g.Size()),
+		leases: map[string]*lease{},
+		doneCh: make(chan struct{}),
+
+		obsGranted:   opts.Obs.Counter("fabric_leases_granted_total"),
+		obsExpired:   opts.Obs.Counter("fabric_leases_expired_total"),
+		obsCompleted: opts.Obs.Counter("fabric_cells_completed_total"),
+		obsDuplicate: opts.Obs.Counter("fabric_cells_duplicate_total"),
+		obsResumed:   opts.Obs.Counter("fabric_cells_resumed_total"),
+		obsForeign:   opts.Obs.Counter("fabric_cells_foreign_total"),
+	}
+	for i := range c.state {
+		if _, ok := store.Get(c.fp, i); ok {
+			c.state[i] = cellDone
+			c.done++
+			c.obsResumed.Inc()
+			continue
+		}
+		c.pending = append(c.pending, i)
+	}
+	if c.done == len(c.state) {
+		c.closed = true
+		close(c.doneCh)
+	}
+	return c, nil
+}
+
+// Fingerprint returns the job identity workers must echo on every
+// completion.
+func (c *Coordinator) Fingerprint() string { return c.fp }
+
+// Spec returns the job being distributed.
+func (c *Coordinator) Spec() runner.JobSpec { return c.spec }
+
+// reapLocked re-queues the unfinished cells of every expired lease.
+func (c *Coordinator) reapLocked(now time.Time) {
+	for id, l := range c.leases {
+		if now.Before(l.expires) {
+			continue
+		}
+		for _, cell := range l.cells {
+			if c.state[cell] == cellLeased {
+				c.state[cell] = cellIdle
+				c.pending = append(c.pending, cell)
+			}
+		}
+		delete(c.leases, id)
+		c.obsExpired.Inc()
+	}
+}
+
+// Lease grants up to max idle cells to worker. It returns exactly one of:
+// a grant, a positive retry hint (cells are in flight elsewhere — ask
+// again after this long), or done=true (every cell is complete).
+func (c *Coordinator) Lease(worker string, max int) (grant *lease, retry time.Duration, done bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.opts.Clock()
+	c.reapLocked(now)
+	if c.done == len(c.state) {
+		return nil, 0, true
+	}
+	if len(c.pending) == 0 {
+		retry = c.opts.LeaseTTL / 4
+		if retry < 25*time.Millisecond {
+			retry = 25 * time.Millisecond
+		}
+		return nil, retry, false
+	}
+	n := c.opts.LeaseCells
+	if max > 0 && max < n {
+		n = max
+	}
+	if n > len(c.pending) {
+		n = len(c.pending)
+	}
+	cells := make([]int, n)
+	copy(cells, c.pending[:n])
+	c.pending = append(c.pending[:0], c.pending[n:]...)
+	for _, cell := range cells {
+		c.state[cell] = cellLeased
+	}
+	c.nextLease++
+	l := &lease{
+		id: fmt.Sprintf("lease-%d", c.nextLease), worker: worker,
+		cells: cells, expires: now.Add(c.opts.LeaseTTL),
+	}
+	c.leases[l.id] = l
+	c.obsGranted.Inc()
+	return l, 0, false
+}
+
+// Complete records one finished cell. The entry must carry the current
+// checkpoint schema and this job's fingerprint as its key — anything else
+// is rejected before it can touch the store. Completions are accepted
+// regardless of lease state (a worker outliving its stolen lease still
+// contributes), and repeats are acknowledged as duplicates rather than
+// errors.
+func (c *Coordinator) Complete(e diskcache.Entry) (duplicate bool, err error) {
+	if e.Schema != diskcache.CheckpointSchemaVersion {
+		return false, fmt.Errorf("fabric: entry schema %d, this coordinator speaks %d",
+			e.Schema, diskcache.CheckpointSchemaVersion)
+	}
+	if e.Key != c.fp {
+		c.obsForeign.Inc()
+		return false, fmt.Errorf("fabric: completion for a different job")
+	}
+	if e.Cell < 0 || e.Cell >= len(c.state) {
+		return false, fmt.Errorf("fabric: cell %d outside grid of %d", e.Cell, len(c.state))
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.state[e.Cell] == cellDone {
+		c.obsDuplicate.Inc()
+		return true, nil
+	}
+	if err := c.store.PutEntry(e); err != nil {
+		return false, err
+	}
+	if c.state[e.Cell] == cellIdle {
+		// The cell had been reaped back into the queue; pull it out so it
+		// is not granted again.
+		for i, cell := range c.pending {
+			if cell == e.Cell {
+				c.pending = append(c.pending[:i], c.pending[i+1:]...)
+				break
+			}
+		}
+	}
+	c.state[e.Cell] = cellDone
+	c.done++
+	c.obsCompleted.Inc()
+	if c.done == len(c.state) && !c.closed {
+		c.closed = true
+		close(c.doneCh)
+	}
+	return false, nil
+}
+
+// Status is a point-in-time summary of the job's progress.
+type Status struct {
+	Fingerprint string `json:"fingerprint"`
+	Total       int    `json:"total"`
+	Done        int    `json:"done"`
+	Leased      int    `json:"leased"`
+	Idle        int    `json:"idle"`
+	Leases      int    `json:"leases"`
+}
+
+// Status reaps expired leases and reports progress.
+func (c *Coordinator) Status() Status {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.reapLocked(c.opts.Clock())
+	leased := 0
+	for _, s := range c.state {
+		if s == cellLeased {
+			leased++
+		}
+	}
+	return Status{
+		Fingerprint: c.fp, Total: len(c.state), Done: c.done,
+		Leased: leased, Idle: len(c.pending), Leases: len(c.leases),
+	}
+}
+
+// Done returns a channel closed once every cell is complete.
+func (c *Coordinator) Done() <-chan struct{} { return c.doneCh }
+
+// Wait blocks until the job completes or ctx is cancelled.
+func (c *Coordinator) Wait(ctx context.Context) error {
+	select {
+	case <-c.doneCh:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Result waits for completion and assembles the final cell slice by
+// replaying every checkpointed cell through the local runner — the same
+// decode path a resumed single-process run takes, so the result is
+// byte-identical to runner.RunJob of the same spec. On success the job's
+// checkpoints are cleared.
+func (c *Coordinator) Result(ctx context.Context) ([]runner.CellValue, error) {
+	if err := c.Wait(ctx); err != nil {
+		return nil, err
+	}
+	ckpt := runner.NewCheckpoint(c.store, c.fp)
+	cells, err := runner.RunJob(ctx, c.spec, nil, runner.Options{Checkpoint: ckpt})
+	if err != nil {
+		return nil, err
+	}
+	_ = ckpt.Clear()
+	return cells, nil
+}
+
+// Wire bodies.
+type leaseRequest struct {
+	Worker string `json:"worker"`
+	Max    int    `json:"max"`
+}
+
+type leaseGrant struct {
+	ID       string `json:"id"`
+	Cells    []int  `json:"cells"`
+	TTLMilli int64  `json:"ttl_ms"`
+}
+
+type leaseResponse struct {
+	Done       bool        `json:"done,omitempty"`
+	RetryMilli int64       `json:"retry_ms,omitempty"`
+	Lease      *leaseGrant `json:"lease,omitempty"`
+}
+
+// Handler returns the coordinator's HTTP surface:
+//
+//	GET  /v1/job      → the job's canonical JSON (what workers execute)
+//	POST /v1/lease    → {"worker","max"} → grant | retry hint | done
+//	POST /v1/complete → a diskcache.Entry envelope; idempotent
+//	GET  /v1/status   → progress summary
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET "+pathJob, func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(c.specJSON)
+	})
+	mux.HandleFunc("POST "+pathLease, func(w http.ResponseWriter, r *http.Request) {
+		var req leaseRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, "fabric: bad lease request: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		l, retry, done := c.Lease(req.Worker, req.Max)
+		resp := leaseResponse{Done: done, RetryMilli: retry.Milliseconds()}
+		if l != nil {
+			resp.Lease = &leaseGrant{
+				ID: l.id, Cells: l.cells, TTLMilli: c.opts.LeaseTTL.Milliseconds(),
+			}
+		}
+		writeJSON(w, resp)
+	})
+	mux.HandleFunc("POST "+pathComplete, func(w http.ResponseWriter, r *http.Request) {
+		data, err := io.ReadAll(r.Body)
+		if err != nil {
+			http.Error(w, "fabric: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		e, err := diskcache.DecodeEntry(data)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		dup, err := c.Complete(e)
+		if err != nil {
+			status := http.StatusBadRequest
+			if e.Key != c.fp {
+				status = http.StatusConflict
+			}
+			http.Error(w, err.Error(), status)
+			return
+		}
+		if sec, err := strconv.ParseFloat(r.Header.Get(headerCellSeconds), 64); err == nil && !dup {
+			worker := r.Header.Get(headerWorker)
+			c.opts.Obs.Histogram("fabric_cell_seconds", obs.LatencyBuckets,
+				obs.L("worker", worker)).Observe(sec)
+		}
+		writeJSON(w, map[string]bool{"ok": true, "duplicate": dup})
+	})
+	mux.HandleFunc("GET "+pathStatus, func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, c.Status())
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,263 @@
+package fabric
+
+import (
+	"bytes"
+	"context"
+	"encoding/gob"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"mfdl/internal/obs"
+	"mfdl/internal/runner"
+	"mfdl/internal/runner/diskcache"
+)
+
+// WorkerOptions tune one worker loop.
+type WorkerOptions struct {
+	// Name identifies the worker in leases and metrics (default
+	// "worker-<pid>").
+	Name string
+	// Parallelism bounds how many cells of a lease are computed
+	// concurrently, and is also the lease size the worker asks for
+	// (default 1).
+	Parallelism int
+	// Client is the HTTP client (default http.DefaultClient).
+	Client *http.Client
+	// Retries is how many times a transport error or 5xx response is
+	// retried with exponential backoff before the worker gives up
+	// (default 4; negative disables retries). 4xx responses never retry —
+	// they mean this worker and the coordinator disagree about the job.
+	Retries int
+	// Backoff is the initial retry delay (default 50ms), doubling per
+	// attempt.
+	Backoff time.Duration
+	// Obs, when non-nil, receives the worker's fabric_worker_cells_total
+	// counter plus the solve cache's counters.
+	Obs *obs.Registry
+	// OnLease, when non-nil, observes every granted lease.
+	OnLease func(id string, cells []int)
+	// OnCell, when non-nil, observes every completed cell before its
+	// result is posted.
+	OnCell func(cell int)
+}
+
+// Work runs one worker against the coordinator at baseURL until the job
+// completes (returns nil), the context is cancelled (returns ctx.Err()),
+// or a cell or protocol error is hit. The worker fetches the job spec
+// once, then loops: lease a batch of cells, compute each through a
+// process-local solve cache with its pre-split random stream
+// (runner.CellStream), and post each result as the same diskcache.Entry
+// envelope the checkpoint store persists.
+func Work(ctx context.Context, baseURL string, opts WorkerOptions) error {
+	if opts.Name == "" {
+		opts.Name = fmt.Sprintf("worker-%d", os.Getpid())
+	}
+	if opts.Parallelism <= 0 {
+		opts.Parallelism = 1
+	}
+	if opts.Client == nil {
+		opts.Client = http.DefaultClient
+	}
+	if opts.Retries == 0 {
+		opts.Retries = 4
+	}
+	if opts.Retries < 0 {
+		opts.Retries = 0
+	}
+	if opts.Backoff <= 0 {
+		opts.Backoff = 50 * time.Millisecond
+	}
+	w := &worker{opts: opts, base: strings.TrimSuffix(baseURL, "/")}
+	w.cells = opts.Obs.Counter("fabric_worker_cells_total", obs.L("worker", opts.Name))
+
+	data, err := w.do(ctx, http.MethodGet, pathJob, nil, nil)
+	if err != nil {
+		return err
+	}
+	spec, err := runner.ParseJobSpec(data)
+	if err != nil {
+		return err
+	}
+	w.spec = spec
+	w.fp = spec.Fingerprint()
+	if w.grid, err = spec.Grid(); err != nil {
+		return err
+	}
+	w.cache = runner.NewCache().WithObs(opts.Obs)
+
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		body, _ := json.Marshal(leaseRequest{Worker: opts.Name, Max: opts.Parallelism})
+		data, err := w.do(ctx, http.MethodPost, pathLease, body, nil)
+		if err != nil {
+			return err
+		}
+		var resp leaseResponse
+		if err := json.Unmarshal(data, &resp); err != nil {
+			return fmt.Errorf("fabric: lease response: %w", err)
+		}
+		switch {
+		case resp.Done:
+			return nil
+		case resp.Lease == nil:
+			retry := time.Duration(resp.RetryMilli) * time.Millisecond
+			if retry <= 0 {
+				retry = 25 * time.Millisecond
+			}
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(retry):
+			}
+		default:
+			if opts.OnLease != nil {
+				opts.OnLease(resp.Lease.ID, resp.Lease.Cells)
+			}
+			if err := w.runLease(ctx, resp.Lease.Cells); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+type worker struct {
+	opts  WorkerOptions
+	base  string
+	spec  runner.JobSpec
+	fp    string
+	grid  runner.Grid
+	cache *runner.Cache
+	cells *obs.Counter
+}
+
+// runLease computes and posts every cell of one lease, at most
+// Parallelism at a time. The first failure cancels the rest.
+func (w *worker) runLease(ctx context.Context, cells []int) error {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	sem := make(chan struct{}, w.opts.Parallelism)
+	errs := make(chan error, len(cells))
+	var wg sync.WaitGroup
+	for _, cell := range cells {
+		select {
+		case sem <- struct{}{}:
+		case <-ctx.Done():
+			errs <- ctx.Err()
+			goto drain
+		}
+		wg.Add(1)
+		go func(cell int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if err := w.runCell(ctx, cell); err != nil {
+				errs <- err
+				cancel()
+			}
+		}(cell)
+	}
+drain:
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return err
+	default:
+		return nil
+	}
+}
+
+// runCell computes one cell and posts its Entry envelope.
+func (w *worker) runCell(ctx context.Context, cell int) error {
+	start := time.Now()
+	src := runner.CellStream(w.spec.Seed, cell)
+	v, err := w.spec.EvaluateCell(w.cache, w.grid.Point(cell), src)
+	if err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return fmt.Errorf("fabric: cell %d: %w", cell, err)
+	}
+	entry := diskcache.Entry{
+		Schema: diskcache.CheckpointSchemaVersion,
+		Key:    w.fp, Cell: cell, Payload: buf.Bytes(),
+	}
+	body, err := entry.Encode()
+	if err != nil {
+		return err
+	}
+	hdr := http.Header{}
+	hdr.Set(headerWorker, w.opts.Name)
+	hdr.Set(headerCellSeconds, strconv.FormatFloat(time.Since(start).Seconds(), 'g', -1, 64))
+	if w.opts.OnCell != nil {
+		w.opts.OnCell(cell)
+	}
+	if _, err := w.do(ctx, http.MethodPost, pathComplete, body, hdr); err != nil {
+		return err
+	}
+	w.cells.Inc()
+	return nil
+}
+
+// do issues one request, retrying transport errors and 5xx responses with
+// exponential backoff. 4xx responses fail immediately.
+func (w *worker) do(ctx context.Context, method, path string, body []byte, hdr http.Header) ([]byte, error) {
+	backoff := w.opts.Backoff
+	var lastErr error
+	for attempt := 0; attempt <= w.opts.Retries; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-time.After(backoff):
+			}
+			backoff *= 2
+		}
+		req, err := http.NewRequestWithContext(ctx, method, w.base+path, bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		for k, vs := range hdr {
+			req.Header[k] = vs
+		}
+		if method == http.MethodPost {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := w.opts.Client.Do(req)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			lastErr = err
+			continue
+		}
+		data, rerr := readAll(resp)
+		switch {
+		case rerr != nil:
+			lastErr = rerr
+		case resp.StatusCode < 300:
+			return data, nil
+		case resp.StatusCode >= 500:
+			lastErr = fmt.Errorf("fabric: %s %s: %s: %s",
+				method, path, resp.Status, strings.TrimSpace(string(data)))
+		default:
+			return nil, fmt.Errorf("fabric: %s %s: %s: %s",
+				method, path, resp.Status, strings.TrimSpace(string(data)))
+		}
+	}
+	return nil, lastErr
+}
+
+func readAll(resp *http.Response) ([]byte, error) {
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	_, err := buf.ReadFrom(resp.Body)
+	return buf.Bytes(), err
+}

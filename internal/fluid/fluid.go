@@ -22,12 +22,12 @@ import (
 // paper, plus the seed-departure rate).
 type Params struct {
 	// Mu is the peer upload bandwidth μ (files per time unit).
-	Mu float64
+	Mu float64 `json:"mu"`
 	// Eta is the downloader sharing efficiency η ∈ (0, 1]; the paper uses
 	// 0.5 (a downloader uploads at half the effectiveness of a seed).
-	Eta float64
+	Eta float64 `json:"eta"`
 	// Gamma is the seed departure rate γ.
-	Gamma float64
+	Gamma float64 `json:"gamma"`
 }
 
 // PaperParams are the parameter values used in every figure of the paper.

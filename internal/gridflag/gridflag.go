@@ -1,0 +1,95 @@
+// Package gridflag parses the grid-description flag vocabulary shared by
+// the sweep front-ends (cmd/sweep, cmd/sweepd): a comma-separated list of
+// dimension names plus -from/-to/-steps lists that are either one value
+// per dimension or a single value broadcast to all of them.
+package gridflag
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"mfdl/internal/runner"
+)
+
+// Floats parses a comma-separated float list and broadcasts a single
+// value to n entries. NaN and ±Inf are rejected: they would silently
+// produce a degenerate grid.
+func Floats(flagName, s string, n int) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, part := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, fmt.Errorf("-%s: invalid value %q", flagName, part)
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("-%s: value %q is not finite", flagName, part)
+		}
+		out = append(out, v)
+	}
+	return broadcast(flagName, out, n)
+}
+
+// Ints is Floats for integer lists.
+func Ints(flagName, s string, n int) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, part := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("-%s: invalid value %q", flagName, part)
+		}
+		out = append(out, v)
+	}
+	return broadcast(flagName, out, n)
+}
+
+// broadcast expands a 1-element list to n entries and rejects any other
+// length mismatch.
+func broadcast[T any](flagName string, vals []T, n int) ([]T, error) {
+	if len(vals) == n {
+		return vals, nil
+	}
+	if len(vals) == 1 {
+		out := make([]T, n)
+		for i := range out {
+			out[i] = vals[0]
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("-%s: got %d values for %d dimensions", flagName, len(vals), n)
+}
+
+// Grid assembles the full -dim/-from/-to/-steps vocabulary into a
+// runner.Grid: each dimension sweeps Linspace(from, to, steps).
+func Grid(dim, from, to, steps string) (runner.Grid, error) {
+	names := strings.Split(dim, ",")
+	for i, name := range names {
+		names[i] = strings.TrimSpace(name)
+	}
+	froms, err := Floats("from", from, len(names))
+	if err != nil {
+		return runner.Grid{}, err
+	}
+	tos, err := Floats("to", to, len(names))
+	if err != nil {
+		return runner.Grid{}, err
+	}
+	stepsN, err := Ints("steps", steps, len(names))
+	if err != nil {
+		return runner.Grid{}, err
+	}
+	dims := make([]runner.Dim, len(names))
+	for i, name := range names {
+		if froms[i] > tos[i] {
+			return runner.Grid{}, fmt.Errorf("dimension %s: -from %g > -to %g", name, froms[i], tos[i])
+		}
+		if stepsN[i] < 1 {
+			return runner.Grid{}, fmt.Errorf("dimension %s: steps must be >= 1, got %d", name, stepsN[i])
+		}
+		dims[i] = runner.Dim{Name: name, Values: runner.Linspace(froms[i], tos[i], stepsN[i])}
+	}
+	return runner.NewGrid(dims...)
+}

@@ -18,18 +18,18 @@ import (
 // determines its fixed point. Grid cells that map to the same Key share
 // one solve.
 type Key struct {
-	Scheme scheme.Scheme
-	Params fluid.Params
+	Scheme scheme.Scheme `json:"scheme"`
+	Params fluid.Params  `json:"params"`
 	// K, P and Lambda0 determine the correlation model.
-	K       int
-	P       float64
-	Lambda0 float64
+	K       int     `json:"k"`
+	P       float64 `json:"p"`
+	Lambda0 float64 `json:"lambda0"`
 	// Rho is the CMFSD allocation ratio; the other schemes normalize it
 	// to 0 so that sweeping ρ under them costs one solve, not one per
 	// cell.
-	Rho float64
+	Rho float64 `json:"rho"`
 	// Theta is the downloader abort rate θ; every scheme honors it.
-	Theta float64
+	Theta float64 `json:"theta"`
 }
 
 // normalize collapses key components the scheme does not depend on.

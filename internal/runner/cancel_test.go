@@ -1,0 +1,109 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"mfdl/internal/rng"
+)
+
+func cancelGrid(t *testing.T, n int) Grid {
+	t.Helper()
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = float64(i)
+	}
+	g, err := NewGrid(Dim{Name: "x", Values: vals})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// A worker drained by cancellation is not a failed sweep: when every
+// recorded failure is just the cancellation propagating, Run reports
+// plain ctx.Err() with no cell error attached.
+func TestRunCancellationDrainIsNotCellFailure(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int32
+	_, err := Run(ctx, cancelGrid(t, 8),
+		func(ctx context.Context, _ Point, _ *rng.Source) (int, error) {
+			if started.Add(1) == 1 {
+				cancel()
+			}
+			<-ctx.Done()
+			return 0, ctx.Err()
+		}, Options{Workers: 4})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want exactly context.Canceled", err)
+	}
+}
+
+// A genuine cell error racing the cancellation must stay visible: the
+// result is the two joined, so errors.Is sees the cancellation AND the
+// message carries the cell failure.
+func TestRunCancellationRacingCellErrorSurfacesBoth(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	boom := errors.New("solver blew up")
+	_, err := Run(ctx, cancelGrid(t, 8),
+		func(ctx context.Context, p Point, _ *rng.Source) (int, error) {
+			if p.Index == 0 {
+				cancel() // external shutdown and a real failure, same instant
+				return 0, boom
+			}
+			<-ctx.Done()
+			return 0, ctx.Err()
+		}, Options{Workers: 4})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, cancellation invisible", err)
+	}
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, cell failure invisible", err)
+	}
+}
+
+// A cancellation that lands only after every cell has completed costs
+// nothing: the grid is whole, so Run returns it.
+func TestRunCancellationAfterCompletionReturnsResults(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	const n = 5
+	out, err := Run(ctx, cancelGrid(t, n),
+		func(_ context.Context, p Point, _ *rng.Source) (int, error) {
+			if p.Index == n-1 { // sequential with Workers: 1 — the last cell
+				cancel()
+			}
+			return p.Index, nil
+		}, Options{Workers: 1})
+	if err != nil {
+		t.Fatalf("err = %v, want the completed grid", err)
+	}
+	for i, v := range out {
+		if v != i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+// A job that fabricates a cancellation-wrapped error without the run's
+// context being canceled keeps the plain first-error contract.
+func TestRunWrappedCancelErrorWithoutCancellation(t *testing.T) {
+	_, err := Run(context.Background(), cancelGrid(t, 3),
+		func(_ context.Context, p Point, _ *rng.Source) (int, error) {
+			if p.Index == 1 {
+				return 0, fmt.Errorf("gave up waiting: %w", context.Canceled)
+			}
+			return p.Index, nil
+		}, Options{Workers: 1})
+	if err == nil || !strings.Contains(err.Error(), "gave up waiting") {
+		t.Fatalf("err = %v, want the job's own error", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v lost its cause chain", err)
+	}
+}

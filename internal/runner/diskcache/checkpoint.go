@@ -17,11 +17,13 @@ import (
 // checked on read, independently of the solve cache's SchemaVersion.
 const CheckpointSchemaVersion = 1
 
-// checkpointEntry is the on-disk envelope of one completed cell. The
-// payload is opaque to this package (the runner encodes it with gob, which
-// unlike JSON round-trips NaN and ±Inf bit-exactly); the envelope carries
-// the identity needed to never replay a cell into the wrong run.
-type checkpointEntry struct {
+// Entry is the envelope of one completed cell — both the on-disk
+// checkpoint format and the fabric wire format (a worker POSTs exactly
+// these bytes, the coordinator persists exactly these bytes). The payload
+// is opaque to this package (the runner encodes it with gob, which unlike
+// JSON round-trips NaN and ±Inf bit-exactly); the envelope carries the
+// identity needed to never deliver a cell into the wrong run.
+type Entry struct {
 	Schema int `json:"schema"`
 	// Key is the full (unhashed) run key: everything that determines the
 	// run's cell values. A directory-name hash collision can therefore
@@ -31,6 +33,38 @@ type checkpointEntry struct {
 	Cell int `json:"cell"`
 	// Payload is the caller-encoded cell result.
 	Payload []byte `json:"payload"`
+}
+
+// Encode renders the entry as its canonical JSON envelope.
+func (e Entry) Encode() ([]byte, error) {
+	if e.Payload == nil {
+		return nil, fmt.Errorf("diskcache: nil checkpoint payload")
+	}
+	data, err := json.Marshal(e)
+	if err != nil {
+		return nil, fmt.Errorf("diskcache: %w", err)
+	}
+	return data, nil
+}
+
+// DecodeEntry parses an entry envelope. It rejects structural garbage
+// (unparsable JSON, missing payload) but leaves schema and identity checks
+// to the caller, which knows which run the entry is supposed to belong to.
+func DecodeEntry(data []byte) (Entry, error) {
+	var e Entry
+	if err := json.Unmarshal(data, &e); err != nil {
+		return Entry{}, fmt.Errorf("diskcache: entry: %w", err)
+	}
+	if e.Payload == nil {
+		return Entry{}, fmt.Errorf("diskcache: entry has no payload")
+	}
+	return e, nil
+}
+
+// Matches reports whether the entry carries the current schema and belongs
+// to (runKey, cell).
+func (e Entry) Matches(runKey string, cell int) bool {
+	return e.Schema == CheckpointSchemaVersion && e.Key == runKey && e.Cell == cell
 }
 
 // CheckpointStore persists per-cell results of interrupted runs: one
@@ -104,15 +138,15 @@ func (s *CheckpointStore) Get(runKey string, cell int) ([]byte, bool) {
 		s.obsMisses.Inc()
 		return nil, false
 	}
-	var e checkpointEntry
-	if err := json.Unmarshal(data, &e); err != nil || e.Payload == nil {
+	e, derr := DecodeEntry(data)
+	if derr != nil {
 		s.evict(path)
 		s.count(func(st *Stats) { st.Misses++; st.Corrupt++ })
 		s.obsMisses.Inc()
 		s.obsCorrupt.Inc()
 		return nil, false
 	}
-	if e.Schema != CheckpointSchemaVersion || e.Key != runKey || e.Cell != cell {
+	if !e.Matches(runKey, cell) {
 		s.evict(path)
 		s.count(func(st *Stats) { st.Misses++ })
 		s.obsMisses.Inc()
@@ -126,15 +160,23 @@ func (s *CheckpointStore) Get(runKey string, cell int) ([]byte, bool) {
 // Put checkpoints one cell's payload, atomically replacing any previous
 // entry for the same (runKey, cell).
 func (s *CheckpointStore) Put(runKey string, cell int, payload []byte) error {
-	if payload == nil {
-		return fmt.Errorf("diskcache: nil checkpoint payload")
-	}
-	data, err := json.Marshal(checkpointEntry{
+	return s.PutEntry(Entry{
 		Schema: CheckpointSchemaVersion, Key: runKey, Cell: cell, Payload: payload,
 	})
-	if err != nil {
-		return fmt.Errorf("diskcache: %w", err)
+}
+
+// PutEntry persists a pre-assembled entry — the path a fabric coordinator
+// takes with an envelope received off the wire. The entry must carry the
+// current schema; its key and cell index address the file it lands in.
+func (s *CheckpointStore) PutEntry(e Entry) error {
+	if e.Schema != CheckpointSchemaVersion {
+		return fmt.Errorf("diskcache: entry schema %d, this build speaks %d", e.Schema, CheckpointSchemaVersion)
 	}
+	data, err := e.Encode()
+	if err != nil {
+		return err
+	}
+	runKey, cell := e.Key, e.Cell
 	dir := s.runDir(runKey)
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("diskcache: %w", err)

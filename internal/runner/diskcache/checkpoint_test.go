@@ -72,7 +72,7 @@ func TestCheckpointSchemaMismatchIsMiss(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var e checkpointEntry
+	var e Entry
 	if err := json.Unmarshal(data, &e); err != nil {
 		t.Fatal(err)
 	}

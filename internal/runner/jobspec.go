@@ -1,0 +1,264 @@
+package runner
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"strings"
+
+	"mfdl/internal/rng"
+)
+
+// JobSpecSchemaVersion is embedded in every encoded JobSpec and checked on
+// decode, so a coordinator and a worker built from different revisions of
+// the job model refuse to exchange work instead of silently computing
+// different cells.
+const JobSpecSchemaVersion = 1
+
+// JobKindFluidSweep is the job kind of a fluid parameter sweep: an
+// N-dimensional grid of steady-state solves over one scheme's operating
+// point. It is currently the only kind; the field exists so that
+// simulation-backed kinds can join the wire protocol without a schema
+// break.
+const JobKindFluidSweep = "fluid-sweep"
+
+// JobSpec is the serializable description of one parameter-study run: the
+// base operating point, the swept grid, and the execution identity (seed,
+// replicas). It is the single type the local runner, the distributed
+// coordinator, its workers and the checkpoint store all speak — a sweep is
+// no longer a closure, it is data.
+//
+// Everything that determines a cell's value is inside the spec, so two
+// processes holding equal specs compute bit-identical cells; Fingerprint
+// renders that identity as a stable string (built on Key.Fingerprint, with
+// every float encoded as its exact IEEE-754 bits). The JSON encoding is
+// canonical — field order is fixed and encoding/json's shortest-round-trip
+// float rendering restores every finite float64 bit-exactly — so a spec
+// can cross the wire, the disk, or both, and still fingerprint the same.
+type JobSpec struct {
+	// Schema is the job-model revision; see JobSpecSchemaVersion.
+	Schema int `json:"schema"`
+	// Kind names the cell computation; see JobKindFluidSweep.
+	Kind string `json:"kind"`
+	// Base is the operating point the swept dimensions override cell by
+	// cell.
+	Base Key `json:"base"`
+	// Dims are the swept dimensions in grid order; names come from
+	// KeyDims.
+	Dims []Dim `json:"dims"`
+	// Seed is the base seed from which every cell's random stream is
+	// split (see CellStream). Fluid solves draw nothing from it, but it is
+	// part of the job identity so that simulation-backed kinds inherit the
+	// same resume and distribution semantics unchanged.
+	Seed uint64 `json:"seed"`
+	// Replicas is carried for the same reason: fluid cells ignore it, a
+	// simulation-backed kind would fan each cell into this many
+	// independently seeded replicas.
+	Replicas int `json:"replicas"`
+}
+
+// KeyDims lists the dimension names a JobSpec may sweep: every axis maps
+// onto one knob of the solve Key.
+var KeyDims = []string{"p", "rho", "k", "mu", "gamma", "eta", "lambda0", "theta"}
+
+// SetKeyDim overrides one named knob of a solve key. The name must come
+// from KeyDims.
+func SetKeyDim(key *Key, name string, v float64) error {
+	switch name {
+	case "p":
+		key.P = v
+	case "rho":
+		key.Rho = v
+	case "k":
+		key.K = int(math.Round(v))
+	case "mu":
+		key.Params.Mu = v
+	case "gamma":
+		key.Params.Gamma = v
+	case "eta":
+		key.Params.Eta = v
+	case "lambda0":
+		key.Lambda0 = v
+	case "theta":
+		key.Theta = v
+	default:
+		return fmt.Errorf("runner: unknown job dimension %q (have %s)",
+			name, strings.Join(KeyDims, ", "))
+	}
+	return nil
+}
+
+// Validate checks the spec's schema, kind, grid and dimension names, and
+// that every number in it is finite (NaN or ±Inf would break the canonical
+// JSON encoding and can never name a meaningful solve).
+func (s JobSpec) Validate() error {
+	if s.Schema != JobSpecSchemaVersion {
+		return fmt.Errorf("runner: job schema %d, this build speaks %d", s.Schema, JobSpecSchemaVersion)
+	}
+	if s.Kind != JobKindFluidSweep {
+		return fmt.Errorf("runner: unknown job kind %q", s.Kind)
+	}
+	if s.Replicas < 0 {
+		return fmt.Errorf("runner: job replicas %d must be >= 0", s.Replicas)
+	}
+	for _, v := range []float64{
+		s.Base.Params.Mu, s.Base.Params.Eta, s.Base.Params.Gamma,
+		s.Base.P, s.Base.Lambda0, s.Base.Rho, s.Base.Theta,
+	} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("runner: job base parameter %v is not finite", v)
+		}
+	}
+	if _, err := s.Grid(); err != nil {
+		return err
+	}
+	probe := s.Base
+	for _, d := range s.Dims {
+		for _, v := range d.Values {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("runner: job dimension %q value %v is not finite", d.Name, v)
+			}
+		}
+		if err := SetKeyDim(&probe, d.Name, d.Values[0]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Grid returns the spec's swept grid.
+func (s JobSpec) Grid() (Grid, error) {
+	return NewGrid(s.Dims...)
+}
+
+// CellKey returns the solve key of one grid cell: the base operating point
+// with every swept dimension overridden by the cell's value.
+func (s JobSpec) CellKey(p Point) (Key, error) {
+	key := s.Base
+	for _, d := range s.Dims {
+		v, ok := p.Value(d.Name)
+		if !ok {
+			return Key{}, fmt.Errorf("runner: cell %s misses job dimension %q", p.Label(), d.Name)
+		}
+		if err := SetKeyDim(&key, d.Name, v); err != nil {
+			return Key{}, err
+		}
+	}
+	return key, nil
+}
+
+// CellValue is the evaluation of one JobSpec cell — the payload that
+// crosses checkpoint files and the fabric wire. Floats travel as gob,
+// which round-trips their bit patterns exactly.
+type CellValue struct {
+	// Values are the swept dimension values, in grid dimension order.
+	Values []float64
+	// AvgOnline and AvgDownload are the paper's per-file aggregates.
+	AvgOnline, AvgDownload float64
+}
+
+// EvaluateCell computes one cell of the job through the given solve cache
+// (which must be non-nil; share one cache across cells to pool coinciding
+// solves). src is the cell's split random stream — a fluid solve draws
+// nothing from it, but deriving it (see CellStream) is part of the
+// determinism contract every executor honors, so simulation-backed kinds
+// can rely on it.
+func (s JobSpec) EvaluateCell(cache *Cache, p Point, src *rng.Source) (CellValue, error) {
+	_ = src
+	key, err := s.CellKey(p)
+	if err != nil {
+		return CellValue{}, err
+	}
+	res, err := cache.Evaluate(key)
+	if err != nil {
+		return CellValue{}, err
+	}
+	return CellValue{
+		Values:      p.Values(),
+		AvgOnline:   res.AvgOnlinePerFile(),
+		AvgDownload: res.AvgDownloadPerFile(),
+	}, nil
+}
+
+// Fingerprint renders the job's identity as a stable string: the schema
+// and kind, the base Key.Fingerprint, every dimension's values as exact
+// IEEE-754 bits, and the seed/replica setting. Two specs share a
+// fingerprint iff they compute bit-identical cell sets, so the fingerprint
+// keys both the checkpoint store and the fabric wire — a worker can never
+// deliver a cell into the wrong run.
+func (s JobSpec) Fingerprint() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "job v%d %s ", s.Schema, s.Kind)
+	sb.WriteString(s.Base.Fingerprint())
+	for _, d := range s.Dims {
+		fmt.Fprintf(&sb, " %s=[", d.Name)
+		for i, v := range d.Values {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			fmt.Fprintf(&sb, "%016x", math.Float64bits(v))
+		}
+		sb.WriteByte(']')
+	}
+	fmt.Fprintf(&sb, " seed=%d replicas=%d", s.Seed, s.Replicas)
+	return sb.String()
+}
+
+// Canonical returns the spec's canonical JSON encoding. The encoding is a
+// pure function of the spec value, so equal specs encode to equal bytes.
+func (s JobSpec) Canonical() ([]byte, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return json.Marshal(s)
+}
+
+// ParseJobSpec decodes and validates a JobSpec from its JSON encoding.
+func ParseJobSpec(data []byte) (JobSpec, error) {
+	var s JobSpec
+	if err := json.Unmarshal(data, &s); err != nil {
+		return JobSpec{}, fmt.Errorf("runner: job spec: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return JobSpec{}, err
+	}
+	return s, nil
+}
+
+// CellStream returns the random stream cell i receives under base seed —
+// the i-th split of the seed's parent stream, exactly what Run hands cell
+// i at any worker count. A remote worker can therefore rebuild any cell's
+// stream without seeing the other cells, which is what makes a
+// distributed run byte-identical to a local one.
+func CellStream(seed uint64, i int) *rng.Source {
+	parent := rng.New(seed)
+	var src *rng.Source
+	for j := 0; j <= i; j++ {
+		src = parent.Split()
+	}
+	return src
+}
+
+// RunJob executes the job locally over the runner pool and returns the
+// per-cell values in grid order. cache may be nil (a private in-memory
+// cache is used); opts.Seed is overridden by the spec's seed, everything
+// else (workers, retries, checkpointing, hooks, obs) applies as in Run.
+// The output is byte-identical to a distributed execution of the same
+// spec at any worker count.
+func RunJob(ctx context.Context, spec JobSpec, cache *Cache, opts Options) ([]CellValue, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	g, err := spec.Grid()
+	if err != nil {
+		return nil, err
+	}
+	if cache == nil {
+		cache = NewCache()
+	}
+	opts.Seed = spec.Seed
+	return Run(ctx, g, func(_ context.Context, p Point, src *rng.Source) (CellValue, error) {
+		return spec.EvaluateCell(cache, p, src)
+	}, opts)
+}

@@ -42,8 +42,8 @@ import (
 // Dim is one axis of a parameter grid: a name and the values swept along
 // it.
 type Dim struct {
-	Name   string
-	Values []float64
+	Name   string    `json:"name"`
+	Values []float64 `json:"values"`
 }
 
 // Grid is the cartesian product of its dimensions, enumerated row-major
@@ -216,8 +216,16 @@ type Options struct {
 
 // Run executes job over every cell of the grid with a bounded worker pool
 // and returns the per-cell results indexed like the grid. The first error
-// (by cell index) cancels the remaining cells and is returned; if ctx is
-// canceled first, Run returns promptly with ctx.Err().
+// (by cell index) cancels the remaining cells and is returned.
+//
+// Cancellation is surfaced distinctly from cell failure, because the two
+// race at shutdown: if ctx is canceled and every recorded failure is
+// cancellation noise, Run returns plain ctx.Err() (a drained worker is
+// not a failed sweep); if a genuine cell error raced the cancellation,
+// Run returns the two joined, so errors.Is sees both; and if the
+// cancellation landed only after every cell had already completed, Run
+// returns the full result set — the drain arrived too late to cost
+// anything.
 func Run[T any](ctx context.Context, g Grid, job func(ctx context.Context, p Point, src *rng.Source) (T, error), opts Options) ([]T, error) {
 	n := g.Size()
 	out := make([]T, n)
@@ -227,7 +235,9 @@ func Run[T any](ctx context.Context, g Grid, job func(ctx context.Context, p Poi
 
 	// Derive one independent stream per cell, in cell order, before any
 	// worker starts: the assignment cell -> stream is then a pure function
-	// of (seed, grid), untouched by scheduling.
+	// of (seed, grid), untouched by scheduling. CellStream reproduces the
+	// i-th stream standalone — remote fabric workers depend on the two
+	// derivations staying identical.
 	parent := rng.New(opts.Seed)
 	srcs := make([]*rng.Source, n)
 	for i := range srcs {
@@ -383,13 +393,37 @@ func Run[T any](ctx context.Context, g Grid, job func(ctx context.Context, p Poi
 		}
 	}
 
-	if err := ctx.Err(); err != nil {
-		return nil, err
+	// Disentangle cancellation from cell failure — the two race at
+	// shutdown, and a drained worker must not read as a failed sweep:
+	//   - no cancellation: a real cell error (if any) is the verdict;
+	//   - cancellation with every cell already completed: the grid is
+	//     whole, return it — the drain arrived too late to matter;
+	//   - cancellation whose only failures wrap the cancellation itself:
+	//     pure drain, report ctx.Err() alone;
+	//   - cancellation racing a genuine cell error: surface both, joined,
+	//     so errors.Is(err, context.Canceled) and the cell failure each
+	//     stay visible.
+	cellErr := firstErr
+	if errors.Is(cellErr, context.Canceled) || (ctx.Err() != nil && errors.Is(cellErr, ctx.Err())) {
+		cellErr = nil
 	}
-	if firstErr != nil {
+	switch {
+	case ctx.Err() == nil && cellErr == nil && firstErr == nil:
+		return out, nil
+	case ctx.Err() == nil && cellErr == nil:
+		// A cancellation-wrapped cell error without external cancellation:
+		// some job saw the pool's internal cancel (or fabricated one);
+		// keep the original first-error behaviour.
 		return nil, firstErr
+	case ctx.Err() == nil:
+		return nil, cellErr
+	case cellErr == nil && done == n && failed == 0:
+		return out, nil
+	case cellErr == nil:
+		return nil, ctx.Err()
+	default:
+		return nil, errors.Join(ctx.Err(), cellErr)
 	}
-	return out, nil
 }
 
 // runCell executes one job attempt with panic isolation: a panic in the
