@@ -14,7 +14,11 @@
 # protocol, lease expiry and work-stealing, duplicate absorption,
 # checkpoint resume, and the distributed-equals-local byte-identity
 # guarantee — with the race detector watching the coordinator's shared
-# lease/cell state.
+# lease/cell state. The sim-kind and sample-store runs cover the
+# replica-simulation job layer: the sim-replica kind through the fabric
+# (payload byte-identity, sample reuse across coordinators, adaptive
+# lease sizing), the keyed sample store's corruption/eviction behavior,
+# and the sequential-stopping engine's never-resample contract.
 
 .PHONY: tier1 tier2 bench profile
 
@@ -33,6 +37,10 @@ tier2:
 	go test -race -count=1 -run 'Disconnect|Watchdog|AnnounceWithRetry|Reconnect' ./internal/client/
 	go test -race -count=1 -run 'TestStepAllocs' ./internal/swarm/ ./internal/eventsim/
 	go test -race -count=1 ./internal/fabric/
+	go test -race -count=1 -run 'SampleStore' ./internal/runner/diskcache/
+	go test -race -count=1 -run 'Sample|Sequential' ./internal/replica/
+	go test -race -count=1 -run 'Job' ./internal/sim/
+	go test -race -count=1 -run 'SimJob|SimCoordinator|AdaptiveLease|WorkerRejectsUnknownKind' ./internal/fabric/
 
 # bench regenerates every paper artifact under timing, including the
 # serial-vs-parallel sweep comparison, then remeasures the simulator step
@@ -41,7 +49,8 @@ tier2:
 # "baseline" section — the pre-refactor numbers — is preserved). It also
 # measures the distributed sweep fabric's end-to-end throughput —
 # cells/sec through the coordinator HTTP protocol at 1, 4, and 8
-# workers — into BENCH_PR7.json.
+# workers — into BENCH_PR7.json, and the sim-replica kind's distributed
+# replica throughput the same way into BENCH_PR8.json.
 bench:
 	go test -bench=. -benchtime=1x .
 	go test -run '^$$' -bench 'BenchmarkSwarmStep|BenchmarkEventsimStep' -benchtime 20x \
@@ -50,6 +59,9 @@ bench:
 	go test -run '^$$' -bench 'BenchmarkFabricThroughput' -benchtime 5x \
 		./internal/fabric/ | \
 		go run ./cmd/benchjson -o BENCH_PR7.json -label "distributed sweep fabric throughput"
+	go test -run '^$$' -bench 'BenchmarkSimReplicaThroughput' -benchtime 5x \
+		./internal/fabric/ | \
+		go run ./cmd/benchjson -o BENCH_PR8.json -label "distributed sim-replica throughput"
 
 # profile runs a small instrumented sweep with every observability sink
 # attached: a JSON metrics snapshot and a Chrome trace land in ./prof/,

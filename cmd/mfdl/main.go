@@ -33,6 +33,12 @@
 // ±95% confidence column. churn additionally injects a fault plan derived
 // from -chaos-seed: the same seed reproduces the same aborts and seed
 // quits byte-for-byte at any -workers count.
+//
+// With -sample-dir every simulated replica persists in a keyed sample
+// store: a later run with a larger -replicas replays the stored samples
+// and simulates only the new ones. -ci-target switches to sequential
+// stopping — each row's replica count grows (bounded by -replicas-max)
+// until the 95% confidence half-width of -ci-metric reaches the target.
 package main
 
 import (
@@ -93,6 +99,10 @@ func run(args []string) error {
 		seed     = fs.Uint64("seed", 7, "RNG seed for the simulator subcommands (base of the replica seed derivation)")
 		replicas = fs.Int("replicas", 1, "independently seeded simulation replicas per simulator row (>= 1)")
 		workers  = fs.Int("workers", 0, "replica worker pool size for the simulator subcommands (0 = all cores)")
+		samples  = fs.String("sample-dir", "", "keyed replica-sample store for the simulator subcommands: re-runs with more replicas replay stored samples instead of resampling (empty = off)")
+		ciTarget = fs.Float64("ci-target", 0, "sequential stopping: grow each simulator row's replicas until the 95% CI half-width of -ci-metric reaches this (0 = fixed -replicas)")
+		ciMetric = fs.String("ci-metric", "", "stopping metric for -ci-target (default: the subcommand's headline metric)")
+		replMax  = fs.Int("replicas-max", 64, "replica growth bound per row under -ci-target")
 		chaos    = fs.Uint64("chaos-seed", 42, "fault-plan seed for 'churn' (same seed ⇒ identical chaos)")
 		abortsFl = fs.String("abort-rate", "0,0.0005,0.001,0.002", "comma-separated downloader abort rates θ for 'churn' (empty skips the axis)")
 		quitsFl  = fs.String("quit-rate", "0.02,0.05,0.1", "comma-separated virtual-seed quit rates for 'churn' (empty skips the axis)")
@@ -133,6 +143,12 @@ func run(args []string) error {
 	if *workers < 0 {
 		return fmt.Errorf("-workers must be >= 0, got %d", *workers)
 	}
+	if math.IsNaN(*ciTarget) || math.IsInf(*ciTarget, 0) || *ciTarget < 0 {
+		return fmt.Errorf("-ci-target must be finite and >= 0, got %v", *ciTarget)
+	}
+	if *replMax < 1 {
+		return fmt.Errorf("-replicas-max must be >= 1, got %d", *replMax)
+	}
 	switch *format {
 	case "ascii", "csv", "tsv", "markdown", "md":
 	default:
@@ -160,6 +176,22 @@ func run(args []string) error {
 		cache = runner.NewDiskCache(disk)
 	}
 	cache.WithObs(reg)
+	// One sample store for the simulator subcommands: a later run with a
+	// larger -replicas (or a tighter -ci-target) replays every sample this
+	// run stored instead of resampling it.
+	var sampleStore *diskcache.SampleStore
+	if *samples != "" {
+		sampleStore, err = diskcache.OpenSamples(*samples)
+		if err != nil {
+			return err
+		}
+		sampleStore.WithObs(reg)
+	}
+	simOpts := experiments.Options{
+		Seed: *seed, Replicas: *replicas, Workers: *workers, Obs: reg,
+		Samples: sampleStore, CITarget: *ciTarget, CIMetric: *ciMetric,
+		ReplicasMax: *replMax,
+	}
 	cfg := experiments.Config{
 		Params:  fluid.Params{Mu: *mu, Eta: *eta, Gamma: *gamma},
 		K:       *k,
@@ -266,9 +298,7 @@ func run(args []string) error {
 				K:       cfg.K,
 				Lambda0: cfg.Lambda0,
 				Horizon: 4000, Warmup: 800,
-				Options: experiments.Options{
-					Seed: *seed, Replicas: *replicas, Workers: *workers, Obs: reg,
-				},
+				Options: simOpts,
 			}
 			res, err := experiments.SimValidate(ctx, set, []float64{0.5, 0.9})
 			if err != nil {
@@ -293,9 +323,7 @@ func run(args []string) error {
 				K:       cfg.K,
 				Lambda0: cfg.Lambda0,
 				Horizon: 4000, Warmup: 800,
-				Options: experiments.Options{
-					Seed: *seed, Replicas: *replicas, Workers: *workers, Obs: reg,
-				},
+				Options: simOpts,
 			}
 			res, err := experiments.ChurnSweep(ctx, set, 0.9, *chaos, thetas, quits)
 			if err != nil {

@@ -2,10 +2,10 @@
 // coordinator process partitions the grid into cell leases, and any number
 // of worker processes — on this machine or others — pull leases over HTTP,
 // solve cells, and post results back. The final table is byte-identical to
-// `sweep` run locally over the same grid, at any worker count, even across
-// worker crashes: expired leases are re-issued (work stealing) and
-// completed cells persist in the coordinator's checkpoint store, so a
-// restarted coordinator resumes instead of recomputing.
+// the same experiment run locally, at any worker count, even across worker
+// crashes: expired leases are re-issued (work stealing) and completed
+// cells persist in the coordinator's checkpoint store, so a restarted
+// coordinator resumes instead of recomputing.
 //
 // Usage — two terminals:
 //
@@ -17,21 +17,49 @@
 //
 //	sweepd serve -addr 127.0.0.1:0 -local-workers 8 -dim rho -steps 10
 //
-// `serve` accepts the same grid and model flags as `sweep` (-dim, -from,
-// -to, -steps, -scheme, -k, -mu, -eta, -gamma, -lambda0, -p, -rho,
-// -theta), prints the finished table on stdout and exits. With
-// -addr-file the actual listen address (useful with port 0) is written to
-// a file for scripts to pick up. `work` needs only -join; it fetches the
-// job description from the coordinator.
+// Two job kinds can be served (-job):
+//
+//	fluid        the default: a fluid-model steady-state sweep over the
+//	             same grid and model flags as `sweep` (-dim, -from, -to,
+//	             -steps, -scheme, -k, -mu, -eta, -gamma, -lambda0, -p,
+//	             -rho, -theta).
+//	simvalidate  the fluid-vs-simulation validation (mfdl's simvalidate):
+//	             every scheme at every correlation in -ps, with -replicas
+//	             independently seeded simulation replicas per row. The
+//	             cells are (row × replica) pairs; the finished table is
+//	             byte-identical to a local `mfdl simvalidate` at the same
+//	             seed and replica count.
+//
+// Simulation cells persist in a keyed sample store (-sample-dir): a later
+// serve with a larger -replicas replays every stored sample and only
+// simulates the new ones. With -ci-target the serve runs multiple rounds,
+// doubling the replica count (up to -replicas-max) until every row's 95%
+// confidence half-width of -ci-metric reaches the target; each round is a
+// fresh job at the same address, so workers started with `work -loop`
+// keep pulling rounds until the coordinator exits.
+//
+// -lease-target sizes leases adaptively: the coordinator tracks each
+// worker's observed seconds per cell and grants batches that take roughly
+// the target wall-time, so slow workers hold fewer cells hostage.
+//
+// `serve` prints the finished table on stdout and exits. With -addr-file
+// the actual listen address (useful with port 0) is written to a file for
+// scripts to pick up. `work` needs only -join; it fetches the job
+// description from the coordinator and refuses kinds its build does not
+// register.
 package main
 
 import (
 	"context"
 	"fmt"
+	"math"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
+	"sync"
 	"time"
 
 	"flag"
@@ -41,8 +69,10 @@ import (
 	"mfdl/internal/fluid"
 	"mfdl/internal/gridflag"
 	"mfdl/internal/obs"
+	"mfdl/internal/replica"
 	"mfdl/internal/runner/diskcache"
 	"mfdl/internal/scheme"
+	"mfdl/internal/sim"
 )
 
 func main() {
@@ -71,30 +101,62 @@ var formats = map[string]bool{
 	"": true, "ascii": true, "csv": true, "tsv": true, "markdown": true, "md": true,
 }
 
+// parseFloats parses a comma-separated list of finite floats.
+func parseFloats(name, s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, fmt.Errorf("-%s: %w", name, err)
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("-%s: value %v is not finite", name, v)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-%s: empty list", name)
+	}
+	return out, nil
+}
+
 func serve(args []string) error {
 	fs := flag.NewFlagSet("sweepd serve", flag.ContinueOnError)
 	var (
-		addr       = fs.String("addr", "127.0.0.1:8700", "coordinator listen address (port 0 picks a free port)")
-		addrFile   = fs.String("addr-file", "", "write the actual listen address to this file (for scripts using port 0)")
-		dim        = fs.String("dim", "p", "swept dimensions (comma-separated): p, rho, k, mu, gamma, eta, lambda0, theta")
-		from       = fs.String("from", "0.05", "sweep start, one value or one per dimension")
-		to         = fs.String("to", "1", "sweep end, one value or one per dimension")
-		steps      = fs.String("steps", "10", "sweep intervals, one value or one per dimension")
-		schemeF    = fs.String("scheme", "CMFSD", "scheme: MTCD, MTSD, MFCD, CMFSD")
-		k          = fs.Int("k", 10, "number of files K")
-		mu         = fs.Float64("mu", 0.02, "upload bandwidth μ")
-		eta        = fs.Float64("eta", 0.5, "sharing efficiency η")
-		gamma      = fs.Float64("gamma", 0.05, "seed departure rate γ")
-		lambda0    = fs.Float64("lambda0", 1, "visiting rate λ₀")
-		p          = fs.Float64("p", 0.9, "file correlation p")
-		rho        = fs.Float64("rho", 0, "CMFSD allocation ratio ρ")
-		theta      = fs.Float64("theta", 0, "downloader abort rate θ (0 = paper's churn-free model)")
-		ckptDir    = fs.String("checkpoint-dir", "", "checkpoint store for completed cells; a restarted coordinator resumes from it (empty = private temp dir, no resume)")
-		leaseCells = fs.Int("lease-cells", 8, "cells granted per lease")
-		leaseTTL   = fs.Duration("lease-ttl", 30*time.Second, "lease exclusivity window; a worker silent for longer forfeits its cells")
-		localW     = fs.Int("local-workers", 0, "also run this many in-process workers (0 = rely on `sweepd work` processes)")
-		format     = fs.String("format", "ascii", "output format: ascii, csv, tsv, or markdown")
-		stats      = fs.Bool("stats", false, "print fabric progress counters on stderr")
+		addr     = fs.String("addr", "127.0.0.1:8700", "coordinator listen address (port 0 picks a free port)")
+		addrFile = fs.String("addr-file", "", "write the actual listen address to this file (for scripts using port 0)")
+		job      = fs.String("job", "fluid", "job kind to serve: fluid (steady-state sweep) or simvalidate (fluid-vs-simulation)")
+		dim      = fs.String("dim", "p", "fluid: swept dimensions (comma-separated): p, rho, k, mu, gamma, eta, lambda0, theta")
+		from     = fs.String("from", "0.05", "fluid: sweep start, one value or one per dimension")
+		to       = fs.String("to", "1", "fluid: sweep end, one value or one per dimension")
+		steps    = fs.String("steps", "10", "fluid: sweep intervals, one value or one per dimension")
+		schemeF  = fs.String("scheme", "CMFSD", "fluid: scheme: MTCD, MTSD, MFCD, CMFSD")
+		k        = fs.Int("k", 10, "number of files K")
+		mu       = fs.Float64("mu", 0.02, "upload bandwidth μ")
+		eta      = fs.Float64("eta", 0.5, "sharing efficiency η")
+		gamma    = fs.Float64("gamma", 0.05, "seed departure rate γ")
+		lambda0  = fs.Float64("lambda0", 1, "visiting rate λ₀")
+		p        = fs.Float64("p", 0.9, "fluid: file correlation p")
+		rho      = fs.Float64("rho", 0, "fluid: CMFSD allocation ratio ρ")
+		theta    = fs.Float64("theta", 0, "fluid: downloader abort rate θ (0 = paper's churn-free model)")
+		// Simulation flags (-job simvalidate).
+		ps       = fs.String("ps", "0.5,0.9", "simvalidate: comma-separated file correlations, one scheme matrix per value")
+		horizon  = fs.Float64("horizon", 4000, "simvalidate: simulated horizon")
+		warmup   = fs.Float64("warmup", 800, "simvalidate: measurement warmup")
+		seed     = fs.Uint64("seed", 1, "simvalidate: base of the replica seed derivation")
+		replicas = fs.Int("replicas", 1, "simvalidate: independently seeded replicas per row (>= 1)")
+		ciTarget = fs.Float64("ci-target", 0, "simvalidate: run growing rounds until every row's 95% CI half-width of -ci-metric reaches this (0 = one round at -replicas)")
+		ciMetric = fs.String("ci-metric", replica.OnlinePerFile, "simvalidate: stopping metric for -ci-target")
+		replMax  = fs.Int("replicas-max", 64, "simvalidate: replica growth bound per serve under -ci-target")
+		smplDir  = fs.String("sample-dir", "", "simvalidate: keyed replica-sample store; later serves with more replicas replay stored samples (empty = private temp dir, no reuse)")
+		// Fabric flags.
+		ckptDir     = fs.String("checkpoint-dir", "", "checkpoint store for completed cells; a restarted coordinator resumes from it (empty = private temp dir, no resume)")
+		leaseCells  = fs.Int("lease-cells", 8, "cells granted per lease (the adaptive upper bound with -lease-target)")
+		leaseTTL    = fs.Duration("lease-ttl", 30*time.Second, "lease exclusivity window; a worker silent for longer forfeits its cells")
+		leaseTarget = fs.Duration("lease-target", 0, "size each worker's leases to roughly this wall-time from its observed cell pace (0 = fixed -lease-cells batches)")
+		localW      = fs.Int("local-workers", 0, "also run this many in-process workers (0 = rely on `sweepd work` processes)")
+		format      = fs.String("format", "ascii", "output format: ascii, csv, tsv, or markdown")
+		stats       = fs.Bool("stats", false, "print fabric progress counters on stderr")
 	)
 	var ofl obs.Flags
 	ofl.Register(fs)
@@ -104,82 +166,206 @@ func serve(args []string) error {
 	if fs.NArg() != 0 {
 		return fmt.Errorf("unexpected arguments: %v", fs.Args())
 	}
-	sc, err := scheme.Parse(*schemeF)
-	if err != nil {
-		return err
-	}
 	if !formats[*format] {
 		return fmt.Errorf("unknown format %q (want ascii, csv, tsv, or markdown)", *format)
 	}
-	grid, err := gridflag.Grid(*dim, *from, *to, *steps)
-	if err != nil {
-		return err
+	if *leaseTarget < 0 {
+		return fmt.Errorf("-lease-target must be >= 0, got %v", *leaseTarget)
 	}
 	reg, finishObs, err := ofl.Setup(*stats)
 	if err != nil {
 		return err
 	}
-	spec := experiments.SweepSpec{
-		Config: experiments.Config{
-			Params:  fluid.Params{Mu: *mu, Eta: *eta, Gamma: *gamma},
-			K:       *k,
-			Lambda0: *lambda0,
-		},
-		P: *p, Rho: *rho, Theta: *theta,
-		Scheme:  sc,
-		Grid:    grid,
-		Options: experiments.Options{Obs: reg},
+	params := fluid.Params{Mu: *mu, Eta: *eta, Gamma: *gamma}
+	copts := fabric.CoordinatorOptions{
+		LeaseCells: *leaseCells, LeaseTTL: *leaseTTL,
+		TargetLeaseSeconds: leaseTarget.Seconds(), Obs: reg,
 	}
-	if err := spec.Config.Validate(); err != nil {
-		return err
+	sh := &serveHost{
+		addr: *addr, addrFile: *addrFile, ckptDir: *ckptDir,
+		localWorkers: *localW, format: *format, stats: *stats, reg: reg,
 	}
-	dir := *ckptDir
-	if dir == "" {
-		tmp, err := os.MkdirTemp("", "sweepd-*")
+	var serveErr error
+	switch *job {
+	case "fluid":
+		grid, err := gridflag.Grid(*dim, *from, *to, *steps)
 		if err != nil {
 			return err
 		}
-		defer os.RemoveAll(tmp)
-		dir = tmp
+		sc, err := scheme.Parse(*schemeF)
+		if err != nil {
+			return err
+		}
+		spec := experiments.SweepSpec{
+			Config: experiments.Config{
+				Params: params, K: *k, Lambda0: *lambda0,
+			},
+			P: *p, Rho: *rho, Theta: *theta,
+			Scheme:  sc,
+			Grid:    grid,
+			Options: experiments.Options{Obs: reg},
+		}
+		if err := spec.Config.Validate(); err != nil {
+			return err
+		}
+		serveErr = sh.serveFluid(spec, copts)
+	case "simvalidate":
+		if *replicas < 1 {
+			return fmt.Errorf("-replicas must be >= 1, got %d", *replicas)
+		}
+		if math.IsNaN(*ciTarget) || math.IsInf(*ciTarget, 0) || *ciTarget < 0 {
+			return fmt.Errorf("-ci-target must be finite and >= 0, got %v", *ciTarget)
+		}
+		if *replMax < 1 {
+			return fmt.Errorf("-replicas-max must be >= 1, got %d", *replMax)
+		}
+		psList, err := parseFloats("ps", *ps)
+		if err != nil {
+			return err
+		}
+		set := experiments.SimSettings{
+			Params: params, K: *k, Lambda0: *lambda0,
+			Horizon: *horizon, Warmup: *warmup,
+			Options: experiments.Options{Seed: *seed, Replicas: *replicas, Obs: reg},
+		}
+		serveErr = sh.serveSimValidate(set, psList, *smplDir, simStop{
+			target: *ciTarget, metric: *ciMetric, maxReplicas: *replMax,
+		}, copts)
+	default:
+		return fmt.Errorf("unknown -job %q (want fluid or simvalidate)", *job)
+	}
+	if serveErr != nil {
+		return serveErr
+	}
+	return finishObs()
+}
+
+// serveHost is the per-invocation serving machinery shared by both job
+// kinds: the listener, the swappable handler (sequential-stopping rounds
+// replace the coordinator under one address), the checkpoint store, and
+// the in-process workers.
+type serveHost struct {
+	addr, addrFile string
+	ckptDir        string
+	localWorkers   int
+	format         string
+	stats          bool
+	reg            *obs.Registry
+
+	mu      sync.Mutex
+	handler http.Handler
+}
+
+// ServeHTTP dispatches to the current round's coordinator.
+func (sh *serveHost) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	sh.mu.Lock()
+	h := sh.handler
+	sh.mu.Unlock()
+	if h == nil {
+		http.Error(w, "no job yet", http.StatusServiceUnavailable)
+		return
+	}
+	h.ServeHTTP(w, r)
+}
+
+// swap installs the next round's coordinator.
+func (sh *serveHost) swap(h http.Handler) {
+	sh.mu.Lock()
+	sh.handler = h
+	sh.mu.Unlock()
+}
+
+// openCheckpoint opens the configured checkpoint directory, or a private
+// temp dir removed by cleanup.
+func (sh *serveHost) openCheckpoint() (*diskcache.CheckpointStore, func(), error) {
+	dir, cleanup := sh.ckptDir, func() {}
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "sweepd-*")
+		if err != nil {
+			return nil, nil, err
+		}
+		dir, cleanup = tmp, func() { os.RemoveAll(tmp) }
 	}
 	store, err := diskcache.OpenCheckpoint(dir)
 	if err != nil {
-		return err
+		cleanup()
+		return nil, nil, err
 	}
-	coord, err := fabric.NewCoordinator(spec.JobSpec(), store, fabric.CoordinatorOptions{
-		LeaseCells: *leaseCells, LeaseTTL: *leaseTTL, Obs: reg,
-	})
+	return store, cleanup, nil
+}
+
+// listen binds the address, writes -addr-file, and returns the server
+// (already accepting, dispatching through the swappable handler) and its
+// base URL.
+func (sh *serveHost) listen() (*http.Server, string, error) {
+	ln, err := net.Listen("tcp", sh.addr)
 	if err != nil {
-		return err
+		return nil, "", err
 	}
-	ln, err := net.Listen("tcp", *addr)
-	if err != nil {
-		return err
-	}
-	if *addrFile != "" {
-		if err := os.WriteFile(*addrFile, []byte(ln.Addr().String()), 0o644); err != nil {
-			return err
+	if sh.addrFile != "" {
+		if err := os.WriteFile(sh.addrFile, []byte(ln.Addr().String()), 0o644); err != nil {
+			ln.Close()
+			return nil, "", err
 		}
 	}
-	srv := &http.Server{Handler: coord.Handler()}
+	srv := &http.Server{Handler: sh}
 	go srv.Serve(ln)
-	defer srv.Close()
-	st := coord.Status()
-	fmt.Fprintf(os.Stderr, "sweepd: serving %d cells (%d resumed) on http://%s\n",
-		st.Total, st.Done, ln.Addr())
+	return srv, "http://" + ln.Addr().String(), nil
+}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
-	defer stop()
-	url := "http://" + ln.Addr().String()
-	workerErrs := make(chan error, *localW)
-	for i := 0; i < *localW; i++ {
+// startWorkers launches the in-process workers for one round and returns
+// their error channel (one send per worker; nil on normal completion).
+func (sh *serveHost) startWorkers(ctx context.Context, url string, samples *diskcache.SampleStore) <-chan error {
+	errs := make(chan error, sh.localWorkers)
+	for i := 0; i < sh.localWorkers; i++ {
 		go func(i int) {
-			workerErrs <- fabric.Work(ctx, url, fabric.WorkerOptions{
-				Name: fmt.Sprintf("local-%d", i), Obs: reg,
+			errs <- fabric.Work(ctx, url, fabric.WorkerOptions{
+				Name: fmt.Sprintf("local-%d", i), Obs: sh.reg, Samples: samples,
 			})
 		}(i)
 	}
-	for i := 0; i < *localW; i++ {
+	return errs
+}
+
+// printStats renders the fabric progress counters after the last round.
+func (sh *serveHost) printStats(done, total int) {
+	if !sh.stats {
+		return
+	}
+	count := func(name string) uint64 { return sh.reg.Counter(name).Value() }
+	fmt.Fprintf(os.Stderr, "sweepd: %d/%d cells done; leases granted %d, expired %d; completions %d (+%d duplicate, %d resumed)\n",
+		done, total,
+		count("fabric_leases_granted_total"),
+		count("fabric_leases_expired_total"),
+		count("fabric_cells_completed_total"),
+		count("fabric_cells_duplicate_total"),
+		count("fabric_cells_resumed_total"))
+}
+
+// serveFluid runs the classic single-round fluid sweep.
+func (sh *serveHost) serveFluid(spec experiments.SweepSpec, copts fabric.CoordinatorOptions) error {
+	store, cleanup, err := sh.openCheckpoint()
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+	coord, err := fabric.NewCoordinator(spec.JobSpec(), store, copts)
+	if err != nil {
+		return err
+	}
+	sh.swap(coord.Handler())
+	srv, url, err := sh.listen()
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	st := coord.Status()
+	fmt.Fprintf(os.Stderr, "sweepd: serving %d cells (%d resumed) on %s\n", st.Total, st.Done, url)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	workerErrs := sh.startWorkers(ctx, url, nil)
+	for i := 0; i < sh.localWorkers; i++ {
 		if err := <-workerErrs; err != nil {
 			return err
 		}
@@ -189,20 +375,146 @@ func serve(args []string) error {
 		return err
 	}
 	res := &experiments.SweepResult{Spec: spec, Cells: cells}
-	if err := res.Table().Write(os.Stdout, *format); err != nil {
+	if err := res.Table().Write(os.Stdout, sh.format); err != nil {
 		return err
 	}
-	if *stats {
-		final := coord.Status()
-		fmt.Fprintf(os.Stderr, "sweepd: %d/%d cells done; leases granted %d, expired %d; completions %d (+%d duplicate, %d resumed)\n",
-			final.Done, final.Total,
-			reg.Counter("fabric_leases_granted_total").Value(),
-			reg.Counter("fabric_leases_expired_total").Value(),
-			reg.Counter("fabric_cells_completed_total").Value(),
-			reg.Counter("fabric_cells_duplicate_total").Value(),
-			reg.Counter("fabric_cells_resumed_total").Value())
+	final := coord.Status()
+	sh.printStats(final.Done, final.Total)
+	return nil
+}
+
+// simStop is the serve-level sequential-stopping rule.
+type simStop struct {
+	target      float64
+	metric      string
+	maxReplicas int
+}
+
+// serveSimValidate runs the simvalidate job, one round per replica count.
+// Every round is a fresh coordinator (new spec, new fingerprint) behind
+// the same address; the shared sample store carries the samples forward,
+// so round n+1 pre-marks everything round n computed and only the new
+// replicas are simulated — the distributed spelling of "R grows, never
+// resamples".
+func (sh *serveHost) serveSimValidate(set experiments.SimSettings, ps []float64, sampleDir string, stop simStop, copts fabric.CoordinatorOptions) error {
+	sdir, cleanupS := sampleDir, func() {}
+	if sdir == "" {
+		tmp, err := os.MkdirTemp("", "sweepd-samples-*")
+		if err != nil {
+			return err
+		}
+		sdir, cleanupS = tmp, func() { os.RemoveAll(tmp) }
 	}
-	return finishObs()
+	defer cleanupS()
+	samples, err := diskcache.OpenSamples(sdir)
+	if err != nil {
+		return err
+	}
+	samples.WithObs(sh.reg)
+	copts.Samples = samples
+	store, cleanup, err := sh.openCheckpoint()
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+	srv, url, err := sh.listen()
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	ctx, sigStop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer sigStop()
+
+	r := set.Options.Replicas
+	if stop.target > 0 && r < 2 {
+		r = 2 // a confidence interval needs at least two samples
+	}
+	maxR := stop.maxReplicas
+	if maxR < r {
+		maxR = r
+	}
+	var plan *experiments.SimValidatePlan
+	var aggs []replica.Agg
+	var lastStatus fabric.Status
+	for round := 1; ; round++ {
+		set.Options.Replicas = r
+		plan, err = experiments.PlanSimValidate(set, ps)
+		if err != nil {
+			return err
+		}
+		coord, err := fabric.NewCoordinator(plan.Spec, store, copts)
+		if err != nil {
+			return err
+		}
+		sh.swap(coord.Handler())
+		st := coord.Status()
+		fmt.Fprintf(os.Stderr, "sweepd: round %d: serving %d cells (%d resumed, R=%d) on %s\n",
+			round, st.Total, st.Done, r, url)
+		payloads, err := awaitPayloads(ctx, coord, sh.startWorkers(ctx, url, samples), sh.localWorkers)
+		if err != nil {
+			return err
+		}
+		lastStatus = coord.Status()
+		if aggs, err = sim.ReduceJob(plan.Spec, payloads); err != nil {
+			return err
+		}
+		if stop.target <= 0 {
+			break
+		}
+		worst := 0.0
+		for _, agg := range aggs {
+			if ci := agg.CI95(stop.metric); ci > worst {
+				worst = ci
+			}
+		}
+		if worst <= stop.target || r >= maxR {
+			fmt.Fprintf(os.Stderr, "sweepd: round %d: max CI95(%s) = %g (target %g), stopping at R=%d\n",
+				round, stop.metric, worst, stop.target, r)
+			break
+		}
+		if r *= 2; r > maxR {
+			r = maxR
+		}
+	}
+	res, err := plan.Result(aggs)
+	if err != nil {
+		return err
+	}
+	if err := res.Table().Write(os.Stdout, sh.format); err != nil {
+		return err
+	}
+	sh.printStats(lastStatus.Done, lastStatus.Total)
+	if sh.stats {
+		st := samples.Stats()
+		fmt.Fprintf(os.Stderr, "sweepd: sample store: %d hits / %d misses (%d stored, %d corrupt, %d evicted)\n",
+			st.Hits, st.Misses, st.Stores, st.Corrupt, st.Evicted)
+	}
+	return nil
+}
+
+// awaitPayloads waits for one round's payloads while watching the
+// in-process workers: a worker error aborts the round (their normal nil
+// completions are swallowed — remote workers may finish the job).
+func awaitPayloads(ctx context.Context, coord *fabric.Coordinator, workerErrs <-chan error, workers int) ([][]byte, error) {
+	type result struct {
+		payloads [][]byte
+		err      error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		p, err := coord.Payloads(ctx)
+		ch <- result{p, err}
+	}()
+	for {
+		select {
+		case r := <-ch:
+			return r.payloads, r.err
+		case err := <-workerErrs:
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
 }
 
 func work(args []string) error {
@@ -211,6 +523,8 @@ func work(args []string) error {
 		join     = fs.String("join", "", "coordinator URL, e.g. http://host:8700 (required)")
 		parallel = fs.Int("parallel", 1, "cells computed concurrently by this worker")
 		name     = fs.String("name", "", "worker name reported to the coordinator (default worker-<pid>)")
+		loop     = fs.Bool("loop", false, "keep pulling jobs as the coordinator swaps them (sequential-stopping rounds); exit cleanly when it shuts down")
+		smplDir  = fs.String("sample-dir", "", "keyed replica-sample store: simulation cells replay stored samples and persist fresh ones (empty = off)")
 		stats    = fs.Bool("stats", false, "print this worker's cell count on stderr when done")
 	)
 	var ofl obs.Flags
@@ -234,7 +548,18 @@ func work(args []string) error {
 	if opts.Name == "" {
 		opts.Name = fmt.Sprintf("worker-%d", os.Getpid())
 	}
-	if err := fabric.Work(ctx, *join, opts); err != nil {
+	if *smplDir != "" {
+		samples, err := diskcache.OpenSamples(*smplDir)
+		if err != nil {
+			return err
+		}
+		opts.Samples = samples.WithObs(reg)
+	}
+	runWorker := fabric.Work
+	if *loop {
+		runWorker = fabric.WorkLoop
+	}
+	if err := runWorker(ctx, *join, opts); err != nil {
 		return err
 	}
 	if *stats {

@@ -138,7 +138,7 @@ func ChurnSweep(ctx context.Context, set SimSettings, p float64, chaosSeed uint6
 	if len(specs) == 0 {
 		return res, nil
 	}
-	sims := make([]replica.Sim, len(specs))
+	cells := make([]sim.JobCell, len(specs))
 	for i, sp := range specs {
 		fc := faults.Config{Seed: chaosSeed}
 		if sp.quitAxis {
@@ -154,15 +154,16 @@ func ChurnSweep(ctx context.Context, set SimSettings, p float64, chaosSeed uint6
 		if !math.IsNaN(sp.rho) {
 			sc.Rho = sp.rho
 		}
-		s, err := sim.New(sp.simScheme, sim.Config{Flow: &sc})
-		if err != nil {
-			return nil, err
-		}
-		sims[i] = s
+		cells[i] = sim.JobCell{Scheme: sp.simScheme, Config: sim.Config{Flow: &sc}}
 	}
-	aggs, err := replica.Run(ctx, len(specs), func(cell int) replica.Sim {
-		return sims[cell]
-	}, set.options())
+	// The fault plan rides inside the configs (Faults.Seed), so it is part
+	// of every cell's job and sample-store identity: a different chaos seed
+	// never replays another seed's samples.
+	spec, err := sim.NewJobSpec(cells, set.effSeed(), set.effReplicas())
+	if err != nil {
+		return nil, err
+	}
+	aggs, err := set.runSimJob(ctx, spec, replica.DownloadPerFile)
 	if err != nil {
 		return nil, err
 	}

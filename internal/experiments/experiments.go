@@ -41,6 +41,7 @@ import (
 	"mfdl/internal/obs"
 	"mfdl/internal/rng"
 	"mfdl/internal/runner"
+	"mfdl/internal/runner/diskcache"
 	"mfdl/internal/scheme"
 	"mfdl/internal/table"
 )
@@ -71,6 +72,24 @@ type Options struct {
 	Replicas int
 	// Workers bounds the worker pool; <= 0 means all cores.
 	Workers int
+	// Samples, when non-nil, is the keyed replica-sample store the
+	// simulator-backed experiments read and write through the job layer:
+	// a re-run with a larger Replicas (or a tighter CITarget) replays
+	// every stored sample and simulates only the missing ones. Fluid
+	// solves ignore it.
+	Samples *diskcache.SampleStore
+	// CITarget, when > 0, enables sequential stopping for the
+	// simulator-backed experiments: each table row's replica count grows
+	// (doubling, bounded by ReplicasMax) until the 95% confidence
+	// half-width of CIMetric reaches CITarget. Zero keeps the fixed
+	// Replicas count.
+	CITarget float64
+	// CIMetric names the stopping metric (a replica Sample.Values key);
+	// empty uses each experiment's headline metric.
+	CIMetric string
+	// ReplicasMax bounds sequential-stopping growth per row; values below
+	// the starting replica count are raised to it.
+	ReplicasMax int
 }
 
 // Config holds the evaluation setting shared by all experiments.

@@ -106,6 +106,34 @@ func (s SimSettings) options() replica.Options {
 	}
 }
 
+// stopping assembles the sequential-stopping rule for these settings;
+// metric is the experiment's headline metric, overridden by CIMetric.
+func (s SimSettings) stopping(metric string) replica.Stopping {
+	if s.Options.CIMetric != "" {
+		metric = s.Options.CIMetric
+	}
+	return replica.Stopping{
+		Metric: metric, Target: s.Options.CITarget,
+		MaxReplicas: s.Options.ReplicasMax,
+	}
+}
+
+// runSimJob executes a sim-replica job for these settings through the job
+// layer — the same execution path a fabric coordinator drives — so an
+// attached sample store (Options.Samples) is shared between local and
+// distributed runs: a re-run with more replicas replays every stored
+// sample. With CITarget set the replica counts grow per cell under the
+// sequential-stopping rule; otherwise the spec's fixed count runs,
+// numerically identical to the pre-job-layer replica.Run over the same
+// cells.
+func (s SimSettings) runSimJob(ctx context.Context, spec runner.JobSpec, metric string) ([]replica.Agg, error) {
+	env := runner.JobEnv{Samples: s.Options.Samples, Obs: s.effObs()}
+	if stop := s.stopping(metric); stop.Enabled() {
+		return sim.RunJobStopping(ctx, spec, env, s.effWorkers(), stop)
+	}
+	return sim.RunJob(ctx, spec, env, runner.Options{Workers: s.effWorkers(), Obs: s.effObs()})
+}
+
 // ciCell formats a ± cell with table.Fmt precision.
 func ciCell(ci float64) string { return "±" + table.Fmt(ci) }
 
@@ -142,17 +170,23 @@ type simValidateSpec struct {
 	simScheme scheme.SimScheme
 }
 
-// SimValidate runs the flow-level simulator for every scheme and compares
-// the measured average online time per file against the fluid prediction
-// (experiment E9 in DESIGN.md). The fluid predictions are memoized solves;
-// the simulations — the expensive part — fan out over the replica engine:
-// R = max(1, Settings.Replicas) independently seeded replicas per row, all
-// rows and replicas sharing one worker pool. The result table is identical
-// at every worker count; with R = 1 it is identical to the unreplicated
-// tables this function produced before the replica engine existed.
-// Canceling ctx aborts the remaining simulations.
-func SimValidate(ctx context.Context, set SimSettings, ps []float64) (*SimValidateResult, error) {
-	res := &SimValidateResult{Settings: set}
+// SimValidatePlan is the job-layer decomposition of SimValidate: the
+// sim-replica JobSpec whose grid cells are the table rows, plus the fluid
+// predictions needed to fold the simulated aggregates back into the
+// result. A fabric coordinator can serve Spec to remote workers, reduce
+// the collected payloads with sim.ReduceJob, and hand the aggregates to
+// Result — rendering the same table a local SimValidate produces.
+type SimValidatePlan struct {
+	// Spec is the runnable sim-replica job, one grid cell per table row.
+	Spec  runner.JobSpec
+	set   SimSettings
+	specs []simValidateSpec
+}
+
+// PlanSimValidate solves the fluid predictions (cheap, memoized) and
+// lowers the simulation matrix — every scheme at every correlation in ps —
+// into a sim-replica JobSpec. ps must be non-empty.
+func PlanSimValidate(set SimSettings, ps []float64) (*SimValidatePlan, error) {
 	cache := runner.NewCache()
 	predict := func(sc scheme.Scheme, p, rho float64) (float64, error) {
 		r, err := cache.Evaluate(runner.Key{
@@ -195,9 +229,9 @@ func SimValidate(ctx context.Context, set SimSettings, ps []float64) (*SimValida
 		}
 	}
 	if len(specs) == 0 {
-		return res, nil
+		return nil, fmt.Errorf("experiments: SimValidate needs at least one correlation")
 	}
-	sims := make([]replica.Sim, len(specs))
+	cells := make([]sim.JobCell, len(specs))
 	for i, sp := range specs {
 		sc := eventsim.Config{
 			Params: set.Params, K: set.K, Lambda0: set.Lambda0, P: sp.p,
@@ -206,20 +240,24 @@ func SimValidate(ctx context.Context, set SimSettings, ps []float64) (*SimValida
 		if !math.IsNaN(sp.rho) {
 			sc.Rho = sp.rho
 		}
-		s, err := sim.New(sp.simScheme, sim.Config{Flow: &sc})
-		if err != nil {
-			return nil, err
-		}
-		sims[i] = s
+		cells[i] = sim.JobCell{Scheme: sp.simScheme, Config: sim.Config{Flow: &sc}}
 	}
-	aggs, err := replica.Run(ctx, len(specs), func(cell int) replica.Sim {
-		return sims[cell]
-	}, set.options())
+	spec, err := sim.NewJobSpec(cells, set.effSeed(), set.effReplicas())
 	if err != nil {
 		return nil, err
 	}
+	return &SimValidatePlan{Spec: spec, set: set, specs: specs}, nil
+}
+
+// Result folds the per-cell aggregates — computed locally or reduced from
+// a coordinator's payloads — into the experiment result.
+func (pl *SimValidatePlan) Result(aggs []replica.Agg) (*SimValidateResult, error) {
+	if len(aggs) != len(pl.specs) {
+		return nil, fmt.Errorf("experiments: SimValidate has %d aggregates, want %d", len(aggs), len(pl.specs))
+	}
+	res := &SimValidateResult{Settings: pl.set}
 	for i, agg := range aggs {
-		sp := specs[i]
+		sp := pl.specs[i]
 		simulated := agg.Mean(replica.OnlinePerFile)
 		res.Rows = append(res.Rows, SimValidateRow{
 			Scheme: sp.scheme, P: sp.p, Rho: sp.rho,
@@ -231,6 +269,31 @@ func SimValidate(ctx context.Context, set SimSettings, ps []float64) (*SimValida
 		})
 	}
 	return res, nil
+}
+
+// SimValidate runs the flow-level simulator for every scheme and compares
+// the measured average online time per file against the fluid prediction
+// (experiment E9 in DESIGN.md). The fluid predictions are memoized solves;
+// the simulations — the expensive part — run as a sim-replica job:
+// R = max(1, Settings.Replicas) independently seeded replicas per row, all
+// rows and replicas sharing one worker pool, with Options.Samples and
+// Options.CITarget honoured (see runSimJob). The result table is identical
+// at every worker count; with R = 1 it is identical to the unreplicated
+// tables this function produced before the replica engine existed.
+// Canceling ctx aborts the remaining simulations.
+func SimValidate(ctx context.Context, set SimSettings, ps []float64) (*SimValidateResult, error) {
+	if len(ps) == 0 {
+		return &SimValidateResult{Settings: set}, nil
+	}
+	plan, err := PlanSimValidate(set, ps)
+	if err != nil {
+		return nil, err
+	}
+	aggs, err := set.runSimJob(ctx, plan.Spec, replica.OnlinePerFile)
+	if err != nil {
+		return nil, err
+	}
+	return plan.Result(aggs)
 }
 
 // Table renders the fluid-vs-simulation comparison. With more than one

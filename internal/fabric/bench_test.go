@@ -82,3 +82,62 @@ func BenchmarkFabricThroughput(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkSimReplicaThroughput is the same end-to-end protocol
+// measurement for the sim-replica kind: executable cells are
+// (grid cell × replica) pairs, each a full flow-level simulation, so this
+// tracks how fast the fabric ships simulator replicas rather than fluid
+// solves.
+func BenchmarkSimReplicaThroughput(b *testing.B) {
+	spec := simTestSpec(b, 11, 32) // 2 grid cells × R=32 = 64 executable cells
+	cells, err := spec.CellCount()
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			ctx := context.Background()
+			for i := 0; i < b.N; i++ {
+				store, err := diskcache.OpenCheckpoint(b.TempDir())
+				if err != nil {
+					b.Fatal(err)
+				}
+				coord, err := NewCoordinator(spec, store, CoordinatorOptions{
+					LeaseTTL: 250 * time.Millisecond,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				srv := httptest.NewServer(coord.Handler())
+				errs := make(chan error, workers)
+				for w := 0; w < workers; w++ {
+					go func(w int) {
+						errs <- Work(ctx, srv.URL, WorkerOptions{
+							Name: fmt.Sprintf("bench-w%d", w), Parallelism: 2,
+						})
+					}(w)
+				}
+				// The job is done when the last cell lands; the workers'
+				// final "anything left?" poll (up to TTL/4 of idle sleep) is
+				// protocol wind-down, not throughput, so it stays off the
+				// clock.
+				if err := coord.Wait(ctx); err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				for w := 0; w < workers; w++ {
+					if err := <-errs; err != nil {
+						b.Fatal(err)
+					}
+				}
+				if _, err := coord.Payloads(ctx); err != nil {
+					b.Fatal(err)
+				}
+				srv.Close()
+				b.StartTimer()
+			}
+			b.ReportMetric(float64(cells*b.N)/b.Elapsed().Seconds(), "cells/sec")
+		})
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"strconv"
 	"sync"
@@ -54,6 +55,20 @@ type CoordinatorOptions struct {
 	// LeaseTTL is how long a lease stays exclusive (default 30s). A lease
 	// older than this is reaped and its unfinished cells re-issued.
 	LeaseTTL time.Duration
+	// TargetLeaseSeconds, when positive, sizes each worker's lease from
+	// its observed mean cell duration so a lease takes roughly this long
+	// of wall-time: slow workers get smaller batches (down to 1 cell) and
+	// forfeit less on a mid-lease death, fast workers get bigger ones (up
+	// to LeaseCells) and spend less time on protocol round trips. A worker
+	// with no observations yet falls back to the fixed LeaseCells batch.
+	TargetLeaseSeconds float64
+	// Samples, when non-nil, bridges the checkpoint store to the keyed
+	// replica-sample store for kinds that declare a SampleRef: cells whose
+	// samples are already stored are marked done at startup without ever
+	// being leased, and every completed cell's payload is written back, so
+	// a re-run with a larger replica count only distributes the new
+	// replicas.
+	Samples *diskcache.SampleStore
 	// Obs, when non-nil, receives the coordinator's counters
 	// (fabric_leases_*, fabric_cells_*) and the per-worker
 	// fabric_cell_seconds latency histograms.
@@ -82,11 +97,18 @@ type lease struct {
 // checkpoint store under the job's fingerprint, which makes the
 // coordinator itself restartable — reopening the same store resumes with
 // every previously completed cell already marked done.
+// pace accumulates one worker's observed cell durations for the adaptive
+// lease policy.
+type pace struct {
+	sum float64
+	n   int
+}
+
 type Coordinator struct {
 	spec     runner.JobSpec
 	specJSON []byte
 	fp       string
-	grid     runner.Grid
+	kind     runner.JobKind
 	store    *diskcache.CheckpointStore
 	opts     CoordinatorOptions
 
@@ -98,6 +120,7 @@ type Coordinator struct {
 	done      int
 	doneCh    chan struct{}
 	closed    bool
+	pace      map[string]*pace
 
 	obsGranted   *obs.Counter
 	obsExpired   *obs.Counter
@@ -123,7 +146,11 @@ func NewCoordinator(spec runner.JobSpec, store *diskcache.CheckpointStore, opts 
 	if err != nil {
 		return nil, err
 	}
-	g, err := spec.Grid()
+	kind, ok := runner.LookupJobKind(spec.Kind)
+	if !ok {
+		return nil, fmt.Errorf("fabric: unknown job kind %q", spec.Kind)
+	}
+	n, err := spec.CellCount()
 	if err != nil {
 		return nil, err
 	}
@@ -137,11 +164,12 @@ func NewCoordinator(spec runner.JobSpec, store *diskcache.CheckpointStore, opts 
 		opts.Clock = time.Now
 	}
 	c := &Coordinator{
-		spec: spec, specJSON: specJSON, fp: spec.Fingerprint(), grid: g,
+		spec: spec, specJSON: specJSON, fp: spec.Fingerprint(), kind: kind,
 		store: store, opts: opts,
-		state:  make([]cellState, g.Size()),
+		state:  make([]cellState, n),
 		leases: map[string]*lease{},
 		doneCh: make(chan struct{}),
+		pace:   map[string]*pace{},
 
 		obsGranted:   opts.Obs.Counter("fabric_leases_granted_total"),
 		obsExpired:   opts.Obs.Counter("fabric_leases_expired_total"),
@@ -156,6 +184,23 @@ func NewCoordinator(spec runner.JobSpec, store *diskcache.CheckpointStore, opts 
 			c.done++
 			c.obsResumed.Inc()
 			continue
+		}
+		// A cell whose sample is already in the replica-sample store needs
+		// no worker: copy the stored payload into the checkpoint so the
+		// run's own bookkeeping (and Result/Payloads assembly) sees it as
+		// done. This is what makes a doubled -replicas re-run distribute
+		// only the new replicas.
+		if opts.Samples != nil && kind.SampleRef != nil {
+			if key, seed, ok := kind.SampleRef(spec, i); ok {
+				if payload, hit := opts.Samples.Get(key, seed); hit {
+					if store.Put(c.fp, i, payload) == nil {
+						c.state[i] = cellDone
+						c.done++
+						c.obsResumed.Inc()
+						continue
+					}
+				}
+			}
 		}
 		c.pending = append(c.pending, i)
 	}
@@ -208,7 +253,7 @@ func (c *Coordinator) Lease(worker string, max int) (grant *lease, retry time.Du
 		}
 		return nil, retry, false
 	}
-	n := c.opts.LeaseCells
+	n := c.batchSizeLocked(worker)
 	if max > 0 && max < n {
 		n = max
 	}
@@ -229,6 +274,49 @@ func (c *Coordinator) Lease(worker string, max int) (grant *lease, retry time.Du
 	c.leases[l.id] = l
 	c.obsGranted.Inc()
 	return l, 0, false
+}
+
+// batchSizeLocked returns the lease size for worker: LeaseCells under the
+// fixed policy, or TargetLeaseSeconds divided by the worker's observed
+// mean cell duration (clamped to [1, LeaseCells]) once the adaptive
+// policy has at least one observation for it.
+func (c *Coordinator) batchSizeLocked(worker string) int {
+	limit := c.opts.LeaseCells
+	if c.opts.TargetLeaseSeconds <= 0 {
+		return limit
+	}
+	p, ok := c.pace[worker]
+	if !ok || p.n == 0 || p.sum <= 0 {
+		return limit
+	}
+	mean := p.sum / float64(p.n)
+	batch := int(c.opts.TargetLeaseSeconds / mean)
+	if batch < 1 {
+		return 1
+	}
+	if batch > limit {
+		return limit
+	}
+	return batch
+}
+
+// ObserveCellSeconds feeds the adaptive lease policy one observed cell
+// duration for worker. The HTTP handler calls it for every non-duplicate
+// completion carrying the X-Fabric-Cell-Seconds header; non-positive and
+// non-finite observations are ignored.
+func (c *Coordinator) ObserveCellSeconds(worker string, sec float64) {
+	if worker == "" || sec <= 0 || math.IsNaN(sec) || math.IsInf(sec, 0) {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p := c.pace[worker]
+	if p == nil {
+		p = &pace{}
+		c.pace[worker] = p
+	}
+	p.sum += sec
+	p.n++
 }
 
 // Complete records one finished cell. The entry must carry the current
@@ -257,6 +345,14 @@ func (c *Coordinator) Complete(e diskcache.Entry) (duplicate bool, err error) {
 	}
 	if err := c.store.PutEntry(e); err != nil {
 		return false, err
+	}
+	// Write the payload through to the replica-sample store (best-effort):
+	// a later run over the same configurations — even a different grid or
+	// spec — finds the sample without redistributing it.
+	if c.opts.Samples != nil && c.kind.SampleRef != nil {
+		if key, seed, ok := c.kind.SampleRef(c.spec, e.Cell); ok {
+			_ = c.opts.Samples.Put(key, seed, e.Payload)
+		}
 	}
 	if c.state[e.Cell] == cellIdle {
 		// The cell had been reaped back into the queue; pull it out so it
@@ -336,6 +432,27 @@ func (c *Coordinator) Result(ctx context.Context) ([]runner.CellValue, error) {
 	return cells, nil
 }
 
+// Payloads waits for completion and returns every cell's raw payload
+// bytes in cell order — the kind-agnostic result path (sim-replica
+// callers hand the slice to sim.ReduceJob; Result is the fluid-sweep
+// decoding of the same bytes). On success the job's checkpoints are
+// cleared.
+func (c *Coordinator) Payloads(ctx context.Context) ([][]byte, error) {
+	if err := c.Wait(ctx); err != nil {
+		return nil, err
+	}
+	out := make([][]byte, len(c.state))
+	for i := range out {
+		payload, ok := c.store.Get(c.fp, i)
+		if !ok {
+			return nil, fmt.Errorf("fabric: cell %d missing from the checkpoint store", i)
+		}
+		out[i] = payload
+	}
+	_ = c.store.Clear(c.fp)
+	return out, nil
+}
+
 // Wire bodies.
 type leaseRequest struct {
 	Worker string `json:"worker"`
@@ -403,6 +520,7 @@ func (c *Coordinator) Handler() http.Handler {
 		}
 		if sec, err := strconv.ParseFloat(r.Header.Get(headerCellSeconds), 64); err == nil && !dup {
 			worker := r.Header.Get(headerWorker)
+			c.ObserveCellSeconds(worker, sec)
 			c.opts.Obs.Histogram("fabric_cell_seconds", obs.LatencyBuckets,
 				obs.L("worker", worker)).Observe(sec)
 		}

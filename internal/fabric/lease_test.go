@@ -1,0 +1,113 @@
+package fabric
+
+import (
+	"math"
+	"testing"
+
+	"mfdl/internal/runner/diskcache"
+)
+
+// newCoord builds a coordinator without a server — the adaptive-lease
+// policy is pure coordinator state.
+func newCoord(t *testing.T, opts CoordinatorOptions) *Coordinator {
+	t.Helper()
+	store, err := diskcache.OpenCheckpoint(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord, err := NewCoordinator(testSpec(t), store, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return coord
+}
+
+// mustLease grants a lease and returns its cell count.
+func mustLease(t *testing.T, c *Coordinator, worker string, max int) int {
+	t.Helper()
+	grant, _, done := c.Lease(worker, max)
+	if done || grant == nil {
+		t.Fatalf("Lease(%q) granted nothing (done=%v)", worker, done)
+	}
+	return len(grant.cells)
+}
+
+// The adaptive policy sizes each worker's batch from its observed pace:
+// slow workers get smaller leases (down to a single cell), fast workers
+// get the full batch, and a worker with no history falls back to the
+// fixed LeaseCells.
+func TestAdaptiveLeaseSizing(t *testing.T) {
+	// testSpec has 10 cells; LeaseCells 8 keeps every scenario below the
+	// pending count so sizes reflect policy, not depletion.
+	opts := CoordinatorOptions{LeaseCells: 8, TargetLeaseSeconds: 1}
+
+	t.Run("no-observations-falls-back", func(t *testing.T) {
+		c := newCoord(t, opts)
+		if n := mustLease(t, c, "fresh", 0); n != 8 {
+			t.Fatalf("unobserved worker got %d cells, want LeaseCells=8", n)
+		}
+	})
+
+	t.Run("slow-worker-gets-one-cell", func(t *testing.T) {
+		c := newCoord(t, opts)
+		c.ObserveCellSeconds("slow", 2.0) // 1s target / 2s mean -> floor at 1
+		if n := mustLease(t, c, "slow", 0); n != 1 {
+			t.Fatalf("slow worker got %d cells, want 1", n)
+		}
+	})
+
+	t.Run("pace-is-a-running-mean", func(t *testing.T) {
+		c := newCoord(t, opts)
+		c.ObserveCellSeconds("steady", 0.2)
+		c.ObserveCellSeconds("steady", 0.3) // mean 0.25s -> 4 cells
+		if n := mustLease(t, c, "steady", 0); n != 4 {
+			t.Fatalf("steady worker got %d cells, want 4", n)
+		}
+	})
+
+	t.Run("fast-worker-clamps-to-lease-cells", func(t *testing.T) {
+		c := newCoord(t, opts)
+		c.ObserveCellSeconds("fast", 0.01) // 100 cells by pace, clamped
+		if n := mustLease(t, c, "fast", 0); n != 8 {
+			t.Fatalf("fast worker got %d cells, want LeaseCells=8", n)
+		}
+	})
+
+	t.Run("worker-max-still-caps", func(t *testing.T) {
+		c := newCoord(t, opts)
+		c.ObserveCellSeconds("fast", 0.01)
+		if n := mustLease(t, c, "fast", 2); n != 2 {
+			t.Fatalf("capped worker got %d cells, want its own max 2", n)
+		}
+	})
+
+	t.Run("paces-are-per-worker", func(t *testing.T) {
+		c := newCoord(t, opts)
+		c.ObserveCellSeconds("slow", 1.0)
+		c.ObserveCellSeconds("fast", 0.05)
+		slow := mustLease(t, c, "slow", 0)
+		fast := mustLease(t, c, "fast", 0)
+		if slow != 1 || fast != 8 {
+			t.Fatalf("slow/fast got %d/%d cells, want 1/8", slow, fast)
+		}
+	})
+
+	t.Run("junk-observations-are-ignored", func(t *testing.T) {
+		c := newCoord(t, opts)
+		for _, sec := range []float64{0, -1, math.NaN(), math.Inf(1), math.Inf(-1)} {
+			c.ObserveCellSeconds("junk", sec)
+		}
+		c.ObserveCellSeconds("", 0.5) // anonymous observations dropped too
+		if n := mustLease(t, c, "junk", 0); n != 8 {
+			t.Fatalf("junk-fed worker got %d cells, want the 8-cell fallback", n)
+		}
+	})
+
+	t.Run("disabled-policy-is-fixed", func(t *testing.T) {
+		c := newCoord(t, CoordinatorOptions{LeaseCells: 8})
+		c.ObserveCellSeconds("slow", 5.0)
+		if n := mustLease(t, c, "slow", 0); n != 8 {
+			t.Fatalf("fixed policy granted %d cells, want LeaseCells=8", n)
+		}
+	})
+}

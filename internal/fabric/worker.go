@@ -3,7 +3,6 @@ package fabric
 import (
 	"bytes"
 	"context"
-	"encoding/gob"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -40,6 +39,11 @@ type WorkerOptions struct {
 	// Obs, when non-nil, receives the worker's fabric_worker_cells_total
 	// counter plus the solve cache's counters.
 	Obs *obs.Registry
+	// Samples, when non-nil, is the worker's replica-sample store:
+	// sim-replica cells whose samples are already stored are replayed
+	// instead of simulated, and freshly simulated samples are persisted
+	// for later runs. Fluid cells ignore it.
+	Samples *diskcache.SampleStore
 	// OnLease, when non-nil, observes every granted lease.
 	OnLease func(id string, cells []int)
 	// OnCell, when non-nil, observes every completed cell before its
@@ -47,32 +51,40 @@ type WorkerOptions struct {
 	OnCell func(cell int)
 }
 
+// withDefaults fills in the zero-value defaults.
+func (o WorkerOptions) withDefaults() WorkerOptions {
+	if o.Name == "" {
+		o.Name = fmt.Sprintf("worker-%d", os.Getpid())
+	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = 1
+	}
+	if o.Client == nil {
+		o.Client = http.DefaultClient
+	}
+	if o.Retries == 0 {
+		o.Retries = 4
+	}
+	if o.Retries < 0 {
+		o.Retries = 0
+	}
+	if o.Backoff <= 0 {
+		o.Backoff = 50 * time.Millisecond
+	}
+	return o
+}
+
 // Work runs one worker against the coordinator at baseURL until the job
 // completes (returns nil), the context is cancelled (returns ctx.Err()),
 // or a cell or protocol error is hit. The worker fetches the job spec
-// once, then loops: lease a batch of cells, compute each through a
-// process-local solve cache with its pre-split random stream
-// (runner.CellStream), and post each result as the same diskcache.Entry
-// envelope the checkpoint store persists.
+// once, then loops: lease a batch of cells, compute each through the
+// spec's registered job kind (runner.EvaluateJobCell) with its pre-split
+// random stream, and post each result as the same diskcache.Entry
+// envelope the checkpoint store persists. A spec whose kind this build
+// does not register is rejected up front — a worker never leases cells it
+// cannot execute.
 func Work(ctx context.Context, baseURL string, opts WorkerOptions) error {
-	if opts.Name == "" {
-		opts.Name = fmt.Sprintf("worker-%d", os.Getpid())
-	}
-	if opts.Parallelism <= 0 {
-		opts.Parallelism = 1
-	}
-	if opts.Client == nil {
-		opts.Client = http.DefaultClient
-	}
-	if opts.Retries == 0 {
-		opts.Retries = 4
-	}
-	if opts.Retries < 0 {
-		opts.Retries = 0
-	}
-	if opts.Backoff <= 0 {
-		opts.Backoff = 50 * time.Millisecond
-	}
+	opts = opts.withDefaults()
 	w := &worker{opts: opts, base: strings.TrimSuffix(baseURL, "/")}
 	w.cells = opts.Obs.Counter("fabric_worker_cells_total", obs.L("worker", opts.Name))
 
@@ -86,10 +98,11 @@ func Work(ctx context.Context, baseURL string, opts WorkerOptions) error {
 	}
 	w.spec = spec
 	w.fp = spec.Fingerprint()
-	if w.grid, err = spec.Grid(); err != nil {
-		return err
+	w.env = runner.JobEnv{
+		Cache:   runner.NewCache().WithObs(opts.Obs),
+		Samples: opts.Samples,
+		Obs:     opts.Obs,
 	}
-	w.cache = runner.NewCache().WithObs(opts.Obs)
 
 	for {
 		if err := ctx.Err(); err != nil {
@@ -128,13 +141,58 @@ func Work(ctx context.Context, baseURL string, opts WorkerOptions) error {
 	}
 }
 
+// WorkLoop serves a coordinator address that hands out a sequence of jobs
+// over time — e.g. the growing rounds of a sequential-stopping sweep,
+// where each round is a fresh coordinator (new replica count, new
+// fingerprint) at the same address. It runs Work on the current job, then
+// polls the job endpoint until a spec with a new fingerprint appears and
+// works on that, and so on. It returns nil once the coordinator goes away
+// (the serve process shut down after its last round), ctx.Err() on
+// cancellation, or the first cell/protocol error.
+func WorkLoop(ctx context.Context, baseURL string, opts WorkerOptions) error {
+	opts = opts.withDefaults()
+	poll := 2 * opts.Backoff
+	last := ""
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		// Probe the job endpoint directly: a transport failure here means
+		// the coordinator is gone, which for a loop worker is the normal
+		// end of service, not an error.
+		probe := &worker{opts: opts, base: strings.TrimSuffix(baseURL, "/")}
+		data, err := probe.do(ctx, http.MethodGet, pathJob, nil, nil)
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			return nil
+		}
+		spec, err := runner.ParseJobSpec(data)
+		if err != nil {
+			return err
+		}
+		if fp := spec.Fingerprint(); fp != last {
+			if err := Work(ctx, baseURL, opts); err != nil {
+				return err
+			}
+			last = fp
+			continue
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(poll):
+		}
+	}
+}
+
 type worker struct {
 	opts  WorkerOptions
 	base  string
 	spec  runner.JobSpec
 	fp    string
-	grid  runner.Grid
-	cache *runner.Cache
+	env   runner.JobEnv
 	cells *obs.Counter
 }
 
@@ -173,21 +231,17 @@ drain:
 	}
 }
 
-// runCell computes one cell and posts its Entry envelope.
+// runCell computes one cell through the job kind and posts its Entry
+// envelope.
 func (w *worker) runCell(ctx context.Context, cell int) error {
 	start := time.Now()
-	src := runner.CellStream(w.spec.Seed, cell)
-	v, err := w.spec.EvaluateCell(w.cache, w.grid.Point(cell), src)
+	payload, err := runner.EvaluateJobCell(ctx, w.spec, w.env, cell)
 	if err != nil {
 		return err
 	}
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
-		return fmt.Errorf("fabric: cell %d: %w", cell, err)
-	}
 	entry := diskcache.Entry{
 		Schema: diskcache.CheckpointSchemaVersion,
-		Key:    w.fp, Cell: cell, Payload: buf.Bytes(),
+		Key:    w.fp, Cell: cell, Payload: payload,
 	}
 	body, err := entry.Encode()
 	if err != nil {

@@ -49,6 +49,7 @@ import (
 	"mfdl/internal/obs"
 	"mfdl/internal/rng"
 	"mfdl/internal/runner"
+	"mfdl/internal/runner/diskcache"
 	"mfdl/internal/stats"
 )
 
@@ -140,6 +141,18 @@ type Options struct {
 	// indices. The registry is also passed down to the runner pool. Nil
 	// disables instrumentation (no clock reads, no allocations).
 	Obs *obs.Registry
+	// Samples, when non-nil together with SampleKey, persists every
+	// computed replica sample under (SampleKey(cell), seed) and replays
+	// stored samples instead of simulating them. Because a sample is a
+	// pure function of its configuration and seed, and growing R only
+	// appends seeds (see Seeds), a re-run with a larger replica count
+	// reuses every earlier sample — R grows, it never resamples.
+	Samples *diskcache.SampleStore
+	// SampleKey names cell's sample-store identity: everything that
+	// determines the cell's samples except the seed (typically a
+	// fingerprint of the simulator configuration). Required for Samples to
+	// take effect.
+	SampleKey func(cell int) string
 }
 
 // replicas normalizes the replica count.
@@ -241,36 +254,16 @@ func Run(ctx context.Context, cells int, sim func(cell int) Sim, opts Options) (
 		return nil, err
 	}
 	ob := opts.Obs
-	simSeconds := ob.Histogram("replica_simulate_seconds", obs.LatencyBuckets)
-	tracing := ob.Tracing()
 	samples, err := runner.Run(ctx, grid,
 		func(ctx context.Context, pt runner.Point, _ *rng.Source) (Sample, error) {
 			cell, rep := pt.Index/r, pt.Index%r
-			var (
-				simStart time.Time
-				sp       obs.Span
-			)
-			if ob != nil {
-				simStart = time.Now()
-				if tracing {
-					sp = ob.StartSpan("simulate",
-						obs.L("cell", strconv.Itoa(cell)), obs.L("replica", strconv.Itoa(rep)))
-				}
-			}
-			s, err := sims[cell].Simulate(ctx, Rep{Cell: cell, Replica: rep, Seed: seeds[cell][rep]})
-			if ob != nil {
-				simSeconds.Since(simStart)
-				sp.End()
-			}
-			if err != nil {
-				return Sample{}, fmt.Errorf("cell %d replica %d (seed %d): %w", cell, rep, seeds[cell][rep], err)
-			}
-			return s, nil
+			return simulateOne(ctx, sims[cell], Rep{Cell: cell, Replica: rep, Seed: seeds[cell][rep]}, opts)
 		}, runner.Options{Workers: opts.Workers, Seed: opts.Seed, Hooks: opts.Hooks, Obs: ob})
 	if err != nil {
 		return nil, err
 	}
 	reduceSeconds := ob.Histogram("replica_reduce_seconds", obs.LatencyBuckets)
+	tracing := ob.Tracing()
 	out := make([]Agg, cells)
 	for i := range out {
 		var (
@@ -290,6 +283,59 @@ func Run(ctx context.Context, cells int, sim func(cell int) Sim, opts Options) (
 		}
 	}
 	return out, nil
+}
+
+// simulateOne runs — or replays from the sample store — one replica of one
+// cell: the single path every executor (Run, RunSequential, the fabric's
+// sim-replica kind via SimulateStored) shares, so a sample is computed the
+// same way no matter which engine asked for it.
+func simulateOne(ctx context.Context, s Sim, r Rep, opts Options) (Sample, error) {
+	key := ""
+	if opts.Samples != nil && opts.SampleKey != nil {
+		key = opts.SampleKey(r.Cell)
+	}
+	return SimulateStored(ctx, s, r, key, opts.Samples, opts.Obs)
+}
+
+// SimulateStored runs one replica through the sample store: a stored
+// sample under (key, r.Seed) is decoded and returned without simulating;
+// otherwise the simulation runs and its encoded sample is persisted
+// (best-effort) before returning. An empty key or nil store disables the
+// store entirely. A stored payload that fails to decode — corrupt, or
+// written under another sample schema — reads as a miss and is recomputed.
+func SimulateStored(ctx context.Context, s Sim, r Rep, key string, store *diskcache.SampleStore, ob *obs.Registry) (Sample, error) {
+	if store != nil && key != "" {
+		if payload, ok := store.Get(key, r.Seed); ok {
+			if sample, err := DecodeSample(payload); err == nil {
+				return sample, nil
+			}
+		}
+	}
+	var (
+		simStart time.Time
+		sp       obs.Span
+	)
+	if ob != nil {
+		simStart = time.Now()
+		if ob.Tracing() {
+			sp = ob.StartSpan("simulate",
+				obs.L("cell", strconv.Itoa(r.Cell)), obs.L("replica", strconv.Itoa(r.Replica)))
+		}
+	}
+	sample, err := s.Simulate(ctx, r)
+	if ob != nil {
+		ob.Histogram("replica_simulate_seconds", obs.LatencyBuckets).Since(simStart)
+		sp.End()
+	}
+	if err != nil {
+		return Sample{}, fmt.Errorf("cell %d replica %d (seed %d): %w", r.Cell, r.Replica, r.Seed, err)
+	}
+	if store != nil && key != "" {
+		if payload, err := EncodeSample(sample); err == nil {
+			_ = store.Put(key, r.Seed, payload)
+		}
+	}
+	return sample, nil
 }
 
 // reduce folds one cell's samples, in replica order, into an Agg.

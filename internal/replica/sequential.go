@@ -1,0 +1,131 @@
+package replica
+
+import (
+	"context"
+	"fmt"
+
+	"mfdl/internal/rng"
+	"mfdl/internal/runner"
+)
+
+// Stopping configures sequential stopping: per cell, the replica count
+// grows (doubling, bounded by MaxReplicas) until the 95% confidence
+// half-width of the named scalar metric reaches Target. A zero Target or
+// empty Metric disables stopping, making RunSequential identical to Run.
+type Stopping struct {
+	// Metric is the scalar metric (a Sample.Values key, e.g.
+	// OnlinePerFile) whose confidence interval drives the stopping rule. A
+	// cell that never emits the metric counts as converged.
+	Metric string
+	// Target is the CI95 half-width at which a cell stops growing;
+	// <= 0 disables stopping.
+	Target float64
+	// MaxReplicas bounds the growth per cell. Values below the starting
+	// replica count are raised to it.
+	MaxReplicas int
+}
+
+// Enabled reports whether the rule actually stops anything.
+func (st Stopping) Enabled() bool { return st.Target > 0 && st.Metric != "" }
+
+// RunSequential is Run with sequential stopping layered on top: every cell
+// starts at the configured replica count (at least 2, so a CI exists),
+// and after each round the cells whose CI95(stop.Metric) still exceeds
+// stop.Target double their replica count — bounded by stop.MaxReplicas —
+// and only the missing replicas are simulated. Because replica seeds are a
+// pure function of (base seed, cell, replica index) and samples are
+// reduced in replica order, the result is byte-identical at any worker
+// count, and with a sample store attached (Options.Samples) every round —
+// and every later re-run — reuses the samples already drawn.
+func RunSequential(ctx context.Context, cells int, sim func(cell int) Sim, opts Options, stop Stopping) ([]Agg, error) {
+	if !stop.Enabled() {
+		return Run(ctx, cells, sim, opts)
+	}
+	if opts.Replicas < 0 {
+		return nil, fmt.Errorf("replica: Replicas = %d must be >= 0", opts.Replicas)
+	}
+	if cells < 0 {
+		return nil, fmt.Errorf("replica: cells = %d must be >= 0", cells)
+	}
+	if cells == 0 {
+		return nil, ctx.Err()
+	}
+	start := opts.replicas()
+	if start < 2 {
+		start = 2
+	}
+	maxR := stop.MaxReplicas
+	if maxR < start {
+		maxR = start
+	}
+	sims := make([]Sim, cells)
+	for i := range sims {
+		sims[i] = sim(i)
+		if sims[i] == nil {
+			return nil, fmt.Errorf("replica: sim(%d) returned nil", i)
+		}
+	}
+
+	type pair struct{ cell, rep int }
+	have := make([][]Sample, cells)
+	want := make([]int, cells)
+	for i := range want {
+		want[i] = start
+	}
+	for {
+		// The work list enumerates missing (cell, replica) pairs in
+		// (cell, replica) order, so appending round results keeps every
+		// cell's samples in replica order — the order reduce requires.
+		var work []pair
+		maxWant := 0
+		for i := 0; i < cells; i++ {
+			for j := len(have[i]); j < want[i]; j++ {
+				work = append(work, pair{cell: i, rep: j})
+			}
+			if want[i] > maxWant {
+				maxWant = want[i]
+			}
+		}
+		if len(work) > 0 {
+			seeds := Seeds(opts.Seed, cells, maxWant)
+			grid, err := runner.Indexed("job", len(work))
+			if err != nil {
+				return nil, err
+			}
+			samples, err := runner.Run(ctx, grid,
+				func(ctx context.Context, pt runner.Point, _ *rng.Source) (Sample, error) {
+					p := work[pt.Index]
+					return simulateOne(ctx, sims[p.cell],
+						Rep{Cell: p.cell, Replica: p.rep, Seed: seeds[p.cell][p.rep]}, opts)
+				}, runner.Options{Workers: opts.Workers, Seed: opts.Seed, Hooks: opts.Hooks, Obs: opts.Obs})
+			if err != nil {
+				return nil, err
+			}
+			for k, s := range samples {
+				have[work[k].cell] = append(have[work[k].cell], s)
+			}
+		}
+		grew := false
+		for i := range have {
+			if want[i] >= maxR {
+				continue
+			}
+			agg := reduce(have[i])
+			if agg.CI95(stop.Metric) > stop.Target {
+				want[i] *= 2
+				if want[i] > maxR {
+					want[i] = maxR
+				}
+				grew = true
+			}
+		}
+		if !grew {
+			break
+		}
+	}
+	out := make([]Agg, cells)
+	for i := range out {
+		out[i] = reduce(have[i])
+	}
+	return out, nil
+}

@@ -72,6 +72,25 @@ func (c *Checkpoint) Clear() error {
 	return c.store.Clear(c.key)
 }
 
+// LoadRaw returns cell's checkpointed payload bytes verbatim, reporting
+// whether one existed — the replay path for payloads that are already an
+// encoding of their own (see RunJobPayloads), where the gob layer of
+// load/save would wrap the bytes a second time.
+func (c *Checkpoint) LoadRaw(cell int) ([]byte, bool) {
+	if c == nil {
+		return nil, false
+	}
+	return c.store.Get(c.key, cell)
+}
+
+// SaveRaw persists cell's payload bytes verbatim, best-effort like save.
+func (c *Checkpoint) SaveRaw(cell int, payload []byte) {
+	if c == nil {
+		return
+	}
+	_ = c.store.Put(c.key, cell, payload)
+}
+
 // load decodes cell's checkpointed result into v (a pointer), reporting
 // whether a valid checkpoint existed. Undecodable payloads read as
 // misses, so a stale or foreign entry re-runs the cell instead of

@@ -1,0 +1,220 @@
+package diskcache
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+
+	"mfdl/internal/obs"
+)
+
+// SampleStoreSchemaVersion is recorded in every sample entry and checked
+// on read, independently of the solve cache's SchemaVersion and the
+// checkpoint store's CheckpointSchemaVersion.
+const SampleStoreSchemaVersion = 1
+
+// sampleEntry is the on-disk envelope of one simulator replica sample.
+// The seed crosses JSON as a hex string because a uint64 does not survive
+// a float64-typed JSON number.
+type sampleEntry struct {
+	Schema int `json:"schema"`
+	// Key is the full (unhashed) sample key: everything that determines
+	// the sample except the replica seed. A directory-name hash collision
+	// can therefore never serve a sample from a different configuration.
+	Key string `json:"key"`
+	// Seed is the replica's derived seed, in hex.
+	Seed string `json:"seed"`
+	// Payload is the caller-encoded sample (see replica.EncodeSample).
+	Payload []byte `json:"payload"`
+}
+
+// SampleStore persists individual simulator replica samples keyed by
+// (configuration key, replica seed): one subdirectory per key, one file
+// per seed. Because a sample is a pure function of its key and seed, a
+// sweep re-run with a larger replica count finds every previously drawn
+// sample already on disk and only simulates the new seeds — replicas
+// extend, they never resample. The same store backs local runs, sequential
+// stopping, and the distributed fabric.
+//
+// It follows the same discipline as Store and CheckpointStore — atomic
+// temp-file + rename writes, and reads that treat truncated, garbled,
+// foreign or stale entries as misses and evict them — so any process may
+// die at any instant without poisoning the store. Safe for concurrent use
+// by any number of goroutines and processes.
+type SampleStore struct {
+	dir string
+
+	mu    sync.Mutex
+	stats Stats
+
+	obsHits    *obs.Counter
+	obsMisses  *obs.Counter
+	obsStores  *obs.Counter
+	obsCorrupt *obs.Counter
+	obsEvicted *obs.Counter
+}
+
+// OpenSamples ensures dir exists and returns a sample store over it. The
+// directory may be shared with a solve cache or checkpoint store; samples
+// live in per-key subdirectories and never collide with either.
+func OpenSamples(dir string) (*SampleStore, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("diskcache: empty sample directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("diskcache: %w", err)
+	}
+	return &SampleStore{dir: dir}, nil
+}
+
+// Dir returns the backing directory.
+func (s *SampleStore) Dir() string { return s.dir }
+
+// WithObs routes the store's counters through the registry as
+// samplestore_hits_total, samplestore_misses_total,
+// samplestore_stores_total, samplestore_corrupt_total and
+// samplestore_evicted_total. A nil registry is a no-op. Returns the store
+// for chaining.
+func (s *SampleStore) WithObs(reg *obs.Registry) *SampleStore {
+	s.obsHits = reg.Counter("samplestore_hits_total")
+	s.obsMisses = reg.Counter("samplestore_misses_total")
+	s.obsStores = reg.Counter("samplestore_stores_total")
+	s.obsCorrupt = reg.Counter("samplestore_corrupt_total")
+	s.obsEvicted = reg.Counter("samplestore_evicted_total")
+	return s
+}
+
+// keyDir maps a sample key to its per-key subdirectory.
+func (s *SampleStore) keyDir(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return filepath.Join(s.dir, "samples-"+hex.EncodeToString(sum[:]))
+}
+
+// samplePath maps (key, seed) to the entry file.
+func (s *SampleStore) samplePath(key string, seed uint64) string {
+	return filepath.Join(s.keyDir(key), fmt.Sprintf("s-%016x.json", seed))
+}
+
+// Get returns the payload stored for (key, seed), or false on any kind of
+// miss. Unreadable or stale entries are evicted so the next Put replaces
+// them.
+func (s *SampleStore) Get(key string, seed uint64) ([]byte, bool) {
+	path := s.samplePath(key, seed)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		s.count(func(st *Stats) { st.Misses++ })
+		s.obsMisses.Inc()
+		return nil, false
+	}
+	var e sampleEntry
+	if err := json.Unmarshal(data, &e); err != nil || e.Payload == nil {
+		s.evict(path)
+		s.count(func(st *Stats) { st.Misses++; st.Corrupt++ })
+		s.obsMisses.Inc()
+		s.obsCorrupt.Inc()
+		return nil, false
+	}
+	storedSeed, err := strconv.ParseUint(e.Seed, 16, 64)
+	if err != nil {
+		s.evict(path)
+		s.count(func(st *Stats) { st.Misses++; st.Corrupt++ })
+		s.obsMisses.Inc()
+		s.obsCorrupt.Inc()
+		return nil, false
+	}
+	if e.Schema != SampleStoreSchemaVersion || e.Key != key || storedSeed != seed {
+		s.evict(path)
+		s.count(func(st *Stats) { st.Misses++ })
+		s.obsMisses.Inc()
+		return nil, false
+	}
+	s.count(func(st *Stats) { st.Hits++ })
+	s.obsHits.Inc()
+	return e.Payload, true
+}
+
+// Put stores one sample payload, atomically replacing any previous entry
+// for the same (key, seed).
+func (s *SampleStore) Put(key string, seed uint64, payload []byte) error {
+	if payload == nil {
+		return fmt.Errorf("diskcache: nil sample payload")
+	}
+	data, err := json.Marshal(sampleEntry{
+		Schema: SampleStoreSchemaVersion, Key: key,
+		Seed: fmt.Sprintf("%016x", seed), Payload: payload,
+	})
+	if err != nil {
+		return fmt.Errorf("diskcache: %w", err)
+	}
+	dir := s.keyDir(key)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("diskcache: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, "put-*.tmp")
+	if err != nil {
+		return fmt.Errorf("diskcache: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("diskcache: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("diskcache: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), s.samplePath(key, seed)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("diskcache: %w", err)
+	}
+	s.count(func(st *Stats) { st.Stores++ })
+	s.obsStores.Inc()
+	return nil
+}
+
+// Len returns the number of samples currently stored under key.
+func (s *SampleStore) Len(key string) (int, error) {
+	names, err := filepath.Glob(filepath.Join(s.keyDir(key), "s-*.json"))
+	if err != nil {
+		return 0, err
+	}
+	return len(names), nil
+}
+
+// Clear removes every sample stored under key.
+func (s *SampleStore) Clear(key string) error {
+	dir := s.keyDir(key)
+	if !strings.HasPrefix(filepath.Base(dir), "samples-") {
+		return fmt.Errorf("diskcache: refusing to clear %q", dir)
+	}
+	if err := os.RemoveAll(dir); err != nil {
+		return fmt.Errorf("diskcache: %w", err)
+	}
+	return nil
+}
+
+// Stats returns a snapshot of the counters.
+func (s *SampleStore) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+func (s *SampleStore) count(f func(*Stats)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f(&s.stats)
+}
+
+func (s *SampleStore) evict(path string) {
+	if os.Remove(path) == nil {
+		s.count(func(st *Stats) { st.Evicted++ })
+		s.obsEvicted.Inc()
+	}
+}

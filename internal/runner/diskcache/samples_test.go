@@ -1,0 +1,209 @@
+package diskcache
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestSampleStorePutGetRoundTrip(t *testing.T) {
+	s, err := OpenSamples(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const key = "sample v1 {config}"
+	if _, ok := s.Get(key, 7); ok {
+		t.Fatal("hit on empty store")
+	}
+	want := []byte(`{"values":{"x":"1p+0"}}`)
+	if err := s.Put(key, 7, want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get(key, 7)
+	if !ok {
+		t.Fatal("miss after Put")
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("round trip mangled payload: %q", got)
+	}
+	// A different seed under the same key is its own entry.
+	if _, ok := s.Get(key, 8); ok {
+		t.Fatal("seed 8 served seed 7's sample")
+	}
+	if err := s.Put(key, 8, want); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := s.Len(key); err != nil || n != 2 {
+		t.Fatalf("Len = %d (%v), want 2", n, err)
+	}
+	if st := s.Stats(); st.Hits != 1 || st.Misses != 2 || st.Stores != 2 {
+		t.Fatalf("stats %+v", st)
+	}
+	if err := s.Clear(key); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := s.Len(key); err != nil || n != 0 {
+		t.Fatalf("Len after Clear = %d (%v), want 0", n, err)
+	}
+}
+
+func TestSampleStoreRejectsNilPayload(t *testing.T) {
+	s, err := OpenSamples(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("k", 1, nil); err == nil {
+		t.Fatal("nil payload accepted")
+	}
+}
+
+// Garbage and truncated sample entries must read as misses (never errors)
+// and be evicted so the next Put can repair them — the same discipline as
+// the solve cache and checkpoint store.
+func TestSampleStoreCorruptEntryIsMiss(t *testing.T) {
+	for name, corrupt := range map[string]func([]byte) []byte{
+		"garbage":     func([]byte) []byte { return []byte("not json at all {{{") },
+		"truncated":   func(b []byte) []byte { return b[:len(b)/2] },
+		"empty":       func([]byte) []byte { return nil },
+		"nullpayload": func([]byte) []byte { return []byte(`{"schema":1,"key":"k","seed":"0000000000000007","payload":null}`) },
+		"badseed":     func([]byte) []byte { return []byte(`{"schema":1,"key":"k","seed":"not-hex","payload":"eA=="}`) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			s, err := OpenSamples(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Put("k", 7, []byte("x")); err != nil {
+				t.Fatal(err)
+			}
+			path := s.samplePath("k", 7)
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, corrupt(data), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if _, ok := s.Get("k", 7); ok {
+				t.Fatal("corrupt entry served as a hit")
+			}
+			st := s.Stats()
+			if st.Corrupt != 1 || st.Evicted != 1 {
+				t.Fatalf("stats %+v, want 1 corrupt / 1 evicted", st)
+			}
+			if _, err := os.Stat(path); !os.IsNotExist(err) {
+				t.Fatal("corrupt entry not evicted from disk")
+			}
+			// The store must heal: a fresh Put followed by a Get hits.
+			if err := s.Put("k", 7, []byte("x")); err != nil {
+				t.Fatal(err)
+			}
+			if _, ok := s.Get("k", 7); !ok {
+				t.Fatal("store did not heal after eviction")
+			}
+		})
+	}
+}
+
+// An entry written under a different schema version is stale: miss + evict.
+func TestSampleStoreSchemaBumpInvalidates(t *testing.T) {
+	s, err := OpenSamples(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stale, err := json.Marshal(sampleEntry{
+		Schema: SampleStoreSchemaVersion + 1, Key: "k",
+		Seed: "0000000000000007", Payload: []byte("x"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(s.keyDir("k"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(s.samplePath("k", 7), stale, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get("k", 7); ok {
+		t.Fatal("stale-schema entry served as a hit")
+	}
+	if st := s.Stats(); st.Evicted != 1 || st.Misses != 1 {
+		t.Fatalf("stats %+v, want evicted=1 misses=1", st)
+	}
+}
+
+// The full key is echoed in every entry, so even a directory-name hash
+// collision (simulated here by writing a foreign-key entry at this key's
+// path) can never serve a sample from a different configuration.
+func TestSampleStoreKeyEchoMismatchIsMiss(t *testing.T) {
+	s, err := OpenSamples(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	foreign, err := json.Marshal(sampleEntry{
+		Schema: SampleStoreSchemaVersion, Key: "some other configuration",
+		Seed: "0000000000000007", Payload: []byte("x"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(s.keyDir("k"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(s.samplePath("k", 7), foreign, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get("k", 7); ok {
+		t.Fatal("foreign-key entry served as a hit")
+	}
+	if _, err := os.Stat(s.samplePath("k", 7)); !os.IsNotExist(err) {
+		t.Fatal("foreign-key entry not evicted")
+	}
+}
+
+// A file whose embedded seed disagrees with its name is stale: miss + evict.
+func TestSampleStoreSeedMismatchIsMiss(t *testing.T) {
+	s, err := OpenSamples(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("k", 9, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	// Move seed 9's entry onto seed 7's path.
+	if err := os.Rename(s.samplePath("k", 9), s.samplePath("k", 7)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get("k", 7); ok {
+		t.Fatal("mismatched-seed entry served as a hit")
+	}
+	if st := s.Stats(); st.Evicted != 1 {
+		t.Fatalf("stats %+v, want evicted=1", st)
+	}
+}
+
+// Writes are temp-file + rename: after any number of Puts no temporary
+// files linger, and a Put over an existing entry replaces it atomically.
+func TestSampleStoreAtomicWrites(t *testing.T) {
+	s, err := OpenSamples(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := s.Put("k", 7, []byte{byte('a' + i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got, ok := s.Get("k", 7); !ok || !bytes.Equal(got, []byte("c")) {
+		t.Fatalf("overwrite lost: %q (%v)", got, ok)
+	}
+	tmp, err := filepath.Glob(filepath.Join(s.keyDir("k"), "put-*.tmp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tmp) != 0 {
+		t.Fatalf("temp files left behind: %v", tmp)
+	}
+}

@@ -1,0 +1,171 @@
+package runner
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"mfdl/internal/obs"
+	"mfdl/internal/rng"
+	"mfdl/internal/runner/diskcache"
+)
+
+// JobEnv carries the shared process-local resources a job kind may draw on
+// while evaluating cells. Every field is optional from the caller's point
+// of view — executors fill in an in-memory Cache when none is given, and
+// kinds must tolerate a nil Samples store (compute instead of reuse) and a
+// nil Obs registry.
+type JobEnv struct {
+	// Cache pools steady-state solves across cells (fluid kinds).
+	Cache *Cache
+	// Samples, when non-nil, is the keyed replica-sample store: kinds that
+	// draw stochastic replicas look each (key, seed) up before simulating
+	// and persist what they had to compute, so growing the replica count
+	// extends earlier runs instead of resampling them.
+	Samples *diskcache.SampleStore
+	// Obs, when non-nil, receives kind-specific instrumentation.
+	Obs *obs.Registry
+}
+
+// JobKind defines one registrable cell computation — how a JobSpec of this
+// kind validates, how many executable cells it fans out to, and how one
+// cell evaluates to a payload. The payload is opaque bytes chosen by the
+// kind (gob for fluid cells, canonical JSON for replica samples); it is
+// what crosses checkpoint files and the fabric wire, so it must be a pure
+// function of (spec, cell): two processes evaluating the same cell of
+// equal specs must produce identical bytes.
+type JobKind struct {
+	// Name is the kind's wire name (JobSpec.Kind).
+	Name string
+	// Validate checks kind-specific invariants beyond the generic schema,
+	// grid and replica checks. Optional.
+	Validate func(spec JobSpec) error
+	// Cells returns how many executable cells the spec fans out to. For a
+	// plain sweep this is the grid size; a replicated kind multiplies in
+	// its replica count.
+	Cells func(spec JobSpec) (int, error)
+	// Evaluate computes cell i's payload. src is the cell's pre-split
+	// random stream (see CellStream); kinds that draw nothing from it must
+	// still accept it, because deriving it is part of the determinism
+	// contract every executor honors.
+	Evaluate func(ctx context.Context, spec JobSpec, env JobEnv, cell int, src *rng.Source) ([]byte, error)
+	// SampleRef, when non-nil, maps a cell to its sample-store identity —
+	// the (key, seed) pair under which the cell's payload is persisted in
+	// a diskcache.SampleStore. Executors that hold a sample store use it
+	// to skip cells whose samples already exist and to write completed
+	// cells back, locally and through the fabric. ok=false means the cell
+	// has no store identity and is always computed.
+	SampleRef func(spec JobSpec, cell int) (key string, seed uint64, ok bool)
+}
+
+var (
+	jobKindMu sync.RWMutex
+	jobKinds  = map[string]JobKind{}
+)
+
+// RegisterJobKind adds a kind to the registry, typically from a package
+// init. It panics on a duplicate name or a structurally incomplete kind —
+// both are programmer errors that no run should limp past.
+func RegisterJobKind(k JobKind) {
+	if k.Name == "" || k.Cells == nil || k.Evaluate == nil {
+		panic("runner: RegisterJobKind needs a name, a Cells func and an Evaluate func")
+	}
+	jobKindMu.Lock()
+	defer jobKindMu.Unlock()
+	if _, dup := jobKinds[k.Name]; dup {
+		panic(fmt.Sprintf("runner: job kind %q registered twice", k.Name))
+	}
+	jobKinds[k.Name] = k
+}
+
+// LookupJobKind returns the registered kind by name.
+func LookupJobKind(name string) (JobKind, bool) {
+	jobKindMu.RLock()
+	defer jobKindMu.RUnlock()
+	k, ok := jobKinds[name]
+	return k, ok
+}
+
+// JobKindNames returns the registered kind names, sorted — for error
+// messages and CLI help.
+func JobKindNames() []string {
+	jobKindMu.RLock()
+	defer jobKindMu.RUnlock()
+	names := make([]string, 0, len(jobKinds))
+	for name := range jobKinds {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// errUnknownKind is the one rejection every consumer of a spec must agree
+// on — ParseJobSpec, the fabric's job fetch, and its completion endpoint
+// all funnel through Validate and therefore through this message.
+func errUnknownKind(kind string) error {
+	return fmt.Errorf("runner: unknown job kind %q (have %s)",
+		kind, strings.Join(JobKindNames(), ", "))
+}
+
+// EvaluateJobCell evaluates one cell of a validated spec through its
+// registered kind, deriving the cell's stream exactly as a local Run
+// would (CellStream) — the single entry point remote fabric workers use,
+// which is what keeps a distributed run byte-identical to a local one.
+func EvaluateJobCell(ctx context.Context, spec JobSpec, env JobEnv, cell int) ([]byte, error) {
+	kind, ok := LookupJobKind(spec.Kind)
+	if !ok {
+		return nil, errUnknownKind(spec.Kind)
+	}
+	if env.Cache == nil {
+		env.Cache = NewCache()
+	}
+	return kind.Evaluate(ctx, spec, env, cell, CellStream(spec.Seed, cell))
+}
+
+// RunJobPayloads executes every cell of the job locally over the runner
+// pool and returns the raw per-cell payloads in cell order — the generic
+// executor every kind shares. opts.Seed is overridden by the spec's seed;
+// opts.Checkpoint, when set, replays and persists the payload bytes
+// verbatim (no re-encoding), so a checkpoint written by a fabric
+// coordinator and one written here are interchangeable.
+func RunJobPayloads(ctx context.Context, spec JobSpec, env JobEnv, opts Options) ([][]byte, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	kind, ok := LookupJobKind(spec.Kind)
+	if !ok {
+		return nil, errUnknownKind(spec.Kind)
+	}
+	n, err := kind.Cells(spec)
+	if err != nil {
+		return nil, err
+	}
+	g, err := Indexed("cell", n)
+	if err != nil {
+		return nil, err
+	}
+	if env.Cache == nil {
+		env.Cache = NewCache()
+	}
+	// The generic Run checkpoint layer would gob-wrap the payload bytes;
+	// replay and persist them raw instead, keeping Entry.Payload the one
+	// payload encoding everywhere.
+	ckpt := opts.Checkpoint
+	opts.Checkpoint = nil
+	opts.Seed = spec.Seed
+	resumed := opts.Obs.Counter("runner_cells_resumed_total")
+	return Run(ctx, g, func(ctx context.Context, p Point, src *rng.Source) ([]byte, error) {
+		if payload, ok := ckpt.LoadRaw(p.Index); ok {
+			resumed.Inc()
+			return payload, nil
+		}
+		payload, err := kind.Evaluate(ctx, spec, env, p.Index, src)
+		if err != nil {
+			return nil, err
+		}
+		ckpt.SaveRaw(p.Index, payload)
+		return payload, nil
+	}, opts)
+}

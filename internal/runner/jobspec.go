@@ -2,6 +2,7 @@ package runner
 
 import (
 	"context"
+	"crypto/sha256"
 	"encoding/json"
 	"fmt"
 	"math"
@@ -18,9 +19,9 @@ const JobSpecSchemaVersion = 1
 
 // JobKindFluidSweep is the job kind of a fluid parameter sweep: an
 // N-dimensional grid of steady-state solves over one scheme's operating
-// point. It is currently the only kind; the field exists so that
-// simulation-backed kinds can join the wire protocol without a schema
-// break.
+// point. It is registered in this package's init; simulation-backed kinds
+// register themselves the same way (see RegisterJobKind) and join the wire
+// protocol without a schema break.
 const JobKindFluidSweep = "fluid-sweep"
 
 // JobSpec is the serializable description of one parameter-study run: the
@@ -53,9 +54,14 @@ type JobSpec struct {
 	// same resume and distribution semantics unchanged.
 	Seed uint64 `json:"seed"`
 	// Replicas is carried for the same reason: fluid cells ignore it, a
-	// simulation-backed kind would fan each cell into this many
-	// independently seeded replicas.
+	// simulation-backed kind fans each cell into this many independently
+	// seeded replicas.
 	Replicas int `json:"replicas"`
+	// Params is the kind-specific payload (absent for fluid sweeps). It
+	// must itself be canonical JSON — produced by one json.Marshal of the
+	// kind's params struct — so that equal specs still encode to equal
+	// bytes; the kind's Validate enforces whatever structure it expects.
+	Params json.RawMessage `json:"params,omitempty"`
 }
 
 // KeyDims lists the dimension names a JobSpec may sweep: every axis maps
@@ -89,42 +95,49 @@ func SetKeyDim(key *Key, name string, v float64) error {
 	return nil
 }
 
-// Validate checks the spec's schema, kind, grid and dimension names, and
-// that every number in it is finite (NaN or ±Inf would break the canonical
-// JSON encoding and can never name a meaningful solve).
+// Validate checks the spec's schema, kind, grid and dimension values —
+// every number must be finite (NaN or ±Inf would break the canonical JSON
+// encoding and can never name a meaningful cell) — and then hands off to
+// the registered kind's own Validate for kind-specific invariants.
 func (s JobSpec) Validate() error {
 	if s.Schema != JobSpecSchemaVersion {
 		return fmt.Errorf("runner: job schema %d, this build speaks %d", s.Schema, JobSpecSchemaVersion)
 	}
-	if s.Kind != JobKindFluidSweep {
-		return fmt.Errorf("runner: unknown job kind %q", s.Kind)
+	kind, ok := LookupJobKind(s.Kind)
+	if !ok {
+		return errUnknownKind(s.Kind)
 	}
 	if s.Replicas < 0 {
 		return fmt.Errorf("runner: job replicas %d must be >= 0", s.Replicas)
 	}
-	for _, v := range []float64{
-		s.Base.Params.Mu, s.Base.Params.Eta, s.Base.Params.Gamma,
-		s.Base.P, s.Base.Lambda0, s.Base.Rho, s.Base.Theta,
-	} {
-		if math.IsNaN(v) || math.IsInf(v, 0) {
-			return fmt.Errorf("runner: job base parameter %v is not finite", v)
-		}
-	}
 	if _, err := s.Grid(); err != nil {
 		return err
 	}
-	probe := s.Base
 	for _, d := range s.Dims {
 		for _, v := range d.Values {
 			if math.IsNaN(v) || math.IsInf(v, 0) {
 				return fmt.Errorf("runner: job dimension %q value %v is not finite", d.Name, v)
 			}
 		}
-		if err := SetKeyDim(&probe, d.Name, d.Values[0]); err != nil {
+	}
+	if kind.Validate != nil {
+		if err := kind.Validate(s); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// CellCount returns how many executable cells the spec fans out to under
+// its registered kind — the unit the fabric leases and the checkpoint
+// store indexes. For a fluid sweep this is the grid size; replicated kinds
+// multiply in their replica count.
+func (s JobSpec) CellCount() (int, error) {
+	kind, ok := LookupJobKind(s.Kind)
+	if !ok {
+		return 0, errUnknownKind(s.Kind)
+	}
+	return kind.Cells(s)
 }
 
 // Grid returns the spec's swept grid.
@@ -202,6 +215,13 @@ func (s JobSpec) Fingerprint() string {
 		sb.WriteByte(']')
 	}
 	fmt.Fprintf(&sb, " seed=%d replicas=%d", s.Seed, s.Replicas)
+	// The params component appears only when a kind carries params, so the
+	// fingerprints of pre-existing fluid jobs — and with them every
+	// checkpoint directory and fabric run identity — are unchanged.
+	if len(s.Params) > 0 {
+		sum := sha256.Sum256(s.Params)
+		fmt.Fprintf(&sb, " params=sha256:%x", sum)
+	}
 	return sb.String()
 }
 
@@ -240,15 +260,20 @@ func CellStream(seed uint64, i int) *rng.Source {
 	return src
 }
 
-// RunJob executes the job locally over the runner pool and returns the
-// per-cell values in grid order. cache may be nil (a private in-memory
-// cache is used); opts.Seed is overridden by the spec's seed, everything
-// else (workers, retries, checkpointing, hooks, obs) applies as in Run.
-// The output is byte-identical to a distributed execution of the same
-// spec at any worker count.
+// RunJob executes a fluid-sweep job locally over the runner pool and
+// returns the per-cell values in grid order. cache may be nil (a private
+// in-memory cache is used); opts.Seed is overridden by the spec's seed,
+// everything else (workers, retries, checkpointing, hooks, obs) applies as
+// in Run. The output is byte-identical to a distributed execution of the
+// same spec at any worker count. Other kinds return their payloads through
+// RunJobPayloads and decode them themselves.
 func RunJob(ctx context.Context, spec JobSpec, cache *Cache, opts Options) ([]CellValue, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
+	}
+	if spec.Kind != JobKindFluidSweep {
+		return nil, fmt.Errorf("runner: RunJob decodes %q cells only (got %q); use RunJobPayloads",
+			JobKindFluidSweep, spec.Kind)
 	}
 	g, err := spec.Grid()
 	if err != nil {

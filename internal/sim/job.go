@@ -1,0 +1,330 @@
+// The sim-replica job kind: simulator replica batches as distributable
+// jobs. A spec's params carry one simulator configuration per grid cell;
+// the executable cells are the (grid cell × replica index) pairs, seeded
+// by the replica engine's derivation scheme, so a distributed run draws
+// exactly the samples a local replica.Run would — byte-identical at any
+// worker count, with R = 1 pinned to the unreplicated goldens.
+package sim
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"mfdl/internal/replica"
+	"mfdl/internal/rng"
+	"mfdl/internal/runner"
+	"mfdl/internal/scheme"
+)
+
+// JobKindSimReplica is the job kind of a replicated simulation sweep.
+const JobKindSimReplica = "sim-replica"
+
+// JobCell is one grid cell's simulator selection: a scheme plus exactly
+// one simulator configuration, exactly as sim.New takes them. The
+// embedded configuration must carry Seed 0 (replica seeds are derived by
+// the engine) and a Scheme equal to the cell's — NewJobSpec normalizes
+// both, Validate enforces them, so equal configurations always encode to
+// equal bytes and therefore share sample-store entries.
+type JobCell struct {
+	// Scheme is the downloading scheme the cell simulates.
+	Scheme scheme.SimScheme `json:"scheme"`
+	// Config selects and parameterizes the simulator.
+	Config Config `json:"config"`
+}
+
+// SampleKey renders the cell's sample-store identity: everything that
+// determines its samples except the replica seed. Cells with equal
+// configurations share a key — and therefore share stored samples — no
+// matter which spec, grid position or base seed they appear under. Only
+// normalized cells (as produced by NewJobSpec) key correctly; local
+// callers should derive keys from Params(spec), not from raw inputs.
+func (c JobCell) SampleKey() (string, error) {
+	data, err := json.Marshal(c)
+	if err != nil {
+		return "", fmt.Errorf("sim: job cell: %w", err)
+	}
+	return "sample v" + fmt.Sprint(replica.SampleSchemaVersion) + " " + string(data), nil
+}
+
+// JobParams is the sim-replica kind's JobSpec.Params payload.
+type JobParams struct {
+	// Cells holds one simulator configuration per grid cell, in cell
+	// order.
+	Cells []JobCell `json:"cells"`
+}
+
+// NewJobSpec lowers a list of simulator cells into a runnable JobSpec:
+// Dims is the degenerate "cell" axis indexing the configurations, Seed
+// and Replicas carry the replica engine's settings, and Params holds the
+// normalized cells (embedded Seed zeroed, embedded Scheme aligned — the
+// engine-derived replica seeds and the cell's scheme are authoritative).
+func NewJobSpec(cells []JobCell, seed uint64, replicas int) (runner.JobSpec, error) {
+	if len(cells) == 0 {
+		return runner.JobSpec{}, fmt.Errorf("sim: job needs at least one cell")
+	}
+	if replicas < 0 {
+		return runner.JobSpec{}, fmt.Errorf("sim: job replicas %d must be >= 0", replicas)
+	}
+	norm := make([]JobCell, len(cells))
+	for i, c := range cells {
+		nc := JobCell{Scheme: c.Scheme}
+		switch {
+		case c.Config.Chunk != nil && c.Config.Flow != nil:
+			return runner.JobSpec{}, fmt.Errorf("sim: job cell %d: Chunk and Flow are mutually exclusive", i)
+		case c.Config.Chunk != nil:
+			cfg := *c.Config.Chunk
+			cfg.Seed = 0
+			cfg.Scheme = c.Scheme
+			nc.Config.Chunk = &cfg
+		case c.Config.Flow != nil:
+			cfg := *c.Config.Flow
+			cfg.Seed = 0
+			cfg.Scheme = c.Scheme
+			nc.Config.Flow = &cfg
+		default:
+			return runner.JobSpec{}, fmt.Errorf("sim: job cell %d: one of Chunk or Flow must be set", i)
+		}
+		norm[i] = nc
+	}
+	params, err := json.Marshal(JobParams{Cells: norm})
+	if err != nil {
+		return runner.JobSpec{}, fmt.Errorf("sim: job params: %w", err)
+	}
+	g, err := runner.Indexed("cell", len(norm))
+	if err != nil {
+		return runner.JobSpec{}, err
+	}
+	spec := runner.JobSpec{
+		Schema:   runner.JobSpecSchemaVersion,
+		Kind:     JobKindSimReplica,
+		Dims:     g.Dims(),
+		Seed:     seed,
+		Replicas: replicas,
+		Params:   params,
+	}
+	if err := spec.Validate(); err != nil {
+		return runner.JobSpec{}, err
+	}
+	return spec, nil
+}
+
+// Params decodes a sim-replica spec's cell configurations.
+func Params(spec runner.JobSpec) (JobParams, error) {
+	if spec.Kind != JobKindSimReplica {
+		return JobParams{}, fmt.Errorf("sim: spec kind %q is not %q", spec.Kind, JobKindSimReplica)
+	}
+	var p JobParams
+	if err := json.Unmarshal(spec.Params, &p); err != nil {
+		return JobParams{}, fmt.Errorf("sim: job params: %w", err)
+	}
+	return p, nil
+}
+
+// jobReplicas normalizes the spec's replica count (0 means 1, as in the
+// replica engine).
+func jobReplicas(spec runner.JobSpec) int {
+	if spec.Replicas <= 0 {
+		return 1
+	}
+	return spec.Replicas
+}
+
+// init registers the sim-replica kind. The registration reaches every
+// binary that can construct a simulator (experiments, the sweep CLIs,
+// fabric workers) through their existing imports of this package; a
+// process without it rejects sim-replica specs as an unknown kind, which
+// is the correct refusal for a build that could not execute them anyway.
+func init() {
+	runner.RegisterJobKind(runner.JobKind{
+		Name:      JobKindSimReplica,
+		Validate:  validateJob,
+		Cells:     jobCells,
+		Evaluate:  evaluateJobCell,
+		SampleRef: jobSampleRef,
+	})
+}
+
+func validateJob(spec runner.JobSpec) error {
+	p, err := Params(spec)
+	if err != nil {
+		return err
+	}
+	if len(p.Cells) == 0 {
+		return fmt.Errorf("sim: job has no cells")
+	}
+	if len(spec.Dims) != 1 || spec.Dims[0].Name != "cell" {
+		return fmt.Errorf("sim: job dims must be the single %q axis", "cell")
+	}
+	if len(spec.Dims[0].Values) != len(p.Cells) {
+		return fmt.Errorf("sim: job sweeps %d cells but params carry %d",
+			len(spec.Dims[0].Values), len(p.Cells))
+	}
+	for i, v := range spec.Dims[0].Values {
+		if v != float64(i) {
+			return fmt.Errorf("sim: job cell axis value %d is %v, want %d", i, v, i)
+		}
+	}
+	for i, c := range p.Cells {
+		var embeddedSeed uint64
+		var embeddedScheme scheme.SimScheme
+		switch {
+		case c.Config.Chunk != nil:
+			embeddedSeed, embeddedScheme = c.Config.Chunk.Seed, c.Config.Chunk.Scheme
+		case c.Config.Flow != nil:
+			embeddedSeed, embeddedScheme = c.Config.Flow.Seed, c.Config.Flow.Scheme
+		}
+		if embeddedSeed != 0 {
+			return fmt.Errorf("sim: job cell %d embeds seed %d; replica seeds are engine-derived (see NewJobSpec)",
+				i, embeddedSeed)
+		}
+		if _, err := New(c.Scheme, c.Config); err != nil {
+			return fmt.Errorf("sim: job cell %d: %w", i, err)
+		}
+		if embeddedScheme != c.Scheme {
+			return fmt.Errorf("sim: job cell %d embeds scheme %v, cell says %v", i, embeddedScheme, c.Scheme)
+		}
+	}
+	return nil
+}
+
+func jobCells(spec runner.JobSpec) (int, error) {
+	p, err := Params(spec)
+	if err != nil {
+		return 0, err
+	}
+	return len(p.Cells) * jobReplicas(spec), nil
+}
+
+// evaluateJobCell computes executable cell i — replica i%R of grid cell
+// i/R — and returns its canonical sample encoding. The replica's seed is
+// replica.SeedOf(spec.Seed, cell, rep), exactly what a local replica.Run
+// over the same cells derives, and the sample store (env.Samples) is
+// consulted before simulating, so stored samples are replayed identically
+// everywhere.
+func evaluateJobCell(ctx context.Context, spec runner.JobSpec, env runner.JobEnv, i int, _ *rng.Source) ([]byte, error) {
+	p, err := Params(spec)
+	if err != nil {
+		return nil, err
+	}
+	r := jobReplicas(spec)
+	cell, rep := i/r, i%r
+	if cell >= len(p.Cells) {
+		return nil, fmt.Errorf("sim: cell %d outside job of %d", i, len(p.Cells)*r)
+	}
+	jc := p.Cells[cell]
+	s, err := New(jc.Scheme, jc.Config)
+	if err != nil {
+		return nil, err
+	}
+	key, err := jc.SampleKey()
+	if err != nil {
+		return nil, err
+	}
+	sample, err := replica.SimulateStored(ctx, s,
+		replica.Rep{Cell: cell, Replica: rep, Seed: replica.SeedOf(spec.Seed, cell, rep)},
+		key, env.Samples, env.Obs)
+	if err != nil {
+		return nil, err
+	}
+	return replica.EncodeSample(sample)
+}
+
+func jobSampleRef(spec runner.JobSpec, i int) (string, uint64, bool) {
+	p, err := Params(spec)
+	if err != nil {
+		return "", 0, false
+	}
+	r := jobReplicas(spec)
+	cell, rep := i/r, i%r
+	if cell >= len(p.Cells) {
+		return "", 0, false
+	}
+	key, err := p.Cells[cell].SampleKey()
+	if err != nil {
+		return "", 0, false
+	}
+	return key, replica.SeedOf(spec.Seed, cell, rep), true
+}
+
+// RunJob executes a sim-replica job locally over the runner pool and
+// reduces each grid cell's replicas into an Agg — numerically identical
+// to replica.Run over the same cells, and byte-identical whether the
+// payloads were computed here, replayed from a checkpoint, or assembled by
+// a fabric coordinator.
+func RunJob(ctx context.Context, spec runner.JobSpec, env runner.JobEnv, opts runner.Options) ([]replica.Agg, error) {
+	if spec.Kind != JobKindSimReplica {
+		return nil, fmt.Errorf("sim: spec kind %q is not %q", spec.Kind, JobKindSimReplica)
+	}
+	payloads, err := runner.RunJobPayloads(ctx, spec, env, opts)
+	if err != nil {
+		return nil, err
+	}
+	return ReduceJob(spec, payloads)
+}
+
+// RunJobStopping executes a sim-replica job locally through the replica
+// engine's sequential-stopping rule: every grid cell starts at the spec's
+// replica count and grows until the CI95 half-width of stop.Metric reaches
+// stop.Target (see replica.RunSequential). The spec's Seed keeps the
+// derivation identical to RunJob, and env.Samples — keyed exactly as the
+// fabric keys them — means every round, and every later re-run at any
+// replica count, replays the samples already drawn instead of resampling.
+// A disabled rule degrades to plain replica.Run over the same cells.
+func RunJobStopping(ctx context.Context, spec runner.JobSpec, env runner.JobEnv, workers int, stop replica.Stopping) ([]replica.Agg, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	p, err := Params(spec)
+	if err != nil {
+		return nil, err
+	}
+	sims := make([]replica.Sim, len(p.Cells))
+	keys := make([]string, len(p.Cells))
+	for i, c := range p.Cells {
+		if sims[i], err = New(c.Scheme, c.Config); err != nil {
+			return nil, err
+		}
+		if keys[i], err = c.SampleKey(); err != nil {
+			return nil, err
+		}
+	}
+	opts := replica.Options{
+		Replicas: spec.Replicas, Workers: workers,
+		Seed: spec.Seed, Obs: env.Obs,
+	}
+	if env.Samples != nil {
+		opts.Samples = env.Samples
+		opts.SampleKey = func(cell int) string { return keys[cell] }
+	}
+	return replica.RunSequential(ctx, len(p.Cells), func(cell int) replica.Sim {
+		return sims[cell]
+	}, opts, stop)
+}
+
+// ReduceJob folds a sim-replica job's payloads — in executable-cell order,
+// as returned by RunJobPayloads or Coordinator.Payloads — into per-grid-
+// cell aggregates via the replica engine's reduction.
+func ReduceJob(spec runner.JobSpec, payloads [][]byte) ([]replica.Agg, error) {
+	p, err := Params(spec)
+	if err != nil {
+		return nil, err
+	}
+	r := jobReplicas(spec)
+	if want := len(p.Cells) * r; len(payloads) != want {
+		return nil, fmt.Errorf("sim: job has %d payloads, want %d", len(payloads), want)
+	}
+	out := make([]replica.Agg, len(p.Cells))
+	samples := make([]replica.Sample, r)
+	for cell := range out {
+		for rep := 0; rep < r; rep++ {
+			s, err := replica.DecodeSample(payloads[cell*r+rep])
+			if err != nil {
+				return nil, fmt.Errorf("sim: cell %d replica %d: %w", cell, rep, err)
+			}
+			samples[rep] = s
+		}
+		out[cell] = replica.Reduce(samples)
+	}
+	return out, nil
+}

@@ -108,6 +108,20 @@ func (s *Summary) Merge(o *Summary) {
 	s.n, s.mean, s.m2 = n, mean, m2
 }
 
+// State exposes the accumulator's full internal state — observation count,
+// running mean, sum of squared deviations (Welford's M2), and extrema — so
+// a Summary can cross a process or serialization boundary losslessly.
+func (s *Summary) State() (n int, mean, m2, min, max float64) {
+	return s.n, s.mean, s.m2, s.min, s.max
+}
+
+// SummaryFromState rebuilds a Summary from a State snapshot. The round
+// trip SummaryFromState(s.State()) is exact: every derived statistic
+// (variance, CI, extrema) is bit-identical to the original's.
+func SummaryFromState(n int, mean, m2, min, max float64) Summary {
+	return Summary{n: n, mean: mean, m2: m2, min: min, max: max}
+}
+
 // TimeWeighted accumulates the time-average of a piecewise-constant signal,
 // e.g. the number of downloaders in a swarm over simulated time.
 type TimeWeighted struct {
