@@ -18,9 +18,13 @@
 # replica-simulation job layer: the sim-replica kind through the fabric
 # (payload byte-identity, sample reuse across coordinators, adaptive
 # lease sizing), the keyed sample store's corruption/eviction behavior,
-# and the sequential-stopping engine's never-resample contract.
+# and the sequential-stopping engine's never-resample contract. The
+# telemetry run hammers the fleet-telemetry paths — heartbeat pushes,
+# span shipping, and /metrics + /v1/fleet scrapes concurrent with
+# lease/complete traffic — under the race detector, and tier2 finishes
+# with the bench-check benchmark regression gate.
 
-.PHONY: tier1 tier2 bench profile
+.PHONY: tier1 tier2 bench bench-check profile
 
 tier1:
 	go build ./... && go test ./...
@@ -41,6 +45,26 @@ tier2:
 	go test -race -count=1 -run 'Sample|Sequential' ./internal/replica/
 	go test -race -count=1 -run 'Job' ./internal/sim/
 	go test -race -count=1 -run 'SimJob|SimCoordinator|AdaptiveLease|WorkerRejectsUnknownKind' ./internal/fabric/
+	go test -race -count=1 -run 'Telemetry|WorkerShipsCollectedSpans|WorkerCompletionLossSurfaces' ./internal/fabric/
+	$(MAKE) bench-check
+
+# tier2 ends with bench-check, the benchmark regression gate: it reruns
+# two benchmarks and fails (via benchjson -compare) when the fresh
+# numbers regress past tolerance vs. the recorded trajectory files. The
+# telemetry-merge benchmark is pure CPU over in-memory snapshots — no
+# HTTP, no simulator — so it gates at the default 10%. The end-to-end
+# sim-replica throughput benchmark drives real goroutine pools through
+# an HTTP coordinator and its numbers move with machine load (the
+# recorded trajectory itself shows workers=4 below workers=1), so it
+# gates at 35% — wide enough to ignore scheduler jitter, tight enough
+# to catch a telemetry push on the completion path halving throughput.
+bench-check:
+	go test -run '^$$' -bench 'BenchmarkTelemetryMergeThroughput' -benchtime 200x \
+		./internal/obs/ | \
+		go run ./cmd/benchjson -compare BENCH_PR9.json
+	go test -run '^$$' -bench 'BenchmarkSimReplicaThroughput' -benchtime 5x \
+		./internal/fabric/ | \
+		go run ./cmd/benchjson -compare BENCH_PR8.json -tolerance 0.35
 
 # bench regenerates every paper artifact under timing, including the
 # serial-vs-parallel sweep comparison, then remeasures the simulator step
@@ -49,8 +73,9 @@ tier2:
 # "baseline" section — the pre-refactor numbers — is preserved). It also
 # measures the distributed sweep fabric's end-to-end throughput —
 # cells/sec through the coordinator HTTP protocol at 1, 4, and 8
-# workers — into BENCH_PR7.json, and the sim-replica kind's distributed
-# replica throughput the same way into BENCH_PR8.json.
+# workers — into BENCH_PR7.json, the sim-replica kind's distributed
+# replica throughput the same way into BENCH_PR8.json, and the
+# coordinator-side telemetry snapshot merge rate into BENCH_PR9.json.
 bench:
 	go test -bench=. -benchtime=1x .
 	go test -run '^$$' -bench 'BenchmarkSwarmStep|BenchmarkEventsimStep' -benchtime 20x \
@@ -62,6 +87,9 @@ bench:
 	go test -run '^$$' -bench 'BenchmarkSimReplicaThroughput' -benchtime 5x \
 		./internal/fabric/ | \
 		go run ./cmd/benchjson -o BENCH_PR8.json -label "distributed sim-replica throughput"
+	go test -run '^$$' -bench 'BenchmarkTelemetryMergeThroughput' -benchtime 200x \
+		./internal/obs/ | \
+		go run ./cmd/benchjson -o BENCH_PR9.json -label "fleet telemetry snapshot merge"
 
 # profile runs a small instrumented sweep with every observability sink
 # attached: a JSON metrics snapshot and a Chrome trace land in ./prof/,

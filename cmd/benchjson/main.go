@@ -8,10 +8,19 @@
 // the baseline is the pre-refactor measurement a PR's speedup claim is
 // judged against, and regenerating the current numbers must not erase it.
 //
+// With -compare FILE it runs in regression-check mode instead: fresh
+// benchmark output on stdin is compared against the trajectory recorded
+// in FILE, and the process exits non-zero when any shared benchmark got
+// more than -tolerance (default 10%) worse — throughput metrics like
+// cells/sec dropping, or ns/op rising, relative to the recorded numbers.
+//
 // Usage:
 //
 //	go test -run '^$' -bench 'Step' -benchtime 20x ./internal/swarm/ |
 //	    benchjson -o BENCH_PR6.json -label "SoA hot paths"
+//
+//	go test -run '^$' -bench 'SimReplicaThroughput' -benchtime 5x ./internal/fabric/ |
+//	    benchjson -compare BENCH_PR8.json
 package main
 
 import (
@@ -27,13 +36,27 @@ import (
 
 // Entry is one benchmark result line.
 type Entry struct {
-	Name        string  `json:"name"`
-	Iterations  int64   `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
-	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
-	PeersPerSec float64 `json:"peers_per_sec,omitempty"`
-	CellsPerSec float64 `json:"cells_per_sec,omitempty"`
+	Name         string  `json:"name"`
+	Iterations   int64   `json:"iterations"`
+	NsPerOp      float64 `json:"ns_per_op"`
+	BytesPerOp   float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp  float64 `json:"allocs_per_op,omitempty"`
+	PeersPerSec  float64 `json:"peers_per_sec,omitempty"`
+	CellsPerSec  float64 `json:"cells_per_sec,omitempty"`
+	MergesPerSec float64 `json:"merges_per_sec,omitempty"`
+}
+
+// throughput returns the entry's higher-is-better rate metric, if any.
+func (e Entry) throughput() (float64, string) {
+	switch {
+	case e.PeersPerSec > 0:
+		return e.PeersPerSec, "peers/sec"
+	case e.CellsPerSec > 0:
+		return e.CellsPerSec, "cells/sec"
+	case e.MergesPerSec > 0:
+		return e.MergesPerSec, "merges/sec"
+	}
+	return 0, ""
 }
 
 // Section is one labeled measurement set.
@@ -83,6 +106,8 @@ func parse(lines *bufio.Scanner) ([]Entry, error) {
 				e.PeersPerSec = v
 			case "cells/sec":
 				e.CellsPerSec = v
+			case "merges/sec":
+				e.MergesPerSec = v
 			}
 		}
 		out = append(out, e)
@@ -118,10 +143,88 @@ func run(out, label string) error {
 	return nil
 }
 
+// errRegression marks a compare run that parsed cleanly but found at
+// least one benchmark beyond tolerance.
+var errRegression = fmt.Errorf("benchjson: benchmark regression detected")
+
+// compare checks fresh stdin results against the trajectory recorded in
+// ref. For every benchmark present in both, the primary metric — the
+// custom throughput rate when both sides report one, ns/op otherwise —
+// must not be worse than the recorded value by more than tolerance.
+// Benchmarks on only one side are reported but never fail the check, so
+// adding a benchmark does not break older trajectory files.
+func compare(ref string, tolerance float64) error {
+	fresh, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		return err
+	}
+	if len(fresh) == 0 {
+		return fmt.Errorf("benchjson: no benchmark lines on stdin")
+	}
+	buf, err := os.ReadFile(ref)
+	if err != nil {
+		return err
+	}
+	var doc Doc
+	if err := json.Unmarshal(buf, &doc); err != nil {
+		return fmt.Errorf("benchjson: %s is not trajectory JSON: %w", ref, err)
+	}
+	recorded := make(map[string]Entry, len(doc.Current.Entries))
+	for _, e := range doc.Current.Entries {
+		recorded[e.Name] = e
+	}
+	matched, regressed := 0, 0
+	for _, e := range fresh {
+		old, ok := recorded[e.Name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchjson: %-40s not in %s, skipped\n", e.Name, ref)
+			continue
+		}
+		matched++
+		// Prefer the rate metric: it is what the trajectory tracks, and
+		// for end-to-end benchmarks ns/op includes fixed setup cost.
+		metric := "ns/op"
+		newV, oldV, worse := e.NsPerOp, old.NsPerOp, (e.NsPerOp-old.NsPerOp)/old.NsPerOp
+		if nv, nu := e.throughput(); nu != "" {
+			if ov, ou := old.throughput(); ou == nu {
+				metric = nu
+				newV, oldV, worse = nv, ov, (ov-nv)/ov
+			}
+		}
+		status := "ok"
+		if worse > tolerance {
+			status = "REGRESSED"
+			regressed++
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: %-40s %s %12.4g -> %12.4g (%+.1f%%, %s)\n",
+			e.Name, metric, oldV, newV, -worse*100, status)
+	}
+	if matched == 0 {
+		return fmt.Errorf("benchjson: no benchmark on stdin matches %s", ref)
+	}
+	if regressed > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: %d of %d benchmarks regressed more than %.0f%% vs %s\n",
+			regressed, matched, tolerance*100, ref)
+		return errRegression
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks within %.0f%% of %s\n",
+		matched, tolerance*100, ref)
+	return nil
+}
+
 func main() {
-	out := flag.String("o", "", "output JSON file (required)")
+	out := flag.String("o", "", "output JSON file (required unless -compare)")
 	label := flag.String("label", "working tree", "label for the current measurement set")
+	ref := flag.String("compare", "", "regression-check stdin against this trajectory JSON instead of writing")
+	tolerance := flag.Float64("tolerance", 0.10, "allowed fractional slowdown in -compare mode")
 	flag.Parse()
+	if *ref != "" {
+		if err := compare(*ref, *tolerance); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *out == "" {
 		flag.Usage()
 		os.Exit(2)

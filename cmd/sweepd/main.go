@@ -17,6 +17,21 @@
 //
 //	sweepd serve -addr 127.0.0.1:0 -local-workers 8 -dim rho -steps 10
 //
+// Every worker pushes periodic telemetry — a heartbeat, a mergeable
+// metrics snapshot and its completed trace spans — so the coordinator
+// serves a fleet-merged Prometheus exposition on /metrics and a
+// per-worker liveness/straggler view on GET /v1/fleet. Watch it live
+// from a third terminal:
+//
+//	sweepd top -join http://localhost:8700
+//
+// `serve -fleet-out fleet.json` records the final fleet view,
+// `-progress 5s` prints a fleet line on stderr while running, and a
+// serve-side -trace-out file interleaves spans from every worker
+// process into one Chrome trace. Telemetry is fire-and-forget and
+// strictly off the completion path: results are byte-identical with it
+// on or off.
+//
 // Two job kinds can be served (-job):
 //
 //	fluid        the default: a fluid-model steady-state sweep over the
@@ -51,7 +66,9 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
+	"io"
 	"math"
 	"net"
 	"net/http"
@@ -60,6 +77,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"text/tabwriter"
 	"time"
 
 	"flag"
@@ -91,8 +109,10 @@ func run(args []string) error {
 		return serve(args[1:])
 	case "work":
 		return work(args[1:])
+	case "top":
+		return top(args[1:])
 	default:
-		return fmt.Errorf("unknown subcommand %q (want serve or work)", args[0])
+		return fmt.Errorf("unknown subcommand %q (want serve, work, or top)", args[0])
 	}
 }
 
@@ -157,6 +177,8 @@ func serve(args []string) error {
 		localW      = fs.Int("local-workers", 0, "also run this many in-process workers (0 = rely on `sweepd work` processes)")
 		format      = fs.String("format", "ascii", "output format: ascii, csv, tsv, or markdown")
 		stats       = fs.Bool("stats", false, "print fabric progress counters on stderr")
+		fleetOut    = fs.String("fleet-out", "", "write the final fleet view (per-worker liveness, rates, stragglers) as JSON to this file")
+		progress    = fs.Duration("progress", 0, "print a fleet progress line (workers, cells/sec, stragglers) on stderr at this interval (0 = off)")
 	)
 	var ofl obs.Flags
 	ofl.Register(fs)
@@ -176,6 +198,10 @@ func serve(args []string) error {
 	if err != nil {
 		return err
 	}
+	// Coordinator-side spans carry the serve process's real pid, so a
+	// -trace-out file interleaves cleanly with the worker spans shipped
+	// in over telemetry (each tagged with its own origin pid).
+	reg.SetSpanIdentity(os.Getpid())
 	params := fluid.Params{Mu: *mu, Eta: *eta, Gamma: *gamma}
 	copts := fabric.CoordinatorOptions{
 		LeaseCells: *leaseCells, LeaseTTL: *leaseTTL,
@@ -184,6 +210,7 @@ func serve(args []string) error {
 	sh := &serveHost{
 		addr: *addr, addrFile: *addrFile, ckptDir: *ckptDir,
 		localWorkers: *localW, format: *format, stats: *stats, reg: reg,
+		fleetOut: *fleetOut, progress: *progress,
 	}
 	var serveErr error
 	switch *job {
@@ -251,9 +278,12 @@ type serveHost struct {
 	format         string
 	stats          bool
 	reg            *obs.Registry
+	fleetOut       string
+	progress       time.Duration
 
 	mu      sync.Mutex
 	handler http.Handler
+	coord   *fabric.Coordinator
 }
 
 // ServeHTTP dispatches to the current round's coordinator.
@@ -269,10 +299,69 @@ func (sh *serveHost) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 }
 
 // swap installs the next round's coordinator.
-func (sh *serveHost) swap(h http.Handler) {
+func (sh *serveHost) swap(coord *fabric.Coordinator) {
 	sh.mu.Lock()
-	sh.handler = h
+	sh.coord = coord
+	sh.handler = coord.Handler()
 	sh.mu.Unlock()
+}
+
+// currentCoord returns the coordinator of the round in progress, if any.
+func (sh *serveHost) currentCoord() *fabric.Coordinator {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.coord
+}
+
+// startProgress emits the periodic fleet line on stderr until ctx ends.
+func (sh *serveHost) startProgress(ctx context.Context) {
+	if sh.progress <= 0 {
+		return
+	}
+	go func() {
+		t := time.NewTicker(sh.progress)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				coord := sh.currentCoord()
+				if coord == nil {
+					continue
+				}
+				f := coord.Fleet()
+				var stragglers []string
+				for _, w := range f.Workers {
+					if w.Straggler {
+						stragglers = append(stragglers, w.Worker)
+					}
+				}
+				line := fmt.Sprintf("sweepd: fleet: %d/%d cells, %d workers (%d healthy, %d stale, %d lost), %.1f cells/s",
+					f.Status.Done, f.Status.Total, len(f.Workers), f.Healthy, f.Stale, f.Lost, f.CellsPerSec)
+				if len(stragglers) > 0 {
+					line += ", stragglers: " + strings.Join(stragglers, ",")
+				}
+				fmt.Fprintln(os.Stderr, line)
+			}
+		}
+	}()
+}
+
+// writeFleet writes the final fleet view as JSON to -fleet-out.
+func (sh *serveHost) writeFleet() error {
+	if sh.fleetOut == "" {
+		return nil
+	}
+	coord := sh.currentCoord()
+	if coord == nil {
+		return nil
+	}
+	data, err := json.MarshalIndent(coord.Fleet(), "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(sh.fleetOut, append(data, '\n'), 0o644)
 }
 
 // openCheckpoint opens the configured checkpoint directory, or a private
@@ -353,7 +442,7 @@ func (sh *serveHost) serveFluid(spec experiments.SweepSpec, copts fabric.Coordin
 	if err != nil {
 		return err
 	}
-	sh.swap(coord.Handler())
+	sh.swap(coord)
 	srv, url, err := sh.listen()
 	if err != nil {
 		return err
@@ -364,6 +453,7 @@ func (sh *serveHost) serveFluid(spec experiments.SweepSpec, copts fabric.Coordin
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+	sh.startProgress(ctx)
 	workerErrs := sh.startWorkers(ctx, url, nil)
 	for i := 0; i < sh.localWorkers; i++ {
 		if err := <-workerErrs; err != nil {
@@ -380,7 +470,7 @@ func (sh *serveHost) serveFluid(spec experiments.SweepSpec, copts fabric.Coordin
 	}
 	final := coord.Status()
 	sh.printStats(final.Done, final.Total)
-	return nil
+	return sh.writeFleet()
 }
 
 // simStop is the serve-level sequential-stopping rule.
@@ -424,6 +514,7 @@ func (sh *serveHost) serveSimValidate(set experiments.SimSettings, ps []float64,
 	defer srv.Close()
 	ctx, sigStop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer sigStop()
+	sh.startProgress(ctx)
 
 	r := set.Options.Replicas
 	if stop.target > 0 && r < 2 {
@@ -446,7 +537,7 @@ func (sh *serveHost) serveSimValidate(set experiments.SimSettings, ps []float64,
 		if err != nil {
 			return err
 		}
-		sh.swap(coord.Handler())
+		sh.swap(coord)
 		st := coord.Status()
 		fmt.Fprintf(os.Stderr, "sweepd: round %d: serving %d cells (%d resumed, R=%d) on %s\n",
 			round, st.Total, st.Done, r, url)
@@ -489,7 +580,7 @@ func (sh *serveHost) serveSimValidate(set experiments.SimSettings, ps []float64,
 		fmt.Fprintf(os.Stderr, "sweepd: sample store: %d hits / %d misses (%d stored, %d corrupt, %d evicted)\n",
 			st.Hits, st.Misses, st.Stores, st.Corrupt, st.Evicted)
 	}
-	return nil
+	return sh.writeFleet()
 }
 
 // awaitPayloads waits for one round's payloads while watching the
@@ -526,6 +617,7 @@ func work(args []string) error {
 		loop     = fs.Bool("loop", false, "keep pulling jobs as the coordinator swaps them (sequential-stopping rounds); exit cleanly when it shuts down")
 		smplDir  = fs.String("sample-dir", "", "keyed replica-sample store: simulation cells replay stored samples and persist fresh ones (empty = off)")
 		stats    = fs.Bool("stats", false, "print this worker's cell count on stderr when done")
+		beat     = fs.Duration("heartbeat", time.Second, "telemetry push interval: heartbeat, metrics snapshot and completed spans go to the coordinator this often (negative = off)")
 	)
 	var ofl obs.Flags
 	ofl.Register(fs)
@@ -542,11 +634,27 @@ func work(args []string) error {
 	if err != nil {
 		return err
 	}
+	if reg == nil && *beat > 0 {
+		// Telemetry is on by default: even without local observability
+		// sinks the worker keeps a registry so heartbeats carry a real
+		// metrics snapshot and spans to the coordinator's fleet view.
+		reg = obs.New()
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	opts := fabric.WorkerOptions{Name: *name, Parallelism: *parallel, Obs: reg}
+	opts := fabric.WorkerOptions{Name: *name, Parallelism: *parallel, Obs: reg, Heartbeat: *beat}
 	if opts.Name == "" {
 		opts.Name = fmt.Sprintf("worker-%d", os.Getpid())
+	}
+	if reg != nil && *beat > 0 {
+		// Stamp this process's identity onto every span and buffer
+		// completed spans (alongside any -trace-out sink) so heartbeat
+		// pushes ship them; the coordinator's -trace-out then assembles
+		// one interleaved trace for the whole fleet.
+		reg.SetSpanIdentity(os.Getpid(), obs.L("worker", opts.Name))
+		col := obs.NewSpanCollector(0)
+		reg.SetSpanSink(obs.Tee(reg.SpanSink(), col))
+		opts.Spans = col
 	}
 	if *smplDir != "" {
 		samples, err := diskcache.OpenSamples(*smplDir)
@@ -567,4 +675,102 @@ func work(args []string) error {
 			reg.Counter("fabric_worker_cells_total", obs.L("worker", opts.Name)).Value())
 	}
 	return finishObs()
+}
+
+// top polls the coordinator's fleet view and renders a live per-worker
+// table: liveness state, throughput, median cell seconds, current lease
+// and the straggler flag.
+func top(args []string) error {
+	fs := flag.NewFlagSet("sweepd top", flag.ContinueOnError)
+	var (
+		join     = fs.String("join", "", "coordinator URL, e.g. http://host:8700 (required)")
+		interval = fs.Duration("interval", time.Second, "poll interval")
+		once     = fs.Bool("once", false, "print a single table and exit (no screen clearing)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	if *join == "" {
+		return fmt.Errorf("-join is required")
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	client := &http.Client{Timeout: 10 * time.Second}
+	base := strings.TrimSuffix(*join, "/")
+	first := true
+	for {
+		f, err := fetchFleet(ctx, client, base)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil
+			}
+			if first {
+				return err
+			}
+			// After a successful poll, the coordinator going away is the
+			// normal end of the run, not an error.
+			fmt.Fprintln(os.Stderr, "sweepd: coordinator gone:", err)
+			return nil
+		}
+		if !*once {
+			fmt.Print("\x1b[2J\x1b[H") // clear screen, home cursor
+		}
+		renderFleet(os.Stdout, f)
+		if *once {
+			return nil
+		}
+		first = false
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-time.After(*interval):
+		}
+	}
+}
+
+// fetchFleet GETs and decodes one /v1/fleet view.
+func fetchFleet(ctx context.Context, client *http.Client, base string) (fabric.Fleet, error) {
+	var f fabric.Fleet
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/fleet", nil)
+	if err != nil {
+		return f, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return f, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return f, fmt.Errorf("GET /v1/fleet: %s", resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&f); err != nil {
+		return f, fmt.Errorf("GET /v1/fleet: %w", err)
+	}
+	return f, nil
+}
+
+// renderFleet writes one frame of the fleet table.
+func renderFleet(w io.Writer, f fabric.Fleet) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "WORKER\tSTATE\tCELLS\tCELLS/S\tP50(S)\tLEASE\tINFLIGHT\tAGE\tFLAGS")
+	for _, wk := range f.Workers {
+		leaseID := wk.LeaseID
+		if leaseID == "" {
+			leaseID = "-"
+		}
+		flags := ""
+		if wk.Straggler {
+			flags = "straggler"
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%.1f\t%.4g\t%s\t%d\t%.1fs\t%s\n",
+			wk.Worker, wk.State, wk.CellsTotal, wk.CellsPerSec, wk.CellSecondsP50,
+			leaseID, wk.InflightCells, wk.AgeSeconds, flags)
+	}
+	tw.Flush()
+	fmt.Fprintf(w, "\n%d/%d cells done, %d leased; fleet %.1f cells/s, p50 %.4gs; %d healthy / %d stale / %d lost\n",
+		f.Status.Done, f.Status.Total, f.Status.Leased,
+		f.CellsPerSec, f.CellSecondsP50, f.Healthy, f.Stale, f.Lost)
 }

@@ -28,6 +28,7 @@ import (
 	"math"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -38,10 +39,13 @@ import (
 
 // Wire paths and headers.
 const (
-	pathJob      = "/v1/job"
-	pathLease    = "/v1/lease"
-	pathComplete = "/v1/complete"
-	pathStatus   = "/v1/status"
+	pathJob       = "/v1/job"
+	pathLease     = "/v1/lease"
+	pathComplete  = "/v1/complete"
+	pathStatus    = "/v1/status"
+	pathTelemetry = "/v1/telemetry"
+	pathFleet     = "/v1/fleet"
+	pathMetrics   = "/metrics"
 
 	headerWorker      = "X-Fabric-Worker"
 	headerCellSeconds = "X-Fabric-Cell-Seconds"
@@ -71,8 +75,14 @@ type CoordinatorOptions struct {
 	Samples *diskcache.SampleStore
 	// Obs, when non-nil, receives the coordinator's counters
 	// (fabric_leases_*, fabric_cells_*) and the per-worker
-	// fabric_cell_seconds latency histograms.
+	// fabric_cell_seconds latency histograms. The fleet telemetry table
+	// works even when Obs is nil: the coordinator then keeps a private
+	// registry so /metrics and /v1/fleet still render.
 	Obs *obs.Registry
+	// StragglerFactor flags a worker as a straggler on /v1/fleet when its
+	// median cell seconds exceed this multiple of the fleet median
+	// (default 2).
+	StragglerFactor float64
 	// Clock overrides time.Now for lease-expiry tests.
 	Clock func() time.Time
 }
@@ -128,6 +138,18 @@ type Coordinator struct {
 	obsDuplicate *obs.Counter
 	obsResumed   *obs.Counter
 	obsForeign   *obs.Counter
+
+	// treg is the telemetry registry: opts.Obs when set, otherwise a
+	// private registry, so fleet metrics exist even with observability
+	// "off". Guarded by tmu, the telemetry table is deliberately separate
+	// from mu — a slow /metrics render never contends with the lease path.
+	treg                 *obs.Registry
+	tmu                  sync.Mutex
+	telemetry            map[string]*workerTelemetry
+	obsTelemetry         *obs.Counter
+	obsTelemetryBad      *obs.Counter
+	obsTelemetrySpans    *obs.Counter
+	obsTelemetryUnmerged *obs.Counter
 }
 
 // NewCoordinator validates the spec and prepares the job for distribution.
@@ -163,6 +185,13 @@ func NewCoordinator(spec runner.JobSpec, store *diskcache.CheckpointStore, opts 
 	if opts.Clock == nil {
 		opts.Clock = time.Now
 	}
+	if opts.StragglerFactor <= 0 {
+		opts.StragglerFactor = 2
+	}
+	treg := opts.Obs
+	if treg == nil {
+		treg = obs.New()
+	}
 	c := &Coordinator{
 		spec: spec, specJSON: specJSON, fp: spec.Fingerprint(), kind: kind,
 		store: store, opts: opts,
@@ -171,12 +200,19 @@ func NewCoordinator(spec runner.JobSpec, store *diskcache.CheckpointStore, opts 
 		doneCh: make(chan struct{}),
 		pace:   map[string]*pace{},
 
-		obsGranted:   opts.Obs.Counter("fabric_leases_granted_total"),
-		obsExpired:   opts.Obs.Counter("fabric_leases_expired_total"),
-		obsCompleted: opts.Obs.Counter("fabric_cells_completed_total"),
-		obsDuplicate: opts.Obs.Counter("fabric_cells_duplicate_total"),
-		obsResumed:   opts.Obs.Counter("fabric_cells_resumed_total"),
-		obsForeign:   opts.Obs.Counter("fabric_cells_foreign_total"),
+		obsGranted:   treg.Counter("fabric_leases_granted_total"),
+		obsExpired:   treg.Counter("fabric_leases_expired_total"),
+		obsCompleted: treg.Counter("fabric_cells_completed_total"),
+		obsDuplicate: treg.Counter("fabric_cells_duplicate_total"),
+		obsResumed:   treg.Counter("fabric_cells_resumed_total"),
+		obsForeign:   treg.Counter("fabric_cells_foreign_total"),
+
+		treg:                 treg,
+		telemetry:            map[string]*workerTelemetry{},
+		obsTelemetry:         treg.Counter("fabric_telemetry_pushes_total"),
+		obsTelemetryBad:      treg.Counter("fabric_telemetry_bad_total"),
+		obsTelemetrySpans:    treg.Counter("fabric_telemetry_spans_total"),
+		obsTelemetryUnmerged: treg.Counter("fabric_telemetry_unmerged_total"),
 	}
 	for i := range c.state {
 		if _, ok := store.Get(c.fp, i); ok {
@@ -300,14 +336,19 @@ func (c *Coordinator) batchSizeLocked(worker string) int {
 	return batch
 }
 
-// ObserveCellSeconds feeds the adaptive lease policy one observed cell
-// duration for worker. The HTTP handler calls it for every non-duplicate
-// completion carrying the X-Fabric-Cell-Seconds header; non-positive and
-// non-finite observations are ignored.
+// ObserveCellSeconds feeds the adaptive lease policy and the straggler
+// histograms one observed cell duration for worker: the per-worker
+// fabric_cell_seconds{worker=...} series and the unlabeled fleet series
+// whose medians /v1/fleet compares. The HTTP handler calls it for every
+// non-duplicate completion carrying the X-Fabric-Cell-Seconds header;
+// non-positive and non-finite observations are ignored.
 func (c *Coordinator) ObserveCellSeconds(worker string, sec float64) {
 	if worker == "" || sec <= 0 || math.IsNaN(sec) || math.IsInf(sec, 0) {
 		return
 	}
+	c.treg.Histogram("fabric_cell_seconds", obs.LatencyBuckets).Observe(sec)
+	c.treg.Histogram("fabric_cell_seconds", obs.LatencyBuckets,
+		obs.L("worker", worker)).Observe(sec)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	p := c.pace[worker]
@@ -519,15 +560,38 @@ func (c *Coordinator) Handler() http.Handler {
 			return
 		}
 		if sec, err := strconv.ParseFloat(r.Header.Get(headerCellSeconds), 64); err == nil && !dup {
-			worker := r.Header.Get(headerWorker)
-			c.ObserveCellSeconds(worker, sec)
-			c.opts.Obs.Histogram("fabric_cell_seconds", obs.LatencyBuckets,
-				obs.L("worker", worker)).Observe(sec)
+			c.ObserveCellSeconds(r.Header.Get(headerWorker), sec)
 		}
 		writeJSON(w, map[string]bool{"ok": true, "duplicate": dup})
 	})
 	mux.HandleFunc("GET "+pathStatus, func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, c.Status())
+	})
+	mux.HandleFunc("POST "+pathTelemetry, func(w http.ResponseWriter, r *http.Request) {
+		var env telemetryEnvelope
+		if err := json.NewDecoder(r.Body).Decode(&env); err != nil {
+			c.obsTelemetryBad.Inc()
+			http.Error(w, "fabric: bad telemetry envelope: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		if err := c.ingestTelemetry(env); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		writeJSON(w, map[string]bool{"ok": true})
+	})
+	mux.HandleFunc("GET "+pathFleet, func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, c.Fleet())
+	})
+	mux.HandleFunc("GET "+pathMetrics, func(w http.ResponseWriter, r *http.Request) {
+		c.Fleet() // refresh the fabric_workers_* gauges before rendering
+		var sb strings.Builder
+		if err := c.MergedSnapshot().WritePrometheus(&sb); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", obs.ContentType)
+		io.WriteString(w, sb.String())
 	})
 	return mux
 }

@@ -37,8 +37,22 @@ type WorkerOptions struct {
 	// attempt.
 	Backoff time.Duration
 	// Obs, when non-nil, receives the worker's fabric_worker_cells_total
-	// counter plus the solve cache's counters.
+	// counter plus the solve cache's counters, and its full snapshot is
+	// shipped with every telemetry push so the coordinator can merge it
+	// into the fleet /metrics view.
 	Obs *obs.Registry
+	// Heartbeat is how often the worker pushes a telemetry envelope —
+	// heartbeat, registry snapshot and completed spans — to the
+	// coordinator's /v1/telemetry endpoint (default 1s; negative
+	// disables telemetry). Pushes are fire-and-forget: one attempt off
+	// the work path, failures counted in
+	// fabric_telemetry_push_errors_total and dropped, never retried and
+	// never blocking a lease or completion.
+	Heartbeat time.Duration
+	// Spans, when non-nil, is drained into each telemetry push so the
+	// coordinator can assemble one fleet-wide trace. Attach it to the
+	// registry's span sink (obs.Tee with any local trace writer).
+	Spans *obs.SpanCollector
 	// Samples, when non-nil, is the worker's replica-sample store:
 	// sim-replica cells whose samples are already stored are replayed
 	// instead of simulated, and freshly simulated samples are persisted
@@ -71,6 +85,9 @@ func (o WorkerOptions) withDefaults() WorkerOptions {
 	if o.Backoff <= 0 {
 		o.Backoff = 50 * time.Millisecond
 	}
+	if o.Heartbeat == 0 {
+		o.Heartbeat = time.Second
+	}
 	return o
 }
 
@@ -87,6 +104,8 @@ func Work(ctx context.Context, baseURL string, opts WorkerOptions) error {
 	opts = opts.withDefaults()
 	w := &worker{opts: opts, base: strings.TrimSuffix(baseURL, "/")}
 	w.cells = opts.Obs.Counter("fabric_worker_cells_total", obs.L("worker", opts.Name))
+	w.failed = opts.Obs.Counter("fabric_completions_failed_total", obs.L("worker", opts.Name))
+	w.pushErrs = opts.Obs.Counter("fabric_telemetry_push_errors_total", obs.L("worker", opts.Name))
 
 	data, err := w.do(ctx, http.MethodGet, pathJob, nil, nil)
 	if err != nil {
@@ -102,6 +121,37 @@ func Work(ctx context.Context, baseURL string, opts WorkerOptions) error {
 		Cache:   runner.NewCache().WithObs(opts.Obs),
 		Samples: opts.Samples,
 		Obs:     opts.Obs,
+	}
+
+	if opts.Heartbeat > 0 {
+		// Seed the rate window so even the first beat reports cells/sec.
+		w.lastBeat = time.Now()
+		hctx, hcancel := context.WithCancel(ctx)
+		hdone := make(chan struct{})
+		go func() {
+			defer close(hdone)
+			t := time.NewTicker(opts.Heartbeat)
+			defer t.Stop()
+			for {
+				select {
+				case <-hctx.Done():
+					return
+				case <-t.C:
+					w.pushTelemetry(hctx)
+				}
+			}
+		}()
+		defer func() {
+			hcancel()
+			<-hdone
+			// Final flush so the coordinator sees the worker's terminal
+			// counters and remaining spans even when the work loop ends
+			// between beats. Detached from ctx — a cancelled worker still
+			// gets one bounded farewell push.
+			fctx, fcancel := context.WithTimeout(context.Background(), opts.Heartbeat)
+			w.pushTelemetry(fctx)
+			fcancel()
+		}()
 	}
 
 	for {
@@ -134,7 +184,10 @@ func Work(ctx context.Context, baseURL string, opts WorkerOptions) error {
 			if opts.OnLease != nil {
 				opts.OnLease(resp.Lease.ID, resp.Lease.Cells)
 			}
-			if err := w.runLease(ctx, resp.Lease.Cells); err != nil {
+			w.setLease(resp.Lease.ID, len(resp.Lease.Cells))
+			err := w.runLease(ctx, resp.Lease.Cells)
+			w.setLease("", 0)
+			if err != nil {
 				return err
 			}
 		}
@@ -188,12 +241,90 @@ func WorkLoop(ctx context.Context, baseURL string, opts WorkerOptions) error {
 }
 
 type worker struct {
-	opts  WorkerOptions
-	base  string
-	spec  runner.JobSpec
-	fp    string
-	env   runner.JobEnv
-	cells *obs.Counter
+	opts     WorkerOptions
+	base     string
+	spec     runner.JobSpec
+	fp       string
+	env      runner.JobEnv
+	cells    *obs.Counter
+	failed   *obs.Counter
+	pushErrs *obs.Counter
+
+	// Telemetry state, all guarded by tmu and touched only off the
+	// completion hot path.
+	tmu       sync.Mutex
+	leaseID   string
+	inflight  int
+	seq       int64
+	lastBeat  time.Time
+	lastCells uint64
+	done      uint64 // cells completed, independent of opts.Obs
+}
+
+// setLease records the lease currently being worked for the heartbeat.
+func (w *worker) setLease(id string, cells int) {
+	w.tmu.Lock()
+	w.leaseID, w.inflight = id, cells
+	w.tmu.Unlock()
+}
+
+// pushTelemetry builds and fires one telemetry envelope: a single
+// attempt bounded by the heartbeat interval, with failures counted and
+// swallowed — telemetry must never back-pressure the work loop or fail
+// the job.
+func (w *worker) pushTelemetry(ctx context.Context) {
+	now := time.Now()
+	w.tmu.Lock()
+	w.seq++
+	env := telemetryEnvelope{
+		Schema:        telemetrySchemaVersion,
+		Fingerprint:   w.fp,
+		Worker:        w.opts.Name,
+		Pid:           os.Getpid(),
+		Seq:           w.seq,
+		IntervalMilli: w.opts.Heartbeat.Milliseconds(),
+		CellsTotal:    w.done,
+		LeaseID:       w.leaseID,
+		InflightCells: w.inflight,
+	}
+	if !w.lastBeat.IsZero() {
+		if dt := now.Sub(w.lastBeat).Seconds(); dt > 0 {
+			env.CellsPerSec = float64(w.done-w.lastCells) / dt
+		}
+	}
+	w.lastBeat, w.lastCells = now, w.done
+	w.tmu.Unlock()
+	if w.opts.Obs != nil {
+		if data, err := obs.EncodeSnapshot(w.opts.Obs.Snapshot()); err == nil {
+			env.Snapshot = data
+		}
+	}
+	if w.opts.Spans != nil {
+		if events := w.opts.Spans.Drain(); len(events) > 0 {
+			env.Spans = toWireSpans(events)
+		}
+	}
+	body, err := json.Marshal(env)
+	if err != nil {
+		w.pushErrs.Inc()
+		return
+	}
+	pctx, cancel := context.WithTimeout(ctx, w.opts.Heartbeat)
+	defer cancel()
+	req, err := http.NewRequestWithContext(pctx, http.MethodPost, w.base+pathTelemetry, bytes.NewReader(body))
+	if err != nil {
+		w.pushErrs.Inc()
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := w.opts.Client.Do(req)
+	if err != nil {
+		w.pushErrs.Inc()
+		return
+	}
+	if _, err := readAll(resp); err != nil || resp.StatusCode >= 300 {
+		w.pushErrs.Inc()
+	}
 }
 
 // runLease computes and posts every cell of one lease, at most
@@ -235,7 +366,11 @@ drain:
 // envelope.
 func (w *worker) runCell(ctx context.Context, cell int) error {
 	start := time.Now()
+	// Remote cells bypass the runner pool's span site, so span them here;
+	// inert (no clock read) unless a sink is attached.
+	sp := w.opts.Obs.StartSpan("cell", obs.L("cell", strconv.Itoa(cell)))
 	payload, err := runner.EvaluateJobCell(ctx, w.spec, w.env, cell)
+	sp.End()
 	if err != nil {
 		return err
 	}
@@ -254,9 +389,23 @@ func (w *worker) runCell(ctx context.Context, cell int) error {
 		w.opts.OnCell(cell)
 	}
 	if _, err := w.do(ctx, http.MethodPost, pathComplete, body, hdr); err != nil {
-		return err
+		// A cancelled worker is shutdown, not loss — report it as such.
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		// The cell was computed but its result never reached the
+		// coordinator: that is lost work (someone else will recompute it),
+		// not a silent skip — count it and surface the post error.
+		w.failed.Inc()
+		return fmt.Errorf("fabric: cell %d completion lost after retries: %w", cell, err)
 	}
 	w.cells.Inc()
+	w.tmu.Lock()
+	w.done++
+	if w.inflight > 0 {
+		w.inflight--
+	}
+	w.tmu.Unlock()
 	return nil
 }
 

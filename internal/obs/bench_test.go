@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"fmt"
 	"io"
 	"testing"
 )
@@ -38,6 +39,52 @@ func BenchmarkLiveInstrumentation(b *testing.B) {
 		g.Set(1)
 		h.Observe(0.01)
 	}
+}
+
+// BenchmarkTelemetryMergeThroughput measures the coordinator-side cost
+// of one fleet telemetry round: decode each worker's pushed snapshot and
+// fold it into the merged registry view. The worker registries mirror
+// what a real fabric worker ships — a handful of counters, gauges, and
+// latency histograms across several label sets — and the encode step
+// runs outside the timed region because it is paid by the workers, not
+// the coordinator. The custom merges/sec metric counts worker snapshots
+// absorbed per second and is what `make bench` records in BENCH_PR9.json.
+func BenchmarkTelemetryMergeThroughput(b *testing.B) {
+	const workers = 8
+	encoded := make([][]byte, workers)
+	for w := 0; w < workers; w++ {
+		r := New()
+		for cell := 0; cell < 16; cell++ {
+			lab := L("cell", fmt.Sprint(cell))
+			r.Counter("fabric_cells_completed_total", lab).Add(uint64(3 + cell))
+			r.Histogram("fabric_cell_seconds", LatencyBuckets, lab).Observe(0.001 * float64(1+cell))
+		}
+		r.Counter("fabric_leases_total").Add(uint64(5 + w))
+		r.Gauge("fabric_inflight_cells").Set(float64(w % 4))
+		r.Histogram("solve_seconds", LatencyBuckets).Observe(0.25)
+		buf, err := EncodeSnapshot(r.Snapshot())
+		if err != nil {
+			b.Fatal(err)
+		}
+		encoded[w] = buf
+	}
+	base := New()
+	base.Counter("fabric_leases_granted_total").Add(7)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		merged := base.Snapshot()
+		for w, buf := range encoded {
+			snap, err := DecodeSnapshot(buf)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := merged.Merge(snap, L("worker", fmt.Sprintf("w%d", w))); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(workers)*float64(b.N)/b.Elapsed().Seconds(), "merges/sec")
 }
 
 // BenchmarkSpanWithTrace measures a recorded span end to end.

@@ -14,35 +14,6 @@ import (
 // HTTPHandler.
 const ContentType = "text/plain; version=0.0.4; charset=utf-8"
 
-// snapshot copies the family/instrument structure (not the live values)
-// under the registry lock, so exports iterate deterministically in
-// creation order without holding the lock across writes.
-func (r *Registry) snapshot() []*family {
-	if r == nil {
-		return nil
-	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	out := make([]*family, 0, len(r.order))
-	for _, name := range r.order {
-		out = append(out, r.families[name])
-	}
-	return out
-}
-
-// instruments returns the family's instruments in creation order. The
-// registry lock guards family maps too (instruments are only added
-// under it), so take it around the copy.
-func (r *Registry) instruments(f *family) []*instrument {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	out := make([]*instrument, 0, len(f.order))
-	for _, sig := range f.order {
-		out = append(out, f.insts[sig])
-	}
-	return out
-}
-
 // fnum formats a float the way the Prometheus text format expects.
 func fnum(v float64) string {
 	switch {
@@ -73,22 +44,35 @@ func series(name string, labels []Label, suffix string, extra string) string {
 // WritePrometheus writes every metric in the text exposition format
 // (version 0.0.4): counters, gauges, and histograms with cumulative
 // le-buckets, _sum and _count. Families appear in creation order, label
-// variants in creation order within each family. Nil-safe: a nil
+// variants in creation order within each family. The registry lock is
+// held only while values are snapshotted, never across writes — a slow
+// writer cannot stall concurrent metric updates. Nil-safe: a nil
 // registry writes nothing.
 func (r *Registry) WritePrometheus(w io.Writer) error {
-	for _, f := range r.snapshot() {
-		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+	return r.Snapshot().WritePrometheus(w)
+}
+
+// WritePrometheus renders the snapshot in the text exposition format, in
+// the snapshot's family/series order: a fresh Registry.Snapshot writes
+// the exact bytes the registry would, a merged snapshot writes its
+// canonical sorted order.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	for fi := range s.Families {
+		f := &s.Families[fi]
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.Name, f.Kind); err != nil {
 			return err
 		}
-		for _, inst := range r.instruments(f) {
+		k, _ := kindFromString(f.Kind)
+		for si := range f.Series {
+			se := &f.Series[si]
 			var err error
-			switch f.kind {
+			switch k {
 			case counterKind:
-				_, err = fmt.Fprintf(w, "%s %d\n", series(f.name, inst.labels, "", ""), inst.c.Value())
+				_, err = fmt.Fprintf(w, "%s %d\n", series(f.Name, se.Labels, "", ""), se.Count)
 			case gaugeKind:
-				_, err = fmt.Fprintf(w, "%s %s\n", series(f.name, inst.labels, "", ""), fnum(inst.g.Value()))
+				_, err = fmt.Fprintf(w, "%s %s\n", series(f.Name, se.Labels, "", ""), se.Value)
 			case histogramKind:
-				err = writePromHistogram(w, f.name, inst)
+				err = writePromHistogram(w, f, se)
 			}
 			if err != nil {
 				return err
@@ -98,25 +82,23 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	return nil
 }
 
-func writePromHistogram(w io.Writer, name string, inst *instrument) error {
-	h := inst.h
-	counts := h.BucketCounts()
+func writePromHistogram(w io.Writer, f *FamilySnapshot, se *SeriesSnapshot) error {
 	var cum uint64
-	for i, bound := range h.Bounds() {
-		cum += counts[i]
-		le := fmt.Sprintf("le=%q", fnum(bound))
-		if _, err := fmt.Fprintf(w, "%s %d\n", series(name, inst.labels, "_bucket", le), cum); err != nil {
+	for i, bound := range f.Bounds {
+		cum += se.Buckets[i]
+		le := fmt.Sprintf("le=%q", bound)
+		if _, err := fmt.Fprintf(w, "%s %d\n", series(f.Name, se.Labels, "_bucket", le), cum); err != nil {
 			return err
 		}
 	}
-	cum += counts[len(counts)-1]
-	if _, err := fmt.Fprintf(w, "%s %d\n", series(name, inst.labels, "_bucket", `le="+Inf"`), cum); err != nil {
+	cum += se.Buckets[len(se.Buckets)-1]
+	if _, err := fmt.Fprintf(w, "%s %d\n", series(f.Name, se.Labels, "_bucket", `le="+Inf"`), cum); err != nil {
 		return err
 	}
-	if _, err := fmt.Fprintf(w, "%s %s\n", series(name, inst.labels, "_sum", ""), fnum(h.Sum())); err != nil {
+	if _, err := fmt.Fprintf(w, "%s %s\n", series(f.Name, se.Labels, "_sum", ""), fnum(se.sumTotal())); err != nil {
 		return err
 	}
-	_, err := fmt.Fprintf(w, "%s %d\n", series(name, inst.labels, "_count", ""), cum)
+	_, err := fmt.Fprintf(w, "%s %d\n", series(f.Name, se.Labels, "_count", ""), cum)
 	return err
 }
 
@@ -137,22 +119,33 @@ type jsonBucket struct {
 // counters, gauges, histograms — keyed by the metric's full series name
 // (name{labels}). Histograms carry count, sum, p50/p90/p99 quantile
 // estimates and the raw cumulative buckets. Keys are sorted by
-// encoding/json, so the snapshot is deterministic for fixed values.
-// Nil-safe: a nil registry writes an empty snapshot.
+// encoding/json, so the snapshot is deterministic for fixed values. Like
+// WritePrometheus it renders from a value snapshot, so the registry lock
+// is never held across writes. Nil-safe: a nil registry writes an empty
+// snapshot.
 func (r *Registry) WriteJSON(w io.Writer) error {
+	return r.Snapshot().WriteJSON(w)
+}
+
+// WriteJSON renders the snapshot in the expvar-style JSON shape.
+func (s Snapshot) WriteJSON(w io.Writer) error {
 	counters := map[string]uint64{}
 	gauges := map[string]float64{}
 	histograms := map[string]jsonHistogram{}
-	for _, f := range r.snapshot() {
-		for _, inst := range r.instruments(f) {
-			key := series(f.name, inst.labels, "", "")
-			switch f.kind {
+	for fi := range s.Families {
+		f := &s.Families[fi]
+		k, _ := kindFromString(f.Kind)
+		for si := range f.Series {
+			se := &f.Series[si]
+			key := series(f.Name, se.Labels, "", "")
+			switch k {
 			case counterKind:
-				counters[key] = inst.c.Value()
+				counters[key] = se.Count
 			case gaugeKind:
-				gauges[key] = jsonSafe(inst.g.Value())
+				v, _ := strconv.ParseFloat(se.Value, 64)
+				gauges[key] = jsonSafe(v)
 			case histogramKind:
-				histograms[key] = jsonHistogramOf(inst.h)
+				histograms[key] = jsonHistogramOf(f, se)
 			}
 		}
 	}
@@ -165,22 +158,22 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 	})
 }
 
-func jsonHistogramOf(h *Histogram) jsonHistogram {
-	counts := h.BucketCounts()
-	out := jsonHistogram{Sum: jsonSafe(h.Sum())}
+func jsonHistogramOf(f *FamilySnapshot, se *SeriesSnapshot) jsonHistogram {
+	out := jsonHistogram{Sum: jsonSafe(se.sumTotal())}
 	var cum uint64
-	for i, bound := range h.Bounds() {
-		cum += counts[i]
-		out.Buckets = append(out.Buckets, jsonBucket{LE: fnum(bound), Count: cum})
+	for i, bound := range f.Bounds {
+		cum += se.Buckets[i]
+		out.Buckets = append(out.Buckets, jsonBucket{LE: bound, Count: cum})
 	}
-	cum += counts[len(counts)-1]
+	cum += se.Buckets[len(se.Buckets)-1]
 	out.Buckets = append(out.Buckets, jsonBucket{LE: "+Inf", Count: cum})
 	out.Count = cum
 	if cum > 0 {
+		bounds := f.boundsFloats()
 		out.Quantiles = map[string]float64{
-			"p50": jsonSafe(h.Quantile(0.50)),
-			"p90": jsonSafe(h.Quantile(0.90)),
-			"p99": jsonSafe(h.Quantile(0.99)),
+			"p50": jsonSafe(bucketQuantile(bounds, se.Buckets, 0.50)),
+			"p90": jsonSafe(bucketQuantile(bounds, se.Buckets, 0.90)),
+			"p99": jsonSafe(bucketQuantile(bounds, se.Buckets, 0.99)),
 		}
 	}
 	return out
@@ -196,7 +189,10 @@ func jsonSafe(v float64) float64 {
 }
 
 // HTTPHandler serves the registry in Prometheus text format — mount it
-// at /metrics. A nil registry serves an empty (valid) exposition.
+// at /metrics. The exposition is rendered from a value snapshot into
+// memory before the first response byte is written, so a slow scrape
+// never holds registry locks across network writes. A nil registry
+// serves an empty (valid) exposition.
 func HTTPHandler(r *Registry) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
 		var sb strings.Builder

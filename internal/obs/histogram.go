@@ -127,10 +127,19 @@ func (h *Histogram) BucketCounts() []uint64 {
 // bucket clamp to the largest finite bound. Returns NaN for an empty
 // histogram or out-of-range q.
 func (h *Histogram) Quantile(q float64) float64 {
-	if h == nil || q < 0 || q > 1 || math.IsNaN(q) {
+	if h == nil {
 		return math.NaN()
 	}
-	counts := h.BucketCounts()
+	return bucketQuantile(h.bounds, h.BucketCounts(), q)
+}
+
+// bucketQuantile is the estimator behind Histogram.Quantile, shared with
+// snapshot rendering: counts are per-bucket (non-cumulative), the last
+// element the +Inf overflow bucket.
+func bucketQuantile(bounds []float64, counts []uint64, q float64) float64 {
+	if q < 0 || q > 1 || math.IsNaN(q) || len(bounds) == 0 {
+		return math.NaN()
+	}
 	var total uint64
 	for _, c := range counts {
 		total += c
@@ -148,14 +157,14 @@ func (h *Histogram) Quantile(q float64) float64 {
 		}
 		if i == len(counts)-1 {
 			// +Inf bucket: clamp to the largest finite bound.
-			return h.bounds[len(h.bounds)-1]
+			return bounds[len(bounds)-1]
 		}
 		lo := 0.0
 		if i > 0 {
-			lo = h.bounds[i-1]
+			lo = bounds[i-1]
 		}
-		hi := h.bounds[i]
+		hi := bounds[i]
 		return lo + (hi-lo)*(target-prev)/float64(c)
 	}
-	return h.bounds[len(h.bounds)-1]
+	return bounds[len(bounds)-1]
 }

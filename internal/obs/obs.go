@@ -40,9 +40,11 @@ import (
 	"sync/atomic"
 )
 
-// Label is one key=value dimension of a metric or span.
+// Label is one key=value dimension of a metric or span. The JSON shape
+// is part of the snapshot and telemetry wire formats.
 type Label struct {
-	Key, Value string
+	Key   string `json:"k"`
+	Value string `json:"v"`
 }
 
 // L is shorthand for constructing a Label.
@@ -94,6 +96,7 @@ type Registry struct {
 	families map[string]*family
 	order    []string
 	sink     atomic.Pointer[sinkBox]
+	ident    atomic.Pointer[spanIdentity]
 }
 
 // sinkBox wraps the SpanSink interface so it can live in an
