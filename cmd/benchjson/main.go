@@ -28,6 +28,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"regexp"
 	"strconv"
@@ -153,8 +154,8 @@ var errRegression = fmt.Errorf("benchjson: benchmark regression detected")
 // must not be worse than the recorded value by more than tolerance.
 // Benchmarks on only one side are reported but never fail the check, so
 // adding a benchmark does not break older trajectory files.
-func compare(ref string, tolerance float64) error {
-	fresh, err := parse(bufio.NewScanner(os.Stdin))
+func compare(in io.Reader, ref string, tolerance float64) error {
+	fresh, err := parse(bufio.NewScanner(in))
 	if err != nil {
 		return err
 	}
@@ -180,16 +181,28 @@ func compare(ref string, tolerance float64) error {
 			fmt.Fprintf(os.Stderr, "benchjson: %-40s not in %s, skipped\n", e.Name, ref)
 			continue
 		}
-		matched++
 		// Prefer the rate metric: it is what the trajectory tracks, and
 		// for end-to-end benchmarks ns/op includes fixed setup cost.
-		metric := "ns/op"
-		newV, oldV, worse := e.NsPerOp, old.NsPerOp, (e.NsPerOp-old.NsPerOp)/old.NsPerOp
+		metric, rate := "ns/op", false
+		newV, oldV := e.NsPerOp, old.NsPerOp
 		if nv, nu := e.throughput(); nu != "" {
 			if ov, ou := old.throughput(); ou == nu {
-				metric = nu
-				newV, oldV, worse = nv, ov, (ov-nv)/ov
+				metric, rate = nu, true
+				newV, oldV = nv, ov
 			}
+		}
+		// A recorded metric that is not > 0 cannot anchor a relative
+		// change: the division yields NaN/Inf, and NaN > tolerance is
+		// false, so a real regression would silently pass. Flag and skip.
+		if !(oldV > 0) {
+			fmt.Fprintf(os.Stderr, "benchjson: %-40s recorded %s %v is not > 0, SKIPPED\n",
+				e.Name, metric, oldV)
+			continue
+		}
+		matched++
+		worse := (newV - oldV) / oldV
+		if rate {
+			worse = (oldV - newV) / oldV
 		}
 		status := "ok"
 		if worse > tolerance {
@@ -219,7 +232,7 @@ func main() {
 	tolerance := flag.Float64("tolerance", 0.10, "allowed fractional slowdown in -compare mode")
 	flag.Parse()
 	if *ref != "" {
-		if err := compare(*ref, *tolerance); err != nil {
+		if err := compare(os.Stdin, *ref, *tolerance); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

@@ -2,6 +2,9 @@ package main
 
 import (
 	"bufio"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -42,5 +45,38 @@ func TestParseRejectsGarbageValues(t *testing.T) {
 	_, err := parse(bufio.NewScanner(strings.NewReader("BenchmarkX-8 10 nan!! ns/op\n")))
 	if err == nil {
 		t.Fatal("parse accepted an unparseable value")
+	}
+}
+
+func TestCompareSkipsZeroBaseline(t *testing.T) {
+	ref := filepath.Join(t.TempDir(), "bench.json")
+	doc := Doc{Current: Section{Label: "ref", Entries: []Entry{
+		{Name: "Zero", NsPerOp: 0},
+		{Name: "Good", NsPerOp: 100},
+	}}}
+	buf, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(ref, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// A zero recorded metric cannot anchor a relative change — the entry
+	// is skipped instead of producing a NaN that silently passes.
+	in := strings.NewReader("BenchmarkZero-8 10 5000 ns/op\nBenchmarkGood-8 10 105 ns/op\n")
+	if err := compare(in, ref, 0.10); err != nil {
+		t.Fatalf("compare with zero-baseline entry: %v", err)
+	}
+	// The valid entry still gates regressions.
+	in = strings.NewReader("BenchmarkZero-8 10 5000 ns/op\nBenchmarkGood-8 10 200 ns/op\n")
+	if err := compare(in, ref, 0.10); err == nil {
+		t.Fatal("regression of the valid entry went undetected")
+	}
+	// When every matching entry has a zero baseline the run fails loudly
+	// instead of passing vacuously.
+	in = strings.NewReader("BenchmarkZero-8 10 5000 ns/op\n")
+	if err := compare(in, ref, 0.10); err == nil {
+		t.Fatal("all-zero-baseline compare passed vacuously")
 	}
 }

@@ -404,14 +404,27 @@ func (sh *serveHost) listen() (*http.Server, string, error) {
 
 // startWorkers launches the in-process workers for one round and returns
 // their error channel (one send per worker; nil on normal completion).
+//
+// Each worker gets a private registry, exactly like a `sweepd work`
+// process: its counters reach the fleet /metrics view through the
+// telemetry merge, and its cell spans ride the telemetry envelope into
+// the coordinator's trace sink. Sharing the coordinator's registry
+// would make every push ship (and MergedSnapshot re-sum) the whole
+// shared registry — coordinator counters plus every other worker's —
+// inflating /metrics roughly (N+1)x.
 func (sh *serveHost) startWorkers(ctx context.Context, url string, samples *diskcache.SampleStore) <-chan error {
 	errs := make(chan error, sh.localWorkers)
 	for i := 0; i < sh.localWorkers; i++ {
-		go func(i int) {
+		name := fmt.Sprintf("local-%d", i)
+		wreg := obs.New()
+		wreg.SetSpanIdentity(os.Getpid(), obs.L("worker", name))
+		col := obs.NewSpanCollector(0)
+		wreg.SetSpanSink(col)
+		go func() {
 			errs <- fabric.Work(ctx, url, fabric.WorkerOptions{
-				Name: fmt.Sprintf("local-%d", i), Obs: sh.reg, Samples: samples,
+				Name: name, Obs: wreg, Spans: col, Samples: samples,
 			})
-		}(i)
+		}()
 	}
 	return errs
 }

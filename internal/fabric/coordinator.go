@@ -49,6 +49,12 @@ const (
 
 	headerWorker      = "X-Fabric-Worker"
 	headerCellSeconds = "X-Fabric-Cell-Seconds"
+
+	// maxTelemetryBody bounds a POST /v1/telemetry body. A real envelope
+	// (snapshot + span batch) is tens of kilobytes; 8 MiB leaves room for
+	// very large fleets' registries without letting one client make the
+	// coordinator buffer arbitrary data.
+	maxTelemetryBody = 8 << 20
 )
 
 // CoordinatorOptions tune lease granularity and expiry.
@@ -568,6 +574,10 @@ func (c *Coordinator) Handler() http.Handler {
 		writeJSON(w, c.Status())
 	})
 	mux.HandleFunc("POST "+pathTelemetry, func(w http.ResponseWriter, r *http.Request) {
+		// Telemetry is best-effort input from the network: cap the body
+		// so one misbehaving client cannot make the coordinator buffer
+		// an arbitrarily large envelope.
+		r.Body = http.MaxBytesReader(w, r.Body, maxTelemetryBody)
 		var env telemetryEnvelope
 		if err := json.NewDecoder(r.Body).Decode(&env); err != nil {
 			c.obsTelemetryBad.Inc()

@@ -59,6 +59,7 @@ type telemetryEnvelope struct {
 	Fingerprint   string          `json:"fingerprint,omitempty"`
 	Worker        string          `json:"worker"`
 	Pid           int             `json:"pid,omitempty"`
+	Epoch         int64           `json:"epoch,omitempty"`
 	Seq           int64           `json:"seq"`
 	IntervalMilli int64           `json:"interval_ms,omitempty"`
 	CellsTotal    uint64          `json:"cells_total"`
@@ -146,8 +147,12 @@ func (c *Coordinator) ingestTelemetry(env telemetryEnvelope) error {
 	c.tmu.Lock()
 	prev := c.telemetry[env.Worker]
 	// Out-of-order pushes (an old beat racing a newer one) keep the
-	// newest sequence number.
-	if prev == nil || env.Seq >= prev.env.Seq {
+	// newest sequence number — but only within one worker run. Epoch is
+	// stamped once per run, so a worker restarting under the same name
+	// (seq back at 1, newer epoch) supersedes its previous run instead
+	// of being dropped until seq catches up to the old value.
+	if prev == nil || env.Epoch > prev.env.Epoch ||
+		(env.Epoch == prev.env.Epoch && env.Seq >= prev.env.Seq) {
 		c.telemetry[env.Worker] = wt
 	}
 	c.tmu.Unlock()
@@ -248,9 +253,16 @@ func (c *Coordinator) MergedSnapshot() obs.Snapshot {
 		if !wt.hasSnap {
 			continue
 		}
-		if err := s.Merge(wt.snap, obs.L("worker", w)); err != nil {
+		// Merge into a scratch clone and commit only on success: Merge
+		// mutates its target family-by-family, so a snapshot failing on
+		// a later family (e.g. histogram bounds from a different build)
+		// must not leave half-merged data in the served view.
+		scratch := s.Clone()
+		if err := scratch.Merge(wt.snap, obs.L("worker", w)); err != nil {
 			c.obsTelemetryUnmerged.Inc()
+			continue
 		}
+		s = scratch
 	}
 	return s
 }

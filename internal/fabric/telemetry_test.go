@@ -399,3 +399,56 @@ func TestTelemetryConcurrentWithTraffic(t *testing.T) {
 	}
 	assertIdentical(t, got, want)
 }
+
+// A worker restarting under the same name starts a new epoch with seq
+// back at 1; the coordinator accepts the new run immediately instead of
+// dropping its pushes until seq outruns the previous run's counter.
+func TestTelemetryRestartedWorkerSupersedes(t *testing.T) {
+	spec := testSpec(t)
+	_, srv := newFabric(t, spec, t.TempDir(), CoordinatorOptions{})
+	postTelemetry(t, srv.URL, telemetryEnvelope{
+		Schema: telemetrySchemaVersion, Worker: "w", Epoch: 100, Seq: 57, CellsTotal: 40,
+	})
+	// The restarted run: newer epoch, sequence reset to 1.
+	postTelemetry(t, srv.URL, telemetryEnvelope{
+		Schema: telemetrySchemaVersion, Worker: "w", Epoch: 200, Seq: 1, CellsTotal: 3,
+	})
+	f := getFleet(t, srv.URL)
+	if len(f.Workers) != 1 || f.Workers[0].CellsTotal != 3 {
+		t.Fatalf("fleet after restart = %+v, want the new run's 3 cells", f.Workers)
+	}
+	// A straggling beat from the dead run must not roll the table back.
+	postTelemetry(t, srv.URL, telemetryEnvelope{
+		Schema: telemetrySchemaVersion, Worker: "w", Epoch: 100, Seq: 58, CellsTotal: 41,
+	})
+	if f = getFleet(t, srv.URL); f.Workers[0].CellsTotal != 3 {
+		t.Fatalf("stale-epoch push rolled the table back: %+v", f.Workers)
+	}
+}
+
+// A snapshot that fails to merge partway through (a counter family that
+// merges cleanly sorted ahead of a histogram whose bounds conflict) must
+// leave no trace in the served /metrics view — all or nothing per worker.
+func TestTelemetryUnmergeableSnapshotLeavesNoPartialData(t *testing.T) {
+	spec := testSpec(t)
+	coord, srv := newFabric(t, spec, t.TempDir(), CoordinatorOptions{})
+	// The coordinator already owns fabric_cell_seconds with the standard
+	// bounds.
+	coord.ObserveCellSeconds("w", 0.01)
+	wreg := obs.New()
+	wreg.Counter("aaa_canary_total").Add(5)
+	wreg.Histogram("fabric_cell_seconds", []float64{1, 2, 3}).Observe(0.5)
+	snap, err := obs.EncodeSnapshot(wreg.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	postTelemetry(t, srv.URL, telemetryEnvelope{
+		Schema: telemetrySchemaVersion, Worker: "w", Seq: 1, Snapshot: snap,
+	})
+	if text := getMetrics(t, srv.URL); strings.Contains(text, "aaa_canary_total") {
+		t.Fatalf("half-merged worker data leaked into /metrics:\n%s", text)
+	}
+	if n := coord.obsTelemetryUnmerged.Value(); n != 1 {
+		t.Fatalf("unmerged counter = %d, want 1", n)
+	}
+}

@@ -103,6 +103,11 @@ func (o WorkerOptions) withDefaults() WorkerOptions {
 func Work(ctx context.Context, baseURL string, opts WorkerOptions) error {
 	opts = opts.withDefaults()
 	w := &worker{opts: opts, base: strings.TrimSuffix(baseURL, "/")}
+	// One epoch per run: a worker that restarts under the same name (a
+	// new process, or the next WorkLoop round) resets seq to 1, and the
+	// coordinator uses the newer epoch to accept it instead of dropping
+	// its pushes until seq catches up to the previous run's.
+	w.epoch = time.Now().UnixNano()
 	w.cells = opts.Obs.Counter("fabric_worker_cells_total", obs.L("worker", opts.Name))
 	w.failed = opts.Obs.Counter("fabric_completions_failed_total", obs.L("worker", opts.Name))
 	w.pushErrs = opts.Obs.Counter("fabric_telemetry_push_errors_total", obs.L("worker", opts.Name))
@@ -255,6 +260,7 @@ type worker struct {
 	tmu       sync.Mutex
 	leaseID   string
 	inflight  int
+	epoch     int64
 	seq       int64
 	lastBeat  time.Time
 	lastCells uint64
@@ -281,6 +287,7 @@ func (w *worker) pushTelemetry(ctx context.Context) {
 		Fingerprint:   w.fp,
 		Worker:        w.opts.Name,
 		Pid:           os.Getpid(),
+		Epoch:         w.epoch,
 		Seq:           w.seq,
 		IntervalMilli: w.opts.Heartbeat.Milliseconds(),
 		CellsTotal:    w.done,

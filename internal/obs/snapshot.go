@@ -250,6 +250,14 @@ func DecodeSnapshot(data []byte) (Snapshot, error) {
 	return s, nil
 }
 
+// Clone returns a deep copy sharing no slices or maps with s. Use it to
+// try a Merge without risking the original: Merge mutates its target
+// family-by-family, so a failed merge can leave the target half-merged —
+// merge into a clone and keep it only when Merge returns nil.
+func (s Snapshot) Clone() Snapshot {
+	return cloneSnapshot(s)
+}
+
 // cloneSnapshot deep-copies s so normalization and merging never alias
 // the caller's slices.
 func cloneSnapshot(s Snapshot) Snapshot {

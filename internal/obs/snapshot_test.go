@@ -374,3 +374,28 @@ func TestSnapshotConcurrentWithUpdates(t *testing.T) {
 	close(stop)
 	wg.Wait()
 }
+
+// Clone is a deep copy: merging into the clone leaves the original's
+// canonical encoding untouched.
+func TestSnapshotCloneIndependent(t *testing.T) {
+	r := New()
+	r.Counter("a_total").Add(3)
+	r.Histogram("h_seconds", []float64{1, 2}).Observe(0.5)
+	r.Gauge("g").Set(1.5)
+	s := r.Snapshot()
+	before, err := EncodeSnapshot(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := s.Clone()
+	if err := c.Merge(workerRegistry(7, 0.1).Snapshot(), L("worker", "w")); err != nil {
+		t.Fatal(err)
+	}
+	after, err := EncodeSnapshot(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Fatalf("merge into clone mutated the original:\nbefore %s\nafter  %s", before, after)
+	}
+}
