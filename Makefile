@@ -21,16 +21,22 @@
 # and the sequential-stopping engine's never-resample contract. The
 # telemetry run hammers the fleet-telemetry paths — heartbeat pushes,
 # span shipping, and /metrics + /v1/fleet scrapes concurrent with
-# lease/complete traffic — under the race detector, and tier2 finishes
-# with the bench-check benchmark regression gate.
+# lease/complete traffic — under the race detector, and the chaos/
+# hardening runs re-check the deterministic fault layer and the
+# degradation paths it guards (seeded drop/delay/5xx/corrupt schedules,
+# blackout middleware, lease renewal, park-and-rejoin, coordinator
+# restart absorption) before the soak — a full distributed sim-replica
+# sweep under sustained chaos, a coordinator blackout and a mid-run
+# worker kill, asserting byte-identical results at a fixed chaos seed.
+# tier2 finishes with the bench-check benchmark regression gate.
 
-.PHONY: tier1 tier2 bench bench-check profile
+.PHONY: tier1 tier2 bench bench-check soak profile
 
 tier1:
 	go build ./... && go test ./...
 
 tier2:
-	go vet ./... && go test -race ./...
+	go vet ./... && go test -race -timeout 30m ./...
 	go test -race -count=1 -run 'Replica|Merge|WorkerCountInvariance' ./internal/replica/ ./internal/stats/
 	go test -race -count=1 -run 'ReplicatedDeterminism|ReplicasExtend' ./internal/experiments/
 	go test -race -count=1 ./internal/obs/
@@ -46,7 +52,22 @@ tier2:
 	go test -race -count=1 -run 'Job' ./internal/sim/
 	go test -race -count=1 -run 'SimJob|SimCoordinator|AdaptiveLease|WorkerRejectsUnknownKind' ./internal/fabric/
 	go test -race -count=1 -run 'Telemetry|WorkerShipsCollectedSpans|WorkerCompletionLossSurfaces' ./internal/fabric/
+	go test -race -count=1 ./internal/fabric/chaos/
+	go test -race -count=1 -run 'Renew|Park|WorkLoop|CoordinatorRestartAbsorbs|FabricBodyCaps|LeaseExpiresWithoutRenewal' ./internal/fabric/
+	$(MAKE) soak
 	$(MAKE) bench-check
+
+# soak runs the tier-2 chaos soak on its own under the race detector: a
+# distributed sim-replica sweep with four workers plus one killed
+# mid-run, seeded drop/delay/5xx/corrupt chaos on every worker's
+# transport, server-side injected errors and an early coordinator
+# blackout — the run must produce payloads byte-identical to the clean
+# local run, with every surviving worker riding the blackout out parked
+# instead of failing. The chaos seed is fixed in the test, so the fault
+# schedule it survives is the same one every time (and is pinned
+# byte-for-byte by the chaos package's golden schedule test).
+soak:
+	go test -race -count=1 -run 'TestChaosSoak' -v ./internal/fabric/
 
 # tier2 ends with bench-check, the benchmark regression gate: it reruns
 # two benchmarks and fails (via benchjson -compare) when the fresh

@@ -100,6 +100,8 @@ func run(args []string) error {
 		replicas = fs.Int("replicas", 1, "independently seeded simulation replicas per simulator row (>= 1)")
 		workers  = fs.Int("workers", 0, "replica worker pool size for the simulator subcommands (0 = all cores)")
 		samples  = fs.String("sample-dir", "", "keyed replica-sample store for the simulator subcommands: re-runs with more replicas replay stored samples instead of resampling (empty = off)")
+		smplAge  = fs.Duration("sample-prune-age", 0, "evict stored samples unused for longer than this before the run (0 = off; requires -sample-dir)")
+		smplSize = fs.Int64("sample-prune-size", 0, "evict least-recently-used stored samples down to this many bytes before the run (0 = off; requires -sample-dir)")
 		ciTarget = fs.Float64("ci-target", 0, "sequential stopping: grow each simulator row's replicas until the 95% CI half-width of -ci-metric reaches this (0 = fixed -replicas)")
 		ciMetric = fs.String("ci-metric", "", "stopping metric for -ci-target (default: the subcommand's headline metric)")
 		replMax  = fs.Int("replicas-max", 64, "replica growth bound per row under -ci-target")
@@ -149,6 +151,15 @@ func run(args []string) error {
 	if *replMax < 1 {
 		return fmt.Errorf("-replicas-max must be >= 1, got %d", *replMax)
 	}
+	if *smplAge < 0 {
+		return fmt.Errorf("-sample-prune-age must be >= 0, got %v", *smplAge)
+	}
+	if *smplSize < 0 {
+		return fmt.Errorf("-sample-prune-size must be >= 0, got %d", *smplSize)
+	}
+	if (*smplAge > 0 || *smplSize > 0) && *samples == "" {
+		return fmt.Errorf("-sample-prune-age and -sample-prune-size require -sample-dir")
+	}
 	switch *format {
 	case "ascii", "csv", "tsv", "markdown", "md":
 	default:
@@ -186,6 +197,14 @@ func run(args []string) error {
 			return err
 		}
 		sampleStore.WithObs(reg)
+		if *smplAge > 0 || *smplSize > 0 {
+			pst, err := sampleStore.Prune(diskcache.PruneOptions{MaxAge: *smplAge, MaxBytes: *smplSize})
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "mfdl: sample prune: removed %d samples (%d bytes), kept %d (%d bytes)\n",
+				pst.Removed, pst.Freed, pst.Kept, pst.Remaining)
+		}
 	}
 	simOpts := experiments.Options{
 		Seed: *seed, Replicas: *replicas, Workers: *workers, Obs: reg,

@@ -84,6 +84,7 @@ import (
 
 	"mfdl/internal/experiments"
 	"mfdl/internal/fabric"
+	"mfdl/internal/fabric/chaos"
 	"mfdl/internal/fluid"
 	"mfdl/internal/gridflag"
 	"mfdl/internal/obs"
@@ -140,6 +141,31 @@ func parseFloats(name, s string) ([]float64, error) {
 	return out, nil
 }
 
+// parseWindows parses comma-separated start-end duration pairs
+// ("2s-4s,30s-35s") into chaos blackout windows.
+func parseWindows(s string) ([]chaos.Window, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []chaos.Window
+	for _, part := range strings.Split(s, ",") {
+		a, b, ok := strings.Cut(strings.TrimSpace(part), "-")
+		if !ok {
+			return nil, fmt.Errorf("-chaos-blackout: window %q is not start-end", part)
+		}
+		start, err := time.ParseDuration(a)
+		if err != nil {
+			return nil, fmt.Errorf("-chaos-blackout: %w", err)
+		}
+		end, err := time.ParseDuration(b)
+		if err != nil {
+			return nil, fmt.Errorf("-chaos-blackout: %w", err)
+		}
+		out = append(out, chaos.Window{Start: start, End: end})
+	}
+	return out, nil
+}
+
 func serve(args []string) error {
 	fs := flag.NewFlagSet("sweepd serve", flag.ContinueOnError)
 	var (
@@ -179,6 +205,11 @@ func serve(args []string) error {
 		stats       = fs.Bool("stats", false, "print fabric progress counters on stderr")
 		fleetOut    = fs.String("fleet-out", "", "write the final fleet view (per-worker liveness, rates, stragglers) as JSON to this file")
 		progress    = fs.Duration("progress", 0, "print a fleet progress line (workers, cells/sec, stragglers) on stderr at this interval (0 = off)")
+		// Chaos flags: deterministic server-side fault injection for soaks.
+		chaosSeed  = fs.Uint64("chaos-seed", 0, "chaos: fault-plan seed; the same seed replays the identical fault schedule")
+		chaos5xx   = fs.Float64("chaos-5xx", 0, "chaos: probability in [0,1) of substituting a 503 for a served response (0 = off)")
+		chaosDelay = fs.Duration("chaos-delay-max", 0, "chaos: delay each served request by a deterministic uniform draw from [0, this) (0 = off)")
+		chaosBlack = fs.String("chaos-blackout", "", "chaos: comma-separated start-end elapsed-time windows (e.g. 2s-4s,30s-35s) during which every request is rejected with 503")
 	)
 	var ofl obs.Flags
 	ofl.Register(fs)
@@ -202,6 +233,17 @@ func serve(args []string) error {
 	// -trace-out file interleaves cleanly with the worker spans shipped
 	// in over telemetry (each tagged with its own origin pid).
 	reg.SetSpanIdentity(os.Getpid())
+	windows, err := parseWindows(*chaosBlack)
+	if err != nil {
+		return err
+	}
+	chaosPlan, err := chaos.NewPlan(chaos.Config{
+		Seed: *chaosSeed, Error5xxProb: *chaos5xx,
+		DelayMax: *chaosDelay, BlackoutWindows: windows,
+	}, reg)
+	if err != nil {
+		return err
+	}
 	params := fluid.Params{Mu: *mu, Eta: *eta, Gamma: *gamma}
 	copts := fabric.CoordinatorOptions{
 		LeaseCells: *leaseCells, LeaseTTL: *leaseTTL,
@@ -210,7 +252,7 @@ func serve(args []string) error {
 	sh := &serveHost{
 		addr: *addr, addrFile: *addrFile, ckptDir: *ckptDir,
 		localWorkers: *localW, format: *format, stats: *stats, reg: reg,
-		fleetOut: *fleetOut, progress: *progress,
+		fleetOut: *fleetOut, progress: *progress, chaos: chaosPlan,
 	}
 	var serveErr error
 	switch *job {
@@ -280,6 +322,7 @@ type serveHost struct {
 	reg            *obs.Registry
 	fleetOut       string
 	progress       time.Duration
+	chaos          *chaos.Plan
 
 	mu      sync.Mutex
 	handler http.Handler
@@ -397,7 +440,15 @@ func (sh *serveHost) listen() (*http.Server, string, error) {
 			return nil, "", err
 		}
 	}
-	srv := &http.Server{Handler: sh}
+	// Chaos middleware (a transparent no-op on a nil plan) wraps the
+	// swappable handler so sequential-stopping rounds share one fault
+	// schedule; the header timeout keeps a stalled client from pinning an
+	// accept slot (per-request timeouts live inside the coordinator
+	// handler itself).
+	srv := &http.Server{
+		Handler:           sh.chaos.Middleware(sh),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
 	go srv.Serve(ln)
 	return srv, "http://" + ln.Addr().String(), nil
 }
@@ -629,8 +680,17 @@ func work(args []string) error {
 		name     = fs.String("name", "", "worker name reported to the coordinator (default worker-<pid>)")
 		loop     = fs.Bool("loop", false, "keep pulling jobs as the coordinator swaps them (sequential-stopping rounds); exit cleanly when it shuts down")
 		smplDir  = fs.String("sample-dir", "", "keyed replica-sample store: simulation cells replay stored samples and persist fresh ones (empty = off)")
+		smplAge  = fs.Duration("sample-prune-age", 0, "evict stored samples unused for longer than this before working (0 = off; requires -sample-dir)")
+		smplSize = fs.Int64("sample-prune-size", 0, "evict least-recently-used stored samples down to this many bytes before working (0 = off; requires -sample-dir)")
+		outage   = fs.Duration("max-outage", 0, "ride out coordinator outages up to this long by parking with capped jittered backoff instead of failing (0 = fail once retries are exhausted)")
 		stats    = fs.Bool("stats", false, "print this worker's cell count on stderr when done")
 		beat     = fs.Duration("heartbeat", time.Second, "telemetry push interval: heartbeat, metrics snapshot and completed spans go to the coordinator this often (negative = off)")
+		// Chaos flags: deterministic worker-side fault injection for soaks.
+		chaosSeed    = fs.Uint64("chaos-seed", 0, "chaos: fault-plan seed; the same seed replays the identical fault schedule")
+		chaosDrop    = fs.Float64("chaos-drop", 0, "chaos: probability in [0,1) of dropping a request — half before, half after it reaches the coordinator (0 = off)")
+		chaosDelay   = fs.Duration("chaos-delay-max", 0, "chaos: delay each request by a deterministic uniform draw from [0, this) (0 = off)")
+		chaos5xx     = fs.Float64("chaos-5xx", 0, "chaos: probability in [0,1) of substituting a 503 for a response (0 = off)")
+		chaosCorrupt = fs.Float64("chaos-corrupt", 0, "chaos: probability in [0,1) of corrupting a response body in flight (0 = off)")
 	)
 	var ofl obs.Flags
 	ofl.Register(fs)
@@ -642,6 +702,18 @@ func work(args []string) error {
 	}
 	if *join == "" {
 		return fmt.Errorf("-join is required")
+	}
+	if *outage < 0 {
+		return fmt.Errorf("-max-outage must be >= 0, got %v", *outage)
+	}
+	if *smplAge < 0 {
+		return fmt.Errorf("-sample-prune-age must be >= 0, got %v", *smplAge)
+	}
+	if *smplSize < 0 {
+		return fmt.Errorf("-sample-prune-size must be >= 0, got %d", *smplSize)
+	}
+	if (*smplAge > 0 || *smplSize > 0) && *smplDir == "" {
+		return fmt.Errorf("-sample-prune-age and -sample-prune-size require -sample-dir")
 	}
 	reg, finishObs, err := ofl.Setup(*stats)
 	if err != nil {
@@ -655,9 +727,22 @@ func work(args []string) error {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	opts := fabric.WorkerOptions{Name: *name, Parallelism: *parallel, Obs: reg, Heartbeat: *beat}
+	opts := fabric.WorkerOptions{
+		Name: *name, Parallelism: *parallel, Obs: reg,
+		Heartbeat: *beat, MaxOutage: *outage,
+	}
 	if opts.Name == "" {
 		opts.Name = fmt.Sprintf("worker-%d", os.Getpid())
+	}
+	chaosPlan, err := chaos.NewPlan(chaos.Config{
+		Seed: *chaosSeed, DropProb: *chaosDrop, DelayMax: *chaosDelay,
+		Error5xxProb: *chaos5xx, CorruptProb: *chaosCorrupt,
+	}, reg)
+	if err != nil {
+		return err
+	}
+	if chaosPlan != nil {
+		opts.Client = &http.Client{Transport: chaosPlan.Transport(opts.Name, nil)}
 	}
 	if reg != nil && *beat > 0 {
 		// Stamp this process's identity onto every span and buffer
@@ -675,6 +760,14 @@ func work(args []string) error {
 			return err
 		}
 		opts.Samples = samples.WithObs(reg)
+		if *smplAge > 0 || *smplSize > 0 {
+			pst, err := samples.Prune(diskcache.PruneOptions{MaxAge: *smplAge, MaxBytes: *smplSize})
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "sweepd: sample prune: removed %d samples (%d bytes), kept %d (%d bytes)\n",
+				pst.Removed, pst.Freed, pst.Kept, pst.Remaining)
+		}
 	}
 	runWorker := fabric.Work
 	if *loop {

@@ -41,6 +41,7 @@ import (
 const (
 	pathJob       = "/v1/job"
 	pathLease     = "/v1/lease"
+	pathRenew     = "/v1/renew"
 	pathComplete  = "/v1/complete"
 	pathStatus    = "/v1/status"
 	pathTelemetry = "/v1/telemetry"
@@ -55,6 +56,13 @@ const (
 	// very large fleets' registries without letting one client make the
 	// coordinator buffer arbitrary data.
 	maxTelemetryBody = 8 << 20
+	// maxCompleteBody bounds a POST /v1/complete body: one cell's Entry
+	// envelope. Sim-replica event samples run to a few megabytes at long
+	// horizons; 32 MiB is far above any real cell yet still a cap.
+	maxCompleteBody = 32 << 20
+	// maxControlBody bounds the small control bodies (/v1/lease,
+	// /v1/renew): a worker name and a few integers.
+	maxControlBody = 1 << 16
 )
 
 // CoordinatorOptions tune lease granularity and expiry.
@@ -89,6 +97,12 @@ type CoordinatorOptions struct {
 	// median cell seconds exceed this multiple of the fleet median
 	// (default 2).
 	StragglerFactor float64
+	// RequestTimeout bounds how long any one fabric request may hold a
+	// handler goroutine before being answered with 503 (default 30s;
+	// negative disables the wrapper). Every endpoint is a quick
+	// lock-compute-respond, so a request this old is a stuck client or a
+	// lost connection, not legitimate work.
+	RequestTimeout time.Duration
 	// Clock overrides time.Now for lease-expiry tests.
 	Clock func() time.Time
 }
@@ -144,6 +158,7 @@ type Coordinator struct {
 	obsDuplicate *obs.Counter
 	obsResumed   *obs.Counter
 	obsForeign   *obs.Counter
+	obsRenewed   *obs.Counter
 
 	// treg is the telemetry registry: opts.Obs when set, otherwise a
 	// private registry, so fleet metrics exist even with observability
@@ -194,6 +209,9 @@ func NewCoordinator(spec runner.JobSpec, store *diskcache.CheckpointStore, opts 
 	if opts.StragglerFactor <= 0 {
 		opts.StragglerFactor = 2
 	}
+	if opts.RequestTimeout == 0 {
+		opts.RequestTimeout = 30 * time.Second
+	}
 	treg := opts.Obs
 	if treg == nil {
 		treg = obs.New()
@@ -212,6 +230,7 @@ func NewCoordinator(spec runner.JobSpec, store *diskcache.CheckpointStore, opts 
 		obsDuplicate: treg.Counter("fabric_cells_duplicate_total"),
 		obsResumed:   treg.Counter("fabric_cells_resumed_total"),
 		obsForeign:   treg.Counter("fabric_cells_foreign_total"),
+		obsRenewed:   treg.Counter("fabric_leases_renewed_total"),
 
 		treg:                 treg,
 		telemetry:            map[string]*workerTelemetry{},
@@ -316,6 +335,28 @@ func (c *Coordinator) Lease(worker string, max int) (grant *lease, retry time.Du
 	c.leases[l.id] = l
 	c.obsGranted.Inc()
 	return l, 0, false
+}
+
+// Renew extends a live lease by a fresh TTL. A slow-but-alive worker
+// renews at TTL/2 so a long cell is never reaped out from under it; a
+// lease that has already expired (or was never granted) cannot be
+// revived — its cells may be in another worker's hands, so the renewing
+// worker is told no and falls back on idempotent completion.
+func (c *Coordinator) Renew(worker, leaseID string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.opts.Clock()
+	c.reapLocked(now)
+	l, ok := c.leases[leaseID]
+	if !ok {
+		return fmt.Errorf("fabric: lease %q expired or unknown", leaseID)
+	}
+	if l.worker != worker {
+		return fmt.Errorf("fabric: lease %q belongs to %q", leaseID, l.worker)
+	}
+	l.expires = now.Add(c.opts.LeaseTTL)
+	c.obsRenewed.Inc()
+	return nil
 }
 
 // batchSizeLocked returns the lease size for worker: LeaseCells under the
@@ -518,12 +559,23 @@ type leaseResponse struct {
 	Lease      *leaseGrant `json:"lease,omitempty"`
 }
 
+type renewRequest struct {
+	Worker string `json:"worker"`
+	Lease  string `json:"lease"`
+}
+
 // Handler returns the coordinator's HTTP surface:
 //
 //	GET  /v1/job      → the job's canonical JSON (what workers execute)
 //	POST /v1/lease    → {"worker","max"} → grant | retry hint | done
+//	POST /v1/renew    → {"worker","lease"} → ok | 409 (expired/stolen)
 //	POST /v1/complete → a diskcache.Entry envelope; idempotent
 //	GET  /v1/status   → progress summary
+//
+// Every body-carrying endpoint is capped (maxControlBody for the small
+// control messages, maxCompleteBody for cell payloads, maxTelemetryBody
+// for telemetry), and the whole surface sits behind RequestTimeout — a
+// hung client gets 503, never a handler goroutine forever.
 func (c *Coordinator) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET "+pathJob, func(w http.ResponseWriter, r *http.Request) {
@@ -531,6 +583,7 @@ func (c *Coordinator) Handler() http.Handler {
 		w.Write(c.specJSON)
 	})
 	mux.HandleFunc("POST "+pathLease, func(w http.ResponseWriter, r *http.Request) {
+		r.Body = http.MaxBytesReader(w, r.Body, maxControlBody)
 		var req leaseRequest
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 			http.Error(w, "fabric: bad lease request: "+err.Error(), http.StatusBadRequest)
@@ -545,7 +598,24 @@ func (c *Coordinator) Handler() http.Handler {
 		}
 		writeJSON(w, resp)
 	})
+	mux.HandleFunc("POST "+pathRenew, func(w http.ResponseWriter, r *http.Request) {
+		r.Body = http.MaxBytesReader(w, r.Body, maxControlBody)
+		var req renewRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, "fabric: bad renew request: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		if err := c.Renew(req.Worker, req.Lease); err != nil {
+			// 409, not 5xx: the lease is gone for good and retrying the
+			// renewal cannot bring it back — the worker should stop
+			// renewing, finish its cells, and rely on idempotent completes.
+			http.Error(w, err.Error(), http.StatusConflict)
+			return
+		}
+		writeJSON(w, map[string]bool{"ok": true})
+	})
 	mux.HandleFunc("POST "+pathComplete, func(w http.ResponseWriter, r *http.Request) {
+		r.Body = http.MaxBytesReader(w, r.Body, maxCompleteBody)
 		data, err := io.ReadAll(r.Body)
 		if err != nil {
 			http.Error(w, "fabric: "+err.Error(), http.StatusBadRequest)
@@ -603,6 +673,9 @@ func (c *Coordinator) Handler() http.Handler {
 		w.Header().Set("Content-Type", obs.ContentType)
 		io.WriteString(w, sb.String())
 	})
+	if c.opts.RequestTimeout > 0 {
+		return http.TimeoutHandler(mux, c.opts.RequestTimeout, "fabric: request timed out")
+	}
 	return mux
 }
 

@@ -1,0 +1,144 @@
+package fabric
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"mfdl/internal/fabric/chaos"
+	"mfdl/internal/obs"
+	"mfdl/internal/runner"
+)
+
+// The chaos soak: a full distributed sim-replica sweep under sustained
+// seeded chaos — dropped, delayed, 5xx-substituted and corrupted fabric
+// messages on the worker side, server-side injected errors plus a
+// coordinator blackout window, and one worker killed mid-run — must
+// yield payload bytes identical to a clean single-process run, with no
+// surviving worker exiting non-parked. The fault schedule itself is a
+// pure function of the chaos seed (pinned byte-for-byte by the chaos
+// package's golden test), so a green soak is a reproducible claim.
+func TestChaosSoakDistributedSimReplica(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak skipped in -short mode")
+	}
+	spec := simTestSpec(t, 11, 8) // 2 flow cells × 8 replicas = 16 cells
+	ctx := context.Background()
+	want, err := runner.RunJobPayloads(ctx, spec, runner.JobEnv{}, runner.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Server-side chaos: injected 5xx and delays, plus a blackout window
+	// early in the run — every request during it is rejected, long enough
+	// to blow through every worker's retry budget and force a park.
+	serverReg := obs.New()
+	serverPlan, err := chaos.NewPlan(chaos.Config{
+		Seed:         23,
+		Error5xxProb: 0.05,
+		DelayMax:     3 * time.Millisecond,
+		BlackoutWindows: []chaos.Window{
+			{Start: 50 * time.Millisecond, End: 300 * time.Millisecond},
+		},
+	}, serverReg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.New()
+	coord, _ := newFabric(t, spec, t.TempDir(), CoordinatorOptions{
+		Obs: reg, LeaseCells: 3, LeaseTTL: 500 * time.Millisecond,
+	})
+	srv := httptest.NewServer(serverPlan.Middleware(coord.Handler()))
+	defer srv.Close()
+
+	// Worker-side chaos: one seeded plan, per-worker transports — the
+	// schedule is keyed by (worker, endpoint, attempt), so every worker
+	// meets its own reproducible weather.
+	workerReg := obs.New()
+	workerPlan, err := chaos.NewPlan(chaos.Config{
+		Seed:         23,
+		DropProb:     0.15,
+		DelayMax:     5 * time.Millisecond,
+		Error5xxProb: 0.1,
+		CorruptProb:  0.1,
+	}, workerReg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 4
+	errs := make(chan error, workers)
+	for i := 0; i < workers; i++ {
+		name := fmt.Sprintf("soak-w%d", i)
+		go func() {
+			errs <- Work(ctx, srv.URL, WorkerOptions{
+				Name: name, Parallelism: 2, Obs: reg,
+				Client:    &http.Client{Transport: workerPlan.Transport(name, nil)},
+				Retries:   3,
+				Backoff:   2 * time.Millisecond,
+				MaxOutage: 60 * time.Second,
+				Heartbeat: 40 * time.Millisecond,
+			})
+		}()
+	}
+	// The casualty: killed the moment it is granted its first lease, so
+	// its cells have to be reaped and stolen mid-chaos.
+	dctx, kill := context.WithCancel(ctx)
+	doomed := Work(dctx, srv.URL, WorkerOptions{
+		Name: "soak-doomed", Parallelism: 2, Obs: reg,
+		Client:    &http.Client{Transport: workerPlan.Transport("soak-doomed", nil)},
+		Retries:   3,
+		Backoff:   2 * time.Millisecond,
+		MaxOutage: 60 * time.Second,
+		OnLease:   func(id string, cells []int) { kill() },
+	})
+	if doomed != context.Canceled {
+		t.Fatalf("doomed worker returned %v, want context.Canceled", doomed)
+	}
+	for i := 0; i < workers; i++ {
+		if err := <-errs; err != nil {
+			t.Fatalf("a surviving worker exited non-parked: %v", err)
+		}
+	}
+
+	got, err := coord.Payloads(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("soak shipped %d payloads, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Fatalf("payload %d differs from the clean local run under chaos", i)
+		}
+	}
+
+	// The chaos must actually have happened: every worker-side fault kind
+	// fired, the blackout rejected traffic, and at least one worker rode
+	// it out parked.
+	for _, c := range []struct {
+		reg  *obs.Registry
+		name string
+	}{
+		{workerReg, "chaos_requests_dropped_total"},
+		{workerReg, "chaos_errors_injected_total"},
+		{workerReg, "chaos_responses_corrupted_total"},
+		{workerReg, "chaos_requests_delayed_total"},
+		{serverReg, "chaos_blackout_rejects_total"},
+	} {
+		if c.reg.Counter(c.name).Value() == 0 {
+			t.Errorf("%s = 0; the soak never exercised that fault", c.name)
+		}
+	}
+	if sec := reg.Gauge("fabric_worker_parked_seconds").Value(); sec <= 0 {
+		t.Error("no worker ever parked; the blackout missed the run")
+	}
+	if n := reg.Counter("fabric_leases_expired_total").Value(); n == 0 {
+		t.Error("the doomed worker's lease was never reaped")
+	}
+}

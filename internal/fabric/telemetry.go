@@ -66,6 +66,8 @@ type telemetryEnvelope struct {
 	CellsPerSec   float64         `json:"cells_per_sec,omitempty"`
 	LeaseID       string          `json:"lease,omitempty"`
 	InflightCells int             `json:"inflight_cells,omitempty"`
+	Parked        bool            `json:"parked,omitempty"`
+	ParkedSeconds float64         `json:"parked_seconds,omitempty"`
 	Snapshot      json.RawMessage `json:"snapshot,omitempty"`
 	Spans         []wireSpan      `json:"spans,omitempty"`
 }
@@ -83,10 +85,13 @@ type workerTelemetry struct {
 // TTL: a worker is healthy while its last push is younger than half the
 // TTL, stale until a full TTL, and lost beyond it — the same horizon at
 // which its leases are forfeited, so "lost" and "cells re-issued" line
-// up.
+// up. A worker whose latest envelope says it is parked (riding out a
+// coordinator outage with capped backoff, see WorkerOptions.MaxOutage)
+// shows as parked instead, until its heartbeats age into lost.
 const (
 	WorkerHealthy = "healthy"
 	WorkerStale   = "stale"
+	WorkerParked  = "parked"
 	WorkerLost    = "lost"
 )
 
@@ -102,6 +107,7 @@ type FleetWorker struct {
 	Straggler      bool    `json:"straggler,omitempty"`
 	LeaseID        string  `json:"lease,omitempty"`
 	InflightCells  int     `json:"inflight_cells,omitempty"`
+	ParkedSeconds  float64 `json:"parked_seconds,omitempty"`
 }
 
 // Fleet is the machine-readable fleet view served on GET /v1/fleet: job
@@ -113,6 +119,7 @@ type Fleet struct {
 	Workers         []FleetWorker `json:"workers"`
 	Healthy         int           `json:"healthy"`
 	Stale           int           `json:"stale"`
+	Parked          int           `json:"parked"`
 	Lost            int           `json:"lost"`
 	CellsPerSec     float64       `json:"cells_per_sec"`
 	CellSecondsP50  float64       `json:"cell_seconds_p50,omitempty"`
@@ -143,6 +150,9 @@ func (c *Coordinator) ingestTelemetry(env telemetryEnvelope) error {
 	}
 	if math.IsNaN(wt.env.CellsPerSec) || math.IsInf(wt.env.CellsPerSec, 0) || wt.env.CellsPerSec < 0 {
 		wt.env.CellsPerSec = 0
+	}
+	if math.IsNaN(wt.env.ParkedSeconds) || math.IsInf(wt.env.ParkedSeconds, 0) || wt.env.ParkedSeconds < 0 {
+		wt.env.ParkedSeconds = 0
 	}
 	c.tmu.Lock()
 	prev := c.telemetry[env.Worker]
@@ -210,6 +220,13 @@ func (c *Coordinator) Fleet() Fleet {
 			CellSecondsP50: finiteOrZero(p50),
 			LeaseID:        wt.env.LeaseID,
 			InflightCells:  wt.env.InflightCells,
+			ParkedSeconds:  wt.env.ParkedSeconds,
+		}
+		// A self-reported park overrides healthy/stale — the worker is
+		// alive but deliberately idle — but never lost: a parked worker
+		// that stops beating ages into lost like any other.
+		if wt.env.Parked && fw.State != WorkerLost {
+			fw.State = WorkerParked
 		}
 		if p50 > c.opts.StragglerFactor*fleetP50 && fleetP50 > 0 {
 			fw.Straggler = true
@@ -221,6 +238,8 @@ func (c *Coordinator) Fleet() Fleet {
 		case WorkerStale:
 			f.Stale++
 			f.CellsPerSec += fw.CellsPerSec
+		case WorkerParked:
+			f.Parked++
 		default:
 			f.Lost++
 		}
@@ -229,6 +248,7 @@ func (c *Coordinator) Fleet() Fleet {
 	c.tmu.Unlock()
 	c.treg.Gauge("fabric_workers_healthy").Set(float64(f.Healthy))
 	c.treg.Gauge("fabric_workers_stale").Set(float64(f.Stale))
+	c.treg.Gauge("fabric_workers_parked").Set(float64(f.Parked))
 	c.treg.Gauge("fabric_workers_lost").Set(float64(f.Lost))
 	return f
 }

@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"net/http"
 	"os"
 	"strconv"
@@ -13,6 +14,7 @@ import (
 	"time"
 
 	"mfdl/internal/obs"
+	"mfdl/internal/rng"
 	"mfdl/internal/runner"
 	"mfdl/internal/runner/diskcache"
 )
@@ -28,14 +30,32 @@ type WorkerOptions struct {
 	Parallelism int
 	// Client is the HTTP client (default http.DefaultClient).
 	Client *http.Client
-	// Retries is how many times a transport error or 5xx response is
-	// retried with exponential backoff before the worker gives up
-	// (default 4; negative disables retries). 4xx responses never retry —
-	// they mean this worker and the coordinator disagree about the job.
+	// Retries is how many times a transport error, 5xx response or
+	// undecodable response body is retried with exponential backoff
+	// before the worker gives up (default 4; negative disables retries).
+	// 4xx responses never retry — they mean this worker and the
+	// coordinator disagree about the job.
 	Retries int
 	// Backoff is the initial retry delay (default 50ms), doubling per
-	// attempt.
+	// attempt. Each sleep is jittered to a uniform draw in
+	// [backoff/2, backoff) from a per-worker deterministic stream, so N
+	// workers retrying a restarted coordinator fan out instead of
+	// stampeding in lockstep.
 	Backoff time.Duration
+	// MaxOutage, when positive, turns an exhausted retry budget on a
+	// retryable failure (transport error, 5xx, undecodable body — never a
+	// 4xx) into a park instead of a worker death: the worker keeps
+	// re-trying the request with capped jittered backoff for up to this
+	// long, surfacing the state as fabric_worker_parked_seconds and a
+	// "parked" row in /v1/fleet, and rejoins seamlessly when the
+	// coordinator answers again. Zero (the default) keeps the fail-fast
+	// behavior.
+	MaxOutage time.Duration
+	// GonePolls is how many consecutive failed job probes WorkLoop
+	// tolerates before concluding the coordinator has retired (default
+	// 3). A single transient failure between rounds no longer ends the
+	// loop.
+	GonePolls int
 	// Obs, when non-nil, receives the worker's fabric_worker_cells_total
 	// counter plus the solve cache's counters, and its full snapshot is
 	// shipped with every telemetry push so the coordinator can merge it
@@ -88,7 +108,43 @@ func (o WorkerOptions) withDefaults() WorkerOptions {
 	if o.Heartbeat == 0 {
 		o.Heartbeat = time.Second
 	}
+	if o.GonePolls <= 0 {
+		o.GonePolls = 3
+	}
 	return o
+}
+
+// backoffSalt seeds the per-worker jitter stream; a distinct constant so
+// the draw sequence is decoupled from every other RNG consumer.
+const backoffSalt = 0x6a09e667f3bcc908
+
+// newWorker builds the shared per-run worker state. The jitter stream is
+// seeded from the worker's name, so a named worker's backoff schedule is
+// reproducible run to run while distinct workers fan out.
+func newWorker(opts WorkerOptions, baseURL string) *worker {
+	h := fnv.New64a()
+	h.Write([]byte(opts.Name))
+	return &worker{
+		opts:   opts,
+		base:   strings.TrimSuffix(baseURL, "/"),
+		jitter: rng.NewStream(backoffSalt, h.Sum64()),
+	}
+}
+
+// jitterSleep sleeps a uniform draw in [d/2, d) — "equal jitter": enough
+// spread to break retry lockstep, never less than half the intended
+// backoff. Returns ctx.Err() if cancelled mid-sleep.
+func (w *worker) jitterSleep(ctx context.Context, d time.Duration) error {
+	w.jmu.Lock()
+	f := w.jitter.Float64()
+	w.jmu.Unlock()
+	d = d/2 + time.Duration(f*float64(d/2))
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-time.After(d):
+		return nil
+	}
 }
 
 // Work runs one worker against the coordinator at baseURL until the job
@@ -102,7 +158,7 @@ func (o WorkerOptions) withDefaults() WorkerOptions {
 // cannot execute.
 func Work(ctx context.Context, baseURL string, opts WorkerOptions) error {
 	opts = opts.withDefaults()
-	w := &worker{opts: opts, base: strings.TrimSuffix(baseURL, "/")}
+	w := newWorker(opts, baseURL)
 	// One epoch per run: a worker that restarts under the same name (a
 	// new process, or the next WorkLoop round) resets seq to 1, and the
 	// coordinator uses the newer epoch to accept it instead of dropping
@@ -111,12 +167,17 @@ func Work(ctx context.Context, baseURL string, opts WorkerOptions) error {
 	w.cells = opts.Obs.Counter("fabric_worker_cells_total", obs.L("worker", opts.Name))
 	w.failed = opts.Obs.Counter("fabric_completions_failed_total", obs.L("worker", opts.Name))
 	w.pushErrs = opts.Obs.Counter("fabric_telemetry_push_errors_total", obs.L("worker", opts.Name))
+	w.parkedG = opts.Obs.Gauge("fabric_worker_parked_seconds")
 
-	data, err := w.do(ctx, http.MethodGet, pathJob, nil, nil)
-	if err != nil {
-		return err
-	}
-	spec, err := runner.ParseJobSpec(data)
+	// The job spec decode rides inside the retry loop: a corrupted or
+	// truncated response body is network weather, exactly like a 5xx, not
+	// a protocol disagreement.
+	var spec runner.JobSpec
+	_, err := w.do(ctx, http.MethodGet, pathJob, nil, nil, func(data []byte) error {
+		var perr error
+		spec, perr = runner.ParseJobSpec(data)
+		return perr
+	})
 	if err != nil {
 		return err
 	}
@@ -164,13 +225,16 @@ func Work(ctx context.Context, baseURL string, opts WorkerOptions) error {
 			return err
 		}
 		body, _ := json.Marshal(leaseRequest{Worker: opts.Name, Max: opts.Parallelism})
-		data, err := w.do(ctx, http.MethodPost, pathLease, body, nil)
+		var resp leaseResponse
+		_, err := w.do(ctx, http.MethodPost, pathLease, body, nil, func(data []byte) error {
+			resp = leaseResponse{}
+			if err := json.Unmarshal(data, &resp); err != nil {
+				return fmt.Errorf("fabric: lease response: %w", err)
+			}
+			return nil
+		})
 		if err != nil {
 			return err
-		}
-		var resp leaseResponse
-		if err := json.Unmarshal(data, &resp); err != nil {
-			return fmt.Errorf("fabric: lease response: %w", err)
 		}
 		switch {
 		case resp.Done:
@@ -190,11 +254,61 @@ func Work(ctx context.Context, baseURL string, opts WorkerOptions) error {
 				opts.OnLease(resp.Lease.ID, resp.Lease.Cells)
 			}
 			w.setLease(resp.Lease.ID, len(resp.Lease.Cells))
+			// Renew at TTL/2 for as long as the lease is being worked, so
+			// a slow-but-alive worker is never reaped mid-cell and its
+			// work recomputed by a thief.
+			rctx, rcancel := context.WithCancel(ctx)
+			var rdone chan struct{}
+			if ttl := time.Duration(resp.Lease.TTLMilli) * time.Millisecond; ttl > 0 {
+				rdone = make(chan struct{})
+				go func() {
+					defer close(rdone)
+					w.renewLease(rctx, resp.Lease.ID, ttl)
+				}()
+			}
 			err := w.runLease(ctx, resp.Lease.Cells)
+			rcancel()
+			if rdone != nil {
+				<-rdone
+			}
 			w.setLease("", 0)
 			if err != nil {
 				return err
 			}
+		}
+	}
+}
+
+// renewLease POSTs a renewal every TTL/2 until ctx is cancelled or the
+// coordinator says the lease is gone (409 — expired and possibly stolen;
+// retrying cannot revive it, and idempotent completes make the race
+// harmless). Renewals are best-effort single attempts: a dropped one
+// just leaves the next tick to succeed, well inside the TTL.
+func (w *worker) renewLease(ctx context.Context, leaseID string, ttl time.Duration) {
+	body, _ := json.Marshal(renewRequest{Worker: w.opts.Name, Lease: leaseID})
+	t := time.NewTicker(ttl / 2)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+		rctx, cancel := context.WithTimeout(ctx, ttl/2)
+		req, err := http.NewRequestWithContext(rctx, http.MethodPost, w.base+pathRenew, bytes.NewReader(body))
+		if err != nil {
+			cancel()
+			return
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := w.opts.Client.Do(req)
+		cancel()
+		if err != nil {
+			continue
+		}
+		_, _ = readAll(resp)
+		if resp.StatusCode == http.StatusConflict {
+			return
 		}
 	}
 }
@@ -211,25 +325,39 @@ func WorkLoop(ctx context.Context, baseURL string, opts WorkerOptions) error {
 	opts = opts.withDefaults()
 	poll := 2 * opts.Backoff
 	last := ""
+	probe := newWorker(opts, baseURL)
+	fails := 0
 	for {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		// Probe the job endpoint directly: a transport failure here means
-		// the coordinator is gone, which for a loop worker is the normal
-		// end of service, not an error.
-		probe := &worker{opts: opts, base: strings.TrimSuffix(baseURL, "/")}
-		data, err := probe.do(ctx, http.MethodGet, pathJob, nil, nil)
+		// Probe the job endpoint. A failed probe might mean the
+		// coordinator retired — the normal end of service for a loop
+		// worker — or might be one transient network blip between rounds,
+		// so the loop only concludes "gone" after GonePolls consecutive
+		// failures.
+		var spec runner.JobSpec
+		_, err := probe.do(ctx, http.MethodGet, pathJob, nil, nil, func(data []byte) error {
+			var perr error
+			spec, perr = runner.ParseJobSpec(data)
+			return perr
+		})
 		if err != nil {
 			if ctx.Err() != nil {
 				return ctx.Err()
 			}
-			return nil
+			fails++
+			if fails >= opts.GonePolls {
+				return nil
+			}
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(poll):
+			}
+			continue
 		}
-		spec, err := runner.ParseJobSpec(data)
-		if err != nil {
-			return err
-		}
+		fails = 0
 		if fp := spec.Fingerprint(); fp != last {
 			if err := Work(ctx, baseURL, opts); err != nil {
 				return err
@@ -254,6 +382,12 @@ type worker struct {
 	cells    *obs.Counter
 	failed   *obs.Counter
 	pushErrs *obs.Counter
+	parkedG  *obs.Gauge
+
+	// jitter is the worker's deterministic backoff stream; jmu guards it
+	// because parallel runCell goroutines retry concurrently.
+	jmu    sync.Mutex
+	jitter *rng.Source
 
 	// Telemetry state, all guarded by tmu and touched only off the
 	// completion hot path.
@@ -265,6 +399,21 @@ type worker struct {
 	lastBeat  time.Time
 	lastCells uint64
 	done      uint64 // cells completed, independent of opts.Obs
+	parked    int    // request paths currently riding out an outage
+	parkedSec float64
+}
+
+// setParked tracks how many request paths are parked and accumulates
+// parked wall-time for telemetry and the fabric_worker_parked_seconds
+// gauge (created without a worker label — the coordinator-side snapshot
+// merge adds worker=<id>).
+func (w *worker) setParked(delta int, sec float64) {
+	w.tmu.Lock()
+	w.parked += delta
+	w.parkedSec += sec
+	total := w.parkedSec
+	w.tmu.Unlock()
+	w.parkedG.Set(total)
 }
 
 // setLease records the lease currently being worked for the heartbeat.
@@ -293,6 +442,8 @@ func (w *worker) pushTelemetry(ctx context.Context) {
 		CellsTotal:    w.done,
 		LeaseID:       w.leaseID,
 		InflightCells: w.inflight,
+		Parked:        w.parked > 0,
+		ParkedSeconds: w.parkedSec,
 	}
 	if !w.lastBeat.IsZero() {
 		if dt := now.Sub(w.lastBeat).Seconds(); dt > 0 {
@@ -395,7 +546,7 @@ func (w *worker) runCell(ctx context.Context, cell int) error {
 	if w.opts.OnCell != nil {
 		w.opts.OnCell(cell)
 	}
-	if _, err := w.do(ctx, http.MethodPost, pathComplete, body, hdr); err != nil {
+	if _, err := w.do(ctx, http.MethodPost, pathComplete, body, hdr, nil); err != nil {
 		// A cancelled worker is shutdown, not loss — report it as such.
 		if ctx.Err() != nil {
 			return ctx.Err()
@@ -416,53 +567,124 @@ func (w *worker) runCell(ctx context.Context, cell int) error {
 	return nil
 }
 
-// do issues one request, retrying transport errors and 5xx responses with
-// exponential backoff. 4xx responses fail immediately.
-func (w *worker) do(ctx context.Context, method, path string, body []byte, hdr http.Header) ([]byte, error) {
+// do issues one request, retrying transport errors, 5xx responses and
+// decode failures with jittered exponential backoff; 4xx responses fail
+// immediately. decode, when non-nil, validates (and captures) the
+// response body inside the retry loop, so a corrupted body is retried
+// like any other transient fault instead of killing the worker. When the
+// retry budget runs out on a retryable failure and MaxOutage is set, the
+// request parks — capped jittered backoff for up to MaxOutage — instead
+// of failing.
+func (w *worker) do(ctx context.Context, method, path string, body []byte, hdr http.Header, decode func([]byte) error) ([]byte, error) {
 	backoff := w.opts.Backoff
 	var lastErr error
 	for attempt := 0; attempt <= w.opts.Retries; attempt++ {
 		if attempt > 0 {
-			select {
-			case <-ctx.Done():
-				return nil, ctx.Err()
-			case <-time.After(backoff):
+			if err := w.jitterSleep(ctx, backoff); err != nil {
+				return nil, err
 			}
 			backoff *= 2
 		}
-		req, err := http.NewRequestWithContext(ctx, method, w.base+path, bytes.NewReader(body))
-		if err != nil {
+		data, err, retryable := w.attempt(ctx, method, path, body, hdr, decode)
+		if err == nil {
+			return data, nil
+		}
+		if !retryable {
 			return nil, err
 		}
-		for k, vs := range hdr {
-			req.Header[k] = vs
-		}
-		if method == http.MethodPost {
-			req.Header.Set("Content-Type", "application/json")
-		}
-		resp, err := w.opts.Client.Do(req)
-		if err != nil {
-			if ctx.Err() != nil {
-				return nil, ctx.Err()
-			}
-			lastErr = err
-			continue
-		}
-		data, rerr := readAll(resp)
-		switch {
-		case rerr != nil:
-			lastErr = rerr
-		case resp.StatusCode < 300:
-			return data, nil
-		case resp.StatusCode >= 500:
-			lastErr = fmt.Errorf("fabric: %s %s: %s: %s",
-				method, path, resp.Status, strings.TrimSpace(string(data)))
-		default:
-			return nil, fmt.Errorf("fabric: %s %s: %s: %s",
-				method, path, resp.Status, strings.TrimSpace(string(data)))
-		}
+		lastErr = err
 	}
-	return nil, lastErr
+	if w.opts.MaxOutage <= 0 {
+		return nil, lastErr
+	}
+	return w.park(ctx, method, path, body, hdr, decode, lastErr)
+}
+
+// park rides out a coordinator outage: keep retrying with backoff capped
+// at parkBackoffCap until the request succeeds, fails terminally, or
+// MaxOutage elapses. The worker advertises the state through its parked
+// telemetry fields and the fabric_worker_parked_seconds gauge.
+func (w *worker) park(ctx context.Context, method, path string, body []byte, hdr http.Header, decode func([]byte) error, lastErr error) ([]byte, error) {
+	const parkBackoffCap = 2 * time.Second
+	ceil := parkBackoffCap
+	if q := w.opts.MaxOutage / 4; q > 0 && ceil > q {
+		ceil = q
+	}
+	if ceil < w.opts.Backoff {
+		ceil = w.opts.Backoff
+	}
+	start := time.Now()
+	w.setParked(+1, 0)
+	last := start
+	tick := func() {
+		now := time.Now()
+		w.setParked(0, now.Sub(last).Seconds())
+		last = now
+	}
+	defer func() {
+		tick()
+		w.setParked(-1, 0)
+	}()
+	for {
+		if time.Since(start) >= w.opts.MaxOutage {
+			return nil, fmt.Errorf("fabric: parked %s past max outage %s: %w",
+				time.Since(start).Round(time.Millisecond), w.opts.MaxOutage, lastErr)
+		}
+		if err := w.jitterSleep(ctx, ceil); err != nil {
+			return nil, err
+		}
+		tick()
+		data, err, retryable := w.attempt(ctx, method, path, body, hdr, decode)
+		if err == nil {
+			return data, nil
+		}
+		if !retryable {
+			return nil, err
+		}
+		lastErr = err
+	}
+}
+
+// attempt issues a single request. retryable reports whether the failure
+// is transient network weather (transport error, 5xx, short read,
+// undecodable body) as opposed to terminal (4xx: a protocol
+// disagreement; or context cancellation).
+func (w *worker) attempt(ctx context.Context, method, path string, body []byte, hdr http.Header, decode func([]byte) error) (data []byte, err error, retryable bool) {
+	req, err := http.NewRequestWithContext(ctx, method, w.base+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, err, false
+	}
+	for k, vs := range hdr {
+		req.Header[k] = vs
+	}
+	if method == http.MethodPost {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := w.opts.Client.Do(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil, ctx.Err(), false
+		}
+		return nil, err, true
+	}
+	data, rerr := readAll(resp)
+	switch {
+	case rerr != nil:
+		return nil, rerr, true
+	case resp.StatusCode < 300:
+		if decode != nil {
+			if derr := decode(data); derr != nil {
+				return nil, derr, true
+			}
+		}
+		return data, nil, false
+	case resp.StatusCode >= 500:
+		return nil, fmt.Errorf("fabric: %s %s: %s: %s",
+			method, path, resp.Status, strings.TrimSpace(string(data))), true
+	default:
+		return nil, fmt.Errorf("fabric: %s %s: %s: %s",
+			method, path, resp.Status, strings.TrimSpace(string(data))), false
+	}
 }
 
 func readAll(resp *http.Response) ([]byte, error) {

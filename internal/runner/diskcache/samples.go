@@ -7,9 +7,11 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"mfdl/internal/obs"
 )
@@ -134,6 +136,12 @@ func (s *SampleStore) Get(key string, seed uint64) ([]byte, bool) {
 		s.obsMisses.Inc()
 		return nil, false
 	}
+	// Touch the entry so mtime approximates recency of use and Prune's
+	// size-based eviction is LRU rather than write-order — the same
+	// discipline as the solve cache. Best effort: a read-only sample
+	// directory still serves hits.
+	now := time.Now()
+	_ = os.Chtimes(path, now, now)
 	s.count(func(st *Stats) { st.Hits++ })
 	s.obsHits.Inc()
 	return e.Payload, true
@@ -197,6 +205,98 @@ func (s *SampleStore) Clear(key string) error {
 		return fmt.Errorf("diskcache: %w", err)
 	}
 	return nil
+}
+
+// Usage reports how many samples the store holds across every key
+// subdirectory and how many bytes they occupy. Entries that vanish
+// mid-scan (a concurrent prune or eviction) are skipped, not errors.
+func (s *SampleStore) Usage() (entries int, bytes int64, err error) {
+	names, err := filepath.Glob(filepath.Join(s.dir, "samples-*", "s-*.json"))
+	if err != nil {
+		return 0, 0, err
+	}
+	for _, name := range names {
+		info, err := os.Stat(name)
+		if err != nil {
+			continue
+		}
+		entries++
+		bytes += info.Size()
+	}
+	return entries, bytes, nil
+}
+
+// Prune removes samples by age and/or total size across every key
+// subdirectory, oldest mtime first — approximately least recently used,
+// since Get touches entries on a hit. The accounting mirrors the solve
+// cache's Prune: entries that disappear mid-pass are treated as already
+// pruned, stray temp files from crashed writers older than MaxAge are
+// removed, and key subdirectories left empty are cleaned up.
+func (s *SampleStore) Prune(opts PruneOptions) (PruneStats, error) {
+	var st PruneStats
+	names, err := filepath.Glob(filepath.Join(s.dir, "samples-*", "s-*.json"))
+	if err != nil {
+		return st, err
+	}
+	type fileInfo struct {
+		path  string
+		size  int64
+		mtime time.Time
+	}
+	var files []fileInfo
+	now := time.Now()
+	for _, name := range names {
+		info, err := os.Stat(name)
+		if err != nil {
+			continue
+		}
+		files = append(files, fileInfo{path: name, size: info.Size(), mtime: info.ModTime()})
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].mtime.Before(files[j].mtime) })
+	var total int64
+	for _, f := range files {
+		total += f.size
+	}
+	remove := func(f fileInfo) {
+		if os.Remove(f.path) == nil {
+			st.Removed++
+			st.Freed += f.size
+			s.count(func(c *Stats) { c.Evicted++ })
+			s.obsEvicted.Inc()
+		}
+		total -= f.size
+	}
+	for _, f := range files {
+		switch {
+		case opts.MaxAge > 0 && now.Sub(f.mtime) > opts.MaxAge:
+			remove(f)
+		case opts.MaxBytes > 0 && total > opts.MaxBytes:
+			remove(f)
+		default:
+			st.Kept++
+			st.Remaining += f.size
+		}
+	}
+	if opts.MaxAge > 0 {
+		tmps, err := filepath.Glob(filepath.Join(s.dir, "samples-*", "put-*.tmp"))
+		if err == nil {
+			for _, name := range tmps {
+				info, err := os.Stat(name)
+				if err != nil || now.Sub(info.ModTime()) <= opts.MaxAge {
+					continue
+				}
+				os.Remove(name)
+			}
+		}
+	}
+	// Drop key directories the pass emptied; os.Remove refuses non-empty
+	// directories, so a concurrent Put can never lose its samples here.
+	if dirs, err := filepath.Glob(filepath.Join(s.dir, "samples-*")); err == nil {
+		for _, dir := range dirs {
+			_ = os.Remove(dir)
+		}
+	}
+	return st, nil
 }
 
 // Stats returns a snapshot of the counters.

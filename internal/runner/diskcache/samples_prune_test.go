@@ -1,0 +1,202 @@
+package diskcache
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// fillSamples stores one sample per key under seeds 0..n-1 and returns
+// the keys.
+func fillSamples(t *testing.T, s *SampleStore, n int) []string {
+	t.Helper()
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("sim key %d", i)
+		if err := s.Put(keys[i], uint64(i), []byte(fmt.Sprintf(`{"v":%d}`, i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return keys
+}
+
+// ageSample rewinds one sample's mtime by d.
+func ageSample(t *testing.T, s *SampleStore, key string, seed uint64, d time.Duration) {
+	t.Helper()
+	past := time.Now().Add(-d)
+	if err := os.Chtimes(s.samplePath(key, seed), past, past); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSampleStoreUsage(t *testing.T) {
+	s, err := OpenSamples(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, bytes, err := s.Usage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if entries != 0 || bytes != 0 {
+		t.Fatalf("empty store reports %d entries, %d bytes", entries, bytes)
+	}
+	fillSamples(t, s, 3)
+	entries, bytes, err = s.Usage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if entries != 3 {
+		t.Errorf("entries = %d, want 3", entries)
+	}
+	if bytes <= 0 {
+		t.Errorf("bytes = %d, want > 0", bytes)
+	}
+}
+
+func TestSampleStorePruneByAge(t *testing.T) {
+	s, err := OpenSamples(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := fillSamples(t, s, 4)
+	ageSample(t, s, keys[0], 0, 2*time.Hour)
+	ageSample(t, s, keys[1], 1, 3*time.Hour)
+	st, err := s.Prune(PruneOptions{MaxAge: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Removed != 2 || st.Kept != 2 {
+		t.Fatalf("removed %d kept %d, want 2/2", st.Removed, st.Kept)
+	}
+	if _, ok := s.Get(keys[0], 0); ok {
+		t.Error("aged-out sample still readable")
+	}
+	if _, ok := s.Get(keys[2], 2); !ok {
+		t.Error("fresh sample was pruned")
+	}
+	if got := s.Stats().Evicted; got != 2 {
+		t.Errorf("Evicted counter = %d, want 2", got)
+	}
+	// The emptied per-key subdirectories are cleaned up; survivors keep
+	// theirs.
+	for i, k := range keys {
+		_, err := os.Stat(s.keyDir(k))
+		if gone := os.IsNotExist(err); gone != (i < 2) {
+			t.Errorf("key dir %d: gone=%v, want %v", i, gone, i < 2)
+		}
+	}
+}
+
+func TestSampleStorePruneBySizeEvictsLRU(t *testing.T) {
+	s, err := OpenSamples(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := fillSamples(t, s, 4)
+	// Stagger recency: keys[0] oldest ... keys[3] newest.
+	for i, k := range keys {
+		ageSample(t, s, k, uint64(i), time.Duration(len(keys)-i)*time.Hour)
+	}
+	_, total, err := s.Usage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	per := total / 4
+	st, err := s.Prune(PruneOptions{MaxBytes: 2 * per})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Removed != 2 || st.Kept != 2 {
+		t.Fatalf("removed %d kept %d, want 2/2", st.Removed, st.Kept)
+	}
+	for i, k := range keys[:2] {
+		if _, ok := s.Get(k, uint64(i)); ok {
+			t.Errorf("LRU sample %s survived a size prune", k)
+		}
+	}
+	for i, k := range keys[2:] {
+		if _, ok := s.Get(k, uint64(i+2)); !ok {
+			t.Errorf("recent sample %s was evicted", k)
+		}
+	}
+	if st.Remaining > 2*per {
+		t.Errorf("remaining %d bytes exceeds budget %d", st.Remaining, 2*per)
+	}
+}
+
+// TestSampleStoreGetRefreshesRecency pins the LRU approximation: a hit
+// touches the sample, so a recently read sample outlives an unread one
+// of the same age.
+func TestSampleStoreGetRefreshesRecency(t *testing.T) {
+	s, err := OpenSamples(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := fillSamples(t, s, 2)
+	for i, k := range keys {
+		ageSample(t, s, k, uint64(i), 2*time.Hour)
+	}
+	if _, ok := s.Get(keys[1], 1); !ok {
+		t.Fatal("warm read missed")
+	}
+	st, err := s.Prune(PruneOptions{MaxAge: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Removed != 1 {
+		t.Fatalf("removed %d, want 1 (only the unread sample)", st.Removed)
+	}
+	if _, ok := s.Get(keys[1], 1); !ok {
+		t.Error("recently read sample was pruned")
+	}
+}
+
+func TestSampleStorePruneZeroOptionsIsNoop(t *testing.T) {
+	s, err := OpenSamples(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := fillSamples(t, s, 3)
+	ageSample(t, s, keys[0], 0, 1000*time.Hour)
+	st, err := s.Prune(PruneOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Removed != 0 || st.Kept != 3 {
+		t.Fatalf("zero options removed %d kept %d, want 0/3", st.Removed, st.Kept)
+	}
+}
+
+func TestSampleStorePruneRemovesStaleTempFiles(t *testing.T) {
+	s, err := OpenSamples(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillSamples(t, s, 1)
+	kd := s.keyDir("sim key 0")
+	tmp, err := os.CreateTemp(kd, "put-*.tmp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmp.Close()
+	past := time.Now().Add(-2 * time.Hour)
+	if err := os.Chtimes(tmp.Name(), past, past); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Prune(PruneOptions{MaxAge: time.Hour}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(tmp.Name()); !os.IsNotExist(err) {
+		t.Errorf("stale temp file survived: %v", err)
+	}
+	// The fresh sample itself survives alongside the removed temp file.
+	if _, ok := s.Get("sim key 0", 0); !ok {
+		t.Error("fresh sample vanished with the temp file")
+	}
+	if got, _ := filepath.Glob(filepath.Join(s.Dir(), "samples-*", "put-*.tmp")); len(got) != 0 {
+		t.Errorf("%d temp files remain", len(got))
+	}
+}
